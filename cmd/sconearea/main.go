@@ -1,0 +1,46 @@
+// Command sconearea regenerates the area tables of the paper's evaluation:
+// Table II (full PRESENT-80 cores) and Table III (duplicated S-box
+// layers), plus the entropy-variant and synthesis-engine ablations.
+//
+// Usage:
+//
+//	sconearea [-table 2|3|all] [-engine anf|bdd] [-ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/synth"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 2, 3 or all")
+	engine := flag.String("engine", "anf", "S-box synthesis engine for Table II: anf or bdd")
+	ablations := flag.Bool("ablations", false, "also print the entropy-variant and engine ablations")
+	flag.Parse()
+
+	var eng synth.Engine
+	switch *engine {
+	case "anf":
+		eng = synth.EngineANF
+	case "bdd":
+		eng = synth.EngineBDD
+	default:
+		fmt.Fprintf(os.Stderr, "sconearea: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	if *table == "2" || *table == "all" {
+		fmt.Println(experiments.RunTableII(eng))
+	}
+	if *table == "3" || *table == "all" {
+		fmt.Println(experiments.RunTableIII())
+	}
+	if *ablations {
+		fmt.Println(experiments.RunEntropyAblation())
+		fmt.Println(experiments.RunEngineAblation())
+	}
+}

@@ -1,0 +1,116 @@
+// Command sconeattack mounts the paper's three attack families against
+// each protection scheme and prints the success/failure matrix — the
+// executable form of the paper's Section IV-B security argument.
+//
+// Usage:
+//
+//	sconeattack [-attack dfa|identical|sifa|fta|all] [-key hex80]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/cipher/present"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/spn"
+	"repro/internal/synth"
+)
+
+var deviceKey = spn.KeyState{0x0123456789ABCDEF, 0x8421}
+
+func buildDesign(scheme core.Scheme, separate bool) *core.Design {
+	return core.MustBuild(present.Spec(), core.Options{
+		Scheme: scheme, Entropy: core.EntropyPrime,
+		Engine: synth.EngineANF, SeparateSbox: separate,
+	})
+}
+
+func newTarget(scheme core.Scheme) *attack.Target {
+	t, err := attack.NewTarget(buildDesign(scheme, false), deviceKey, 0xD0D0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sconeattack:", err)
+		os.Exit(1)
+	}
+	return t
+}
+
+func main() {
+	which := flag.String("attack", "all", "attack to run: dfa, identical, sifa, ifa, fta or all")
+	flag.Parse()
+
+	run := func(name string) bool { return *which == name || *which == "all" }
+
+	if run("dfa") {
+		fmt.Println("=== Classic last-round DFA (single computation, bit-flip faults) ===")
+		for _, s := range []core.Scheme{core.SchemeUnprotected, core.SchemeNaiveDup, core.SchemeThreeInOne} {
+			res := attack.RunDFA(newTarget(s), attack.DefaultDFAConfig())
+			fmt.Printf("  vs %-24s %s\n", s.String()+":", res)
+		}
+		fmt.Println()
+	}
+
+	if run("identical") {
+		fmt.Println("=== Identical-fault DFA (FDTC 2016: same stuck-at in both computations) ===")
+		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeACISP, core.SchemeThreeInOne} {
+			res := attack.RunDFA(newTarget(s), attack.IdenticalDFAConfig())
+			fmt.Printf("  vs %-24s %s\n", s.String()+":", res)
+		}
+		cfg := attack.IdenticalDFAConfig()
+		cfg.Model = fault.BitFlip
+		res := attack.RunDFA(newTarget(core.SchemeThreeInOne), cfg)
+		fmt.Printf("  vs %-24s %s\n", "three-in-one (identical bit-FLIP, the §IV-B-4 caveat):", res)
+		fmt.Println()
+	}
+
+	if run("sifa") {
+		fmt.Println("=== SIFA (stuck-at-0 at S-box 13 bit 2, ineffective-fault filtering) ===")
+		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeACISP, core.SchemeThreeInOne} {
+			res := attack.RunSIFA(newTarget(s), attack.DefaultSIFAConfig())
+			fmt.Printf("  vs %-24s %s\n", s.String()+":", res.Result)
+		}
+		fmt.Println()
+	}
+
+	if run("ifa") {
+		fmt.Println("=== IFA / biased-fault SFA (the models SIFA generalises, §IV-B-5) ===")
+		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeThreeInOne} {
+			res := attack.RunIFA(newTarget(s), attack.DefaultIFAConfig())
+			fmt.Printf("  IFA vs %-20s %s\n", s.String()+":", res.Result)
+		}
+		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeThreeInOne} {
+			res := attack.RunSFA(newTarget(s), attack.DefaultSFAConfig())
+			fmt.Printf("  SFA vs %-20s %s\n", s.String()+":", res.Result)
+		}
+		fmt.Println()
+	}
+
+	if run("fta") {
+		fmt.Println("=== FTA (flip one input line of an AND gate in S-box 7) ===")
+		type cfg struct {
+			label    string
+			scheme   core.Scheme
+			separate bool
+		}
+		for _, c := range []cfg{
+			{"unprotected", core.SchemeUnprotected, false},
+			{"naive-duplication", core.SchemeNaiveDup, false},
+			{"acisp (separate S-boxes)", core.SchemeACISP, true},
+			{"three-in-one (merged)", core.SchemeThreeInOne, false},
+		} {
+			fcfg := attack.DefaultFTAConfig()
+			if c.separate {
+				fcfg.Repeats = 128
+			}
+			res, err := attack.RunFTAOnDesign(buildDesign(c.scheme, c.separate), deviceKey, fcfg, 0xFA)
+			if err != nil {
+				fmt.Printf("  vs %-28s error: %v\n", c.label+":", err)
+				continue
+			}
+			fmt.Printf("  vs %-28s %s\n", c.label+":", res.Result)
+		}
+	}
+}

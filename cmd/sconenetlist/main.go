@@ -1,0 +1,101 @@
+// Command sconenetlist builds one protected core and inspects it: cell
+// statistics, GE area, logic depth, and optional export in the scone
+// netlist text format or Graphviz DOT.
+//
+// Usage:
+//
+//	sconenetlist -cipher present80 -scheme three-in-one -entropy prime [-optimize] [-format stats|text|dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cipher/gift"
+	"repro/internal/cipher/present"
+	"repro/internal/core"
+	"repro/internal/spn"
+	"repro/internal/stdcell"
+	"repro/internal/synth"
+)
+
+func main() {
+	cipher := flag.String("cipher", "present80", "cipher: present80 or gift64")
+	scheme := flag.String("scheme", "three-in-one", "unprotected, naive, acisp, three-in-one")
+	entropy := flag.String("entropy", "prime", "prime, per-round, per-sbox")
+	engine := flag.String("engine", "anf", "S-box synthesis engine: anf or bdd")
+	optimize := flag.Bool("optimize", false, "run the synthesis optimiser")
+	separate := flag.Bool("separate-sbox", false, "use the ACISP separate-S-box layout")
+	format := flag.String("format", "stats", "output: stats, text or dot")
+	flag.Parse()
+
+	var spec *spn.Spec
+	switch *cipher {
+	case "present80":
+		spec = present.Spec()
+	case "gift64":
+		spec = gift.Spec()
+	default:
+		fail("unknown cipher %q", *cipher)
+	}
+
+	opts := core.Options{Optimize: *optimize, SeparateSbox: *separate}
+	switch *scheme {
+	case "unprotected":
+		opts.Scheme = core.SchemeUnprotected
+	case "naive":
+		opts.Scheme = core.SchemeNaiveDup
+	case "acisp":
+		opts.Scheme = core.SchemeACISP
+	case "three-in-one":
+		opts.Scheme = core.SchemeThreeInOne
+	default:
+		fail("unknown scheme %q", *scheme)
+	}
+	switch *entropy {
+	case "prime":
+		opts.Entropy = core.EntropyPrime
+	case "per-round":
+		opts.Entropy = core.EntropyPerRound
+	case "per-sbox":
+		opts.Entropy = core.EntropyPerSbox
+	default:
+		fail("unknown entropy variant %q", *entropy)
+	}
+	switch *engine {
+	case "anf":
+		opts.Engine = synth.EngineANF
+	case "bdd":
+		opts.Engine = synth.EngineBDD
+	default:
+		fail("unknown engine %q", *engine)
+	}
+
+	d, err := core.Build(spec, opts)
+	if err != nil {
+		fail("build: %v", err)
+	}
+
+	switch *format {
+	case "stats":
+		fmt.Print(d.Mod.CollectStats())
+		fmt.Println()
+		fmt.Print(stdcell.Nangate45().Area(d.Mod))
+	case "text":
+		if err := d.Mod.WriteText(os.Stdout); err != nil {
+			fail("write: %v", err)
+		}
+	case "dot":
+		if err := d.Mod.WriteDOT(os.Stdout); err != nil {
+			fail("write: %v", err)
+		}
+	default:
+		fail("unknown format %q", *format)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sconenetlist: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,100 @@
+// Command sconesim runs the gate-level fault-simulation campaigns of the
+// paper's evaluation (Section IV-A): the SIFA bias experiment of Figure 4,
+// the identical-fault DFA experiment of Figure 5, and a coverage sweep
+// over fault models and locations.
+//
+// Usage:
+//
+//	sconesim -experiment fig4 [-runs 80000] [-seed N] [-workers N]
+//	sconesim -experiment fig5
+//	sconesim -experiment sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "fig4", "experiment to run: fig4, fig5, sweep, coverage, twofaults, leakage, persistent")
+	runs := flag.Int("runs", 80000, "simulated encryptions per design (per location for coverage)")
+	seed := flag.Uint64("seed", 0x5C09E2021, "campaign seed")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	scheme := flag.String("scheme", "three-in-one", "coverage: naive, acisp or three-in-one")
+	sites := flag.Int("sites", 400, "coverage: number of sampled fault locations (0 = all)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Runs = *runs
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+
+	start := time.Now()
+	switch *exp {
+	case "fig4":
+		res, err := experiments.RunFig4(cfg)
+		exitOn(err)
+		fmt.Println(res)
+	case "fig5":
+		res, err := experiments.RunFig5(cfg)
+		exitOn(err)
+		fmt.Println(res)
+	case "sweep":
+		res, err := experiments.RunSweep(cfg)
+		exitOn(err)
+		fmt.Println(res)
+	case "persistent":
+		res, err := experiments.RunPersistent(cfg)
+		exitOn(err)
+		fmt.Println(res)
+	case "twofaults":
+		res, err := experiments.RunTwoBiasedFaults(cfg)
+		exitOn(err)
+		fmt.Println(res)
+	case "leakage":
+		// Uses -runs as traces per class (default 2048 when 80000).
+		if cfg.Runs == 80000 {
+			cfg.Runs = 2048
+		}
+		res, err := experiments.RunLeakage(cfg)
+		exitOn(err)
+		fmt.Println(res)
+	case "coverage":
+		// Whole-design location sweep; runs-per-location comes from
+		// -runs (use a small value, e.g. 128).
+		res, err := experiments.RunLocationCoverage(cfg, coverageScheme(*scheme), *sites)
+		exitOn(err)
+		fmt.Println(res)
+	default:
+		fmt.Fprintf(os.Stderr, "sconesim: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("\n(%d runs per design, seed %#x, %s)\n", cfg.Runs, cfg.Seed, time.Since(start).Round(time.Millisecond))
+}
+
+func coverageScheme(name string) core.Scheme {
+	switch name {
+	case "naive":
+		return core.SchemeNaiveDup
+	case "acisp":
+		return core.SchemeACISP
+	case "three-in-one":
+		return core.SchemeThreeInOne
+	default:
+		fmt.Fprintf(os.Stderr, "sconesim: unknown scheme %q\n", name)
+		os.Exit(2)
+		return 0
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sconesim:", err)
+		os.Exit(1)
+	}
+}

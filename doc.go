@@ -1,0 +1,23 @@
+// Package scone is the public API of this reproduction of "Feeding Three
+// Birds With One Scone: A Generic Duplication Based Countermeasure To
+// Fault Attacks" (Baksi, Bhasin, Breier, Chattopadhyay, Kumar — DATE
+// 2021).
+//
+// The library lets a user:
+//
+//   - describe an SPN block cipher (or use the bundled PRESENT-80 and
+//     GIFT-64 descriptions),
+//   - build gate-level cores protected with naive duplication, the ACISP
+//     2020 randomised duplication, or the paper's three-in-one
+//     countermeasure in its three entropy variants,
+//   - simulate them (64 runs in parallel) and inject stuck-at / bit-flip
+//     faults at any net and clock cycle,
+//   - run the DFA / identical-fault DFA / SIFA / FTA attacks against each
+//     design, and
+//   - price every design in gate equivalents against a Nangate-45-like
+//     standard-cell library.
+//
+// See the examples/ directory for runnable walkthroughs and
+// EXPERIMENTS.md for the paper-versus-measured record of every table and
+// figure.
+package scone

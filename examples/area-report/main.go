@@ -1,0 +1,18 @@
+// area-report: regenerate the paper's area tables (Tables II and III) and
+// the entropy-variant ablation with the built-in synthesis flow and the
+// Nangate-45 gate-equivalent library.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/synth"
+)
+
+func main() {
+	fmt.Println(experiments.RunTableII(synth.EngineANF))
+	fmt.Println(experiments.RunTableIII())
+	fmt.Println(experiments.RunEntropyAblation())
+	fmt.Println(experiments.RunEngineAblation())
+}

@@ -1,0 +1,159 @@
+package attack
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cipher/present"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/rng"
+)
+
+// DFAConfig parameterises the last-round differential fault attack on
+// PRESENT-80.
+type DFAConfig struct {
+	// PairsPerNibble bounds how many (correct, faulty) pairs the
+	// attacker may collect per S-box.
+	PairsPerNibble int
+	// Model is the injected fault model. BitFlip is the classic
+	// transient DFA fault; StuckAt0/StuckAt1 model the laser set/reset
+	// faults of the FDTC 2016 identical-fault attack.
+	Model fault.Model
+	// BothBranches injects the *same* fault mask into the actual and
+	// the redundant computation — the Selmke-Heyszl-Sigl model.
+	BothBranches bool
+	// UnknownPolarity relaxes the candidate filter to "single-bit
+	// difference" without a set/reset direction. An attacker facing a
+	// possibly-encoded datapath uses this: a stuck-at on an encoded
+	// wire acts as stuck-at-λ on the logical value.
+	UnknownPolarity bool
+	// Seed drives the attacker's plaintext choices.
+	Seed uint64
+}
+
+// DefaultDFAConfig returns the classic single-computation bit-flip DFA.
+func DefaultDFAConfig() DFAConfig {
+	return DFAConfig{PairsPerNibble: 24, Model: fault.BitFlip, Seed: 0xDFA}
+}
+
+// IdenticalDFAConfig returns the FDTC 2016 configuration: identical
+// stuck-at faults in both computations of a duplicated design.
+func IdenticalDFAConfig() DFAConfig {
+	return DFAConfig{PairsPerNibble: 48, Model: fault.StuckAt0, BothBranches: true, UnknownPolarity: true, Seed: 0xDFA5}
+}
+
+// RunDFA mounts a last-round DFA against the target, attempting full
+// 80-bit key recovery. The attack injects single-bit faults at the inputs
+// of the last-round S-box layer, filters last-round-key candidates by
+// consistency with the fault model, and brute-forces the 16 key-schedule
+// bits K32 does not expose.
+func RunDFA(t *Target, cfg DFAConfig) Result {
+	spec := t.D.Spec
+	if spec.Name != "present80" {
+		return Result{Detail: "DFA driver is implemented for present80 targets"}
+	}
+	gen := rng.NewXoshiro(cfg.Seed)
+	invS := spec.InverseSbox()
+	cycle := t.D.LastRoundCycle()
+
+	detections := 0
+	usablePairs := 0
+	var k32 uint64
+	for nib := 0; nib < spec.NumSboxes(); nib++ {
+		// Ciphertext bit positions carrying S-box nib's output.
+		pos := [4]int{}
+		for b := 0; b < 4; b++ {
+			pos[b] = spec.Perm[4*nib+b]
+		}
+		candidates := uint32(0xFFFF) // bitmask over 16 subkey guesses
+		pairs := 0
+		for try := 0; try < cfg.PairsPerNibble && bits.OnesCount32(candidates) > 1; try++ {
+			pt := gen.Uint64()
+			faultBit := try % 4
+
+			t.SetFaults(nil)
+			clean := t.Encrypt(pt)
+
+			faults := []fault.Fault{fault.At(
+				t.D.SboxInputNet(core.BranchActual, nib, faultBit), cfg.Model, cycle)}
+			if cfg.BothBranches && t.D.NumBranches() > 1 {
+				faults = append(faults, fault.At(
+					t.D.SboxInputNet(core.BranchRedundant, nib, faultBit), cfg.Model, cycle))
+			}
+			t.SetFaults(faults)
+			faulty := t.Encrypt(pt)
+			t.SetFaults(nil)
+
+			if faulty.Detected {
+				detections++
+				continue
+			}
+			if faulty.CT == clean.CT {
+				continue // ineffective, no differential
+			}
+			pairs++
+			usablePairs++
+			candidates &= filterCandidates(invS, clean.CT, faulty.CT, pos, cfg.Model, cfg.UnknownPolarity)
+		}
+		if bits.OnesCount32(candidates) != 1 {
+			return Result{Detail: fmt.Sprintf(
+				"S-box %d: %d candidates left after %d usable pairs (%d injections detected) — key not recovered",
+				nib, bits.OnesCount32(candidates), pairs, detections)}
+		}
+		sub := uint64(bits.TrailingZeros32(candidates))
+		for b := 0; b < 4; b++ {
+			k32 |= ((sub >> uint(b)) & 1) << uint(pos[b])
+		}
+	}
+
+	// Brute-force the 16 hidden key-state bits against a known pair.
+	pt := gen.Uint64()
+	t.SetFaults(nil)
+	obs := t.Encrypt(pt)
+	key, ok := present.RecoverKeyFromK32(k32, pt, obs.CT)
+	if !ok {
+		return Result{Detail: fmt.Sprintf(
+			"K32=%016X recovered but no consistent 80-bit key found", k32)}
+	}
+	if key != t.Key {
+		return Result{Detail: fmt.Sprintf(
+			"recovered key %016X%04X does not match the device key", key[0], key[1])}
+	}
+	return Result{
+		Succeeded:    true,
+		RecoveredKey: key,
+		Detail: fmt.Sprintf("full 80-bit key recovered from %d usable pairs (%d injections detected)",
+			usablePairs, detections),
+	}
+}
+
+// filterCandidates keeps the subkey guesses consistent with one pair under
+// the single-bit fault model: decrypting the last round under the guess
+// must show an input difference of Hamming weight one (and, for stuck-at
+// models, the cleared/set bit must have held the complementary value).
+func filterCandidates(invS []uint64, clean, faulty uint64, pos [4]int, model fault.Model, unknownPolarity bool) uint32 {
+	var keep uint32
+	for guess := uint64(0); guess < 16; guess++ {
+		var y, yf uint64
+		for b := 0; b < 4; b++ {
+			y |= (((clean >> uint(pos[b])) & 1) ^ ((guess >> uint(b)) & 1)) << uint(b)
+			yf |= (((faulty >> uint(pos[b])) & 1) ^ ((guess >> uint(b)) & 1)) << uint(b)
+		}
+		x, xf := invS[y], invS[yf]
+		dx := x ^ xf
+		ok := bits.OnesCount64(dx) == 1
+		if ok && !unknownPolarity {
+			switch model {
+			case fault.StuckAt0:
+				ok = x&dx != 0 // the faulted bit was 1 and got cleared
+			case fault.StuckAt1:
+				ok = x&dx == 0 // the faulted bit was 0 and got set
+			}
+		}
+		if ok {
+			keep |= 1 << guess
+		}
+	}
+	return keep
+}

@@ -1,0 +1,200 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/spn"
+)
+
+// FTAConfig parameterises the fault template attack (Saha et al.,
+// Eurocrypt 2020). The attack flips ONE INPUT LINE of an AND gate inside a
+// last-round S-box and observes only whether the device's behaviour
+// changed (ciphertext difference or visible recovery). The output toggles
+// exactly when the other AND input is 1, so each probe is a template for
+// one state bit.
+type FTAConfig struct {
+	// SboxIndex selects the probed S-box (actual computation).
+	SboxIndex int
+	// Repeats is the number of injections per (plaintext, probe); the
+	// observable rate over repeats is the template statistic.
+	Repeats int
+	// ProfilePTs / AttackPTs are the numbers of fixed plaintexts used
+	// for the template-building and matching phases.
+	ProfilePTs int
+	AttackPTs  int
+	// Seed drives the attacker's choices.
+	Seed uint64
+}
+
+// DefaultFTAConfig probes S-box 7 with a moderate trace budget.
+func DefaultFTAConfig() FTAConfig {
+	return FTAConfig{SboxIndex: 7, Repeats: 64, ProfilePTs: 8, AttackPTs: 8, Seed: 0xF7A}
+}
+
+// FTAResult reports the template quality and matching accuracy.
+type FTAResult struct {
+	Result
+	// Separation is the distance between the mean observable rates of
+	// bit=0 and bit=1 profiling classes (per probed bit).
+	Separation []float64
+	// Accuracy is the fraction of attacked state bits recovered
+	// correctly; 0.5 is coin-flip (no leakage).
+	Accuracy float64
+	// Bits is the number of S-box input bits for which a usable AND
+	// probe was found.
+	Bits int
+}
+
+// Probe is one prepared injection point: flipping Net reveals the S-box
+// input bit BitIndex.
+type Probe struct {
+	BitIndex int
+	Net      netlist.Net
+}
+
+// PrepareFTA rewires the design for pin-precise injection and returns the
+// probes. It must be called on a freshly built (unoptimised) design BEFORE
+// a Target is created, because it mutates the netlist the way the attack's
+// fault-injection setup focuses on individual gate inputs.
+//
+// For every input bit i of the chosen S-box it looks for a 2-input AND
+// gate inside that S-box instance with the bit's (encoded) net on one pin;
+// the OTHER pin is isolated and becomes the flip target: the AND output —
+// and hence the cipher's behaviour — changes iff bit i is 1.
+func PrepareFTA(d *core.Design, sboxIndex int) ([]Probe, error) {
+	if !d.ProbesValid() {
+		return nil, fmt.Errorf("attack: FTA needs an unoptimised design")
+	}
+	var probes []Probe
+	tag := fmt.Sprintf("b0.sbox%02d", sboxIndex)
+	for bit := 0; bit < d.Spec.SboxBits; bit++ {
+		x := d.SboxInputNet(core.BranchActual, sboxIndex, bit)
+		ci, pin, ok := fault.FindAndGateWithInput(d.Mod, x, tag)
+		if !ok {
+			continue
+		}
+		n, err := fault.IsolatePin(d.Mod, ci, pin)
+		if err != nil {
+			return nil, err
+		}
+		probes = append(probes, Probe{BitIndex: bit, Net: n})
+	}
+	if len(probes) == 0 {
+		return nil, fmt.Errorf("attack: no AND gates with direct S-box input pins in %s (engine without AND monomials?)", tag)
+	}
+	return probes, nil
+}
+
+// RunFTA executes both template phases against a prepared target.
+func RunFTA(t *Target, probes []Probe, cfg FTAConfig) FTAResult {
+	gen := rng.NewXoshiro(cfg.Seed)
+	cycle := t.D.LastRoundCycle()
+	spec := t.D.Spec
+
+	rate := func(pt uint64, p Probe) float64 {
+		t.SetFaults(nil)
+		clean := t.Encrypt(pt)
+		t.SetFaults([]fault.Fault{fault.At(p.Net, fault.BitFlip, cycle)})
+		changed := 0
+		for done := 0; done < cfg.Repeats; {
+			n := min(cfg.Repeats-done, sim.Lanes)
+			done += n
+			pts := make([]uint64, n)
+			for i := range pts {
+				pts[i] = pt
+			}
+			for _, obs := range t.EncryptBatch(pts) {
+				if obs.Detected || obs.CT != clean.CT {
+					changed++
+				}
+			}
+		}
+		t.SetFaults(nil)
+		return float64(changed) / float64(cfg.Repeats)
+	}
+
+	truth := func(pt uint64, bit int) uint64 {
+		state := spec.SboxLayerInput(pt, t.Key, spec.Rounds)
+		return (spec.SboxInput(state, cfg.SboxIndex) >> uint(bit)) & 1
+	}
+
+	// Phase 1: profiling on plaintexts with known state (the template).
+	type class struct {
+		sum [2]float64
+		n   [2]int
+	}
+	classes := make([]class, len(probes))
+	for i := 0; i < cfg.ProfilePTs; i++ {
+		pt := gen.Uint64()
+		for pi, p := range probes {
+			r := rate(pt, p)
+			b := truth(pt, p.BitIndex)
+			classes[pi].sum[b] += r
+			classes[pi].n[b]++
+		}
+	}
+	res := FTAResult{Separation: make([]float64, len(probes)), Bits: len(probes)}
+	thresholds := make([]float64, len(probes))
+	for pi := range probes {
+		c := classes[pi]
+		m0, m1 := 0.0, 1.0
+		if c.n[0] > 0 {
+			m0 = c.sum[0] / float64(c.n[0])
+		}
+		if c.n[1] > 0 {
+			m1 = c.sum[1] / float64(c.n[1])
+		}
+		res.Separation[pi] = math.Abs(m1 - m0)
+		thresholds[pi] = (m0 + m1) / 2
+	}
+
+	// Phase 2: matching on fresh plaintexts (unknown state from the
+	// attacker's point of view; the harness checks against the truth).
+	correct, total := 0, 0
+	for i := 0; i < cfg.AttackPTs; i++ {
+		pt := gen.Uint64()
+		for pi, p := range probes {
+			r := rate(pt, p)
+			guess := uint64(0)
+			if r > thresholds[pi] {
+				guess = 1
+			}
+			if guess == truth(pt, p.BitIndex) {
+				correct++
+			}
+			total++
+		}
+	}
+	res.Accuracy = float64(correct) / float64(total)
+
+	minSep := math.Inf(1)
+	for _, s := range res.Separation {
+		if s < minSep {
+			minSep = s
+		}
+	}
+	res.Succeeded = minSep > 0.15 && res.Accuracy > 0.9
+	res.Detail = fmt.Sprintf("probed %d bits of S-box %d: min class separation %.2f, matching accuracy %.2f",
+		res.Bits, cfg.SboxIndex, minSep, res.Accuracy)
+	return res
+}
+
+// RunFTAOnDesign is the one-call driver: prepare probes, build the target
+// and run both phases.
+func RunFTAOnDesign(d *core.Design, key spn.KeyState, cfg FTAConfig, deviceSeed uint64) (FTAResult, error) {
+	probes, err := PrepareFTA(d, cfg.SboxIndex)
+	if err != nil {
+		return FTAResult{}, err
+	}
+	t, err := NewTarget(d, key, deviceSeed)
+	if err != nil {
+		return FTAResult{}, err
+	}
+	return RunFTA(t, probes, cfg), nil
+}

@@ -1,0 +1,390 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// with a shared unique table. The synthesis engine maps shared BDD nodes to
+// multiplexer cells (one MUX per node), which is how the repository obtains
+// compact technology-mapped netlists for 8-bit S-boxes, and the equivalence
+// checker uses canonical-form equality between functions.
+//
+// Variables are identified by index 0..NumVars-1; index order is the BDD
+// order (variable 0 is tested at the root).
+package bdd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node references a BDD node inside one Manager. The constants False and
+// True are the terminal nodes; all other nodes are internal.
+type Node int32
+
+// Terminal nodes.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+type nodeData struct {
+	level  int32 // variable index; terminals use level = numVars
+	lo, hi Node
+}
+
+type uniqueKey struct {
+	level  int32
+	lo, hi Node
+}
+
+type opKey struct {
+	op      uint8
+	a, b, c Node
+}
+
+const (
+	opAnd uint8 = iota
+	opXor
+	opITE
+	opRestrict0
+	opRestrict1
+	opCompose
+)
+
+// Manager owns the node pool; Nodes from different managers must not be
+// mixed.
+type Manager struct {
+	numVars int
+	nodes   []nodeData
+	unique  map[uniqueKey]Node
+	cache   map[opKey]Node
+}
+
+// New creates a manager for functions over numVars variables.
+func New(numVars int) *Manager {
+	m := &Manager{
+		numVars: numVars,
+		unique:  make(map[uniqueKey]Node),
+		cache:   make(map[opKey]Node),
+	}
+	// Terminals occupy slots 0 and 1 with a level below all variables.
+	m.nodes = append(m.nodes,
+		nodeData{level: int32(numVars)},
+		nodeData{level: int32(numVars)},
+	)
+	return m
+}
+
+// NumVars returns the number of variables in the manager's order.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// Size returns the total number of live nodes including terminals.
+func (m *Manager) Size() int { return len(m.nodes) }
+
+func (m *Manager) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	key := uniqueKey{level, lo, hi}
+	if n, ok := m.unique[key]; ok {
+		return n
+	}
+	m.nodes = append(m.nodes, nodeData{level: level, lo: lo, hi: hi})
+	n := Node(len(m.nodes) - 1)
+	m.unique[key] = n
+	return n
+}
+
+// Var returns the function of the single variable i.
+func (m *Manager) Var(i int) Node {
+	if i < 0 || i >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.numVars))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+// NVar returns the complement of variable i.
+func (m *Manager) NVar(i int) Node {
+	if i < 0 || i >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.numVars))
+	}
+	return m.mk(int32(i), True, False)
+}
+
+// Const returns the terminal for b.
+func (m *Manager) Const(b bool) Node {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Level returns the variable index tested at node n (NumVars for
+// terminals).
+func (m *Manager) Level(n Node) int { return int(m.nodes[n].level) }
+
+// Cofactors returns the low (variable=0) and high (variable=1) children of
+// an internal node.
+func (m *Manager) Cofactors(n Node) (lo, hi Node) {
+	d := m.nodes[n]
+	return d.lo, d.hi
+}
+
+// IsTerminal reports whether n is False or True.
+func (m *Manager) IsTerminal(n Node) bool { return n == False || n == True }
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Node) Node { return m.ITE(f, False, True) }
+
+// And returns f AND g.
+func (m *Manager) And(f, g Node) Node {
+	if f > g {
+		f, g = g, f
+	}
+	switch {
+	case f == False || g == False:
+		return False
+	case f == True:
+		return g
+	case g == True:
+		return f
+	case f == g:
+		return f
+	}
+	key := opKey{op: opAnd, a: f, b: g}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	lvl, f0, f1, g0, g1 := m.split(f, g)
+	r := m.mk(lvl, m.And(f0, g0), m.And(f1, g1))
+	m.cache[key] = r
+	return r
+}
+
+// Or returns f OR g.
+func (m *Manager) Or(f, g Node) Node {
+	return m.Not(m.And(m.Not(f), m.Not(g)))
+}
+
+// Xor returns f XOR g.
+func (m *Manager) Xor(f, g Node) Node {
+	if f > g {
+		f, g = g, f
+	}
+	switch {
+	case f == False:
+		return g
+	case f == True:
+		return m.Not(g)
+	case g == False:
+		return f
+	case g == True:
+		return m.Not(f)
+	case f == g:
+		return False
+	}
+	key := opKey{op: opXor, a: f, b: g}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	lvl, f0, f1, g0, g1 := m.split(f, g)
+	r := m.mk(lvl, m.Xor(f0, g0), m.Xor(f1, g1))
+	m.cache[key] = r
+	return r
+}
+
+// Xnor returns NOT (f XOR g).
+func (m *Manager) Xnor(f, g Node) Node { return m.Not(m.Xor(f, g)) }
+
+// ITE returns if-then-else: f ? g : h.
+func (m *Manager) ITE(f, g, h Node) Node {
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := opKey{op: opITE, a: f, b: g, c: h}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	lvl := m.nodes[f].level
+	if l := m.nodes[g].level; l < lvl {
+		lvl = l
+	}
+	if l := m.nodes[h].level; l < lvl {
+		lvl = l
+	}
+	f0, f1 := m.cofactorAt(f, lvl)
+	g0, g1 := m.cofactorAt(g, lvl)
+	h0, h1 := m.cofactorAt(h, lvl)
+	r := m.mk(lvl, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
+	m.cache[key] = r
+	return r
+}
+
+func (m *Manager) split(f, g Node) (lvl int32, f0, f1, g0, g1 Node) {
+	lvl = m.nodes[f].level
+	if l := m.nodes[g].level; l < lvl {
+		lvl = l
+	}
+	f0, f1 = m.cofactorAt(f, lvl)
+	g0, g1 = m.cofactorAt(g, lvl)
+	return
+}
+
+func (m *Manager) cofactorAt(n Node, lvl int32) (lo, hi Node) {
+	d := m.nodes[n]
+	if d.level == lvl {
+		return d.lo, d.hi
+	}
+	return n, n
+}
+
+// Restrict returns f with variable i fixed to the given value.
+func (m *Manager) Restrict(f Node, i int, value bool) Node {
+	op := opRestrict0
+	if value {
+		op = opRestrict1
+	}
+	key := opKey{op: op, a: f, b: Node(i)}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	d := m.nodes[f]
+	var r Node
+	switch {
+	case int(d.level) > i:
+		r = f
+	case int(d.level) == i:
+		if value {
+			r = d.hi
+		} else {
+			r = d.lo
+		}
+	default:
+		r = m.mk(d.level, m.Restrict(d.lo, i, value), m.Restrict(d.hi, i, value))
+	}
+	m.cache[key] = r
+	return r
+}
+
+// Eval evaluates f under the assignment where bit i of input gives variable
+// i's value.
+func (m *Manager) Eval(f Node, input uint64) bool {
+	for !m.IsTerminal(f) {
+		d := m.nodes[f]
+		if (input>>uint(d.level))&1 == 1 {
+			f = d.hi
+		} else {
+			f = d.lo
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// NumVars variables, as a float64 (exact for < 2^53).
+func (m *Manager) SatCount(f Node) float64 {
+	memo := make(map[Node]float64)
+	var count func(n Node) float64
+	count = func(n Node) float64 {
+		if n == False {
+			return 0
+		}
+		if n == True {
+			return 1
+		}
+		if c, ok := memo[n]; ok {
+			return c
+		}
+		d := m.nodes[n]
+		c := count(d.lo)*below(m, d.lo, d.level) + count(d.hi)*below(m, d.hi, d.level)
+		memo[n] = c
+		return c
+	}
+	root := count(f)
+	// Account for variables above the root level.
+	return root * math.Pow(2, float64(m.nodes[f].level))
+}
+
+func below(m *Manager, child Node, parentLevel int32) float64 {
+	return math.Pow(2, float64(m.nodes[child].level-parentLevel-1))
+}
+
+// NodeCount returns the number of distinct internal nodes reachable from the
+// given roots — the cost measure a MUX-per-node mapping pays.
+func (m *Manager) NodeCount(roots ...Node) int {
+	seen := make(map[Node]bool)
+	var walk func(n Node)
+	walk = func(n Node) {
+		if m.IsTerminal(n) || seen[n] {
+			return
+		}
+		seen[n] = true
+		d := m.nodes[n]
+		walk(d.lo)
+		walk(d.hi)
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return len(seen)
+}
+
+// Support returns the sorted variable indices f depends on.
+func (m *Manager) Support(f Node) []int {
+	seen := make(map[Node]bool)
+	vars := make(map[int]bool)
+	var walk func(n Node)
+	walk = func(n Node) {
+		if m.IsTerminal(n) || seen[n] {
+			return
+		}
+		seen[n] = true
+		d := m.nodes[n]
+		vars[int(d.level)] = true
+		walk(d.lo)
+		walk(d.hi)
+	}
+	walk(f)
+	out := make([]int, 0, len(vars))
+	for v := 0; v < m.numVars; v++ {
+		if vars[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FromTruthTable builds the BDD of an n-variable boolean function given as
+// a bit-indexed truth table: table bit j (of the packed words) is the value
+// of the function on input j, where bit i of j assigns variable i.
+func (m *Manager) FromTruthTable(table []uint64, nvars int) Node {
+	if nvars > m.numVars {
+		panic(fmt.Sprintf("bdd: truth table over %d vars exceeds manager's %d", nvars, m.numVars))
+	}
+	need := 1
+	if nvars > 6 {
+		need = 1 << uint(nvars-6)
+	}
+	if len(table) < need {
+		panic(fmt.Sprintf("bdd: truth table too short: need %d words, got %d", need, len(table)))
+	}
+	var build func(lvl, base int) Node
+	build = func(lvl, base int) Node {
+		if lvl == nvars {
+			if (table[base>>6]>>(uint(base)&63))&1 == 1 {
+				return True
+			}
+			return False
+		}
+		// Variable `lvl` corresponds to input bit `lvl`. Build bottom
+		// levels with the highest variable index deepest, consistent
+		// with Eval's "bit i assigns variable i".
+		lo := build(lvl+1, base)
+		hi := build(lvl+1, base|1<<uint(lvl))
+		return m.mk(int32(lvl), lo, hi)
+	}
+	return build(0, 0)
+}

@@ -1,0 +1,190 @@
+package bdd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// evalAll tabulates a node over all assignments of n variables.
+func evalAll(m *Manager, f Node, n int) uint64 {
+	var tt uint64
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		if m.Eval(f, x) {
+			tt |= 1 << x
+		}
+	}
+	return tt
+}
+
+func TestVarAndConstants(t *testing.T) {
+	m := New(3)
+	if m.Eval(True, 0) != true || m.Eval(False, 7) != false {
+		t.Fatal("terminals broken")
+	}
+	for i := 0; i < 3; i++ {
+		v := m.Var(i)
+		for x := uint64(0); x < 8; x++ {
+			if m.Eval(v, x) != ((x>>uint(i))&1 == 1) {
+				t.Fatalf("Var(%d) wrong at %d", i, x)
+			}
+		}
+		nv := m.NVar(i)
+		if m.Not(v) != nv {
+			t.Fatalf("Not(Var) != NVar — canonical form broken")
+		}
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	// Structurally different constructions of the same function must
+	// return the identical node.
+	m := New(4)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	lhs := m.Or(m.And(a, b), m.And(a, c))
+	rhs := m.And(a, m.Or(b, c))
+	if lhs != rhs {
+		t.Fatal("distribution law not canonical")
+	}
+	if m.Xor(a, a) != False || m.Xnor(b, b) != True {
+		t.Fatal("self-XOR not folded")
+	}
+	if m.ITE(a, True, False) != a {
+		t.Fatal("ITE(a,1,0) != a")
+	}
+}
+
+func TestOperationsAgainstTruthTables(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	cases := []struct {
+		f    Node
+		spec func(x uint64) bool
+	}{
+		{m.And(a, b), func(x uint64) bool { return x&1 == 1 && x&2 == 2 }},
+		{m.Or(a, c), func(x uint64) bool { return x&1 == 1 || x&4 == 4 }},
+		{m.Xor(b, c), func(x uint64) bool { return (x>>1)&1 != (x>>2)&1 }},
+		{m.Not(a), func(x uint64) bool { return x&1 == 0 }},
+		{m.ITE(a, b, c), func(x uint64) bool {
+			if x&1 == 1 {
+				return x&2 == 2
+			}
+			return x&4 == 4
+		}},
+	}
+	for i, tc := range cases {
+		for x := uint64(0); x < 8; x++ {
+			if m.Eval(tc.f, x) != tc.spec(x) {
+				t.Errorf("case %d wrong at %d", i, x)
+			}
+		}
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	f := m.Xor(a, b)
+	if m.Restrict(f, 0, false) != b {
+		t.Fatal("restrict a=0 of a^b should be b")
+	}
+	if m.Restrict(f, 0, true) != m.Not(b) {
+		t.Fatal("restrict a=1 of a^b should be !b")
+	}
+	// Shannon expansion identity: f = ITE(x, f|x=1, f|x=0).
+	g := m.Or(m.And(a, b), m.Var(2))
+	exp := m.ITE(a, m.Restrict(g, 0, true), m.Restrict(g, 0, false))
+	if exp != g {
+		t.Fatal("Shannon expansion not identity")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(4)
+	a, b := m.Var(0), m.Var(1)
+	if got := m.SatCount(m.And(a, b)); got != 4 { // 2 free vars
+		t.Fatalf("SatCount(a&b) = %v, want 4", got)
+	}
+	if got := m.SatCount(m.Or(a, b)); got != 12 {
+		t.Fatalf("SatCount(a|b) = %v, want 12", got)
+	}
+	if got := m.SatCount(True); got != 16 {
+		t.Fatalf("SatCount(1) = %v, want 16", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Fatalf("SatCount(0) = %v, want 0", got)
+	}
+	if got := m.SatCount(m.Var(3)); got != 8 {
+		t.Fatalf("SatCount(x3) = %v, want 8", got)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(5)
+	f := m.And(m.Var(1), m.Xor(m.Var(3), m.Var(4)))
+	got := m.Support(f)
+	want := []int{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("support %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("support %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFromTruthTable(t *testing.T) {
+	// Function of 3 vars with an arbitrary truth table.
+	const tt = uint64(0b10110100)
+	m := New(3)
+	f := m.FromTruthTable([]uint64{tt}, 3)
+	if evalAll(m, f, 3) != tt {
+		t.Fatalf("FromTruthTable round trip failed: %08b", evalAll(m, f, 3))
+	}
+}
+
+func TestFromTruthTableMatchesOps(t *testing.T) {
+	// Property: building from the tabulated XOR/AND equals the direct op.
+	f := func(seed uint8) bool {
+		m := New(3)
+		a, b, c := m.Var(0), m.Var(1), m.Var(2)
+		direct := m.Xor(m.And(a, b), c)
+		var tt uint64
+		for x := uint64(0); x < 8; x++ {
+			bit := ((x & 1 & (x >> 1)) ^ (x >> 2)) & 1
+			if bit == 1 {
+				tt |= 1 << x
+			}
+		}
+		built := m.FromTruthTable([]uint64{tt}, 3)
+		return built == direct
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	f := func(ttA, ttB uint8) bool {
+		m := New(3)
+		a := m.FromTruthTable([]uint64{uint64(ttA)}, 3)
+		b := m.FromTruthTable([]uint64{uint64(ttB)}, 3)
+		return m.Not(m.And(a, b)) == m.Or(m.Not(a), m.Not(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeCountSharing(t *testing.T) {
+	m := New(4)
+	a := m.Var(0)
+	h := m.And(m.Var(1), m.Var(2))
+	f := m.And(a, h)           // contains h's nodes
+	g := m.ITE(a, h, m.Var(3)) // also contains h's nodes
+	single := m.NodeCount(f) + m.NodeCount(g)
+	both := m.NodeCount(f, g)
+	if both >= single {
+		t.Fatalf("no sharing detected: both=%d, sum=%d", both, single)
+	}
+}

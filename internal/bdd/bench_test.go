@@ -1,0 +1,31 @@
+package bdd
+
+import "testing"
+
+func BenchmarkBuildAESSboxBit(b *testing.B) {
+	// Build one 8-variable pseudo-random function's BDD per iteration.
+	var table [4]uint64
+	x := uint64(0x0123456789ABCDEF)
+	for i := range table {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		table[i] = x
+	}
+	for i := 0; i < b.N; i++ {
+		m := New(8)
+		_ = m.FromTruthTable(table[:], 8)
+	}
+}
+
+func BenchmarkApplyOps(b *testing.B) {
+	m := New(16)
+	f := m.Var(0)
+	for i := 1; i < 16; i++ {
+		f = m.Xor(f, m.And(m.Var(i), m.Var((i+3)%16)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.And(f, m.Var(i%16))
+	}
+}

@@ -1,0 +1,162 @@
+// Package bits provides small bit-manipulation helpers shared by the cipher
+// models, the netlist builders and the fault-simulation harnesses.
+//
+// Unless stated otherwise, bit index 0 is the least-significant bit of a
+// word, matching the numbering used by the PRESENT specification.
+package bits
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Bit returns bit i (0 = LSB) of w as 0 or 1.
+func Bit(w uint64, i int) uint64 {
+	return (w >> uint(i)) & 1
+}
+
+// SetBit returns w with bit i set to v (v must be 0 or 1).
+func SetBit(w uint64, i int, v uint64) uint64 {
+	w &^= 1 << uint(i)
+	w |= (v & 1) << uint(i)
+	return w
+}
+
+// FlipBit returns w with bit i complemented.
+func FlipBit(w uint64, i int) uint64 {
+	return w ^ (1 << uint(i))
+}
+
+// Nibble returns the i-th 4-bit group of w (i = 0 is the least-significant
+// nibble).
+func Nibble(w uint64, i int) uint64 {
+	return (w >> uint(4*i)) & 0xF
+}
+
+// SetNibble returns w with the i-th 4-bit group replaced by v (low 4 bits).
+func SetNibble(w uint64, i int, v uint64) uint64 {
+	w &^= 0xF << uint(4*i)
+	w |= (v & 0xF) << uint(4*i)
+	return w
+}
+
+// Byte returns the i-th byte of w (i = 0 is the least-significant byte).
+func Byte(w uint64, i int) uint64 {
+	return (w >> uint(8*i)) & 0xFF
+}
+
+// OnesCount64 reports the number of set bits in w.
+func OnesCount64(w uint64) int { return bits.OnesCount64(w) }
+
+// Parity returns the XOR of all bits of w.
+func Parity(w uint64) uint64 { return uint64(bits.OnesCount64(w) & 1) }
+
+// RotateLeft64 rotates w left by k within 64 bits.
+func RotateLeft64(w uint64, k int) uint64 { return bits.RotateLeft64(w, k) }
+
+// Permute64 applies a bit permutation to the low n bits of w: output bit
+// perm[i] receives input bit i. Bits at positions >= n must be zero in w and
+// are zero in the result. perm must be a permutation of 0..n-1.
+func Permute64(w uint64, perm []int) uint64 {
+	var out uint64
+	for i, p := range perm {
+		out |= Bit(w, i) << uint(p)
+	}
+	return out
+}
+
+// InvertPermutation returns the inverse permutation q with q[perm[i]] = i.
+// It panics if perm is not a permutation of 0..len(perm)-1.
+func InvertPermutation(perm []int) []int {
+	inv := make([]int, len(perm))
+	seen := make([]bool, len(perm))
+	for i, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			panic(fmt.Sprintf("bits: not a permutation: value %d at index %d", p, i))
+		}
+		seen[p] = true
+		inv[p] = i
+	}
+	return inv
+}
+
+// IsPermutation reports whether perm is a permutation of 0..len(perm)-1.
+func IsPermutation(perm []int) bool {
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+// ToBits expands the low n bits of w into a slice, index 0 = LSB.
+func ToBits(w uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = Bit(w, i)
+	}
+	return out
+}
+
+// FromBits packs bs (index 0 = LSB, each entry 0 or 1) into a word.
+func FromBits(bs []uint64) uint64 {
+	var w uint64
+	for i, b := range bs {
+		w |= (b & 1) << uint(i)
+	}
+	return w
+}
+
+// Hex formats the low n bits of w as an upper-case hexadecimal string with
+// ceil(n/4) digits.
+func Hex(w uint64, n int) string {
+	digits := (n + 3) / 4
+	return fmt.Sprintf("%0*X", digits, w&Mask(n))
+}
+
+// Mask returns a word with the low n bits set (n in 0..64).
+func Mask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+// Binary formats the low n bits of w MSB-first, grouped in nibbles.
+func Binary(w uint64, n int) string {
+	var sb strings.Builder
+	for i := n - 1; i >= 0; i-- {
+		sb.WriteByte(byte('0' + Bit(w, i)))
+		if i%4 == 0 && i != 0 {
+			sb.WriteByte(' ')
+		}
+	}
+	return sb.String()
+}
+
+// ReverseBits reverses the low n bits of w (bit 0 swaps with bit n-1).
+func ReverseBits(w uint64, n int) uint64 {
+	var out uint64
+	for i := 0; i < n; i++ {
+		out |= Bit(w, i) << uint(n-1-i)
+	}
+	return out
+}
+
+// SpreadNibbles applies fn to every nibble of the low 4*count bits of w and
+// returns the packed result. fn receives values in 0..15 and must return
+// values in 0..15.
+func SpreadNibbles(w uint64, count int, fn func(uint64) uint64) uint64 {
+	var out uint64
+	for i := 0; i < count; i++ {
+		out = SetNibble(out, i, fn(Nibble(w, i)))
+	}
+	return out
+}
+
+// HammingDistance reports the number of differing bits between a and b.
+func HammingDistance(a, b uint64) int { return bits.OnesCount64(a ^ b) }

@@ -1,0 +1,136 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetFlip(t *testing.T) {
+	w := uint64(0)
+	w = SetBit(w, 5, 1)
+	if Bit(w, 5) != 1 || w != 32 {
+		t.Fatal("SetBit/Bit wrong")
+	}
+	w = FlipBit(w, 5)
+	if w != 0 {
+		t.Fatal("FlipBit wrong")
+	}
+	if SetBit(^uint64(0), 0, 0) != ^uint64(0)-1 {
+		t.Fatal("SetBit clear wrong")
+	}
+}
+
+func TestNibbleOps(t *testing.T) {
+	w := uint64(0xFEDCBA9876543210)
+	for i := 0; i < 16; i++ {
+		if Nibble(w, i) != uint64(i) {
+			t.Fatalf("Nibble(%d) = %X", i, Nibble(w, i))
+		}
+	}
+	if SetNibble(0, 3, 0xA) != 0xA000 {
+		t.Fatal("SetNibble wrong")
+	}
+	if Byte(w, 1) != 0x32 {
+		t.Fatal("Byte wrong")
+	}
+}
+
+func TestPermute64Properties(t *testing.T) {
+	perm := []int{3, 0, 1, 2, 7, 4, 5, 6}
+	inv := InvertPermutation(perm)
+	f := func(x uint8) bool {
+		w := uint64(x)
+		return Permute64(Permute64(w, perm), inv) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Popcount preservation.
+	g := func(x uint8) bool {
+		w := uint64(x)
+		return OnesCount64(Permute64(w, perm)) == OnesCount64(w)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertPermutationPanicsOnBad(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	InvertPermutation([]int{0, 0, 1})
+}
+
+func TestIsPermutation(t *testing.T) {
+	if !IsPermutation([]int{2, 0, 1}) {
+		t.Error("valid permutation rejected")
+	}
+	if IsPermutation([]int{0, 0, 1}) || IsPermutation([]int{0, 3, 1}) {
+		t.Error("invalid permutation accepted")
+	}
+}
+
+func TestToFromBitsRoundTrip(t *testing.T) {
+	f := func(x uint64) bool {
+		return FromBits(ToBits(x, 64)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(0) != 0 || Mask(1) != 1 || Mask(64) != ^uint64(0) || Mask(16) != 0xFFFF {
+		t.Fatal("Mask wrong")
+	}
+}
+
+func TestHexAndBinary(t *testing.T) {
+	if Hex(0xAB, 8) != "AB" || Hex(0xAB, 12) != "0AB" {
+		t.Fatalf("Hex wrong: %s %s", Hex(0xAB, 8), Hex(0xAB, 12))
+	}
+	if Binary(0b1010, 4) != "1010" {
+		t.Fatalf("Binary wrong: %q", Binary(0b1010, 4))
+	}
+	if Binary(0x35, 8) != "0011 0101" {
+		t.Fatalf("Binary grouping wrong: %q", Binary(0x35, 8))
+	}
+}
+
+func TestReverseBits(t *testing.T) {
+	if ReverseBits(0b0001, 4) != 0b1000 {
+		t.Fatal("ReverseBits wrong")
+	}
+	f := func(x uint16) bool {
+		w := uint64(x)
+		return ReverseBits(ReverseBits(w, 16), 16) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpreadNibbles(t *testing.T) {
+	got := SpreadNibbles(0x1234, 4, func(x uint64) uint64 { return 15 - x })
+	if got != 0xEDCB {
+		t.Fatalf("SpreadNibbles = %X", got)
+	}
+}
+
+func TestParityAndHamming(t *testing.T) {
+	if Parity(0b1011) != 1 || Parity(0b11) != 0 {
+		t.Fatal("Parity wrong")
+	}
+	if HammingDistance(0xFF, 0x0F) != 4 {
+		t.Fatal("HammingDistance wrong")
+	}
+}
+
+func TestRotateLeft64(t *testing.T) {
+	if RotateLeft64(1, 1) != 2 || RotateLeft64(1<<63, 1) != 1 {
+		t.Fatal("RotateLeft64 wrong")
+	}
+}

@@ -1,0 +1,206 @@
+// Package aes implements AES-128 (FIPS-197) as a software reference and
+// exposes the AES S-box as a truth table for the Table III area
+// experiments. The S-box is generated from its algebraic definition
+// (multiplicative inverse in GF(2^8) followed by the affine map) rather
+// than transcribed, and the full cipher is validated against the FIPS-197
+// known-answer vector in the package tests.
+package aes
+
+import "repro/internal/synth"
+
+// Cipher parameters.
+const (
+	BlockBytes = 16
+	KeyBytes   = 16
+	Rounds     = 10
+	SboxBits   = 8
+)
+
+// Sbox is the AES S-box, SboxInv its inverse.
+var (
+	Sbox    [256]byte
+	SboxInv [256]byte
+)
+
+func init() {
+	for x := 0; x < 256; x++ {
+		inv := gfInv(byte(x))
+		b := inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^ rotl8(inv, 3) ^ rotl8(inv, 4) ^ 0x63
+		Sbox[x] = b
+		SboxInv[b] = byte(x)
+	}
+}
+
+func rotl8(b byte, k uint) byte { return b<<k | b>>(8-k) }
+
+// gfMul multiplies in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+func gfMul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 == 1 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1B
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gfInv returns the multiplicative inverse (0 maps to 0), via a^254.
+func gfInv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	// a^254 by square-and-multiply.
+	result := byte(1)
+	exp := 254
+	base := a
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = gfMul(result, base)
+		}
+		base = gfMul(base, base)
+		exp >>= 1
+	}
+	return result
+}
+
+func xtime(b byte) byte { return gfMul(b, 2) }
+
+// ExpandKey derives the 11 round keys from a 16-byte key.
+func ExpandKey(key [KeyBytes]byte) [Rounds + 1][16]byte {
+	var w [44][4]byte
+	for i := 0; i < 4; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	rcon := byte(1)
+	for i := 4; i < 44; i++ {
+		tmp := w[i-1]
+		if i%4 == 0 {
+			tmp = [4]byte{
+				Sbox[tmp[1]] ^ rcon,
+				Sbox[tmp[2]],
+				Sbox[tmp[3]],
+				Sbox[tmp[0]],
+			}
+			rcon = xtime(rcon)
+		}
+		for j := 0; j < 4; j++ {
+			w[i][j] = w[i-4][j] ^ tmp[j]
+		}
+	}
+	var rks [Rounds + 1][16]byte
+	for r := 0; r <= Rounds; r++ {
+		for c := 0; c < 4; c++ {
+			copy(rks[r][4*c:4*c+4], w[4*r+c][:])
+		}
+	}
+	return rks
+}
+
+// Encrypt encrypts one 16-byte block. The state layout follows FIPS-197:
+// byte i of the input is state column i/4, row i%4.
+func Encrypt(pt [BlockBytes]byte, key [KeyBytes]byte) [BlockBytes]byte {
+	rks := ExpandKey(key)
+	state := pt
+	addRoundKey(&state, rks[0])
+	for r := 1; r < Rounds; r++ {
+		subBytes(&state)
+		shiftRows(&state)
+		mixColumns(&state)
+		addRoundKey(&state, rks[r])
+	}
+	subBytes(&state)
+	shiftRows(&state)
+	addRoundKey(&state, rks[Rounds])
+	return state
+}
+
+// Decrypt inverts Encrypt.
+func Decrypt(ct [BlockBytes]byte, key [KeyBytes]byte) [BlockBytes]byte {
+	rks := ExpandKey(key)
+	state := ct
+	addRoundKey(&state, rks[Rounds])
+	invShiftRows(&state)
+	invSubBytes(&state)
+	for r := Rounds - 1; r >= 1; r-- {
+		addRoundKey(&state, rks[r])
+		invMixColumns(&state)
+		invShiftRows(&state)
+		invSubBytes(&state)
+	}
+	addRoundKey(&state, rks[0])
+	return state
+}
+
+func addRoundKey(s *[16]byte, rk [16]byte) {
+	for i := range s {
+		s[i] ^= rk[i]
+	}
+}
+
+func subBytes(s *[16]byte) {
+	for i := range s {
+		s[i] = Sbox[s[i]]
+	}
+}
+
+func invSubBytes(s *[16]byte) {
+	for i := range s {
+		s[i] = SboxInv[s[i]]
+	}
+}
+
+// shiftRows rotates row r left by r; byte i sits at column i/4, row i%4.
+func shiftRows(s *[16]byte) {
+	var out [16]byte
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			out[4*c+r] = s[4*((c+r)%4)+r]
+		}
+	}
+	*s = out
+}
+
+func invShiftRows(s *[16]byte) {
+	var out [16]byte
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			out[4*((c+r)%4)+r] = s[4*c+r]
+		}
+	}
+	*s = out
+}
+
+func mixColumns(s *[16]byte) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+		s[4*c] = gfMul(a0, 2) ^ gfMul(a1, 3) ^ a2 ^ a3
+		s[4*c+1] = a0 ^ gfMul(a1, 2) ^ gfMul(a2, 3) ^ a3
+		s[4*c+2] = a0 ^ a1 ^ gfMul(a2, 2) ^ gfMul(a3, 3)
+		s[4*c+3] = gfMul(a0, 3) ^ a1 ^ a2 ^ gfMul(a3, 2)
+	}
+}
+
+func invMixColumns(s *[16]byte) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+		s[4*c] = gfMul(a0, 14) ^ gfMul(a1, 11) ^ gfMul(a2, 13) ^ gfMul(a3, 9)
+		s[4*c+1] = gfMul(a0, 9) ^ gfMul(a1, 14) ^ gfMul(a2, 11) ^ gfMul(a3, 13)
+		s[4*c+2] = gfMul(a0, 13) ^ gfMul(a1, 9) ^ gfMul(a2, 14) ^ gfMul(a3, 11)
+		s[4*c+3] = gfMul(a0, 11) ^ gfMul(a1, 13) ^ gfMul(a2, 9) ^ gfMul(a3, 14)
+	}
+}
+
+// SboxTruthTable returns the 8x8 AES S-box truth table for synthesis.
+func SboxTruthTable() *synth.TruthTable {
+	tbl := make([]uint64, 256)
+	for i, v := range Sbox {
+		tbl[i] = uint64(v)
+	}
+	return synth.FromSbox(tbl, SboxBits)
+}

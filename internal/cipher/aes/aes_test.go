@@ -1,0 +1,64 @@
+package aes
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSboxSpotValues(t *testing.T) {
+	// Spot values from FIPS-197 Figure 7.
+	cases := map[byte]byte{0x00: 0x63, 0x01: 0x7C, 0x53: 0xED, 0xFF: 0x16, 0x10: 0xCA}
+	for in, want := range cases {
+		if Sbox[in] != want {
+			t.Errorf("Sbox[%#02x] = %#02x, want %#02x", in, Sbox[in], want)
+		}
+	}
+}
+
+func TestSboxIsPermutation(t *testing.T) {
+	var seen [256]bool
+	for _, v := range Sbox {
+		if seen[v] {
+			t.Fatalf("duplicate S-box output %#02x", v)
+		}
+		seen[v] = true
+	}
+	for x := 0; x < 256; x++ {
+		if SboxInv[Sbox[x]] != byte(x) {
+			t.Fatalf("SboxInv does not invert Sbox at %#02x", x)
+		}
+	}
+}
+
+func TestFIPS197KnownAnswer(t *testing.T) {
+	key := [16]byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E, 0x0F}
+	pt := [16]byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF}
+	want := [16]byte{0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4, 0xC5, 0x5A}
+	got := Encrypt(pt, key)
+	if !bytes.Equal(got[:], want[:]) {
+		t.Fatalf("Encrypt = %x, want %x", got, want)
+	}
+}
+
+func TestDecryptInvertsEncrypt(t *testing.T) {
+	f := func(pt, key [16]byte) bool {
+		return Decrypt(Encrypt(pt, key), key) == pt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpandKeyFirstAndLastRoundKey(t *testing.T) {
+	// FIPS-197 Appendix A.1 expansion of the same key.
+	key := [16]byte{0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C}
+	rks := ExpandKey(key)
+	if !bytes.Equal(rks[0][:], key[:]) {
+		t.Errorf("round key 0 should be the key itself")
+	}
+	wantLast := [16]byte{0xD0, 0x14, 0xF9, 0xA8, 0xC9, 0xEE, 0x25, 0x89, 0xE1, 0x3F, 0x0C, 0xC8, 0xB6, 0x63, 0x0C, 0xA6}
+	if !bytes.Equal(rks[10][:], wantLast[:]) {
+		t.Errorf("round key 10 = %x, want %x", rks[10], wantLast)
+	}
+}

@@ -1,0 +1,62 @@
+package gift
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+	"repro/internal/spn"
+)
+
+func TestSboxIsPermutation(t *testing.T) {
+	var seen [16]bool
+	for _, v := range Sbox {
+		if seen[v] {
+			t.Fatalf("duplicate S-box output %X", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if !bits.IsPermutation(Perm) {
+		t.Fatal("P64 is not a permutation")
+	}
+	// Spot values from the published P64 table: P64(0)=0, P64(1)=17,
+	// P64(2)=34, P64(4)=48, P64(51)=63, P64(63)=15.
+	spots := map[int]int{0: 0, 1: 17, 2: 34, 4: 48, 51: 63, 63: 15}
+	for i, want := range spots {
+		if Perm[i] != want {
+			t.Fatalf("P64(%d) = %d, want %d", i, Perm[i], want)
+		}
+	}
+}
+
+func TestRoundConstantSequence(t *testing.T) {
+	// Published LFSR sequence (GIFT paper, Table 2).
+	want := []uint64{0x01, 0x03, 0x07, 0x0F, 0x1F, 0x3E, 0x3D, 0x3B, 0x37, 0x2F, 0x1E, 0x3C}
+	for i, w := range want {
+		if rcTable[i+1] != w {
+			t.Fatalf("round constant %d = %02X, want %02X", i+1, rcTable[i+1], w)
+		}
+	}
+}
+
+func TestDecryptInvertsEncrypt(t *testing.T) {
+	f := func(pt uint64, key spn.KeyState) bool {
+		return Decrypt(Encrypt(pt, key), key) == pt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncryptChangesWithKeyAndPlaintext(t *testing.T) {
+	key := spn.KeyState{1, 2}
+	if Encrypt(0, key) == Encrypt(1, key) {
+		t.Fatal("distinct plaintexts collided")
+	}
+	if Encrypt(0, key) == Encrypt(0, spn.KeyState{1, 3}) {
+		t.Fatal("distinct keys collided")
+	}
+}

@@ -1,0 +1,176 @@
+// Package present implements the PRESENT ultra-lightweight block cipher
+// (Bogdanov et al., CHES 2007) with the 80-bit key schedule used by the
+// paper's experiments, both as a software reference validated against the
+// published test vectors and as an spn.Spec consumed by the netlist and
+// countermeasure builders.
+package present
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/netlist"
+	"repro/internal/spn"
+	"repro/internal/synth"
+)
+
+// Cipher parameters.
+const (
+	BlockBits = 64
+	KeyBits80 = 80
+	Rounds    = 31
+	SboxBits  = 4
+	NumSboxes = 16
+)
+
+// Sbox is the PRESENT 4-bit S-box.
+var Sbox = []uint64{
+	0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+	0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+}
+
+// Perm is the PRESENT bit permutation: output bit Perm[i] = input bit i,
+// with P(i) = 16*i mod 63 for i < 63 and P(63) = 63.
+var Perm = buildPerm()
+
+func buildPerm() []int {
+	p := make([]int, BlockBits)
+	for i := 0; i < BlockBits-1; i++ {
+		p[i] = (16 * i) % 63
+	}
+	p[BlockBits-1] = BlockBits - 1
+	return p
+}
+
+// Key80 is an 80-bit PRESENT key; bits 0..63 live in word 0 and bits 64..79
+// in the low bits of word 1.
+type Key80 = spn.KeyState
+
+// NewKey80 builds a key from its most-significant 16 bits (hi) and
+// least-significant 64 bits (lo): the key value is hi·2^64 + lo.
+func NewKey80(hi uint16, lo uint64) Key80 {
+	return Key80{lo, uint64(hi)}
+}
+
+// rotl80 rotates the 80-bit key state left by 61 positions.
+func rotl80by61(k Key80) Key80 {
+	// bit j of result = bit (j+19) mod 80 of input.
+	var out Key80
+	for j := 0; j < KeyBits80; j++ {
+		out = out.SetBit(j, k.Bit((j+19)%KeyBits80))
+	}
+	return out
+}
+
+// nextKeyState80 performs one 80-bit key-schedule update using round
+// counter r (1..31).
+func nextKeyState80(ks Key80, r int) Key80 {
+	ks = rotl80by61(ks)
+	// S-box on the four most significant bits 79..76.
+	nib := ks.Bit(79)<<3 | ks.Bit(78)<<2 | ks.Bit(77)<<1 | ks.Bit(76)
+	s := Sbox[nib]
+	ks = ks.SetBit(79, s>>3).SetBit(78, (s>>2)&1).SetBit(77, (s>>1)&1).SetBit(76, s&1)
+	// Round counter XORed into bits 19..15.
+	for i := 0; i < 5; i++ {
+		ks = ks.SetBit(15+i, ks.Bit(15+i)^uint64(r>>uint(i))&1)
+	}
+	return ks
+}
+
+// roundKey80 extracts the 64 most significant key-state bits (79..16) as
+// the round key, LSB-aligned.
+func roundKey80(ks Key80) uint64 {
+	return ks[0]>>16 | ks[1]<<48
+}
+
+// Spec returns the spn description of PRESENT-80. Every call returns a
+// fresh value so callers may customise it.
+func Spec() *spn.Spec {
+	s := &spn.Spec{
+		Name:           "present80",
+		BlockBits:      BlockBits,
+		KeyBits:        KeyBits80,
+		Rounds:         Rounds,
+		SboxBits:       SboxBits,
+		Sbox:           append([]uint64(nil), Sbox...),
+		Perm:           append([]int(nil), Perm...),
+		FinalWhitening: true,
+		KeyStateBits:   KeyBits80,
+		InitKeyState:   func(key spn.KeyState) spn.KeyState { return key },
+		RoundXORMask:   func(ks spn.KeyState, r int) uint64 { return roundKey80(ks) },
+		NextKeyState:   nextKeyState80,
+		KeySchedNet:    keySchedNet,
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Encrypt is the software reference encryption of one 64-bit block.
+func Encrypt(pt uint64, key Key80) uint64 {
+	return Spec().Encrypt(pt, key)
+}
+
+// Decrypt inverts Encrypt; attacks use it for partial decryption checks.
+func Decrypt(ct uint64, key Key80) uint64 {
+	spec := Spec()
+	// Expand all round keys first.
+	rks := make([]uint64, Rounds+1)
+	ks := key
+	for r := 1; r <= Rounds; r++ {
+		rks[r-1] = roundKey80(ks)
+		ks = nextKeyState80(ks, r)
+	}
+	rks[Rounds] = roundKey80(ks)
+
+	invS := spec.InverseSbox()
+	invP := bits.InvertPermutation(Perm)
+	state := ct ^ rks[Rounds]
+	for r := Rounds; r >= 1; r-- {
+		state = bits.Permute64(state, invP)
+		state = bits.SpreadNibbles(state, NumSboxes, func(x uint64) uint64 { return invS[x] })
+		state ^= rks[r-1]
+	}
+	return state
+}
+
+// RoundKeys returns all 32 round keys (K1..K32) for attack code.
+func RoundKeys(key Key80) []uint64 {
+	rks := make([]uint64, Rounds+1)
+	ks := key
+	for r := 1; r <= Rounds; r++ {
+		rks[r-1] = roundKey80(ks)
+		ks = nextKeyState80(ks, r)
+	}
+	rks[Rounds] = roundKey80(ks)
+	return rks
+}
+
+// keySchedNet is the netlist form of the key schedule: rotation by wiring,
+// the S-box on bits 79..76, and the counter XOR into bits 19..15.
+func keySchedNet(m *netlist.Module, ks netlist.Bus, counter netlist.Bus, sbox spn.SboxNetFunc) (mask, next netlist.Bus) {
+	if len(ks) != KeyBits80 {
+		panic(fmt.Sprintf("present: key bus width %d, want %d", len(ks), KeyBits80))
+	}
+	mask = ks.Slice(16, 80)
+
+	rot := make(netlist.Bus, KeyBits80)
+	for j := 0; j < KeyBits80; j++ {
+		rot[j] = ks[(j+19)%KeyBits80]
+	}
+	top := netlist.Bus{rot[76], rot[77], rot[78], rot[79]} // LSB first
+	sout := sbox(m, "keysbox", top)
+
+	next = rot.Clone()
+	next[76], next[77], next[78], next[79] = sout[0], sout[1], sout[2], sout[3]
+	for i := 0; i < 5; i++ {
+		next[15+i] = m.Xor(next[15+i], counter[i])
+	}
+	return mask, next
+}
+
+// SboxTruthTable returns the S-box truth table for synthesis.
+func SboxTruthTable() *synth.TruthTable {
+	return synth.FromSbox(Sbox, SboxBits)
+}

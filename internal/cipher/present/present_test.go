@@ -1,0 +1,38 @@
+package present
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Published PRESENT-80 test vectors (Bogdanov et al., CHES 2007, Table 2).
+var kats = []struct {
+	keyHi uint16
+	keyLo uint64
+	pt    uint64
+	ct    uint64
+}{
+	{0x0000, 0x0000000000000000, 0x0000000000000000, 0x5579C1387B228445},
+	{0xFFFF, 0xFFFFFFFFFFFFFFFF, 0x0000000000000000, 0xE72C46C0F5945049},
+	{0x0000, 0x0000000000000000, 0xFFFFFFFFFFFFFFFF, 0xA112FFC72F68417B},
+	{0xFFFF, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0x3333DCD3213210D2},
+}
+
+func TestKnownAnswerVectors(t *testing.T) {
+	for i, v := range kats {
+		got := Encrypt(v.pt, NewKey80(v.keyHi, v.keyLo))
+		if got != v.ct {
+			t.Errorf("vector %d: Encrypt(%016X) = %016X, want %016X", i, v.pt, got, v.ct)
+		}
+	}
+}
+
+func TestDecryptInvertsEncrypt(t *testing.T) {
+	f := func(pt, keyLo uint64, keyHi uint16) bool {
+		key := NewKey80(keyHi, keyLo)
+		return Decrypt(Encrypt(pt, key), key) == pt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

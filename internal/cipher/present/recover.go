@@ -1,0 +1,52 @@
+package present
+
+// This file supports the DFA key-recovery step: a last-round attack yields
+// K32 (the top 64 bits of the final key-schedule state); the remaining 16
+// bits are brute-forced by rolling the schedule back to the original key
+// and checking one known plaintext/ciphertext pair.
+
+// prevKeyState80 inverts one key-schedule update with round counter r.
+func prevKeyState80(ks Key80, r int) Key80 {
+	// Invert the counter XOR into bits 19..15.
+	for i := 0; i < 5; i++ {
+		ks = ks.SetBit(15+i, ks.Bit(15+i)^uint64(r>>uint(i))&1)
+	}
+	// Invert the S-box on bits 79..76.
+	invS := make([]uint64, 16)
+	for x, y := range Sbox {
+		invS[y] = uint64(x)
+	}
+	nib := ks.Bit(79)<<3 | ks.Bit(78)<<2 | ks.Bit(77)<<1 | ks.Bit(76)
+	s := invS[nib]
+	ks = ks.SetBit(79, s>>3).SetBit(78, (s>>2)&1).SetBit(77, (s>>1)&1).SetBit(76, s&1)
+	// Invert the left-rotation by 61: rotate left by 19.
+	var out Key80
+	for j := 0; j < KeyBits80; j++ {
+		out = out.SetBit(j, ks.Bit((j+61)%KeyBits80))
+	}
+	return out
+}
+
+// KeyFromFinalState reconstructs the original 80-bit key from the full
+// final key-schedule state (the state whose top 64 bits are K32).
+func KeyFromFinalState(final Key80) Key80 {
+	ks := final
+	for r := Rounds; r >= 1; r-- {
+		ks = prevKeyState80(ks, r)
+	}
+	return ks
+}
+
+// RecoverKeyFromK32 searches the 16 key-state bits a last-round DFA does
+// not see: given the recovered K32 and one known plaintext/ciphertext
+// pair, it returns the unique consistent 80-bit key.
+func RecoverKeyFromK32(k32, pt, ct uint64) (Key80, bool) {
+	for low := uint64(0); low < 1<<16; low++ {
+		final := Key80{k32<<16 | low, k32 >> 48}
+		key := KeyFromFinalState(final)
+		if Encrypt(pt, key) == ct {
+			return key, true
+		}
+	}
+	return Key80{}, false
+}

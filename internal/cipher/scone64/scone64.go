@@ -1,0 +1,93 @@
+// Package scone64 defines a SYNTHETIC 64-bit SPN whose diffusion layer is
+// a dense circulant GF(2) matrix (x -> x ^ (x<<<1) ^ (x<<<2)) instead of a
+// bit permutation. It is not a published cipher and makes no security
+// claims; it exists to exercise the general-linear-layer path of the
+// countermeasure builders — the paper's scheme must re-normalise the λ
+// encoding through any linear layer, and rows of even parity are exactly
+// the case where a correction XOR is required (a permutation never needs
+// one). Everything else (PRESENT's S-box, a rotate-and-counter key
+// schedule) is deliberately boring.
+package scone64
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/netlist"
+	"repro/internal/spn"
+)
+
+// Cipher parameters.
+const (
+	BlockBits = 64
+	KeyBits   = 64
+	Rounds    = 24
+	SboxBits  = 4
+)
+
+// Sbox reuses the PRESENT S-box (any 4-bit permutation works; using a
+// published one keeps the non-linear layer meaningful).
+var Sbox = []uint64{
+	0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+	0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+}
+
+// LinearRows is the circulant mixing layer x ^ (x<<<1) ^ (x<<<2); the
+// polynomial 1+z+z^2 is coprime to z^64+1 over GF(2), so the matrix is
+// invertible (Validate re-checks).
+var LinearRows = bits.RotationXORRows(BlockBits, 0, 1, 2)
+
+func roundKey(ks spn.KeyState, r int) uint64 { return ks[0] }
+
+func nextKey(ks spn.KeyState, r int) spn.KeyState {
+	ks[0] = bits.RotateLeft64(ks[0], 13) ^ uint64(r)
+	return ks
+}
+
+// Spec returns the spn description.
+func Spec() *spn.Spec {
+	s := &spn.Spec{
+		Name:           "scone64",
+		BlockBits:      BlockBits,
+		KeyBits:        KeyBits,
+		Rounds:         Rounds,
+		SboxBits:       SboxBits,
+		Sbox:           append([]uint64(nil), Sbox...),
+		LinearRows:     append([]uint64(nil), LinearRows...),
+		FinalWhitening: true,
+		KeyStateBits:   KeyBits,
+		InitKeyState:   func(k spn.KeyState) spn.KeyState { return k },
+		RoundXORMask:   roundKey,
+		NextKeyState:   nextKey,
+		KeySchedNet:    keySchedNet,
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Encrypt is the software reference encryption.
+func Encrypt(pt uint64, key spn.KeyState) uint64 { return Spec().Encrypt(pt, key) }
+
+// Decrypt inverts Encrypt.
+func Decrypt(ct uint64, key spn.KeyState) uint64 { return Spec().Decrypt(ct, key) }
+
+// keySchedNet: the round key is the whole register; the update is a
+// rotation (wiring) XOR the round counter into the low six bits.
+func keySchedNet(m *netlist.Module, ks netlist.Bus, counter netlist.Bus, _ spn.SboxNetFunc) (mask, next netlist.Bus) {
+	if len(ks) != KeyBits {
+		panic(fmt.Sprintf("scone64: key bus width %d", len(ks)))
+	}
+	mask = ks.Clone()
+	rot := make(netlist.Bus, KeyBits)
+	for j := 0; j < KeyBits; j++ {
+		// Left-rotation by 13: output bit j = input bit (j-13) mod 64.
+		rot[j] = ks[((j-13)%KeyBits+KeyBits)%KeyBits]
+	}
+	next = rot
+	for i := 0; i < 6; i++ {
+		next[i] = m.Xor(next[i], counter[i])
+	}
+	return mask, next
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cipher/present"
+	"repro/internal/spn"
+	"repro/internal/synth"
+)
+
+func randKey(rng *rand.Rand, keyBits int) spn.KeyState {
+	k := spn.KeyState{rng.Uint64(), rng.Uint64()}
+	if keyBits < 64 {
+		k[0] &= 1<<uint(keyBits) - 1
+		k[1] = 0
+	} else if keyBits < 128 {
+		k[1] &= 1<<uint(keyBits-64) - 1
+	}
+	return k
+}
+
+// checkDesign runs a few batches against the software reference.
+func checkDesign(t *testing.T, d *Design, runs int) {
+	t.Helper()
+	r, err := NewRunner(d)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	spec := d.Spec
+	for run := 0; run < runs; run++ {
+		key := randKey(rng, spec.KeyBits)
+		n := 1 + rng.Intn(63)
+		pts := make([]uint64, n)
+		for i := range pts {
+			pts[i] = rng.Uint64()
+		}
+		var lf LambdaFunc
+		switch {
+		case d.LambdaWidth == 0:
+		case d.Opts.Entropy == EntropyPrime:
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = rng.Uint64()
+			}
+			lf = LambdaConst(vals)
+		default:
+			lf = func(c int) []uint64 {
+				vals := make([]uint64, n)
+				for i := range vals {
+					vals[i] = rng.Uint64()
+				}
+				return vals
+			}
+		}
+		res := r.EncryptBatch(pts, key, nil, lf)
+		for i := range pts {
+			want := spec.Encrypt(pts[i], key)
+			if res.Fault[i] {
+				t.Fatalf("%s run %d lane %d: spurious fault", d.Mod.Name, run, i)
+			}
+			if res.CT[i] != want {
+				t.Fatalf("%s run %d lane %d: ct %016X, want %016X", d.Mod.Name, run, i, res.CT[i], want)
+			}
+		}
+	}
+}
+
+func TestUnprotectedMatchesReference(t *testing.T) {
+	d := MustBuild(present.Spec(), Options{Scheme: SchemeUnprotected, Engine: synth.EngineANF})
+	checkDesign(t, d, 4)
+}
+
+func TestNaiveDupMatchesReference(t *testing.T) {
+	d := MustBuild(present.Spec(), Options{Scheme: SchemeNaiveDup, Engine: synth.EngineANF})
+	checkDesign(t, d, 4)
+}
+
+func TestACISPMatchesReference(t *testing.T) {
+	d := MustBuild(present.Spec(), Options{Scheme: SchemeACISP, Entropy: EntropyPrime, Engine: synth.EngineANF})
+	checkDesign(t, d, 4)
+}
+
+func TestThreeInOnePrimeMatchesReference(t *testing.T) {
+	d := MustBuild(present.Spec(), Options{Scheme: SchemeThreeInOne, Entropy: EntropyPrime, Engine: synth.EngineANF})
+	checkDesign(t, d, 4)
+}
+
+func TestThreeInOnePerRoundMatchesReference(t *testing.T) {
+	d := MustBuild(present.Spec(), Options{Scheme: SchemeThreeInOne, Entropy: EntropyPerRound, Engine: synth.EngineANF})
+	checkDesign(t, d, 4)
+}
+
+func TestThreeInOnePerSboxMatchesReference(t *testing.T) {
+	d := MustBuild(present.Spec(), Options{Scheme: SchemeThreeInOne, Entropy: EntropyPerSbox, Engine: synth.EngineANF})
+	checkDesign(t, d, 4)
+}
+
+func TestThreeInOneSeparateSboxMatchesReference(t *testing.T) {
+	d := MustBuild(present.Spec(), Options{
+		Scheme: SchemeThreeInOne, Entropy: EntropyPrime,
+		Engine: synth.EngineANF, SeparateSbox: true,
+	})
+	checkDesign(t, d, 3)
+}
+
+func TestThreeInOneBDDEngineMatchesReference(t *testing.T) {
+	d := MustBuild(present.Spec(), Options{Scheme: SchemeThreeInOne, Entropy: EntropyPrime, Engine: synth.EngineBDD})
+	checkDesign(t, d, 3)
+}
+
+func TestOptimizedDesignsMatchReference(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeNaiveDup, SchemeThreeInOne} {
+		d := MustBuild(present.Spec(), Options{
+			Scheme: scheme, Entropy: EntropyPrime,
+			Engine: synth.EngineANF, Optimize: true,
+		})
+		if d.ProbesValid() {
+			t.Errorf("%s: probes should be invalid after optimisation", d.Mod.Name)
+		}
+		checkDesign(t, d, 2)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cipher/gift"
+	"repro/internal/cipher/scone64"
+	"repro/internal/synth"
+)
+
+// The same builders must protect any spn.Spec — the paper's "easily
+// adaptable for any symmetric key primitive" claim, exercised with
+// GIFT-64, which flips every structural knob PRESENT leaves at its
+// default (post-permutation key addition, in-mask round constants, no
+// whitening, 128-bit key register).
+
+func TestGIFTUnprotectedMatchesReference(t *testing.T) {
+	d := MustBuild(gift.Spec(), Options{Scheme: SchemeUnprotected, Engine: synth.EngineANF})
+	checkDesign(t, d, 3)
+}
+
+func TestGIFTThreeInOneMatchesReference(t *testing.T) {
+	d := MustBuild(gift.Spec(), Options{Scheme: SchemeThreeInOne, Entropy: EntropyPrime, Engine: synth.EngineANF})
+	checkDesign(t, d, 3)
+}
+
+func TestGIFTThreeInOnePerSboxMatchesReference(t *testing.T) {
+	d := MustBuild(gift.Spec(), Options{Scheme: SchemeThreeInOne, Entropy: EntropyPerSbox, Engine: synth.EngineANF})
+	checkDesign(t, d, 2)
+}
+
+// scone64 exercises the dense-linear-layer path: its mixing matrix has
+// weight-3 rows, so the λ-encoding re-normalisation through the linear
+// layer is non-trivial (odd parity: no correction needed per row, but the
+// XOR trees span multiple λ domains in the per-S-box variant).
+
+func TestScone64UnprotectedMatchesReference(t *testing.T) {
+	d := MustBuild(scone64.Spec(), Options{Scheme: SchemeUnprotected, Engine: synth.EngineANF})
+	checkDesign(t, d, 3)
+}
+
+func TestScone64ThreeInOneMatchesReference(t *testing.T) {
+	d := MustBuild(scone64.Spec(), Options{Scheme: SchemeThreeInOne, Entropy: EntropyPrime, Engine: synth.EngineANF})
+	checkDesign(t, d, 3)
+}
+
+func TestScone64ThreeInOnePerSboxMatchesReference(t *testing.T) {
+	d := MustBuild(scone64.Spec(), Options{Scheme: SchemeThreeInOne, Entropy: EntropyPerSbox, Engine: synth.EngineANF})
+	checkDesign(t, d, 2)
+}
+
+func TestScone64ThreeInOnePerRoundMatchesReference(t *testing.T) {
+	d := MustBuild(scone64.Spec(), Options{Scheme: SchemeThreeInOne, Entropy: EntropyPerRound, Engine: synth.EngineANF})
+	checkDesign(t, d, 2)
+}

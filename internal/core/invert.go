@@ -1,0 +1,92 @@
+package core
+
+import (
+	"repro/internal/bits"
+	"repro/internal/spn"
+)
+
+// This file implements the inverted-encoding cipher of the paper's
+// Section III: every wire carries the complement of its logical value.
+// Table I of the paper gives the gate-level consequence — in the inverted
+// domain XOR becomes XNOR and AND becomes the De Morgan dual (which is OR
+// on the encoded wires). At the word level the rules used below follow:
+//
+//   - S-box:        S̄(u) = ¬S(¬u)           (the "inverted S-box")
+//   - key addition: encoded ^ plain-key      (XOR with an unencoded key
+//     preserves the encoding: ¬x ^ k = ¬(x ^ k))
+//   - permutation:  unchanged (pure wiring)
+
+// InvXOR is the inverted-domain XOR of Table I(a): given encoded inputs
+// ¬x0, ¬x1 it produces the encoded output ¬(x0 XOR x1). On raw wires this
+// is XNOR.
+func InvXOR(a, b uint64) uint64 { return ^(a ^ b) }
+
+// InvAND is the inverted-domain AND of Table I(b): given encoded inputs
+// ¬x0, ¬x1 it produces the encoded output ¬(x0 AND x1). On raw wires this
+// is OR.
+func InvAND(a, b uint64) uint64 { return a | b }
+
+// InvertedSbox returns the inverted-encoding S-box table S̄(u) = ¬S(¬u)
+// for an n-bit S-box.
+func InvertedSbox(sbox []uint64, n int) []uint64 {
+	mask := bits.Mask(n)
+	out := make([]uint64, len(sbox))
+	for u := range out {
+		out[u] = ^sbox[^uint64(u)&mask] & mask
+	}
+	return out
+}
+
+// MergedSbox returns the (n+1)-bit merged S-box of the paper's third
+// amendment: input bit n is λ; the table computes S(x) when λ = 0 and
+// ¬S(¬x) when λ = 1, so a single circuit serves both encodings.
+func MergedSbox(sbox []uint64, n int) []uint64 {
+	mask := bits.Mask(n)
+	inv := InvertedSbox(sbox, n)
+	out := make([]uint64, 2*len(sbox))
+	for x := range sbox {
+		out[x] = sbox[x]
+		out[x|1<<uint(n)] = inv[x] & mask
+	}
+	return out
+}
+
+// InvertedEncrypt runs the inverted-encoding cipher: it takes the encoded
+// plaintext ¬P, processes every round entirely in the inverted domain
+// (inverted S-box, plain key schedule), and returns the encoded ciphertext
+// ¬C. The defining identity, checked by property tests, is
+//
+//	¬InvertedEncrypt(spec, ¬P, K) == spec.Encrypt(P, K).
+func InvertedEncrypt(spec *spn.Spec, encPt uint64, key spn.KeyState) uint64 {
+	mask := bits.Mask(spec.BlockBits)
+	inv := InvertedSbox(spec.Sbox, spec.SboxBits)
+	state := encPt & mask
+	ks := spec.InitKeyState(key)
+	w := uint(spec.SboxBits)
+	sboxMask := uint64(1)<<w - 1
+	// A general linear layer does not commute with complementation:
+	// M·(¬x) = ¬(M·x) ⊕ C with the constant C = M·1 ⊕ 1 (zero for any
+	// bit permutation, and for any matrix whose rows all have odd
+	// parity). XORing C after the layer keeps the state in the
+	// inverted encoding.
+	linCorr := bits.MatMulVec(spec.LinearLayerRows(), mask) ^ mask
+	for r := 1; r <= spec.Rounds; r++ {
+		rk := spec.RoundXORMask(ks, r)
+		if !spec.KeyAddAfterPerm {
+			state ^= rk
+		}
+		var next uint64
+		for i := 0; i < spec.NumSboxes(); i++ {
+			next |= inv[(state>>(uint(i)*w))&sboxMask] << (uint(i) * w)
+		}
+		state = spec.ApplyLinear(next) ^ linCorr
+		if spec.KeyAddAfterPerm {
+			state ^= rk
+		}
+		ks = spec.NextKeyState(ks, r)
+	}
+	if spec.FinalWhitening {
+		state ^= spec.RoundXORMask(ks, spec.Rounds+1)
+	}
+	return state & mask
+}

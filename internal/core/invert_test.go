@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+	"repro/internal/cipher/gift"
+	"repro/internal/cipher/present"
+	"repro/internal/spn"
+)
+
+// --- Table I of the paper: the inverted gate duals -----------------------
+
+func TestTableIInvertedXOR(t *testing.T) {
+	// ȳ = X̄OR(x̄0, x̄1) row by row, exactly as printed in Table I(a).
+	rows := []struct{ x0, x1, y, ybar uint64 }{
+		{0, 0, 0, 1},
+		{0, 1, 1, 0},
+		{1, 0, 1, 0},
+		{1, 1, 0, 1},
+	}
+	for _, r := range rows {
+		if got := InvXOR(^r.x0, ^r.x1) & 1; got != r.ybar {
+			t.Errorf("InvXOR(%d̄,%d̄) = %d, want %d", r.x0, r.x1, got, r.ybar)
+		}
+		if r.ybar != ^r.y&1 {
+			t.Errorf("table row inconsistent")
+		}
+	}
+}
+
+func TestTableIInvertedAND(t *testing.T) {
+	rows := []struct{ x0, x1, y, ybar uint64 }{
+		{0, 0, 0, 1},
+		{0, 1, 0, 1},
+		{1, 0, 0, 1},
+		{1, 1, 1, 0},
+	}
+	for _, r := range rows {
+		if got := InvAND(^r.x0, ^r.x1) & 1; got != r.ybar {
+			t.Errorf("InvAND(%d̄,%d̄) = %d, want %d", r.x0, r.x1, got, r.ybar)
+		}
+	}
+}
+
+func TestInvertedGateWordProperties(t *testing.T) {
+	// Word-level identities: InvXOR(~a,~b) == ~(a^b), InvAND(~a,~b) == ~(a&b).
+	f := func(a, b uint64) bool {
+		return InvXOR(^a, ^b) == ^(a^b) && InvAND(^a, ^b) == ^(a&b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- inverted S-box and merged S-box tables -------------------------------
+
+func TestInvertedSboxDefinition(t *testing.T) {
+	inv := InvertedSbox(present.Sbox, 4)
+	for u := uint64(0); u < 16; u++ {
+		want := ^present.Sbox[^u&0xF] & 0xF
+		if inv[u] != want {
+			t.Fatalf("InvertedSbox[%X] = %X, want %X", u, inv[u], want)
+		}
+	}
+	// Inverting twice returns the original S-box.
+	again := InvertedSbox(inv, 4)
+	for u := range again {
+		if again[u] != present.Sbox[u] {
+			t.Fatal("double inversion is not the identity")
+		}
+	}
+}
+
+func TestMergedSboxDefinition(t *testing.T) {
+	merged := MergedSbox(present.Sbox, 4)
+	if len(merged) != 32 {
+		t.Fatalf("merged table length %d", len(merged))
+	}
+	inv := InvertedSbox(present.Sbox, 4)
+	for x := uint64(0); x < 16; x++ {
+		if merged[x] != present.Sbox[x] {
+			t.Fatal("λ=0 half must be the plain S-box")
+		}
+		if merged[x|16] != inv[x] {
+			t.Fatal("λ=1 half must be the inverted S-box")
+		}
+	}
+}
+
+func TestMergedSboxEncodingInvariant(t *testing.T) {
+	// The property the countermeasure rests on: for an input encoded
+	// with λ, the merged S-box returns the output encoded with λ:
+	// T(x ^ λ·1s, λ) == S(x) ^ λ·1s.
+	merged := MergedSbox(present.Sbox, 4)
+	for x := uint64(0); x < 16; x++ {
+		for lam := uint64(0); lam < 2; lam++ {
+			mask := lam * 0xF
+			got := merged[(x^mask)|lam<<4]
+			want := present.Sbox[x] ^ mask
+			if got != want {
+				t.Fatalf("encoding invariant broken at x=%X λ=%d: %X != %X", x, lam, got, want)
+			}
+		}
+	}
+}
+
+// --- the inverted cipher -----------------------------------------------
+
+func TestInvertedEncryptIdentityPresent(t *testing.T) {
+	spec := present.Spec()
+	mask := bits.Mask(spec.BlockBits)
+	f := func(pt uint64, keyLo uint64, keyHi uint16) bool {
+		key := spn.KeyState{keyLo, uint64(keyHi)}
+		// ¬InvertedEncrypt(¬P) == Encrypt(P): the inverted cipher is
+		// the same function in the complemented encoding.
+		return ^InvertedEncrypt(spec, ^pt&mask, key)&mask == spec.Encrypt(pt, key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertedEncryptIdentityGift(t *testing.T) {
+	spec := gift.Spec()
+	mask := bits.Mask(spec.BlockBits)
+	f := func(pt uint64, k0, k1 uint64) bool {
+		key := spn.KeyState{k0, k1}
+		return ^InvertedEncrypt(spec, ^pt&mask, key)&mask == spec.Encrypt(pt, key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- the software model of Algorithm 1 -----------------------------------
+
+func TestSoftwareCMCorrectness(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeUnprotected, SchemeNaiveDup, SchemeACISP, SchemeThreeInOne} {
+		cm := SoftwareCM{Spec: present.Spec(), Scheme: scheme}
+		f := func(pt, keyLo uint64, keyHi uint16, lam bool) bool {
+			key := spn.KeyState{keyLo, uint64(keyHi)}
+			l := uint64(0)
+			if lam {
+				l = 1
+			}
+			ct, fault := cm.Encrypt(pt, key, l, 0xDEAD)
+			return !fault && ct == cm.Spec.Encrypt(pt, key)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+			t.Errorf("%s: %v", scheme, err)
+		}
+	}
+}
+
+func TestSchemeAndEntropyStrings(t *testing.T) {
+	if SchemeThreeInOne.String() != "three-in-one" || !SchemeThreeInOne.Randomized() {
+		t.Error("three-in-one metadata wrong")
+	}
+	if SchemeNaiveDup.Randomized() || !SchemeNaiveDup.Duplicated() {
+		t.Error("naive-dup metadata wrong")
+	}
+	if SchemeUnprotected.Duplicated() {
+		t.Error("unprotected must not be duplicated")
+	}
+	if EntropyPerSbox.String() != "per-sbox" {
+		t.Error("entropy name wrong")
+	}
+	if BranchActual.String() != "actual" || BranchRedundant.String() != "redundant" {
+		t.Error("branch names wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+	"repro/internal/netlist"
+	"repro/internal/spn"
+	"repro/internal/synth"
+)
+
+// chainSpec is a 16-bit toy SPN whose linear layer is the lower-triangular
+// accumulation chain y_0 = x_0, y_j = x_j ^ x_{j-1}. All rows but the
+// first have EVEN parity, which is precisely the case where (a) the
+// inverted cipher needs the constant correction M·1 ^ 1 and (b) the
+// hardware encoding re-normalisation must insert λ-correction XORs. An
+// all-even-rows matrix cannot be invertible (the all-ones vector would be
+// in its kernel), so this mixed-parity chain is the sharpest exercisable
+// case.
+func chainSpec() *spn.Spec {
+	const n = 16
+	rows := make([]uint64, n)
+	rows[0] = 1
+	for j := 1; j < n; j++ {
+		rows[j] = 1<<uint(j) | 1<<uint(j-1)
+	}
+	s := &spn.Spec{
+		Name:           "chain16",
+		BlockBits:      n,
+		KeyBits:        16,
+		Rounds:         8,
+		SboxBits:       4,
+		Sbox:           []uint64{0xC, 5, 6, 0xB, 9, 0, 0xA, 0xD, 3, 0xE, 0xF, 8, 4, 7, 1, 2},
+		LinearRows:     rows,
+		FinalWhitening: true,
+		KeyStateBits:   16,
+		InitKeyState:   func(k spn.KeyState) spn.KeyState { return k },
+		RoundXORMask:   func(ks spn.KeyState, r int) uint64 { return ks[0] & 0xFFFF },
+		NextKeyState: func(ks spn.KeyState, r int) spn.KeyState {
+			ks[0] = ((ks[0]<<5 | ks[0]>>11) & 0xFFFF) ^ uint64(r)
+			return ks
+		},
+		KeySchedNet: func(m *netlist.Module, ks netlist.Bus, counter netlist.Bus, _ spn.SboxNetFunc) (netlist.Bus, netlist.Bus) {
+			mask := ks.Clone()
+			rot := make(netlist.Bus, 16)
+			for j := 0; j < 16; j++ {
+				rot[j] = ks[((j-5)%16+16)%16]
+			}
+			for i := 0; i < 6; i++ {
+				rot[i] = m.Xor(rot[i], counter[i])
+			}
+			return mask, rot
+		},
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestChainLayerHasEvenParityRows(t *testing.T) {
+	s := chainSpec()
+	even := 0
+	for _, r := range s.LinearRows {
+		if bits.OnesCount64(r)%2 == 0 {
+			even++
+		}
+	}
+	if even != 15 {
+		t.Fatalf("expected 15 even-parity rows, got %d", even)
+	}
+}
+
+func TestChainDecryptInvertsEncrypt(t *testing.T) {
+	s := chainSpec()
+	f := func(pt, key uint16) bool {
+		k := spn.KeyState{uint64(key), 0}
+		return s.Decrypt(s.Encrypt(uint64(pt), k), k) == uint64(pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainInvertedEncryptIdentity(t *testing.T) {
+	// The inverted-cipher identity must hold THROUGH the even-parity
+	// rows, which is exactly what the M·1 ^ 1 correction provides.
+	s := chainSpec()
+	f := func(pt, key uint16) bool {
+		k := spn.KeyState{uint64(key), 0}
+		return ^InvertedEncrypt(s, ^uint64(pt)&0xFFFF, k)&0xFFFF == s.Encrypt(uint64(pt), k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainProtectedNetlists(t *testing.T) {
+	for _, opt := range []Options{
+		{Scheme: SchemeUnprotected, Engine: synth.EngineANF},
+		{Scheme: SchemeNaiveDup, Engine: synth.EngineANF},
+		{Scheme: SchemeThreeInOne, Entropy: EntropyPrime, Engine: synth.EngineANF},
+		{Scheme: SchemeThreeInOne, Entropy: EntropyPerRound, Engine: synth.EngineANF},
+		{Scheme: SchemeThreeInOne, Entropy: EntropyPerSbox, Engine: synth.EngineANF},
+	} {
+		d := MustBuild(chainSpec(), opt)
+		checkDesign(t, d, 2)
+	}
+}
+
+func TestChainSoftwareCM(t *testing.T) {
+	cm := SoftwareCM{Spec: chainSpec(), Scheme: SchemeThreeInOne}
+	f := func(pt, key uint16, lam bool) bool {
+		k := spn.KeyState{uint64(key), 0}
+		l := uint64(0)
+		if lam {
+			l = 1
+		}
+		ct, fault := cm.Encrypt(uint64(pt), k, l, 0xBAD)
+		return !fault && ct == cm.Spec.Encrypt(uint64(pt), k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/sim"
+	"repro/internal/spn"
+)
+
+// Runner drives a Design through the simulator, one batch of up to
+// sim.Lanes encryptions at a time. It owns a Simulator; installing a fault
+// injector on the Simulator (Runner.Sim) makes every subsequent batch run
+// under that fault.
+type Runner struct {
+	D *Design
+	S *sim.Simulator
+	// CycleHook, when set, is called after every clock cycle of an
+	// EncryptBatch with the cycle index just executed; the side-channel
+	// probe uses it to sample switching activity.
+	CycleHook func(cycle int)
+}
+
+// NewRunner compiles the design and creates a simulator for it.
+func NewRunner(d *Design) (*Runner, error) {
+	c, err := sim.Compile(d.Mod)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{D: d, S: c.NewSimulator()}, nil
+}
+
+// NewRunnerFrom creates another runner over an already compiled design —
+// campaigns that parallelise across goroutines use one Runner each.
+func NewRunnerFrom(d *Design, c *sim.Compiled) *Runner {
+	if c.Mod != d.Mod {
+		panic("core: compiled module does not match design")
+	}
+	return &Runner{D: d, S: c.NewSimulator()}
+}
+
+// LambdaFunc supplies the per-cycle lambda port values: it returns one
+// value per lane for cycle c (each value uses the low LambdaWidth bits).
+// For EntropyPrime the returned values must not change across cycles of one
+// run; LambdaConst enforces that.
+type LambdaFunc func(c int) []uint64
+
+// LambdaConst returns a LambdaFunc holding the given per-lane values for
+// the whole run — the prime variant's contract.
+func LambdaConst(vals []uint64) LambdaFunc {
+	return func(int) []uint64 { return vals }
+}
+
+// BatchResult holds the outcome of one batch of encryptions.
+type BatchResult struct {
+	// CT[i] is the released output of lane i (the garbage value when
+	// the comparator fired).
+	CT []uint64
+	// Fault[i] reports whether the comparator detected a mismatch in
+	// lane i.
+	Fault []bool
+}
+
+// EncryptBatch runs len(pts) parallel encryptions (at most sim.Lanes) under
+// one key. garbage supplies the per-lane recovery outputs for duplicated
+// schemes (ignored otherwise; may be nil). lambda supplies encoding bits
+// for randomised schemes (ignored otherwise; may be nil).
+func (r *Runner) EncryptBatch(pts []uint64, key spn.KeyState, garbage []uint64, lambda LambdaFunc) BatchResult {
+	if len(pts) == 0 || len(pts) > sim.Lanes {
+		panic(fmt.Sprintf("core: batch size %d out of range 1..%d", len(pts), sim.Lanes))
+	}
+	d := r.D
+	s := r.S
+	s.Reset()
+
+	s.SetInput("pt", pts)
+	keyLo := key[0] & bits.Mask(min(64, d.Spec.KeyBits))
+	s.SetInputBroadcast("key_lo", keyLo)
+	if d.Spec.KeyBits > 64 {
+		s.SetInputBroadcast("key_hi", key[1]&bits.Mask(d.Spec.KeyBits-64))
+	}
+	if d.Opts.Scheme.Duplicated() {
+		if garbage == nil {
+			garbage = make([]uint64, len(pts))
+		}
+		s.SetInput("garbage", garbage)
+	}
+
+	setLambda := func(c int) {
+		if d.LambdaWidth == 0 || lambda == nil {
+			return
+		}
+		s.SetInput("lambda", lambda(c))
+	}
+
+	// Load cycle.
+	s.SetInputBroadcast("load", 1)
+	setLambda(0)
+	s.Step()
+	if r.CycleHook != nil {
+		r.CycleHook(0)
+	}
+
+	// Round cycles.
+	s.SetInputBroadcast("load", 0)
+	for c := 1; c <= d.Spec.Rounds; c++ {
+		setLambda(c)
+		s.Step()
+		if r.CycleHook != nil {
+			r.CycleHook(c)
+		}
+	}
+
+	// Combinational read-out of the final registers.
+	s.Eval()
+
+	cts := s.Output("ct")[:len(pts)]
+	faultsRaw := s.Output("fault")
+	res := BatchResult{CT: append([]uint64(nil), cts...), Fault: make([]bool, len(pts))}
+	for i := range res.Fault {
+		res.Fault[i] = faultsRaw[i]&1 == 1
+	}
+	return res
+}
+
+// EncryptOne is a single-run convenience wrapper. lambdaBits supplies the
+// per-cycle λ value (only the low LambdaWidth bits are used); pass nil for
+// non-randomised schemes or all-zero λ.
+func (r *Runner) EncryptOne(pt uint64, key spn.KeyState, garbage uint64, lambda LambdaFunc) (ct uint64, fault bool) {
+	res := r.EncryptBatch([]uint64{pt}, key, []uint64{garbage}, lambda)
+	return res.CT[0], res.Fault[0]
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/spn"
+	"repro/internal/synth"
+)
+
+// SboxModules holds the synthesised S-box netlists a protected design is
+// assembled from. Input port is "x" (bit n of the merged module is λ),
+// output port is "y".
+type SboxModules struct {
+	// Plain computes S(x); used by the unprotected core, by naive
+	// duplication, and by the (always unencoded) key schedule.
+	Plain *netlist.Module
+	// Inverted computes ¬S(¬x); used by the separate-S-box (ACISP-
+	// style) layout.
+	Inverted *netlist.Module
+	// Merged computes the (n+1)-input merged S-box of the paper.
+	Merged *netlist.Module
+}
+
+// BuildSboxModules synthesises the three S-box forms of an n-bit S-box with
+// the chosen engine, optimising each standalone.
+func BuildSboxModules(sbox []uint64, n int, engine synth.Engine, optimize bool) SboxModules {
+	plainTT := synth.FromSbox(sbox, n)
+	opt := func(m *netlist.Module) *netlist.Module {
+		if !optimize {
+			return m
+		}
+		return synth.Optimize(m, synth.DefaultOptOptions())
+	}
+	return SboxModules{
+		Plain:    opt(plainTT.Synthesize(engine, fmt.Sprintf("sbox%d_plain_%s", n, engine), "x", "y")),
+		Inverted: opt(plainTT.Inverted().Synthesize(engine, fmt.Sprintf("sbox%d_inv_%s", n, engine), "x", "y")),
+		Merged:   opt(plainTT.Merged().Synthesize(engine, fmt.Sprintf("sbox%d_merged_%s", n, engine), "x", "y")),
+	}
+}
+
+// PlainFunc returns an spn.SboxNetFunc instantiating the plain S-box.
+func (sm SboxModules) PlainFunc() spn.SboxNetFunc {
+	return func(m *netlist.Module, instName string, in netlist.Bus) netlist.Bus {
+		outs := m.MustInstantiate(sm.Plain, instName, map[string]netlist.Bus{"x": in})
+		return outs["y"]
+	}
+}
+
+// MergedInstance instantiates the merged S-box on an encoded input bus and
+// its λ select line.
+func (sm SboxModules) MergedInstance(m *netlist.Module, instName string, in netlist.Bus, lambda netlist.Net) netlist.Bus {
+	x := in.Concat(netlist.Bus{lambda})
+	outs := m.MustInstantiate(sm.Merged, instName, map[string]netlist.Bus{"x": x})
+	return outs["y"]
+}
+
+// PairInstance instantiates the separate plain + inverted S-box pair with a
+// per-output multiplexer selected by λ — the ACISP 2020 layout the paper's
+// third amendment replaces. Exposed for the merged-vs-separate ablation.
+func (sm SboxModules) PairInstance(m *netlist.Module, instName string, in netlist.Bus, lambda netlist.Net) netlist.Bus {
+	p := m.MustInstantiate(sm.Plain, instName+".p", map[string]netlist.Bus{"x": in})
+	q := m.MustInstantiate(sm.Inverted, instName+".i", map[string]netlist.Bus{"x": in})
+	return m.MuxBus(p["y"], q["y"], lambda)
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"repro/internal/bits"
+	"repro/internal/spn"
+)
+
+// SoftwareCM is the bit-level software model of Algorithm 1: the
+// randomised-duplication countermeasure executed on words instead of gates.
+// It exists so the examples and property tests can exercise the scheme's
+// functional behaviour (and so the repository demonstrates the paper's
+// remark that the software variant costs essentially the same as the
+// underlying cipher), while the netlist Design is what fault campaigns
+// attack.
+type SoftwareCM struct {
+	Spec   *spn.Spec
+	Scheme Scheme
+}
+
+// Encrypt runs Algorithm 1 of the paper: the actual computation under
+// encoding λ, the redundant computation under ¬λ (three-in-one), λ (ACISP)
+// or the plain encoding (naive duplication), a comparison, and the
+// detective recovery (the garbage word is returned when a mismatch is
+// sensed). With no fault injected the two computations always agree.
+func (c *SoftwareCM) Encrypt(pt uint64, key spn.KeyState, lambda uint64, garbage uint64) (ct uint64, fault bool) {
+	lam := lambda & 1
+	actual := c.branch(pt, key, lam)
+	if !c.Scheme.Duplicated() {
+		return actual, false
+	}
+	var redundant uint64
+	switch c.Scheme {
+	case SchemeNaiveDup:
+		redundant = c.branch(pt, key, 0)
+	case SchemeACISP:
+		redundant = c.branch(pt, key, lam)
+	default: // SchemeThreeInOne
+		redundant = c.branch(pt, key, lam^1)
+	}
+	if actual^redundant != 0 {
+		return garbage, true
+	}
+	return actual, false
+}
+
+// branch computes one computation: E_K(P) when λ=0, or the inverted cipher
+// ¬E̅_K(¬P) when λ=1 (lines 1-8 of Algorithm 1).
+func (c *SoftwareCM) branch(pt uint64, key spn.KeyState, lam uint64) uint64 {
+	if !c.Scheme.Randomized() {
+		lam = 0
+	}
+	if lam == 0 {
+		return c.Spec.Encrypt(pt, key)
+	}
+	mask := bits.Mask(c.Spec.BlockBits)
+	encCT := InvertedEncrypt(c.Spec, ^pt&mask, key)
+	return ^encCT & mask
+}

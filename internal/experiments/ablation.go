@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cipher/aes"
+	"repro/internal/cipher/present"
+	"repro/internal/core"
+	"repro/internal/stdcell"
+	"repro/internal/synth"
+)
+
+// Ablations for the design choices the paper calls out in Section III's
+// "Additional Features": the entropy variants (second amendment), the
+// merged versus separate S-box layout (third amendment), and — specific to
+// this reproduction — the synthesis engine used for the S-boxes.
+
+// EntropyAblationRow prices one entropy variant.
+type EntropyAblationRow struct {
+	Variant core.Entropy
+	Layout  string // "merged" or "separate"
+	Report  stdcell.Report
+	// LambdaBitsPerRun is the randomness the variant consumes for one
+	// PRESENT-80 encryption.
+	LambdaBitsPerRun int
+	Ratio            float64 // vs naive duplication
+}
+
+// EntropyAblationResult is the variant sweep.
+type EntropyAblationResult struct {
+	Baseline stdcell.Report // naive duplication
+	Rows     []EntropyAblationRow
+}
+
+// RunEntropyAblation synthesises the three-in-one countermeasure in all
+// three entropy variants plus the separate-S-box layout, against the
+// naive-duplication baseline.
+func RunEntropyAblation() EntropyAblationResult {
+	lib := stdcell.Nangate45()
+	spec := present.Spec()
+	naive := core.MustBuild(spec, core.Options{
+		Scheme: core.SchemeNaiveDup, Engine: synth.EngineANF, Optimize: true,
+	})
+	base := lib.Area(naive.Mod)
+
+	res := EntropyAblationResult{Baseline: base}
+	add := func(e core.Entropy, separate bool) {
+		d := core.MustBuild(spec, core.Options{
+			Scheme: core.SchemeThreeInOne, Entropy: e,
+			Engine: synth.EngineANF, SeparateSbox: separate, Optimize: true,
+		})
+		rep := lib.Area(d.Mod)
+		bits := 1
+		switch e {
+		case core.EntropyPerRound:
+			bits = spec.Rounds
+		case core.EntropyPerSbox:
+			bits = spec.Rounds * spec.NumSboxes()
+		}
+		layout := "merged"
+		if separate {
+			layout = "separate"
+		}
+		res.Rows = append(res.Rows, EntropyAblationRow{
+			Variant: e, Layout: layout, Report: rep,
+			LambdaBitsPerRun: bits, Ratio: rep.Ratio(base),
+		})
+	}
+	add(core.EntropyPrime, false)
+	add(core.EntropyPerRound, false)
+	add(core.EntropyPerSbox, false)
+	add(core.EntropyPrime, true) // the ACISP-style layout the paper replaces
+	return res
+}
+
+// String renders the variant table.
+func (r EntropyAblationResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: entropy variants and S-box layout (PRESENT-80, three-in-one)\n")
+	fmt.Fprintf(&sb, "%-12s %-10s %8s %14s %18s %10s %8s\n",
+		"variant", "layout", "λ bits", "Combinational", "Non-combinational", "Total", "Ratio")
+	fmt.Fprintf(&sb, "%-12s %-10s %8s %14.0f %18.0f %10.0f %8s\n",
+		"(naive dup)", "-", "0", r.Baseline.Combinational, r.Baseline.Sequential, r.Baseline.Total(), "1.00x")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-12s %-10s %8d %14.0f %18.0f %10.0f %7.2fx\n",
+			row.Variant, row.Layout, row.LambdaBitsPerRun,
+			row.Report.Combinational, row.Report.Sequential, row.Report.Total(), row.Ratio)
+	}
+	return sb.String()
+}
+
+// EngineAblationRow prices one S-box form under one engine.
+type EngineAblationRow struct {
+	Cipher string
+	Engine synth.Engine
+	Plain  float64 // GE of one plain S-box
+	Merged float64 // GE of one merged (n+1)-bit S-box
+	Ratio  float64
+}
+
+// EngineAblationResult compares the ANF and BDD synthesis engines.
+type EngineAblationResult struct {
+	Rows []EngineAblationRow
+}
+
+// RunEngineAblation synthesises the PRESENT and AES S-boxes (plain and
+// merged) with both engines.
+func RunEngineAblation() EngineAblationResult {
+	lib := stdcell.Nangate45()
+	var res EngineAblationResult
+	add := func(cipher string, sbox []uint64, n int, e synth.Engine) {
+		sm := core.BuildSboxModules(sbox, n, e, true)
+		p := lib.Area(sm.Plain).Total()
+		m := lib.Area(sm.Merged).Total()
+		ratio := 0.0
+		if p > 0 {
+			ratio = m / p
+		}
+		res.Rows = append(res.Rows, EngineAblationRow{
+			Cipher: cipher, Engine: e, Plain: p, Merged: m, Ratio: ratio,
+		})
+	}
+	aesSbox := make([]uint64, 256)
+	for i, v := range aes.Sbox {
+		aesSbox[i] = uint64(v)
+	}
+	for _, e := range []synth.Engine{synth.EngineANF, synth.EngineBDD} {
+		add("present", present.Sbox, present.SboxBits, e)
+		add("aes", aesSbox, aes.SboxBits, e)
+	}
+	return res
+}
+
+// String renders the engine comparison.
+func (r EngineAblationResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: S-box synthesis engine (GE per S-box instance)\n")
+	fmt.Fprintf(&sb, "%-10s %-8s %12s %12s %8s\n", "cipher", "engine", "plain", "merged", "ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-10s %-8s %12.0f %12.0f %7.1fx\n",
+			row.Cipher, row.Engine, row.Plain, row.Merged, row.Ratio)
+	}
+	return sb.String()
+}

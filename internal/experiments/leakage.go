@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cipher/present"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// Leakage assessment (an extension of the paper's Section IV-B-2). Three
+// Welch t-tests over Hamming-distance power traces:
+//
+//  1. fixed-vs-random plaintext on the UNPROTECTED core — the sanity
+//     baseline: an unmasked cipher leaks massively;
+//  2. fixed-vs-random plaintext on the THREE-IN-ONE core — the paper's
+//     claim is that the countermeasure does not open a *new* side channel
+//     beyond what the unmasked cipher already leaks (it is a fault
+//     countermeasure, not an SCA countermeasure, and composes with
+//     masking);
+//  3. λ=0 vs λ=1 with everything else fixed on the three-in-one core —
+//     quantifying the assumption the paper inherits from ACISP 2020: the
+//     encoding bit is visible to a power adversary (complemented wires
+//     flip the switching profile of the whole state), so λ's secrecy
+//     against a COMBINED power+fault adversary must come from a layered
+//     SCA countermeasure.
+
+// LeakageRow is one t-test outcome.
+type LeakageRow struct {
+	Name    string
+	Traces  int
+	MaxAbsT float64
+	Leaks   bool // |t| > 4.5 (TVLA convention)
+}
+
+// LeakageResult is the three-row assessment.
+type LeakageResult struct {
+	Rows []LeakageRow
+}
+
+// RunLeakage collects cfg.Runs traces per class per test (default trimmed
+// to 2048 for tractability) under the Hamming-distance model.
+func RunLeakage(cfg Config) (LeakageResult, error) {
+	traces := cfg.Runs
+	if traces <= 0 || traces > 8192 {
+		traces = 2048
+	}
+	var res LeakageResult
+
+	unprot := core.MustBuild(present.Spec(), core.Options{
+		Scheme: core.SchemeUnprotected, Engine: synth.EngineANF,
+	})
+	tio := core.MustBuild(present.Spec(), core.Options{
+		Scheme: core.SchemeThreeInOne, Entropy: core.EntropyPrime, Engine: synth.EngineANF,
+	})
+
+	row, err := fixedVsRandom(cfg, unprot, traces, "fixed-vs-random plaintext, unprotected")
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, row)
+
+	row, err = fixedVsRandom(cfg, tio, traces, "fixed-vs-random plaintext, three-in-one")
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, row)
+
+	// λ distinguishability under both leakage models: dynamic power
+	// (Hamming distance) cancels the complement out — x̄_t ⊕ x̄_{t+1} =
+	// x_t ⊕ x_{t+1} — while a static Hamming-weight adversary sees the
+	// complemented wires directly.
+	row, err = lambdaClasses(cfg, tio, traces, power.HammingDistance)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, row)
+	row, err = lambdaClasses(cfg, tio, traces, power.HammingWeight)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, row)
+
+	// Localized EM probe over only the actual computation: here the
+	// complementary-branch balancing cannot help and λ is plainly
+	// visible — the combined-adversary caveat made concrete.
+	row, err = lambdaLocalized(cfg, tio, traces)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, row)
+	return res, nil
+}
+
+// collect runs batches, assigning lanes to classes via classOf and λ via
+// lamOf, and feeds the probe's traces into the t-test. restrict, when
+// non-nil, localizes the probe to a net subset.
+func collect(cfg Config, d *core.Design, traces int, name string, model power.Model,
+	restrict []netlist.Net,
+	ptOf func(gen *rng.Xoshiro, class int) uint64,
+	lamOf func(gen *rng.Xoshiro, class int) uint64) (LeakageRow, error) {
+
+	r, err := core.NewRunner(d)
+	if err != nil {
+		return LeakageRow{}, err
+	}
+	probe := power.Attach(r, model)
+	probe.Restrict(restrict)
+	defer probe.Detach()
+
+	tt := stats.NewTTest(d.CyclesPerRun())
+	gen := rng.NewXoshiro(cfg.Seed ^ 0x7E57)
+	total := 0
+	for total < 2*traces {
+		n := min(2*traces-total, sim.Lanes)
+		pts := make([]uint64, n)
+		lams := make([]uint64, n)
+		classes := make([]int, n)
+		for i := range pts {
+			classes[i] = gen.Intn(2)
+			pts[i] = ptOf(gen, classes[i])
+			lams[i] = lamOf(gen, classes[i])
+		}
+		probe.BeginBatch()
+		r.EncryptBatch(pts, cfg.Key, nil, core.LambdaConst(lams))
+		for i := 0; i < n; i++ {
+			tt.Add(classes[i], probe.Traces()[i])
+		}
+		total += n
+	}
+	maxT := tt.MaxAbsT()
+	return LeakageRow{
+		Name: name, Traces: total,
+		MaxAbsT: maxT, Leaks: maxT > stats.LeakageThreshold,
+	}, nil
+}
+
+func fixedVsRandom(cfg Config, d *core.Design, traces int, name string) (LeakageRow, error) {
+	const fixedPT = 0x0123456789ABCDEF
+	return collect(cfg, d, traces, name, power.HammingDistance, nil,
+		func(gen *rng.Xoshiro, class int) uint64 {
+			if class == 0 {
+				return fixedPT
+			}
+			return gen.Uint64()
+		},
+		func(gen *rng.Xoshiro, class int) uint64 {
+			if d.LambdaWidth == 0 {
+				return 0
+			}
+			return gen.Bits(d.LambdaWidth)
+		})
+}
+
+func lambdaClasses(cfg Config, d *core.Design, traces int, model power.Model) (LeakageRow, error) {
+	const fixedPT = 0x0123456789ABCDEF
+	return collect(cfg, d, traces, "λ=0 vs λ=1, fixed pt, three-in-one ("+model.String()+")", model, nil,
+		func(gen *rng.Xoshiro, class int) uint64 { return fixedPT },
+		func(gen *rng.Xoshiro, class int) uint64 { return uint64(class) })
+}
+
+func lambdaLocalized(cfg Config, d *core.Design, traces int) (LeakageRow, error) {
+	const fixedPT = 0x0123456789ABCDEF
+	return collect(cfg, d, traces, "λ=0 vs λ=1, EM probe on actual branch only (hw)",
+		power.HammingWeight, d.BranchNets(core.BranchActual),
+		func(gen *rng.Xoshiro, class int) uint64 { return fixedPT },
+		func(gen *rng.Xoshiro, class int) uint64 { return uint64(class) })
+}
+
+// String renders the assessment.
+func (r LeakageResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Leakage assessment (Welch t-test over Hamming-distance traces, TVLA bound 4.5)\n")
+	fmt.Fprintf(&sb, "%-48s %8s %10s %8s\n", "test", "traces", "max |t|", "leaks")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-48s %8d %10.1f %8v\n", row.Name, row.Traces, row.MaxAbsT, row.Leaks)
+	}
+	sb.WriteString("\nReading: the unmasked cipher leaks with or without the countermeasure\n")
+	sb.WriteString("(it is a fault countermeasure; masking composes on top, §IV-B-2). In\n")
+	sb.WriteString("GLOBAL power models λ is perfectly balanced: the λ/¬λ branches swap\n")
+	sb.WriteString("roles, so the union of wire activity is λ-invariant — a structural\n")
+	sb.WriteString("bonus of the paper's first amendment. A LOCALIZED EM probe over one\n")
+	sb.WriteString("branch sees λ plainly; against such combined adversaries λ's secrecy\n")
+	sb.WriteString("rests on the layered SCA countermeasure, as the paper presumes.\n")
+	return sb.String()
+}

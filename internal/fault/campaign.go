@@ -1,0 +1,216 @@
+package fault
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/spn"
+)
+
+// Outcome classifies one faulted encryption, following the terminology of
+// the SIFA literature and the paper's Section IV-A.
+type Outcome int
+
+// Possible run outcomes.
+const (
+	// OutcomeIneffective: the fault did not change the released output
+	// (it hit a value it could not alter). SIFA feeds on these runs.
+	OutcomeIneffective Outcome = iota
+	// OutcomeDetected: the countermeasure's comparator fired and the
+	// recovery output (garbage) was released.
+	OutcomeDetected
+	// OutcomeEffective: a *wrong* ciphertext was released without
+	// detection — the dangerous case that enables DFA.
+	OutcomeEffective
+	outcomeCount
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeIneffective:
+		return "ineffective"
+	case OutcomeDetected:
+		return "detected"
+	case OutcomeEffective:
+		return "effective"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Run records one simulated encryption of a campaign.
+type Run struct {
+	PT uint64
+	// CT is the released output (garbage when detected).
+	CT uint64
+	// RefCT is the fault-free ciphertext from the software reference.
+	RefCT uint64
+	// Lambda0 is the λ word supplied at the load cycle (0 when the
+	// scheme is not randomised).
+	Lambda0 uint64
+	Outcome Outcome
+}
+
+// Campaign describes a fault-simulation campaign over one design: the same
+// fault location and model across many runs with fresh plaintexts and λ,
+// exactly the protocol of the paper's Section IV-A.
+type Campaign struct {
+	Design *core.Design
+	Key    spn.KeyState
+	Faults []Fault
+	Runs   int
+	Seed   uint64
+	// Workers sets the goroutine count (default: GOMAXPROCS).
+	Workers int
+}
+
+// Result aggregates campaign outcomes.
+type Result struct {
+	Total  int
+	Counts [outcomeCount]int
+}
+
+// Ineffective, Detected and Effective return the per-outcome counts.
+func (r Result) Ineffective() int { return r.Counts[OutcomeIneffective] }
+
+// Detected returns the number of detected runs.
+func (r Result) Detected() int { return r.Counts[OutcomeDetected] }
+
+// Effective returns the number of undetected wrong outputs.
+func (r Result) Effective() int { return r.Counts[OutcomeEffective] }
+
+// String summarises the result.
+func (r Result) String() string {
+	return fmt.Sprintf("%d runs: %d ineffective, %d detected, %d effective (escaped)",
+		r.Total, r.Ineffective(), r.Detected(), r.Effective())
+}
+
+// Execute runs the campaign. observe, when non-nil, is called once per run
+// from the calling goroutine (after the parallel phase), in a deterministic
+// order given the seed.
+func (c *Campaign) Execute(observe func(Run)) (Result, error) {
+	if c.Runs <= 0 {
+		return Result{}, fmt.Errorf("fault: campaign needs a positive run count")
+	}
+	compiled, err := sim.Compile(c.Design.Mod)
+	if err != nil {
+		return Result{}, err
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	batches := (c.Runs + sim.Lanes - 1) / sim.Lanes
+	if workers > batches {
+		workers = batches
+	}
+
+	inj := NewInjector(c.Faults...)
+	runsPerBatch := make([]int, batches)
+	for b := range runsPerBatch {
+		n := sim.Lanes
+		if rem := c.Runs - b*sim.Lanes; rem < n {
+			n = rem
+		}
+		runsPerBatch[b] = n
+	}
+
+	all := make([][]Run, batches)
+	var wg sync.WaitGroup
+	batchCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runner := core.NewRunnerFrom(c.Design, compiled)
+			runner.S.SetInjector(inj)
+			for b := range batchCh {
+				all[b] = c.runBatch(runner, b, runsPerBatch[b])
+			}
+		}()
+	}
+	for b := 0; b < batches; b++ {
+		batchCh <- b
+	}
+	close(batchCh)
+	wg.Wait()
+
+	var res Result
+	for _, batch := range all {
+		for _, run := range batch {
+			res.Total++
+			res.Counts[run.Outcome]++
+			if observe != nil {
+				observe(run)
+			}
+		}
+	}
+	return res, nil
+}
+
+// runBatch executes one 64-lane batch. Each batch derives its randomness
+// from (seed, batch index), so results are independent of scheduling.
+func (c *Campaign) runBatch(runner *core.Runner, batch, n int) []Run {
+	d := c.Design
+	gen := rng.NewXoshiro(c.Seed ^ (uint64(batch)+1)*0x9E3779B97F4A7C15)
+	pts := make([]uint64, n)
+	garbage := make([]uint64, n)
+	for i := range pts {
+		pts[i] = gen.Uint64()
+		garbage[i] = gen.Uint64()
+	}
+
+	var lf core.LambdaFunc
+	var lambda0 []uint64
+	if d.LambdaWidth > 0 {
+		if d.Opts.Entropy == core.EntropyPrime {
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = gen.Bits(d.LambdaWidth)
+			}
+			lambda0 = vals
+			lf = core.LambdaConst(vals)
+		} else {
+			// Fresh λ per cycle, deterministic in the cycle index:
+			// pre-draw cycle 0 so it can be recorded.
+			perCycle := make(map[int][]uint64)
+			lf = func(cyc int) []uint64 {
+				if v, ok := perCycle[cyc]; ok {
+					return v
+				}
+				vals := make([]uint64, n)
+				for i := range vals {
+					vals[i] = gen.Bits(d.LambdaWidth)
+				}
+				perCycle[cyc] = vals
+				return vals
+			}
+			lambda0 = lf(0)
+		}
+	}
+
+	res := runner.EncryptBatch(pts, c.Key, garbage, lf)
+	runs := make([]Run, n)
+	for i := 0; i < n; i++ {
+		ref := d.Spec.Encrypt(pts[i], c.Key)
+		r := Run{PT: pts[i], CT: res.CT[i], RefCT: ref}
+		if lambda0 != nil {
+			r.Lambda0 = lambda0[i]
+		}
+		switch {
+		case res.Fault[i]:
+			r.Outcome = OutcomeDetected
+		case res.CT[i] == ref:
+			r.Outcome = OutcomeIneffective
+		default:
+			r.Outcome = OutcomeEffective
+		}
+		runs[i] = r
+	}
+	return runs
+}

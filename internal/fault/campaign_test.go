@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/cipher/present"
+	"repro/internal/core"
+	"repro/internal/spn"
+	"repro/internal/synth"
+)
+
+var campKey = spn.KeyState{0xA5A5A5A5A5A5A5A5, 0x0F0F}
+
+func buildDesign(t *testing.T, scheme core.Scheme) *core.Design {
+	t.Helper()
+	d, err := core.Build(present.Spec(), core.Options{
+		Scheme: scheme, Entropy: core.EntropyPrime, Engine: synth.EngineANF,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCampaignWithoutFaultIsAllIneffective(t *testing.T) {
+	d := buildDesign(t, core.SchemeThreeInOne)
+	camp := Campaign{Design: d, Key: campKey, Runs: 200, Seed: 1}
+	res, err := camp.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ineffective() != 200 || res.Detected() != 0 || res.Effective() != 0 {
+		t.Fatalf("fault-free campaign misclassified: %s", res)
+	}
+}
+
+func TestCampaignClassifiesNaiveDupFault(t *testing.T) {
+	d := buildDesign(t, core.SchemeNaiveDup)
+	net := d.SboxInputNet(core.BranchActual, 13, 2)
+	camp := Campaign{
+		Design: d, Key: campKey, Runs: 512, Seed: 2,
+		Faults: []Fault{At(net, StuckAt0, d.LastRoundCycle())},
+	}
+	res, err := camp.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Effective() != 0 {
+		t.Fatalf("single-branch fault must never escape duplication: %s", res)
+	}
+	// Roughly half the runs should be ineffective (the bit was already
+	// 0) and half detected.
+	if res.Ineffective() < 150 || res.Detected() < 150 {
+		t.Fatalf("unexpected outcome split: %s", res)
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	d := buildDesign(t, core.SchemeNaiveDup)
+	net := d.SboxInputNet(core.BranchActual, 5, 1)
+	run := func(workers int) ([]Run, Result) {
+		camp := Campaign{
+			Design: d, Key: campKey, Runs: 300, Seed: 77, Workers: workers,
+			Faults: []Fault{At(net, StuckAt0, d.LastRoundCycle())},
+		}
+		var runs []Run
+		res, err := camp.Execute(func(r Run) { runs = append(runs, r) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runs, res
+	}
+	r1, res1 := run(1)
+	r2, res2 := run(4)
+	if res1 != res2 {
+		t.Fatalf("results differ across worker counts: %v vs %v", res1, res2)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("run %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestCampaignObserverSeesEveryRun(t *testing.T) {
+	d := buildDesign(t, core.SchemeUnprotected)
+	camp := Campaign{Design: d, Key: campKey, Runs: 130, Seed: 3}
+	count := 0
+	res, err := camp.Execute(func(r Run) {
+		count++
+		if r.CT != r.RefCT || r.Outcome != OutcomeIneffective {
+			t.Fatalf("clean run misclassified: %+v", r)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 130 || res.Total != 130 {
+		t.Fatalf("observer saw %d runs, result total %d", count, res.Total)
+	}
+}
+
+func TestCampaignRejectsZeroRuns(t *testing.T) {
+	d := buildDesign(t, core.SchemeUnprotected)
+	camp := Campaign{Design: d, Key: campKey}
+	if _, err := camp.Execute(nil); err == nil {
+		t.Fatal("expected error for zero runs")
+	}
+}
+
+func TestUnprotectedFaultEscapes(t *testing.T) {
+	d := buildDesign(t, core.SchemeUnprotected)
+	net := d.SboxInputNet(core.BranchActual, 13, 2)
+	camp := Campaign{
+		Design: d, Key: campKey, Runs: 256, Seed: 4,
+		Faults: []Fault{At(net, StuckAt0, d.LastRoundCycle())},
+	}
+	res, err := camp.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected() != 0 {
+		t.Fatal("unprotected core cannot detect")
+	}
+	if res.Effective() == 0 {
+		t.Fatal("effective faults must escape an unprotected core")
+	}
+}

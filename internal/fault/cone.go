@@ -1,0 +1,100 @@
+package fault
+
+import (
+	"repro/internal/netlist"
+)
+
+// Static fault-propagation analysis: structural reachability from a fault
+// site to observation points, crossing registers. A site that cannot reach
+// any output can never produce an effective or detected run — the cheap
+// necessary condition a fault-simulation campaign's results must respect
+// (the campaign tests cross-check the two).
+
+// ReachabilityIndex precomputes the fan-out graph of a module so many
+// reachability queries are cheap.
+type ReachabilityIndex struct {
+	m *netlist.Module
+	// readers[n] lists the cells reading net n.
+	readers [][]int32
+}
+
+// NewReachabilityIndex builds the fan-out index.
+func NewReachabilityIndex(m *netlist.Module) *ReachabilityIndex {
+	idx := &ReachabilityIndex{
+		m:       m,
+		readers: make([][]int32, m.NumNets()+1),
+	}
+	for ci := range m.Cells {
+		for _, in := range m.Cells[ci].Inputs() {
+			idx.readers[in] = append(idx.readers[in], int32(ci))
+		}
+	}
+	return idx
+}
+
+// Reaches reports whether a value change on src can structurally propagate
+// to any of the target nets (crossing DFFs: a change on a D input can
+// appear on the Q output one cycle later). It is a NECESSARY condition for
+// a fault at src to ever be effective or detected at the targets;
+// structural reach does not guarantee logical propagation (the fault can
+// still be masked).
+func (idx *ReachabilityIndex) Reaches(src netlist.Net, targets []netlist.Net) bool {
+	want := make(map[netlist.Net]bool, len(targets))
+	for _, t := range targets {
+		want[t] = true
+	}
+	if want[src] {
+		return true
+	}
+	seen := make([]bool, idx.m.NumNets()+1)
+	seen[src] = true
+	stack := []netlist.Net{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ci := range idx.readers[n] {
+			out := idx.m.Cells[ci].Out
+			if seen[out] {
+				continue
+			}
+			seen[out] = true
+			if want[out] {
+				return true
+			}
+			stack = append(stack, out)
+		}
+	}
+	return false
+}
+
+// Cone returns every net reachable forward from src (inclusive), the
+// observability cone a fault at src can influence.
+func (idx *ReachabilityIndex) Cone(src netlist.Net) []netlist.Net {
+	seen := make([]bool, idx.m.NumNets()+1)
+	seen[src] = true
+	out := []netlist.Net{src}
+	stack := []netlist.Net{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ci := range idx.readers[n] {
+			o := idx.m.Cells[ci].Out
+			if !seen[o] {
+				seen[o] = true
+				out = append(out, o)
+				stack = append(stack, o)
+			}
+		}
+	}
+	return out
+}
+
+// OutputNets collects all primary-output nets of a module, the standard
+// observation points.
+func OutputNets(m *netlist.Module) []netlist.Net {
+	var nets []netlist.Net
+	for i := range m.Outputs {
+		nets = append(nets, m.Outputs[i].Bits...)
+	}
+	return nets
+}

@@ -1,0 +1,141 @@
+// Package fault is the gate-level fault-injection engine — the VerFI-like
+// flow the paper validates its countermeasure with. It defines fault
+// models (stuck-at-0, stuck-at-1, bit flip), attaches them to netlist nets
+// over clock-cycle windows, implements the simulator's Injector interface,
+// and runs classification campaigns that bin every simulated encryption
+// into ineffective / detected / effective outcomes.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Model enumerates the supported fault models.
+type Model int
+
+// Fault models.
+const (
+	// StuckAt0 forces the net to logic 0 while active.
+	StuckAt0 Model = iota
+	// StuckAt1 forces the net to logic 1 while active.
+	StuckAt1
+	// BitFlip complements the net's value while active (transient
+	// flip).
+	BitFlip
+)
+
+// String names the model as the experiment reports print it.
+func (m Model) String() string {
+	switch m {
+	case StuckAt0:
+		return "stuck-at-0"
+	case StuckAt1:
+		return "stuck-at-1"
+	case BitFlip:
+		return "bit-flip"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// AllCycles marks a fault active in every cycle.
+const AllCycles = -1
+
+// Fault is one injected fault: a model applied to a net during a cycle
+// window (inclusive) on a set of simulation lanes.
+type Fault struct {
+	Net   netlist.Net
+	Model Model
+	// FromCycle..ToCycle is the active window; AllCycles in FromCycle
+	// makes the fault permanent.
+	FromCycle, ToCycle int
+	// Lanes masks which of the 64 parallel runs see the fault; zero
+	// means all lanes.
+	Lanes uint64
+}
+
+// At returns a fault active during exactly one cycle.
+func At(net netlist.Net, model Model, cycle int) Fault {
+	return Fault{Net: net, Model: model, FromCycle: cycle, ToCycle: cycle}
+}
+
+// Always returns a permanently active fault.
+func Always(net netlist.Net, model Model) Fault {
+	return Fault{Net: net, Model: model, FromCycle: AllCycles, ToCycle: AllCycles}
+}
+
+func (f Fault) active(cycle int) bool {
+	if f.FromCycle == AllCycles {
+		return true
+	}
+	return cycle >= f.FromCycle && cycle <= f.ToCycle
+}
+
+func (f Fault) apply(v uint64) uint64 {
+	mask := f.Lanes
+	if mask == 0 {
+		mask = ^uint64(0)
+	}
+	switch f.Model {
+	case StuckAt0:
+		return v &^ mask
+	case StuckAt1:
+		return v | mask
+	case BitFlip:
+		return v ^ mask
+	default:
+		return v
+	}
+}
+
+// String describes the fault.
+func (f Fault) String() string {
+	window := "always"
+	if f.FromCycle != AllCycles {
+		window = fmt.Sprintf("cycles %d..%d", f.FromCycle, f.ToCycle)
+	}
+	return fmt.Sprintf("%s on net %d, %s", f.Model, f.Net, window)
+}
+
+// Injector applies a set of faults; it implements sim.Injector.
+type Injector struct {
+	faults []Fault
+	byNet  map[netlist.Net][]int
+}
+
+// NewInjector builds an injector over the given faults.
+func NewInjector(faults ...Fault) *Injector {
+	inj := &Injector{byNet: make(map[netlist.Net][]int)}
+	for _, f := range faults {
+		inj.faults = append(inj.faults, f)
+		inj.byNet[f.Net] = append(inj.byNet[f.Net], len(inj.faults)-1)
+	}
+	return inj
+}
+
+// Nets implements sim.Injector.
+func (inj *Injector) Nets() []netlist.Net {
+	nets := make([]netlist.Net, 0, len(inj.byNet))
+	for n := range inj.byNet {
+		nets = append(nets, n)
+	}
+	return nets
+}
+
+// Apply implements sim.Injector.
+func (inj *Injector) Apply(cycle int, n netlist.Net, v uint64) uint64 {
+	for _, fi := range inj.byNet[n] {
+		if inj.faults[fi].active(cycle) {
+			v = inj.faults[fi].apply(v)
+		}
+	}
+	return v
+}
+
+// Faults returns the injector's fault list.
+func (inj *Injector) Faults() []Fault { return inj.faults }
+
+var _ sim.Injector = (*Injector)(nil)

@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func TestFaultApplySemantics(t *testing.T) {
+	v := uint64(0b1010)
+	if (Fault{Model: StuckAt0}).apply(v) != 0 {
+		t.Error("stuck-at-0 with all lanes should clear")
+	}
+	if (Fault{Model: StuckAt1}).apply(v) != ^uint64(0) {
+		t.Error("stuck-at-1 with all lanes should set")
+	}
+	if (Fault{Model: BitFlip}).apply(v) != ^v {
+		t.Error("flip should complement")
+	}
+	lane0 := Fault{Model: StuckAt1, Lanes: 1}
+	if lane0.apply(0) != 1 {
+		t.Error("lane mask not honoured")
+	}
+}
+
+func TestFaultWindows(t *testing.T) {
+	f := At(1, BitFlip, 5)
+	if f.active(4) || !f.active(5) || f.active(6) {
+		t.Error("single-cycle window wrong")
+	}
+	a := Always(1, BitFlip)
+	if !a.active(0) || !a.active(1<<20) {
+		t.Error("permanent fault not always active")
+	}
+	w := Fault{Net: 1, Model: BitFlip, FromCycle: 2, ToCycle: 4}
+	for c, want := range map[int]bool{1: false, 2: true, 3: true, 4: true, 5: false} {
+		if w.active(c) != want {
+			t.Errorf("window active(%d) = %v", c, w.active(c))
+		}
+	}
+}
+
+func TestInjectorOnCombinationalNet(t *testing.T) {
+	m := netlist.New("t")
+	in := m.AddInput("x", 1)
+	mid := m.Buf(in[0])
+	m.AddOutput("y", netlist.Bus{m.Buf(mid)})
+	s := sim.New(m)
+	s.SetInjector(NewInjector(Always(mid, StuckAt1)))
+	s.SetInputBroadcast("x", 0)
+	s.Eval()
+	if s.Output("y")[0] != 1 {
+		t.Fatal("stuck-at-1 not applied to combinational net")
+	}
+}
+
+func TestInjectorOnPrimaryInput(t *testing.T) {
+	m := netlist.New("t")
+	in := m.AddInput("x", 1)
+	m.AddOutput("y", netlist.Bus{m.Buf(in[0])})
+	s := sim.New(m)
+	s.SetInjector(NewInjector(Always(in[0], BitFlip)))
+	s.SetInputBroadcast("x", 0)
+	s.Eval()
+	if s.Output("y")[0] != 1 {
+		t.Fatal("fault on primary input not applied at load time")
+	}
+}
+
+func TestInjectorOnRegisterOutput(t *testing.T) {
+	m := netlist.New("t")
+	in := m.AddInput("x", 1)
+	q := m.DFF(in[0])
+	m.AddOutput("y", netlist.Bus{q})
+	s := sim.New(m)
+	s.SetInjector(NewInjector(At(q, StuckAt1, 0)))
+	s.SetInputBroadcast("x", 0)
+	s.Step() // cycle 0: Q latches 0 but the fault forces 1
+	if s.Output("y")[0] != 1 {
+		t.Fatal("fault on DFF output not applied at clocking")
+	}
+	s.Step() // cycle 1: fault expired, Q latches clean 0
+	if s.Output("y")[0] != 0 {
+		t.Fatal("expired register fault persisted")
+	}
+}
+
+func TestMultipleFaultsCompose(t *testing.T) {
+	m := netlist.New("t")
+	in := m.AddInput("x", 2)
+	a := m.Buf(in[0])
+	b := m.Buf(in[1])
+	m.AddOutput("y", netlist.Bus{m.And(a, b)})
+	s := sim.New(m)
+	s.SetInjector(NewInjector(Always(a, StuckAt1), Always(b, StuckAt1)))
+	s.SetInputBroadcast("x", 0)
+	s.Eval()
+	if s.Output("y")[0] != 1 {
+		t.Fatal("both faults should force the AND output high")
+	}
+}
+
+func TestIsolatePin(t *testing.T) {
+	m := netlist.New("t")
+	in := m.AddInput("x", 2)
+	shared := m.Buf(in[0])
+	and1 := m.And(shared, in[1])
+	and2 := m.And(shared, in[1])
+	m.AddOutput("y", netlist.Bus{and1, and2})
+
+	// Isolate pin 0 of the first AND; faulting the probe must not
+	// disturb the second AND's view of `shared`.
+	ci := m.Driver(and1)
+	probe, err := IsolatePin(m, ci, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(m)
+	s.SetInjector(NewInjector(Always(probe, BitFlip)))
+	s.SetInputBroadcast("x", 0b10) // x0=0, x1=1
+	s.Eval()
+	out := s.Output("y")[0]
+	if out&1 != 1 { // and1 sees flipped 0 -> 1, so output 1
+		t.Fatal("pin fault not applied to the isolated pin")
+	}
+	if out>>1&1 != 0 { // and2 still sees the clean 0
+		t.Fatal("pin fault leaked to another gate")
+	}
+}
+
+func TestIsolatePinErrors(t *testing.T) {
+	m := netlist.New("t")
+	in := m.AddInput("x", 2)
+	a := m.And(in[0], in[1])
+	m.AddOutput("y", netlist.Bus{a})
+	if _, err := IsolatePin(m, 99, 0); err == nil {
+		t.Error("bad cell index should fail")
+	}
+	if _, err := IsolatePin(m, m.Driver(a), 2); err == nil {
+		t.Error("bad pin index should fail")
+	}
+}
+
+func TestFindAndGateWithInput(t *testing.T) {
+	m := netlist.New("t")
+	in := m.AddInput("x", 2)
+	a := m.And(in[0], in[1])
+	m.DriverCell(a).Tag = "b0.sbox03.mono"
+	m.AddOutput("y", netlist.Bus{a})
+	ci, other, ok := FindAndGateWithInput(m, in[0], "b0.sbox03")
+	if !ok || ci != m.Driver(a) || other != 1 {
+		t.Fatalf("lookup failed: %v %v %v", ci, other, ok)
+	}
+	if _, _, ok := FindAndGateWithInput(m, in[0], "b1.sbox"); ok {
+		t.Error("prefix filter not applied")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if OutcomeIneffective.String() != "ineffective" ||
+		OutcomeDetected.String() != "detected" ||
+		OutcomeEffective.String() != "effective" {
+		t.Error("outcome names wrong")
+	}
+	if StuckAt0.String() != "stuck-at-0" || BitFlip.String() != "bit-flip" {
+		t.Error("model names wrong")
+	}
+}

@@ -1,0 +1,59 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// IsolatePin gives one input pin of one cell a private net and returns it,
+// so a fault can target a single gate input line the way the fault
+// template attack's laser does (flipping "one input line to an AND gate"),
+// without disturbing the other readers of the original net.
+//
+// A BUF cell is inserted between the original driver and the pin; the BUF
+// is marked Keep so optimisation cannot remove it. The module must be
+// re-compiled after the rewrite.
+func IsolatePin(m *netlist.Module, cellIdx, pin int) (netlist.Net, error) {
+	if cellIdx < 0 || cellIdx >= len(m.Cells) {
+		return netlist.InvalidNet, fmt.Errorf("fault: cell index %d out of range", cellIdx)
+	}
+	c := &m.Cells[cellIdx]
+	if pin < 0 || pin >= c.Kind.Arity() {
+		return netlist.InvalidNet, fmt.Errorf("fault: pin %d out of range for %s", pin, c.Kind)
+	}
+	orig := c.In[pin]
+	probe := m.NewNet(fmt.Sprintf("pin_probe_c%d_p%d", cellIdx, pin))
+	buf := m.AddCell(netlist.KindBuf, probe, orig)
+	buf.Keep = true
+	buf.Tag = fmt.Sprintf("pinprobe.c%d.p%d", cellIdx, pin)
+	// Re-point only the targeted pin. c may have been invalidated by
+	// AddCell's append; re-take the pointer.
+	m.Cells[cellIdx].In[pin] = probe
+	return probe, nil
+}
+
+// FindAndGateWithInput scans the module for a 2-input AND cell that has
+// net x on one pin; it returns the cell index and the pin index of the
+// *other* pin (the probe pin whose flip reveals the value of x). The
+// search is restricted to cells whose Tag has the given prefix (e.g. the
+// instance name of one S-box), or unrestricted when prefix is empty.
+func FindAndGateWithInput(m *netlist.Module, x netlist.Net, tagPrefix string) (cellIdx, otherPin int, ok bool) {
+	for ci := range m.Cells {
+		c := &m.Cells[ci]
+		if c.Kind != netlist.KindAnd2 {
+			continue
+		}
+		if tagPrefix != "" && !strings.HasPrefix(c.Tag, tagPrefix) {
+			continue
+		}
+		if c.In[0] == x {
+			return ci, 1, true
+		}
+		if c.In[1] == x {
+			return ci, 0, true
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,38 @@
+package netlist
+
+import "testing"
+
+func buildBig(n int) *Module {
+	m := New("big")
+	in := m.AddInput("x", 64)
+	cur := in.Clone()
+	for i := 0; i < n; i++ {
+		next := make(Bus, 64)
+		for j := range next {
+			next[j] = m.Xor(cur[j], cur[(j+1)%64])
+		}
+		cur = next
+	}
+	m.AddOutput("y", cur)
+	return m
+}
+
+func BenchmarkLevelize(b *testing.B) {
+	m := buildBig(32) // 2048 cells
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Levelize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInstantiate(b *testing.B) {
+	sub := buildBig(8)
+	for i := 0; i < b.N; i++ {
+		top := New("top")
+		x := top.AddInput("x", 64)
+		outs := top.MustInstantiate(sub, "u0", map[string]Bus{"x": x})
+		top.AddOutput("y", outs["y"])
+	}
+}

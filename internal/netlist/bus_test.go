@@ -1,0 +1,141 @@
+package netlist
+
+import (
+	"testing"
+)
+
+func TestBusSliceConcatReverse(t *testing.T) {
+	m := New("t")
+	b := m.AddInput("x", 8)
+	lo, hi := b.Slice(0, 4), b.Slice(4, 8)
+	if got := lo.Concat(hi); len(got) != 8 || got[0] != b[0] || got[7] != b[7] {
+		t.Fatal("concat broken")
+	}
+	r := b.Reversed()
+	if r[0] != b[7] || r[7] != b[0] {
+		t.Fatal("reverse broken")
+	}
+	// Slices are copies: mutating must not alias.
+	lo[0] = InvalidNet
+	if b[0] == InvalidNet {
+		t.Fatal("Slice aliases underlying bus")
+	}
+}
+
+func TestBusPermute(t *testing.T) {
+	m := New("t")
+	b := m.AddInput("x", 4)
+	p := b.Permute([]int{1, 2, 3, 0})
+	// output bit perm[i] = input bit i
+	if p[1] != b[0] || p[2] != b[1] || p[3] != b[2] || p[0] != b[3] {
+		t.Fatal("permute semantics wrong")
+	}
+}
+
+func TestBusNibblesBytes(t *testing.T) {
+	m := New("t")
+	b := m.AddInput("x", 16)
+	nibs := b.Nibbles()
+	if len(nibs) != 4 || nibs[1][0] != b[4] {
+		t.Fatal("Nibbles wrong")
+	}
+	bys := b.Bytes()
+	if len(bys) != 2 || bys[1][0] != b[8] {
+		t.Fatal("Bytes wrong")
+	}
+}
+
+func TestReduceShapes(t *testing.T) {
+	m := New("t")
+	b := m.AddInput("x", 5)
+	or := m.OrReduce(b)
+	and := m.AndReduce(b)
+	xor := m.XorReduce(b)
+	m.AddOutput("y", Bus{or, and, xor})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A 5-input tree needs exactly 4 two-input gates.
+	s := m.CollectStats()
+	if s.ByKind[KindOr2] != 4 || s.ByKind[KindAnd2] != 4 || s.ByKind[KindXor2] != 4 {
+		t.Fatalf("reduce gate counts wrong: %+v", s.ByKind)
+	}
+}
+
+func TestReduceEmptyAndSingle(t *testing.T) {
+	m := New("t")
+	b := m.AddInput("x", 1)
+	if m.OrReduce(nil) == InvalidNet || m.AndReduce(nil) == InvalidNet || m.XorReduce(nil) == InvalidNet {
+		t.Fatal("empty reduce must return a constant net")
+	}
+	if m.OrReduce(b) != b[0] {
+		t.Fatal("single-bit reduce must be the bit itself")
+	}
+}
+
+func TestConstBus(t *testing.T) {
+	m := New("t")
+	b := m.ConstBus(6, 0b101001)
+	m.AddOutput("y", b)
+	for i, want := range []CellKind{KindConst1, KindConst0, KindConst0, KindConst1, KindConst0, KindConst1} {
+		if got := m.DriverCell(b[i]).Kind; got != want {
+			t.Fatalf("bit %d kind %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	m := New("t")
+	a := m.AddInput("a", 2)
+	b := m.AddInput("b", 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on width mismatch")
+		}
+	}()
+	m.XorBus(a, b)
+}
+
+func TestInstantiateComposition(t *testing.T) {
+	sub := New("half_adder")
+	in := sub.AddInput("x", 2)
+	sub.AddOutput("sum", Bus{sub.Xor(in[0], in[1])})
+	sub.AddOutput("carry", Bus{sub.And(in[0], in[1])})
+
+	m := New("top")
+	a := m.AddInput("a", 2)
+	outs, err := m.Instantiate(sub, "ha0", map[string]Bus{"x": a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddOutput("s", outs["sum"])
+	m.AddOutput("c", outs["carry"])
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Tags must carry the instance name.
+	for _, c := range m.Cells {
+		if c.Tag != "ha0" {
+			t.Fatalf("tag %q, want ha0", c.Tag)
+		}
+	}
+}
+
+func TestInstantiateErrors(t *testing.T) {
+	sub := New("s")
+	in := sub.AddInput("x", 2)
+	sub.AddOutput("y", Bus{sub.And(in[0], in[1])})
+
+	m := New("top")
+	a := m.AddInput("a", 1)
+	if _, err := m.Instantiate(sub, "i", map[string]Bus{}); err == nil {
+		t.Error("missing binding should fail")
+	}
+	if _, err := m.Instantiate(sub, "i", map[string]Bus{"x": a}); err == nil {
+		t.Error("width mismatch should fail")
+	}
+	two := m.AddInput("b", 2)
+	if _, err := m.Instantiate(sub, "i", map[string]Bus{"x": two, "zz": two}); err == nil {
+		t.Error("unknown binding name should fail")
+	}
+}

@@ -1,0 +1,108 @@
+package netlist
+
+import "fmt"
+
+// Instantiate copies every cell of sub into m, connecting sub's input ports
+// to the given buses and returning the buses corresponding to sub's output
+// ports, keyed by port name. Net names are prefixed with instName for
+// debuggability, and every copied cell's Tag is prefixed with "instName."
+// so fault-injection groups stay addressable after composition.
+//
+// bindings must supply a bus of matching width for every input port of sub.
+func (m *Module) Instantiate(sub *Module, instName string, bindings map[string]Bus) (map[string]Bus, error) {
+	netMap := make([]Net, sub.NumNets()+1)
+
+	for i := range sub.Inputs {
+		p := &sub.Inputs[i]
+		bus, ok := bindings[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("netlist: instantiate %q: missing binding for input %q", sub.Name, p.Name)
+		}
+		if len(bus) != p.Width() {
+			return nil, fmt.Errorf("netlist: instantiate %q: input %q width %d, binding width %d",
+				sub.Name, p.Name, p.Width(), len(bus))
+		}
+		for bi, n := range p.Bits {
+			if netMap[n] != InvalidNet && netMap[n] != bus[bi] {
+				return nil, fmt.Errorf("netlist: instantiate %q: input net %q bound twice", sub.Name, sub.NetName(n))
+			}
+			netMap[n] = bus[bi]
+		}
+	}
+	for name := range bindings {
+		if sub.FindInput(name) == nil {
+			return nil, fmt.Errorf("netlist: instantiate %q: binding %q matches no input port", sub.Name, name)
+		}
+	}
+
+	// Allocate fresh nets for every driven net of sub not already mapped.
+	for ci := range sub.Cells {
+		out := sub.Cells[ci].Out
+		if netMap[out] == InvalidNet {
+			netMap[out] = m.NewNet(instName + "." + sub.NetName(out))
+		}
+	}
+
+	for ci := range sub.Cells {
+		c := &sub.Cells[ci]
+		ins := make([]Net, 0, 3)
+		for _, in := range c.Inputs() {
+			mapped := netMap[in]
+			if mapped == InvalidNet {
+				return nil, fmt.Errorf("netlist: instantiate %q: net %q is read but neither driven nor an input",
+					sub.Name, sub.NetName(in))
+			}
+			ins = append(ins, mapped)
+		}
+		nc := m.AddCell(c.Kind, netMap[c.Out], ins...)
+		nc.Keep = c.Keep
+		if c.Tag != "" {
+			nc.Tag = instName + "." + c.Tag
+		} else {
+			nc.Tag = instName
+		}
+	}
+
+	outs := make(map[string]Bus, len(sub.Outputs))
+	for i := range sub.Outputs {
+		p := &sub.Outputs[i]
+		bus := make(Bus, p.Width())
+		for bi, n := range p.Bits {
+			if netMap[n] == InvalidNet {
+				return nil, fmt.Errorf("netlist: instantiate %q: output %q bit %d undriven", sub.Name, p.Name, bi)
+			}
+			bus[bi] = netMap[n]
+		}
+		outs[p.Name] = bus
+	}
+	return outs, nil
+}
+
+// MustInstantiate is Instantiate that panics on error; builders use it for
+// programmatic composition where failures are construction bugs.
+func (m *Module) MustInstantiate(sub *Module, instName string, bindings map[string]Bus) map[string]Bus {
+	outs, err := m.Instantiate(sub, instName, bindings)
+	if err != nil {
+		panic(err)
+	}
+	return outs
+}
+
+// Clone returns a deep copy of the module.
+func (m *Module) Clone() *Module {
+	out := &Module{
+		Name:     m.Name,
+		netNames: append([]string(nil), m.netNames...),
+		driver:   append([]int32(nil), m.driver...),
+		Cells:    append([]Cell(nil), m.Cells...),
+	}
+	out.Inputs = make([]Port, len(m.Inputs))
+	for i, p := range m.Inputs {
+		out.Inputs[i] = Port{Name: p.Name, Bits: p.Bits.Clone()}
+	}
+	out.Outputs = make([]Port, len(m.Outputs))
+	for i, p := range m.Outputs {
+		out.Outputs[i] = Port{Name: p.Name, Bits: p.Bits.Clone()}
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText hardens the netlist text parser: arbitrary input must never
+// panic, and anything that parses must survive a write/re-read round trip.
+func FuzzReadText(f *testing.F) {
+	var buf bytes.Buffer
+	if err := buildSample().WriteText(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("module m\nnets 1\nendmodule\n")
+	f.Add("module m\nnets 2\ninput a 1\ncell INV 2 1\noutput y 2\nendmodule\n")
+	f.Add("cell AND2")
+	f.Add("module m\nnets -3\nendmodule")
+	f.Add("# only a comment")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ReadText(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := m.WriteText(&out); err != nil {
+			t.Fatalf("re-serialise failed: %v", err)
+		}
+		again, err := ReadText(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again.Cells) != len(m.Cells) || again.NumNets() != m.NumNets() {
+			t.Fatalf("round trip changed structure")
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarises the structural content of a module.
+type Stats struct {
+	Name          string
+	Nets          int
+	Cells         int
+	Combinational int // non-constant, non-sequential cells
+	Sequential    int // DFFs
+	Constants     int
+	ByKind        map[CellKind]int
+	LogicDepth    int // unit-delay critical path; -1 if cyclic
+}
+
+// CollectStats gathers structural statistics for the module.
+func (m *Module) CollectStats() Stats {
+	s := Stats{
+		Name:   m.Name,
+		Nets:   m.NumNets(),
+		Cells:  len(m.Cells),
+		ByKind: make(map[CellKind]int),
+	}
+	for i := range m.Cells {
+		k := m.Cells[i].Kind
+		s.ByKind[k]++
+		switch {
+		case k.IsSequential():
+			s.Sequential++
+		case k.IsConst():
+			s.Constants++
+		default:
+			s.Combinational++
+		}
+	}
+	if d, err := m.LogicDepth(); err == nil {
+		s.LogicDepth = d
+	} else {
+		s.LogicDepth = -1
+	}
+	return s
+}
+
+// String renders the statistics as a compact multi-line report.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s: %d nets, %d cells (%d comb, %d seq, %d const), depth %d\n",
+		s.Name, s.Nets, s.Cells, s.Combinational, s.Sequential, s.Constants, s.LogicDepth)
+	kinds := make([]CellKind, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, "  %-6s %6d\n", k, s.ByKind[k])
+	}
+	return sb.String()
+}

@@ -1,0 +1,95 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildSample() *Module {
+	m := New("sample")
+	in := m.AddInput("x", 3)
+	a := m.And(in[0], in[1])
+	a2 := m.Xor(a, in[2])
+	q := m.DFF(a2)
+	keep := m.Not(q)
+	m.DriverCell(keep).Keep = true
+	m.DriverCell(keep).Tag = "redundant.path"
+	m.AddOutput("y", Bus{keep})
+	return m
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	m := buildSample()
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.NumNets() != m.NumNets() || len(got.Cells) != len(m.Cells) {
+		t.Fatalf("structure differs after round trip")
+	}
+	for i := range m.Cells {
+		a, b := m.Cells[i], got.Cells[i]
+		if a.Kind != b.Kind || a.Out != b.Out || a.In != b.In || a.Keep != b.Keep || a.Tag != b.Tag {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if got.Inputs[0].Name != "x" || got.Outputs[0].Name != "y" {
+		t.Fatal("ports lost")
+	}
+}
+
+func TestReadTextRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",                    // empty
+		"module m\nnets 1\n",  // missing endmodule
+		"nets 2\nendmodule\n", // nets before module
+		"module m\nnets 1\ncell AND2 1 1 1\nendmodule\n", // double use of net 1 as out+in is fine structurally, but AND2 out=1 in=1,1 makes a cycle
+		"module m\nnets 1\ncell FROB 1\nendmodule\n",     // unknown kind
+		"module m\nnets 1\ncell INV 1 5\nendmodule\n",    // net id out of range
+		"module m\nnets 1\ncell INV 1\nendmodule\n",      // arity mismatch
+	}
+	for i, src := range cases {
+		if _, err := ReadText(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlanks(t *testing.T) {
+	src := `# header comment
+module m
+nets 2
+
+# a cell
+input a 1
+cell INV 2 1
+output y 2
+endmodule
+`
+	m, err := ReadText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 1 || m.Cells[0].Kind != KindInv {
+		t.Fatal("parse result wrong")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	m := buildSample()
+	var buf bytes.Buffer
+	if err := m.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "AND2", "DFF", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}

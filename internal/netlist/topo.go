@@ -1,0 +1,124 @@
+package netlist
+
+import (
+	"fmt"
+)
+
+// Levelize returns the indices of all combinational cells in a topological
+// order: every cell appears after the drivers of all its inputs. DFF outputs
+// and primary inputs count as sources. It returns an error if the
+// combinational logic contains a cycle.
+func (m *Module) Levelize() ([]int, error) {
+	order := make([]int, 0, len(m.Cells))
+	// state: 0 = unvisited, 1 = in progress, 2 = done
+	state := make([]uint8, len(m.Cells))
+
+	var visit func(ci int) error
+	visit = func(ci int) error {
+		switch state[ci] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("netlist: combinational cycle through cell %d (%s driving %q)",
+				ci, m.Cells[ci].Kind, m.NetName(m.Cells[ci].Out))
+		}
+		state[ci] = 1
+		c := &m.Cells[ci]
+		if !c.Kind.IsSequential() {
+			for _, in := range c.Inputs() {
+				d := m.Driver(in)
+				if d >= 0 && !m.Cells[d].Kind.IsSequential() {
+					if err := visit(d); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[ci] = 2
+		if !c.Kind.IsSequential() {
+			order = append(order, ci)
+		}
+		return nil
+	}
+
+	// Iterative outer loop with recursive DFS. Netlists here are bounded
+	// (tens of thousands of cells) and tree-like, so recursion depth is
+	// manageable; LogicDepth below uses the produced order instead.
+	for ci := range m.Cells {
+		if err := visit(ci); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// LogicDepth returns the maximum number of combinational cells on any
+// input-to-output (or register-to-register) path — the unit-delay critical
+// path length. It returns an error on combinational cycles.
+func (m *Module) LogicDepth() (int, error) {
+	order, err := m.Levelize()
+	if err != nil {
+		return 0, err
+	}
+	depth := make([]int, m.NumNets()+1)
+	max := 0
+	for _, ci := range order {
+		c := &m.Cells[ci]
+		d := 0
+		for _, in := range c.Inputs() {
+			if depth[in] > d {
+				d = depth[in]
+			}
+		}
+		if !c.Kind.IsConst() {
+			d++
+		}
+		depth[c.Out] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// FanoutCounts returns, for each net, how many cell inputs it feeds.
+// Output-port usage is not counted.
+func (m *Module) FanoutCounts() []int {
+	counts := make([]int, m.NumNets()+1)
+	for i := range m.Cells {
+		for _, in := range m.Cells[i].Inputs() {
+			counts[in]++
+		}
+	}
+	return counts
+}
+
+// TransitiveFanin returns the set of cell indices in the combinational and
+// sequential fan-in cone of the given nets (inclusive of DFFs encountered,
+// without crossing them backwards — a DFF terminates the cone like a
+// primary input does).
+func (m *Module) TransitiveFanin(roots []Net) map[int]bool {
+	seen := make(map[int]bool)
+	stack := make([]int, 0, len(roots))
+	for _, n := range roots {
+		if d := m.Driver(n); d >= 0 && !seen[d] {
+			seen[d] = true
+			stack = append(stack, d)
+		}
+	}
+	for len(stack) > 0 {
+		ci := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := &m.Cells[ci]
+		if c.Kind.IsSequential() {
+			continue
+		}
+		for _, in := range c.Inputs() {
+			if d := m.Driver(in); d >= 0 && !seen[d] {
+				seen[d] = true
+				stack = append(stack, d)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,77 @@
+package netlist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate performs structural sanity checks: every read net is driven or a
+// primary input, ports reference valid nets, no combinational cycles, and
+// output ports are fully driven. It returns all problems found joined into
+// one error, or nil if the module is well-formed.
+func (m *Module) Validate() error {
+	var errs []error
+
+	isInput := make([]bool, m.NumNets()+1)
+	for i := range m.Inputs {
+		for bi, n := range m.Inputs[i].Bits {
+			if n <= 0 || int(n) > m.NumNets() {
+				errs = append(errs, fmt.Errorf("input port %q bit %d: invalid net", m.Inputs[i].Name, bi))
+				continue
+			}
+			if m.Driver(n) >= 0 {
+				errs = append(errs, fmt.Errorf("input port %q bit %d: net %q is driven by a cell",
+					m.Inputs[i].Name, bi, m.NetName(n)))
+			}
+			isInput[n] = true
+		}
+	}
+
+	for ci := range m.Cells {
+		c := &m.Cells[ci]
+		for _, in := range c.Inputs() {
+			if in <= 0 || int(in) > m.NumNets() {
+				errs = append(errs, fmt.Errorf("cell %d (%s): invalid input net", ci, c.Kind))
+				continue
+			}
+			if m.Driver(in) < 0 && !isInput[in] {
+				errs = append(errs, fmt.Errorf("cell %d (%s): input net %q is floating",
+					ci, c.Kind, m.NetName(in)))
+			}
+		}
+	}
+
+	for i := range m.Outputs {
+		for bi, n := range m.Outputs[i].Bits {
+			if n <= 0 || int(n) > m.NumNets() {
+				errs = append(errs, fmt.Errorf("output port %q bit %d: invalid net", m.Outputs[i].Name, bi))
+				continue
+			}
+			if m.Driver(n) < 0 && !isInput[n] {
+				errs = append(errs, fmt.Errorf("output port %q bit %d: net %q is undriven",
+					m.Outputs[i].Name, bi, m.NetName(n)))
+			}
+		}
+	}
+
+	seenIn := make(map[string]bool)
+	for i := range m.Inputs {
+		if seenIn[m.Inputs[i].Name] {
+			errs = append(errs, fmt.Errorf("duplicate input port %q", m.Inputs[i].Name))
+		}
+		seenIn[m.Inputs[i].Name] = true
+	}
+	seenOut := make(map[string]bool)
+	for i := range m.Outputs {
+		if seenOut[m.Outputs[i].Name] {
+			errs = append(errs, fmt.Errorf("duplicate output port %q", m.Outputs[i].Name))
+		}
+		seenOut[m.Outputs[i].Name] = true
+	}
+
+	if _, err := m.Levelize(); err != nil {
+		errs = append(errs, err)
+	}
+
+	return errors.Join(errs...)
+}

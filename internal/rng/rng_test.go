@@ -1,0 +1,165 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestXoshiroDeterminism(t *testing.T) {
+	a := NewXoshiro(42)
+	b := NewXoshiro(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	if NewXoshiro(1).Uint64() == NewXoshiro(2).Uint64() {
+		t.Fatal("different seeds collided on first output (suspicious)")
+	}
+}
+
+func TestXoshiroBitsRange(t *testing.T) {
+	g := NewXoshiro(7)
+	for n := 1; n <= 64; n++ {
+		v := g.Bits(n)
+		if n < 64 && v >= 1<<uint(n) {
+			t.Fatalf("Bits(%d) = %x out of range", n, v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bits(0) should panic")
+		}
+	}()
+	g.Bits(0)
+}
+
+func TestXoshiroIntn(t *testing.T) {
+	g := NewXoshiro(11)
+	seen := make(map[int]int)
+	for i := 0; i < 3000; i++ {
+		v := g.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 10; v++ {
+		if seen[v] < 200 {
+			t.Fatalf("value %d badly underrepresented: %d", v, seen[v])
+		}
+	}
+}
+
+func TestXoshiroUniformity(t *testing.T) {
+	g := NewXoshiro(1234)
+	const n = 100000
+	ones := 0
+	for i := 0; i < n; i++ {
+		ones += int(g.Bits(1))
+	}
+	frac := float64(ones) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("bit bias %.4f", frac)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	g := NewXoshiro(5)
+	f1 := g.Fork()
+	f2 := g.Fork()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("forked streams collide (%d/64)", same)
+	}
+}
+
+func TestTRNGRawBiasVisible(t *testing.T) {
+	raw := NewRingOscillatorTRNG(1, WithBias(0.10), WithoutCorrector())
+	const n = 50000
+	ones := 0
+	for i := 0; i < n; i++ {
+		ones += int(raw.Bit())
+	}
+	frac := float64(ones) / n
+	if frac < 0.55 {
+		t.Fatalf("expected visible raw bias, got %.4f", frac)
+	}
+}
+
+func TestTRNGCorrectorRemovesBias(t *testing.T) {
+	corr := NewRingOscillatorTRNG(1, WithBias(0.10))
+	const n = 50000
+	ones := 0
+	for i := 0; i < n; i++ {
+		ones += int(corr.Bit())
+	}
+	frac := float64(ones) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("corrector left bias %.4f", frac)
+	}
+	raw, out := corr.Throughput()
+	if raw <= out {
+		t.Fatal("von Neumann corrector must consume more raw samples than it emits")
+	}
+}
+
+func TestTRNGDeterministicFromSeed(t *testing.T) {
+	a := NewRingOscillatorTRNG(99)
+	b := NewRingOscillatorTRNG(99)
+	for i := 0; i < 256; i++ {
+		if a.Bit() != b.Bit() {
+			t.Fatal("TRNG model must be reproducible from its seed")
+		}
+	}
+}
+
+func TestHealthMonitorPassesGoodSource(t *testing.T) {
+	h := NewHealthMonitor(NewXoshiro(3))
+	for i := 0; i < 10000; i++ {
+		h.Bits(1)
+	}
+	if h.Failed() {
+		t.Fatal("healthy source flagged")
+	}
+}
+
+type stuckSource struct{}
+
+func (stuckSource) Bits(n int) uint64 { return 1<<uint(n) - 1 }
+
+func TestHealthMonitorCatchesStuckSource(t *testing.T) {
+	h := NewHealthMonitor(stuckSource{})
+	for i := 0; i < 100 && !h.Failed(); i++ {
+		h.Bits(1)
+	}
+	if !h.Failed() {
+		t.Fatal("stuck-at source not caught by repetition test")
+	}
+}
+
+type biasedSource struct{ g *Xoshiro }
+
+func (b biasedSource) Bits(n int) uint64 {
+	var out uint64
+	for i := 0; i < n; i++ {
+		// 75% ones: OR of two fair bits.
+		out |= (b.g.Bits(1) | b.g.Bits(1)) << uint(i)
+	}
+	return out
+}
+
+func TestHealthMonitorCatchesHeavyBias(t *testing.T) {
+	h := NewHealthMonitor(biasedSource{NewXoshiro(8)})
+	for i := 0; i < 4096 && !h.Failed(); i++ {
+		h.Bits(1)
+	}
+	if !h.Failed() {
+		t.Fatal("heavily biased source not caught by adaptive proportion test")
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// buildWideXorTree makes a deep combinational module for throughput
+// benchmarks.
+func buildWideXorTree(width int) *netlist.Module {
+	m := netlist.New("xortree")
+	in := m.AddInput("x", width)
+	m.AddOutput("y", netlist.Bus{m.XorReduce(in)})
+	return m
+}
+
+func BenchmarkEval64Lanes(b *testing.B) {
+	s := New(buildWideXorTree(64))
+	vals := make([]uint64, Lanes)
+	for i := range vals {
+		vals[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	s.SetInput("x", vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Eval()
+	}
+	b.ReportMetric(float64(Lanes), "lanes/op")
+}
+
+func BenchmarkSequentialStep(b *testing.B) {
+	m := netlist.New("shift64")
+	in := m.AddInput("d", 1)
+	cur := in[0]
+	for i := 0; i < 64; i++ {
+		cur = m.DFF(m.Not(cur))
+	}
+	m.AddOutput("q", netlist.Bus{cur})
+	s := New(m)
+	s.SetInputBroadcast("d", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

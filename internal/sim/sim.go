@@ -1,0 +1,336 @@
+// Package sim provides a levelized, 64-lane bit-parallel gate-level
+// simulator for netlist.Module designs.
+//
+// Every net carries a 64-bit word in which bit L is the logic value seen by
+// simulation lane L, so one pass over the netlist evaluates 64 independent
+// stimulus patterns. This is the property that makes the 80,000-run fault
+// campaigns of the paper cheap: a campaign batches runs 64 at a time.
+//
+// Sequential designs are simulated cycle by cycle: Step evaluates the
+// combinational logic with the current register state, then clocks every
+// DFF. Fault injection is provided through the Injector interface; the
+// fault package implements it.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Lanes is the number of parallel simulation lanes in one pass.
+const Lanes = 64
+
+// Injector mutates net values during simulation. Apply is called for every
+// net listed by Nets() immediately after the net's value is computed (gate
+// output, register output at clocking time, or primary input at load time).
+type Injector interface {
+	// Nets returns the set of nets the injector wants to observe; the
+	// simulator only calls Apply for these.
+	Nets() []netlist.Net
+	// Apply returns the (possibly faulted) value of net n in cycle c,
+	// given the fault-free lane word v.
+	Apply(c int, n netlist.Net, v uint64) uint64
+}
+
+// Simulator executes one Module. It is not safe for concurrent use; create
+// one Simulator per goroutine (construction is cheap after the first
+// levelization, which is cached in the module wrapper Compiled).
+type Simulator struct {
+	mod    *netlist.Module
+	order  []int // topological order of combinational cells
+	dffs   []int // cell indices of DFFs, in Cells order
+	values []uint64
+	dffTmp []uint64
+	cycle  int
+
+	hasFault []bool
+	injector Injector
+}
+
+// Compiled caches the levelization of a module so many Simulators can be
+// created without re-sorting.
+type Compiled struct {
+	Mod   *netlist.Module
+	order []int
+	dffs  []int
+}
+
+// Compile levelizes the module once. It returns an error if the module has
+// combinational cycles or fails validation.
+func Compile(m *netlist.Module) (*Compiled, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: module %q invalid: %w", m.Name, err)
+	}
+	order, err := m.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	var dffs []int
+	for ci := range m.Cells {
+		if m.Cells[ci].Kind.IsSequential() {
+			dffs = append(dffs, ci)
+		}
+	}
+	return &Compiled{Mod: m, order: order, dffs: dffs}, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(m *netlist.Module) *Compiled {
+	c, err := Compile(m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewSimulator creates a simulator over the compiled module with all state
+// and inputs initialised to zero.
+func (c *Compiled) NewSimulator() *Simulator {
+	return &Simulator{
+		mod:    c.Mod,
+		order:  c.order,
+		dffs:   c.dffs,
+		values: make([]uint64, c.Mod.NumNets()+1),
+	}
+}
+
+// New compiles m and returns a simulator; it panics if the module is
+// invalid. Prefer Compile + NewSimulator when creating many simulators.
+func New(m *netlist.Module) *Simulator {
+	return MustCompile(m).NewSimulator()
+}
+
+// Module returns the simulated module.
+func (s *Simulator) Module() *netlist.Module { return s.mod }
+
+// Cycle returns the index of the next cycle Step will execute.
+func (s *Simulator) Cycle() int { return s.cycle }
+
+// SetInjector installs (or clears, with nil) the fault injector.
+func (s *Simulator) SetInjector(inj Injector) {
+	s.injector = inj
+	if inj == nil {
+		s.hasFault = nil
+		return
+	}
+	s.hasFault = make([]bool, s.mod.NumNets()+1)
+	for _, n := range inj.Nets() {
+		if n > 0 && int(n) <= s.mod.NumNets() {
+			s.hasFault[n] = true
+		}
+	}
+}
+
+// Reset zeroes all register state and the cycle counter. Input values are
+// retained.
+func (s *Simulator) Reset() {
+	s.cycle = 0
+	for _, ci := range s.dffs {
+		s.values[s.mod.Cells[ci].Out] = 0
+	}
+}
+
+// SetInput loads a primary-input port. vals[L] supplies the port value for
+// lane L (bit i of vals[L] drives bit i of the bus in lane L); missing lanes
+// default to zero. It panics if the port does not exist or len(vals) exceeds
+// Lanes.
+func (s *Simulator) SetInput(port string, vals []uint64) {
+	p := s.mod.FindInput(port)
+	if p == nil {
+		panic(fmt.Sprintf("sim: module %q has no input %q", s.mod.Name, port))
+	}
+	if len(vals) > Lanes {
+		panic(fmt.Sprintf("sim: %d lane values exceed %d lanes", len(vals), Lanes))
+	}
+	for bi, n := range p.Bits {
+		var w uint64
+		for lane, v := range vals {
+			w |= ((v >> uint(bi)) & 1) << uint(lane)
+		}
+		s.values[n] = s.applyFault(n, w)
+	}
+}
+
+// SetInputBroadcast loads the same value into every lane of the port.
+func (s *Simulator) SetInputBroadcast(port string, val uint64) {
+	p := s.mod.FindInput(port)
+	if p == nil {
+		panic(fmt.Sprintf("sim: module %q has no input %q", s.mod.Name, port))
+	}
+	for bi, n := range p.Bits {
+		var w uint64
+		if (val>>uint(bi))&1 == 1 {
+			w = ^uint64(0)
+		}
+		s.values[n] = s.applyFault(n, w)
+	}
+}
+
+// SetInputLaneWords loads pre-transposed lane words: words[bi] is the lane
+// word for bit bi of the port.
+func (s *Simulator) SetInputLaneWords(port string, words []uint64) {
+	p := s.mod.FindInput(port)
+	if p == nil {
+		panic(fmt.Sprintf("sim: module %q has no input %q", s.mod.Name, port))
+	}
+	if len(words) != p.Width() {
+		panic(fmt.Sprintf("sim: port %q width %d, got %d words", port, p.Width(), len(words)))
+	}
+	for bi, n := range p.Bits {
+		s.values[n] = s.applyFault(n, words[bi])
+	}
+}
+
+func (s *Simulator) applyFault(n netlist.Net, v uint64) uint64 {
+	if s.hasFault != nil && s.hasFault[n] {
+		return s.injector.Apply(s.cycle, n, v)
+	}
+	return v
+}
+
+// Eval evaluates all combinational logic with the current inputs and
+// register state, without advancing the clock. For purely combinational
+// modules this is a complete simulation pass.
+func (s *Simulator) Eval() {
+	v := s.values
+	cells := s.mod.Cells
+	faulted := s.hasFault != nil
+	for _, ci := range s.order {
+		c := &cells[ci]
+		var out uint64
+		switch c.Kind {
+		case netlist.KindConst0:
+			out = 0
+		case netlist.KindConst1:
+			out = ^uint64(0)
+		case netlist.KindBuf:
+			out = v[c.In[0]]
+		case netlist.KindInv:
+			out = ^v[c.In[0]]
+		case netlist.KindAnd2:
+			out = v[c.In[0]] & v[c.In[1]]
+		case netlist.KindOr2:
+			out = v[c.In[0]] | v[c.In[1]]
+		case netlist.KindNand2:
+			out = ^(v[c.In[0]] & v[c.In[1]])
+		case netlist.KindNor2:
+			out = ^(v[c.In[0]] | v[c.In[1]])
+		case netlist.KindXor2:
+			out = v[c.In[0]] ^ v[c.In[1]]
+		case netlist.KindXnor2:
+			out = ^(v[c.In[0]] ^ v[c.In[1]])
+		case netlist.KindMux2:
+			sel := v[c.In[2]]
+			out = (v[c.In[0]] &^ sel) | (v[c.In[1]] & sel)
+		default:
+			panic(fmt.Sprintf("sim: unexpected cell kind %s in combinational order", c.Kind))
+		}
+		if faulted && s.hasFault[c.Out] {
+			out = s.injector.Apply(s.cycle, c.Out, out)
+		}
+		v[c.Out] = out
+	}
+}
+
+// Step runs one clock cycle: combinational evaluation followed by clocking
+// every DFF (Q <- D), then advances the cycle counter.
+func (s *Simulator) Step() {
+	s.Eval()
+	// Two-phase latch so chained DFFs shift correctly regardless of
+	// Cells order: capture all D values first, then commit.
+	cells := s.mod.Cells
+	if cap(s.dffTmp) < len(s.dffs) {
+		s.dffTmp = make([]uint64, len(s.dffs))
+	}
+	tmp := s.dffTmp[:len(s.dffs)]
+	for i, ci := range s.dffs {
+		tmp[i] = s.values[cells[ci].In[0]]
+	}
+	for i, ci := range s.dffs {
+		c := &cells[ci]
+		out := tmp[i]
+		if s.hasFault != nil && s.hasFault[c.Out] {
+			out = s.injector.Apply(s.cycle, c.Out, out)
+		}
+		s.values[c.Out] = out
+	}
+	s.cycle++
+}
+
+// Run executes n clock cycles.
+func (s *Simulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Output reads a primary-output port, returning one value per lane.
+func (s *Simulator) Output(port string) []uint64 {
+	p := s.mod.FindOutput(port)
+	if p == nil {
+		panic(fmt.Sprintf("sim: module %q has no output %q", s.mod.Name, port))
+	}
+	out := make([]uint64, Lanes)
+	for bi, n := range p.Bits {
+		w := s.values[n]
+		for lane := 0; lane < Lanes; lane++ {
+			out[lane] |= ((w >> uint(lane)) & 1) << uint(bi)
+		}
+	}
+	return out
+}
+
+// OutputLane reads a single lane of a primary-output port.
+func (s *Simulator) OutputLane(port string, lane int) uint64 {
+	p := s.mod.FindOutput(port)
+	if p == nil {
+		panic(fmt.Sprintf("sim: module %q has no output %q", s.mod.Name, port))
+	}
+	var out uint64
+	for bi, n := range p.Bits {
+		out |= ((s.values[n] >> uint(lane)) & 1) << uint(bi)
+	}
+	return out
+}
+
+// NetWord returns the raw 64-lane word currently on net n.
+func (s *Simulator) NetWord(n netlist.Net) uint64 { return s.values[n] }
+
+// BusLane reads the value of an arbitrary bus in one lane; useful for
+// probing internal state (e.g. the S-box input a SIFA histogram bins on).
+func (s *Simulator) BusLane(bus netlist.Bus, lane int) uint64 {
+	var out uint64
+	for bi, n := range bus {
+		out |= ((s.values[n] >> uint(lane)) & 1) << uint(bi)
+	}
+	return out
+}
+
+// BusLanes reads an arbitrary bus across all lanes.
+func (s *Simulator) BusLanes(bus netlist.Bus) []uint64 {
+	out := make([]uint64, Lanes)
+	for bi, n := range bus {
+		w := s.values[n]
+		for lane := 0; lane < Lanes; lane++ {
+			out[lane] |= ((w >> uint(lane)) & 1) << uint(bi)
+		}
+	}
+	return out
+}
+
+// EvalComb is a convenience for purely combinational modules: it loads the
+// given input ports (broadcast across lanes from the single-lane values),
+// evaluates, and returns the single-lane value of every output port.
+func EvalComb(c *Compiled, inputs map[string]uint64) map[string]uint64 {
+	s := c.NewSimulator()
+	for name, val := range inputs {
+		s.SetInputBroadcast(name, val)
+	}
+	s.Eval()
+	out := make(map[string]uint64, len(c.Mod.Outputs))
+	for i := range c.Mod.Outputs {
+		out[c.Mod.Outputs[i].Name] = s.OutputLane(c.Mod.Outputs[i].Name, 0)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestVCDDumpStructure(t *testing.T) {
+	m := netlist.New("toggle")
+	in := m.AddInput("d", 1)
+	q := m.DFF(in[0])
+	m.AddOutput("q", netlist.Bus{q})
+	s := New(m)
+
+	var buf bytes.Buffer
+	rec := RecordPorts(s, &buf, 0)
+
+	s.SetInputBroadcast("d", 1)
+	for i := 0; i < 3; i++ {
+		s.Step()
+		if err := rec.Sample(); err != nil {
+			t.Fatal(err)
+		}
+		s.SetInputBroadcast("d", uint64(i)%2) // 0, 1, 0...
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale", "$scope module toggle", "$var wire 1", "$enddefinitions", "#0", "#3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q in:\n%s", want, out)
+		}
+	}
+	// The q wire must toggle at least twice in the dump body.
+	body := out[strings.Index(out, "$enddefinitions"):]
+	if strings.Count(body, "\n1") < 1 || strings.Count(body, "\n0") < 1 {
+		t.Errorf("expected both 0 and 1 value changes in:\n%s", body)
+	}
+}
+
+func TestVCDOnlyDumpsChanges(t *testing.T) {
+	m := netlist.New("constmod")
+	in := m.AddInput("x", 1)
+	m.AddOutput("y", netlist.Bus{m.Buf(in[0])})
+	s := New(m)
+	var buf bytes.Buffer
+	rec := RecordPorts(s, &buf, 0)
+	s.SetInputBroadcast("x", 0)
+	for i := 0; i < 5; i++ {
+		s.Eval()
+		if err := rec.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Values never change after the initial dump: exactly one value
+	// timestamp with changes (#0) plus the closing timestamp.
+	body := out[strings.Index(out, "$enddefinitions"):]
+	if got := strings.Count(body, "#"); got != 2 {
+		t.Errorf("expected 2 timestamps (initial + close), got %d in:\n%s", got, body)
+	}
+}
+
+func TestVCDCodesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		c := vcdCode(i)
+		if seen[c] {
+			t.Fatalf("duplicate code %q at %d", c, i)
+		}
+		seen[c] = true
+	}
+}

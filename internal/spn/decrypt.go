@@ -1,0 +1,46 @@
+package spn
+
+import "repro/internal/bits"
+
+// Decrypt inverts Encrypt generically: it expands the round XOR masks
+// forward and then undoes every round with the inverse S-box and inverse
+// permutation.
+func (s *Spec) Decrypt(ct uint64, key KeyState) uint64 {
+	masks := make([]uint64, s.Rounds+1)
+	ks := s.InitKeyState(key)
+	for r := 1; r <= s.Rounds; r++ {
+		masks[r-1] = s.RoundXORMask(ks, r)
+		ks = s.NextKeyState(ks, r)
+	}
+	if s.FinalWhitening {
+		masks[s.Rounds] = s.RoundXORMask(ks, s.Rounds+1)
+	}
+
+	invS := s.InverseSbox()
+	invRows, ok := bits.MatInvert(s.LinearLayerRows())
+	if !ok {
+		panic("spn: linear layer is singular")
+	}
+	w := uint(s.SboxBits)
+	sboxMask := uint64(1)<<w - 1
+
+	state := ct & bits.Mask(s.BlockBits)
+	if s.FinalWhitening {
+		state ^= masks[s.Rounds]
+	}
+	for r := s.Rounds; r >= 1; r-- {
+		if s.KeyAddAfterPerm {
+			state ^= masks[r-1]
+		}
+		state = bits.MatMulVec(invRows, state)
+		var next uint64
+		for i := 0; i < s.NumSboxes(); i++ {
+			next |= invS[(state>>(uint(i)*w))&sboxMask] << (uint(i) * w)
+		}
+		state = next
+		if !s.KeyAddAfterPerm {
+			state ^= masks[r-1]
+		}
+	}
+	return state
+}

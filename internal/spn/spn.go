@@ -1,0 +1,254 @@
+// Package spn describes substitution-permutation-network block ciphers in a
+// form that both the software reference implementations and the netlist
+// builders can consume: an S-box table, a bit permutation, and a key
+// schedule expressed as a small state machine.
+//
+// The countermeasure constructions of internal/core are generic over this
+// description — the paper's claim that the scheme "is easily adaptable for
+// any symmetric key primitive" is realised by making every builder take a
+// *Spec.
+package spn
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/netlist"
+)
+
+// KeyState is the key-schedule register contents; word 0 carries key bits
+// 0..63 (LSB first), word 1 carries bits 64..127.
+type KeyState [2]uint64
+
+// Bit returns bit i of the key state.
+func (k KeyState) Bit(i int) uint64 {
+	return (k[i>>6] >> uint(i&63)) & 1
+}
+
+// SetBit returns the state with bit i set to v.
+func (k KeyState) SetBit(i int, v uint64) KeyState {
+	k[i>>6] &^= 1 << uint(i&63)
+	k[i>>6] |= (v & 1) << uint(i&63)
+	return k
+}
+
+// SboxNetFunc instantiates an S-box netlist over the input bus and returns
+// the output bus. The countermeasure builders pass different
+// implementations here (plain, inverted, or merged); the key schedule
+// always receives the plain one, since the paper leaves the key schedule in
+// the normal encoding.
+type SboxNetFunc func(m *netlist.Module, instName string, in netlist.Bus) netlist.Bus
+
+// Spec is a complete SPN cipher description.
+//
+// The per-round datapath is, in order:
+//
+//	if !KeyAddAfterPerm: state ^= roundXORMask
+//	state = SboxLayer(state)
+//	state = Permute(state)
+//	if KeyAddAfterPerm:  state ^= roundXORMask
+//
+// followed, after the last round, by a final XOR with the next round's mask
+// when FinalWhitening is set (PRESENT's K32 whitening).
+type Spec struct {
+	Name      string
+	BlockBits int // block size, at most 64
+	KeyBits   int // key size, at most 128
+	Rounds    int
+	SboxBits  int      // S-box width n (the S-box is n x n)
+	Sbox      []uint64 // length 1<<SboxBits
+	Perm      []int    // post-S-box bit permutation: output bit Perm[i] = input bit i
+	// LinearRows, when non-nil, replaces Perm with a general invertible
+	// GF(2) linear layer: bit i of LinearRows[j] says input bit i XORs
+	// into output bit j. Bit permutations are the special case of
+	// weight-1 rows; several lightweight designs mix with denser rows.
+	LinearRows []uint64
+
+	// KeyAddAfterPerm places the round-key XOR after the permutation
+	// (GIFT style) instead of before the S-box layer (PRESENT style).
+	KeyAddAfterPerm bool
+	// FinalWhitening XORs one extra round mask after the last round.
+	FinalWhitening bool
+
+	// KeyStateBits is the width of the key-schedule register.
+	KeyStateBits int
+	// InitKeyState maps the externally supplied key to the initial
+	// register value (usually the identity).
+	InitKeyState func(key KeyState) KeyState
+	// RoundXORMask extracts the BlockBits-wide XOR mask applied in round
+	// r (1-based) from the current key state. Round constants that the
+	// cipher XORs into the state belong in this mask too.
+	RoundXORMask func(ks KeyState, r int) uint64
+	// NextKeyState advances the key schedule after round r (1-based).
+	NextKeyState func(ks KeyState, r int) KeyState
+
+	// KeySchedNet is the netlist form of (RoundXORMask, NextKeyState):
+	// given the key-state bus and the 6-bit round counter, it returns
+	// the round XOR mask bus and the next key-state bus. sbox
+	// instantiates the cipher's plain S-box.
+	KeySchedNet func(m *netlist.Module, ks netlist.Bus, counter netlist.Bus, sbox SboxNetFunc) (mask, next netlist.Bus)
+}
+
+// NumSboxes returns the number of parallel S-boxes per layer.
+func (s *Spec) NumSboxes() int { return s.BlockBits / s.SboxBits }
+
+// Validate checks internal consistency of the description.
+func (s *Spec) Validate() error {
+	switch {
+	case s.BlockBits <= 0 || s.BlockBits > 64:
+		return fmt.Errorf("spn: %s: block size %d out of range", s.Name, s.BlockBits)
+	case s.KeyBits <= 0 || s.KeyBits > 128:
+		return fmt.Errorf("spn: %s: key size %d out of range", s.Name, s.KeyBits)
+	case s.Rounds <= 0:
+		return fmt.Errorf("spn: %s: round count %d out of range", s.Name, s.Rounds)
+	case s.BlockBits%s.SboxBits != 0:
+		return fmt.Errorf("spn: %s: block %d not divisible by S-box width %d", s.Name, s.BlockBits, s.SboxBits)
+	case len(s.Sbox) != 1<<uint(s.SboxBits):
+		return fmt.Errorf("spn: %s: S-box table length %d, want %d", s.Name, len(s.Sbox), 1<<uint(s.SboxBits))
+	case s.LinearRows == nil && len(s.Perm) != s.BlockBits:
+		return fmt.Errorf("spn: %s: permutation length %d, want %d", s.Name, len(s.Perm), s.BlockBits)
+	case s.LinearRows == nil && !bits.IsPermutation(s.Perm):
+		return fmt.Errorf("spn: %s: Perm is not a permutation", s.Name)
+	case s.LinearRows != nil && len(s.LinearRows) != s.BlockBits:
+		return fmt.Errorf("spn: %s: linear layer has %d rows, want %d", s.Name, len(s.LinearRows), s.BlockBits)
+	case s.KeyStateBits <= 0 || s.KeyStateBits > 128:
+		return fmt.Errorf("spn: %s: key state width %d out of range", s.Name, s.KeyStateBits)
+	case s.InitKeyState == nil || s.RoundXORMask == nil || s.NextKeyState == nil:
+		return fmt.Errorf("spn: %s: missing key-schedule functions", s.Name)
+	}
+	for i, v := range s.Sbox {
+		if v >= 1<<uint(s.SboxBits) {
+			return fmt.Errorf("spn: %s: S-box entry %d = %d out of range", s.Name, i, v)
+		}
+	}
+	if s.LinearRows != nil {
+		if _, ok := bits.MatInvert(s.LinearRows); !ok {
+			return fmt.Errorf("spn: %s: linear layer is singular", s.Name)
+		}
+	}
+	return nil
+}
+
+// LinearLayerRows returns the linear layer as a GF(2) matrix, materialised
+// from Perm when LinearRows is not set.
+func (s *Spec) LinearLayerRows() []uint64 {
+	if s.LinearRows != nil {
+		return s.LinearRows
+	}
+	return bits.PermutationRows(s.Perm)
+}
+
+// ApplyLinear applies the linear layer to a state word.
+func (s *Spec) ApplyLinear(state uint64) uint64 {
+	if s.LinearRows == nil {
+		return bits.Permute64(state, s.Perm)
+	}
+	return bits.MatMulVec(s.LinearRows, state)
+}
+
+// SboxLayer applies the S-box to every SboxBits-wide group of state.
+func (s *Spec) SboxLayer(state uint64) uint64 {
+	var out uint64
+	w := uint(s.SboxBits)
+	mask := uint64(1)<<w - 1
+	for i := 0; i < s.NumSboxes(); i++ {
+		out |= s.Sbox[(state>>(uint(i)*w))&mask] << (uint(i) * w)
+	}
+	return out
+}
+
+// SboxInput extracts the input value of S-box idx from a full state word.
+func (s *Spec) SboxInput(state uint64, idx int) uint64 {
+	w := uint(s.SboxBits)
+	return (state >> (uint(idx) * w)) & (uint64(1)<<w - 1)
+}
+
+// Encrypt runs the software reference encryption.
+func (s *Spec) Encrypt(pt uint64, key KeyState) uint64 {
+	state := pt & bits.Mask(s.BlockBits)
+	ks := s.InitKeyState(key)
+	for r := 1; r <= s.Rounds; r++ {
+		mask := s.RoundXORMask(ks, r)
+		if !s.KeyAddAfterPerm {
+			state ^= mask
+		}
+		state = s.SboxLayer(state)
+		state = s.ApplyLinear(state)
+		if s.KeyAddAfterPerm {
+			state ^= mask
+		}
+		ks = s.NextKeyState(ks, r)
+	}
+	if s.FinalWhitening {
+		state ^= s.RoundXORMask(ks, s.Rounds+1)
+	}
+	return state
+}
+
+// RoundStates returns the state at the *input* of every round (index r-1
+// holds the state entering round r) plus the final ciphertext as the last
+// element. Attack implementations use it to obtain ground-truth
+// intermediate values (e.g. the S-box inputs of the last round).
+func (s *Spec) RoundStates(pt uint64, key KeyState) []uint64 {
+	states := make([]uint64, 0, s.Rounds+1)
+	state := pt & bits.Mask(s.BlockBits)
+	ks := s.InitKeyState(key)
+	for r := 1; r <= s.Rounds; r++ {
+		states = append(states, state)
+		mask := s.RoundXORMask(ks, r)
+		if !s.KeyAddAfterPerm {
+			state ^= mask
+		}
+		state = s.SboxLayer(state)
+		state = s.ApplyLinear(state)
+		if s.KeyAddAfterPerm {
+			state ^= mask
+		}
+		ks = s.NextKeyState(ks, r)
+	}
+	if s.FinalWhitening {
+		state ^= s.RoundXORMask(ks, s.Rounds+1)
+	}
+	states = append(states, state)
+	return states
+}
+
+// SboxLayerInput returns the full state entering the S-box layer of round r
+// (1-based): the state after the pre-S-box key addition of that round. Use
+// SboxInput to extract a single S-box's nibble from it.
+func (s *Spec) SboxLayerInput(pt uint64, key KeyState, r int) uint64 {
+	state := pt & bits.Mask(s.BlockBits)
+	ks := s.InitKeyState(key)
+	for round := 1; round <= s.Rounds && round <= r; round++ {
+		mask := s.RoundXORMask(ks, round)
+		pre := state
+		if !s.KeyAddAfterPerm {
+			pre ^= mask
+		}
+		if round == r {
+			return pre
+		}
+		state = s.SboxLayer(pre)
+		state = s.ApplyLinear(state)
+		if s.KeyAddAfterPerm {
+			state ^= mask
+		}
+		ks = s.NextKeyState(ks, round)
+	}
+	panic(fmt.Sprintf("spn: round %d out of range 1..%d", r, s.Rounds))
+}
+
+// InverseSbox returns the inverse lookup table; it panics if the S-box is
+// not a permutation.
+func (s *Spec) InverseSbox() []uint64 {
+	inv := make([]uint64, len(s.Sbox))
+	seen := make([]bool, len(s.Sbox))
+	for x, y := range s.Sbox {
+		if seen[y] {
+			panic(fmt.Sprintf("spn: %s: S-box is not a permutation", s.Name))
+		}
+		seen[y] = true
+		inv[y] = uint64(x)
+	}
+	return inv
+}

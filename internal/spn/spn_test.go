@@ -1,0 +1,163 @@
+package spn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// toySpec is a tiny 8-bit SPN for structural tests.
+func toySpec() *Spec {
+	return &Spec{
+		Name:           "toy8",
+		BlockBits:      8,
+		KeyBits:        16,
+		Rounds:         4,
+		SboxBits:       4,
+		Sbox:           []uint64{0xC, 5, 6, 0xB, 9, 0, 0xA, 0xD, 3, 0xE, 0xF, 8, 4, 7, 1, 2},
+		Perm:           []int{0, 2, 4, 6, 1, 3, 5, 7},
+		FinalWhitening: true,
+		KeyStateBits:   16,
+		InitKeyState:   func(k KeyState) KeyState { return k },
+		RoundXORMask:   func(ks KeyState, r int) uint64 { return ks[0] & 0xFF },
+		NextKeyState: func(ks KeyState, r int) KeyState {
+			ks[0] = ((ks[0] << 3) | (ks[0] >> 13)) & 0xFFFF
+			ks[0] ^= uint64(r)
+			return ks
+		},
+	}
+}
+
+func TestValidateAcceptsToy(t *testing.T) {
+	if err := toySpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	mutations := []func(*Spec){
+		func(s *Spec) { s.BlockBits = 0 },
+		func(s *Spec) { s.BlockBits = 65 },
+		func(s *Spec) { s.KeyBits = 129 },
+		func(s *Spec) { s.Rounds = 0 },
+		func(s *Spec) { s.SboxBits = 3 },        // 8 % 3 != 0
+		func(s *Spec) { s.Sbox = s.Sbox[:8] },   // wrong table size
+		func(s *Spec) { s.Sbox[0] = 16 },        // entry out of range
+		func(s *Spec) { s.Perm = s.Perm[:4] },   // wrong perm length
+		func(s *Spec) { s.Perm[0] = s.Perm[1] }, // not a permutation
+		func(s *Spec) { s.InitKeyState = nil },  // missing schedule
+		func(s *Spec) { s.KeyStateBits = 0 },
+	}
+	for i, mutate := range mutations {
+		s := toySpec()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSboxLayerAndInput(t *testing.T) {
+	s := toySpec()
+	state := uint64(0x05) // nibble0=5, nibble1=0
+	out := s.SboxLayer(state)
+	if out != (s.Sbox[0]<<4 | s.Sbox[5]) {
+		t.Fatalf("SboxLayer = %02X", out)
+	}
+	if s.SboxInput(0xAB, 0) != 0xB || s.SboxInput(0xAB, 1) != 0xA {
+		t.Fatal("SboxInput wrong")
+	}
+	if s.NumSboxes() != 2 {
+		t.Fatal("NumSboxes wrong")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	s := toySpec()
+	f := func(pt uint8, key uint16) bool {
+		k := KeyState{uint64(key), 0}
+		ct := s.Encrypt(uint64(pt), k)
+		return s.Decrypt(ct, k) == uint64(pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundStatesConsistency(t *testing.T) {
+	s := toySpec()
+	key := KeyState{0x1234, 0}
+	states := s.RoundStates(0x5A, key)
+	if len(states) != s.Rounds+1 {
+		t.Fatalf("RoundStates length %d", len(states))
+	}
+	if states[0] != 0x5A {
+		t.Fatal("first state must be the plaintext")
+	}
+	if states[s.Rounds] != s.Encrypt(0x5A, key) {
+		t.Fatal("last state must be the ciphertext")
+	}
+}
+
+func TestSboxLayerInputMatchesRoundStates(t *testing.T) {
+	s := toySpec()
+	key := KeyState{0xBEEF, 0}
+	pt := uint64(0x3C)
+	// For a pre-S-box key-add cipher, the S-box layer input of round r
+	// is the round-r input state XOR the round mask.
+	states := s.RoundStates(pt, key)
+	ks := s.InitKeyState(key)
+	for r := 1; r <= s.Rounds; r++ {
+		want := states[r-1] ^ s.RoundXORMask(ks, r)
+		if got := s.SboxLayerInput(pt, key, r); got != want {
+			t.Fatalf("round %d: SboxLayerInput %02X, want %02X", r, got, want)
+		}
+		ks = s.NextKeyState(ks, r)
+	}
+}
+
+func TestInverseSbox(t *testing.T) {
+	s := toySpec()
+	inv := s.InverseSbox()
+	for x := uint64(0); x < 16; x++ {
+		if inv[s.Sbox[x]] != x {
+			t.Fatal("inverse S-box wrong")
+		}
+	}
+}
+
+func TestInverseSboxPanicsOnNonPermutation(t *testing.T) {
+	s := toySpec()
+	s.Sbox[0] = s.Sbox[1]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.InverseSbox()
+}
+
+func TestKeyStateBitOps(t *testing.T) {
+	var k KeyState
+	k = k.SetBit(0, 1).SetBit(63, 1).SetBit(64, 1).SetBit(127, 1)
+	if k.Bit(0) != 1 || k.Bit(63) != 1 || k.Bit(64) != 1 || k.Bit(127) != 1 || k.Bit(1) != 0 {
+		t.Fatalf("bit ops wrong: %x", k)
+	}
+	k = k.SetBit(63, 0)
+	if k.Bit(63) != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestKeyAddAfterPermVariant(t *testing.T) {
+	s := toySpec()
+	s.KeyAddAfterPerm = true
+	s.FinalWhitening = false
+	f := func(pt uint8, key uint16) bool {
+		k := KeyState{uint64(key), 0}
+		ct := s.Encrypt(uint64(pt), k)
+		return s.Decrypt(ct, k) == uint64(pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package stats implements the statistical toolkit of the SIFA literature:
+// value histograms, the squared Euclidean imbalance (SEI) distinguisher,
+// Pearson's chi-squared uniformity test, and Shannon entropy. The fault
+// campaigns use these both to render the paper's Figures 4 and 5 and to
+// decide — as an attacker would — whether a distribution leaks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram counts occurrences of values in a fixed domain [0, Bins).
+type Histogram struct {
+	Counts []uint64
+	Total  uint64
+}
+
+// NewHistogram creates a histogram with the given number of bins.
+func NewHistogram(bins int) *Histogram {
+	return &Histogram{Counts: make([]uint64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v uint64) {
+	h.Counts[v]++
+	h.Total++
+}
+
+// AddN records n observations of v.
+func (h *Histogram) AddN(v uint64, n uint64) {
+	h.Counts[v] += n
+	h.Total += n
+}
+
+// Bins returns the domain size.
+func (h *Histogram) Bins() int { return len(h.Counts) }
+
+// Probabilities returns the empirical distribution (nil if empty).
+func (h *Histogram) Probabilities() []float64 {
+	if h.Total == 0 {
+		return nil
+	}
+	p := make([]float64, len(h.Counts))
+	for i, c := range h.Counts {
+		p[i] = float64(c) / float64(h.Total)
+	}
+	return p
+}
+
+// SEI returns the squared Euclidean imbalance against the uniform
+// distribution: sum_i (p_i - 1/N)^2. This is the standard SIFA
+// distinguisher statistic; it is zero for a perfectly uniform sample and
+// grows with bias.
+func (h *Histogram) SEI() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	u := 1 / float64(len(h.Counts))
+	var sei float64
+	for _, c := range h.Counts {
+		d := float64(c)/float64(h.Total) - u
+		sei += d * d
+	}
+	return sei
+}
+
+// ChiSquared returns Pearson's chi-squared statistic against the uniform
+// distribution, with len(Counts)-1 degrees of freedom.
+func (h *Histogram) ChiSquared() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	exp := float64(h.Total) / float64(len(h.Counts))
+	var chi2 float64
+	for _, c := range h.Counts {
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	return chi2
+}
+
+// Entropy returns the Shannon entropy of the empirical distribution in
+// bits; log2(N) for uniform.
+func (h *Histogram) Entropy() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var e float64
+	for _, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(h.Total)
+		e -= p * math.Log2(p)
+	}
+	return e
+}
+
+// EmptyBins returns the number of values never observed — the signature of
+// the "stuck-at filters half the values" SIFA bias in Figure 4(a).
+func (h *Histogram) EmptyBins() int {
+	n := 0
+	for _, c := range h.Counts {
+		if c == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// UniformSEIThreshold returns an acceptance threshold for SEI under the
+// hypothesis that the sample of size total is uniform over bins values.
+// For a uniform sample, total * SEI * bins is asymptotically chi-squared
+// with bins-1 degrees of freedom, so we accept while
+//
+//	SEI <= chi2_{0.9999}(bins-1) / (total * bins)
+//
+// using a normal approximation of the chi-squared quantile. Campaign code
+// uses this to classify "flat" (Figure 4(b)) versus "biased" (Figure 4(a)).
+func UniformSEIThreshold(bins int, total uint64) float64 {
+	if total == 0 {
+		return math.Inf(1)
+	}
+	k := float64(bins - 1)
+	// Wilson-Hilferty approximation of the chi-squared quantile at
+	// 0.9999 (z ~ 3.719).
+	z := 3.719
+	q := k * math.Pow(1-2/(9*k)+z*math.Sqrt(2/(9*k)), 3)
+	return q / (float64(total) * float64(bins))
+}
+
+// Bars renders the histogram as an ASCII bar chart, the textual analogue
+// of the paper's figure panels.
+func (h *Histogram) Bars(label string, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (n=%d, SEI=%.3e, H=%.3f bits)\n", label, h.Total, h.SEI(), h.Entropy())
+	var maxC uint64 = 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for v, c := range h.Counts {
+		bar := int(uint64(width) * c / maxC)
+		fmt.Fprintf(&sb, "  %2X | %-*s %d\n", v, width, strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}
+
+// Distance returns the total variation distance between two histograms'
+// empirical distributions.
+func Distance(a, b *Histogram) float64 {
+	if a.Bins() != b.Bins() {
+		panic("stats: histogram domain mismatch")
+	}
+	pa, pb := a.Probabilities(), b.Probabilities()
+	var d float64
+	for i := range pa {
+		d += math.Abs(pa[i] - pb[i])
+	}
+	return d / 2
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(0)
+	h.Add(0)
+	h.AddN(3, 2)
+	if h.Total != 4 || h.Counts[0] != 2 || h.Counts[3] != 2 {
+		t.Fatalf("counts wrong: %+v", h)
+	}
+	p := h.Probabilities()
+	if p[0] != 0.5 || p[1] != 0 || p[3] != 0.5 {
+		t.Fatalf("probabilities wrong: %v", p)
+	}
+	if h.EmptyBins() != 2 {
+		t.Fatalf("EmptyBins = %d", h.EmptyBins())
+	}
+}
+
+func TestSEIUniformAndExtreme(t *testing.T) {
+	uniform := NewHistogram(16)
+	for v := uint64(0); v < 16; v++ {
+		uniform.AddN(v, 100)
+	}
+	if uniform.SEI() != 0 {
+		t.Fatalf("uniform SEI = %v", uniform.SEI())
+	}
+	point := NewHistogram(16)
+	point.AddN(5, 1000)
+	// SEI of a point mass on 16 bins: (1-1/16)^2 + 15*(1/16)^2 = 15/16.
+	if math.Abs(point.SEI()-15.0/16) > 1e-12 {
+		t.Fatalf("point-mass SEI = %v", point.SEI())
+	}
+	// The half-support case of Figure 4(a): 8 bins uniform, 8 empty.
+	half := NewHistogram(16)
+	for v := uint64(0); v < 8; v++ {
+		half.AddN(v, 100)
+	}
+	if math.Abs(half.SEI()-1.0/16) > 1e-12 {
+		t.Fatalf("half-support SEI = %v, want 1/16", half.SEI())
+	}
+}
+
+func TestChiSquared(t *testing.T) {
+	h := NewHistogram(2)
+	h.AddN(0, 60)
+	h.AddN(1, 40)
+	// Expected 50/50: chi2 = (10^2/50)*2 = 4.
+	if math.Abs(h.ChiSquared()-4) > 1e-12 {
+		t.Fatalf("chi2 = %v", h.ChiSquared())
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	h := NewHistogram(16)
+	for v := uint64(0); v < 16; v++ {
+		h.AddN(v, 10)
+	}
+	if math.Abs(h.Entropy()-4) > 1e-12 {
+		t.Fatalf("uniform entropy = %v, want 4", h.Entropy())
+	}
+	point := NewHistogram(16)
+	point.AddN(3, 100)
+	if point.Entropy() != 0 {
+		t.Fatalf("point entropy = %v", point.Entropy())
+	}
+}
+
+func TestSEIThresholdSeparatesUniformFromBiased(t *testing.T) {
+	// Empirical check of the classifier the figure experiments use: a
+	// genuinely uniform sample stays below the threshold, the Figure
+	// 4(a) half-support bias exceeds it, at the paper's sample sizes.
+	gen := rng.NewXoshiro(9)
+	for _, n := range []uint64{2000, 40000, 80000} {
+		uni := NewHistogram(16)
+		biased := NewHistogram(16)
+		for i := uint64(0); i < n; i++ {
+			uni.Add(gen.Bits(4))
+			biased.Add(gen.Bits(3)) // support {0..7}
+		}
+		thr := UniformSEIThreshold(16, n)
+		if uni.SEI() > thr {
+			t.Errorf("n=%d: uniform sample flagged biased (SEI %v > %v)", n, uni.SEI(), thr)
+		}
+		if biased.SEI() <= thr {
+			t.Errorf("n=%d: biased sample not flagged (SEI %v <= %v)", n, biased.SEI(), thr)
+		}
+	}
+}
+
+func TestSEIIsPermutationInvariantProperty(t *testing.T) {
+	// Relabeling bins must not change SEI — the reason the SIFA attack
+	// needs a matched filter rather than raw SEI for crisp faults.
+	f := func(counts [8]uint8, shift uint8) bool {
+		a := NewHistogram(8)
+		b := NewHistogram(8)
+		for v, c := range counts {
+			a.AddN(uint64(v), uint64(c))
+			b.AddN(uint64((v+int(shift))%8), uint64(c))
+		}
+		return math.Abs(a.SEI()-b.SEI()) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := NewHistogram(2)
+	b := NewHistogram(2)
+	a.AddN(0, 10)
+	b.AddN(1, 10)
+	if Distance(a, b) != 1 {
+		t.Fatalf("disjoint TV distance = %v, want 1", Distance(a, b))
+	}
+	if Distance(a, a) != 0 {
+		t.Fatalf("self distance non-zero")
+	}
+}
+
+func TestBarsRendering(t *testing.T) {
+	h := NewHistogram(4)
+	h.AddN(2, 5)
+	out := h.Bars("demo", 10)
+	if len(out) == 0 || out[0] != 'd' {
+		t.Fatal("Bars output malformed")
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import "math"
+
+// TTest is a streaming Welch's t-test over two classes of equal-length
+// traces — the TVLA workhorse of side-channel leakage assessment. Samples
+// are accumulated with Welford's algorithm, so traces can be streamed in
+// any order.
+type TTest struct {
+	samples int
+	n       [2]float64
+	mean    [2][]float64
+	m2      [2][]float64
+}
+
+// NewTTest creates a t-test over traces of the given sample count.
+func NewTTest(samples int) *TTest {
+	t := &TTest{samples: samples}
+	for c := 0; c < 2; c++ {
+		t.mean[c] = make([]float64, samples)
+		t.m2[c] = make([]float64, samples)
+	}
+	return t
+}
+
+// Add accumulates one trace into class 0 or 1.
+func (t *TTest) Add(class int, trace []float64) {
+	if len(trace) != t.samples {
+		panic("stats: trace length mismatch")
+	}
+	t.n[class]++
+	n := t.n[class]
+	for i, x := range trace {
+		delta := x - t.mean[class][i]
+		t.mean[class][i] += delta / n
+		t.m2[class][i] += delta * (x - t.mean[class][i])
+	}
+}
+
+// Count returns the number of traces in each class.
+func (t *TTest) Count() (n0, n1 int) { return int(t.n[0]), int(t.n[1]) }
+
+// TValues returns Welch's t statistic per sample point. Points with zero
+// pooled variance report 0 when the means agree and +/-Inf otherwise.
+func (t *TTest) TValues() []float64 {
+	out := make([]float64, t.samples)
+	if t.n[0] < 2 || t.n[1] < 2 {
+		return out
+	}
+	for i := range out {
+		v0 := t.m2[0][i] / (t.n[0] - 1)
+		v1 := t.m2[1][i] / (t.n[1] - 1)
+		denom := math.Sqrt(v0/t.n[0] + v1/t.n[1])
+		diff := t.mean[0][i] - t.mean[1][i]
+		switch {
+		case denom > 0:
+			out[i] = diff / denom
+		case diff != 0:
+			out[i] = math.Inf(sign(diff))
+		}
+	}
+	return out
+}
+
+// MaxAbsT returns the largest |t| over all sample points. The TVLA
+// convention flags |t| > 4.5 as significant leakage.
+func (t *TTest) MaxAbsT() float64 {
+	max := 0.0
+	for _, v := range t.TValues() {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// LeakageThreshold is the conventional TVLA significance bound.
+const LeakageThreshold = 4.5
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

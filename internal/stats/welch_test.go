@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTTestIdenticalClasses(t *testing.T) {
+	tt := NewTTest(4)
+	gen := rng.NewXoshiro(1)
+	for i := 0; i < 200; i++ {
+		trace := []float64{float64(gen.Intn(10)), 1, 2, 3}
+		tt.Add(i%2, trace)
+	}
+	// Samples 1..3 are constant and identical across classes: t = 0.
+	vals := tt.TValues()
+	for i := 1; i < 4; i++ {
+		if vals[i] != 0 {
+			t.Fatalf("constant identical sample %d: t = %v", i, vals[i])
+		}
+	}
+	// Sample 0 is random but identically distributed: small |t|.
+	if math.Abs(vals[0]) > 4.5 {
+		t.Fatalf("iid sample flagged: t = %v", vals[0])
+	}
+}
+
+func TestTTestDetectsMeanShift(t *testing.T) {
+	tt := NewTTest(2)
+	gen := rng.NewXoshiro(2)
+	for i := 0; i < 500; i++ {
+		noise := float64(gen.Intn(5))
+		tt.Add(0, []float64{noise, noise})
+		tt.Add(1, []float64{noise + 3, noise}) // shifted first sample
+	}
+	vals := tt.TValues()
+	if math.Abs(vals[0]) < LeakageThreshold {
+		t.Fatalf("mean shift missed: t = %v", vals[0])
+	}
+	if math.Abs(vals[1]) > LeakageThreshold {
+		t.Fatalf("clean sample flagged: t = %v", vals[1])
+	}
+	if tt.MaxAbsT() != math.Max(math.Abs(vals[0]), math.Abs(vals[1])) {
+		t.Fatal("MaxAbsT inconsistent")
+	}
+}
+
+func TestTTestDeterministicDifferenceIsInf(t *testing.T) {
+	tt := NewTTest(1)
+	for i := 0; i < 5; i++ {
+		tt.Add(0, []float64{1})
+		tt.Add(1, []float64{2})
+	}
+	if !math.IsInf(tt.TValues()[0], 0) {
+		t.Fatalf("deterministic difference should be infinite t, got %v", tt.TValues()[0])
+	}
+}
+
+func TestTTestCounts(t *testing.T) {
+	tt := NewTTest(1)
+	tt.Add(0, []float64{1})
+	tt.Add(0, []float64{1})
+	tt.Add(1, []float64{1})
+	n0, n1 := tt.Count()
+	if n0 != 2 || n1 != 1 {
+		t.Fatalf("counts %d %d", n0, n1)
+	}
+	// Too few traces: all zeros, no panic.
+	if tt.MaxAbsT() != 0 {
+		t.Fatal("underpopulated t-test should report 0")
+	}
+}

@@ -1,0 +1,113 @@
+// Package stdcell models the standard-cell library the paper maps its
+// designs onto (the open Nangate 45nm PDK v13). Cell areas are expressed in
+// gate equivalents (GE): the area of one cell divided by the area of the
+// smallest two-input NAND. The values below follow the usual Nangate-45
+// relative sizes (X1 drive strength); absolute areas are irrelevant to the
+// paper's tables, which report GE and GE ratios.
+package stdcell
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// Library maps each netlist cell kind to a GE area and tracks which kinds
+// count as sequential (non-combinational) area in reports.
+type Library struct {
+	Name string
+	area map[netlist.CellKind]float64
+}
+
+// Nangate45 returns the library used by all experiments: a GE model of the
+// open 45nm Nangate PDK. Constants are free (they synthesise to tie cells
+// that the optimiser removes anyway).
+func Nangate45() *Library {
+	return &Library{
+		Name: "nangate45-ge",
+		area: map[netlist.CellKind]float64{
+			netlist.KindConst0: 0,
+			netlist.KindConst1: 0,
+			netlist.KindBuf:    1.00,
+			netlist.KindInv:    0.67,
+			netlist.KindNand2:  1.00,
+			netlist.KindNor2:   1.00,
+			netlist.KindAnd2:   1.33,
+			netlist.KindOr2:    1.33,
+			netlist.KindXor2:   2.00,
+			netlist.KindXnor2:  2.00,
+			netlist.KindMux2:   2.33,
+			netlist.KindDFF:    6.25,
+		},
+	}
+}
+
+// CellArea returns the GE area of one cell of the given kind. Unknown kinds
+// report zero area.
+func (l *Library) CellArea(k netlist.CellKind) float64 { return l.area[k] }
+
+// Report is an area breakdown of one module, in GE.
+type Report struct {
+	Module        string
+	Library       string
+	Combinational float64
+	Sequential    float64
+	ByKind        map[netlist.CellKind]float64
+	CellCount     int
+}
+
+// Total returns combinational plus sequential GE.
+func (r Report) Total() float64 { return r.Combinational + r.Sequential }
+
+// Area prices every cell of the module.
+func (l *Library) Area(m *netlist.Module) Report {
+	r := Report{
+		Module:  m.Name,
+		Library: l.Name,
+		ByKind:  make(map[netlist.CellKind]float64),
+	}
+	for i := range m.Cells {
+		k := m.Cells[i].Kind
+		a := l.area[k]
+		r.ByKind[k] += a
+		if k.IsSequential() {
+			r.Sequential += a
+		} else {
+			r.Combinational += a
+		}
+		if !k.IsConst() {
+			r.CellCount++
+		}
+	}
+	return r
+}
+
+// String renders the report in the layout of the paper's Table II row:
+// combinational / non-combinational / total GE.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s [%s]: comb %.0f GE, non-comb %.0f GE, total %.0f GE\n",
+		r.Module, r.Library, r.Combinational, r.Sequential, r.Total())
+	kinds := make([]netlist.CellKind, 0, len(r.ByKind))
+	for k := range r.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		if r.ByKind[k] > 0 {
+			fmt.Fprintf(&sb, "  %-6s %9.2f GE\n", k, r.ByKind[k])
+		}
+	}
+	return sb.String()
+}
+
+// Ratio returns r.Total()/base.Total(), the overhead factor the paper's
+// tables quote (e.g. "1.32x"). It returns 0 if base is empty.
+func (r Report) Ratio(base Report) float64 {
+	if base.Total() == 0 {
+		return 0
+	}
+	return r.Total() / base.Total()
+}

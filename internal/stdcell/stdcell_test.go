@@ -1,0 +1,75 @@
+package stdcell
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestNangate45RelativeSizes(t *testing.T) {
+	lib := Nangate45()
+	// NAND2 is the GE unit by definition.
+	if lib.CellArea(netlist.KindNand2) != 1.0 {
+		t.Fatal("NAND2 must be 1 GE")
+	}
+	// Sanity of relative ordering: INV < NAND2 < AND2 < XOR2 < MUX2 < DFF.
+	order := []netlist.CellKind{
+		netlist.KindInv, netlist.KindNand2, netlist.KindAnd2,
+		netlist.KindXor2, netlist.KindMux2, netlist.KindDFF,
+	}
+	for i := 1; i < len(order); i++ {
+		if lib.CellArea(order[i-1]) >= lib.CellArea(order[i]) {
+			t.Fatalf("%s (%.2f) should be smaller than %s (%.2f)",
+				order[i-1], lib.CellArea(order[i-1]), order[i], lib.CellArea(order[i]))
+		}
+	}
+	// Constants are free.
+	if lib.CellArea(netlist.KindConst0) != 0 || lib.CellArea(netlist.KindConst1) != 0 {
+		t.Fatal("constants must have zero area")
+	}
+}
+
+func TestAreaReportSplit(t *testing.T) {
+	m := netlist.New("t")
+	in := m.AddInput("x", 2)
+	a := m.And(in[0], in[1]) // 1.33
+	x := m.Xor(a, in[0])     // 2.00
+	q := m.DFF(x)            // 6.25
+	m.AddOutput("y", netlist.Bus{q})
+
+	lib := Nangate45()
+	r := lib.Area(m)
+	if r.Combinational != 3.33 || r.Sequential != 6.25 {
+		t.Fatalf("split wrong: comb %.2f seq %.2f", r.Combinational, r.Sequential)
+	}
+	if r.Total() != 9.58 {
+		t.Fatalf("total %.2f", r.Total())
+	}
+	if r.CellCount != 3 {
+		t.Fatalf("cell count %d", r.CellCount)
+	}
+	if !strings.Contains(r.String(), "XOR2") {
+		t.Fatal("report string missing breakdown")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	m := netlist.New("a")
+	in := m.AddInput("x", 2)
+	m.AddOutput("y", netlist.Bus{m.And(in[0], in[1])})
+	lib := Nangate45()
+	base := lib.Area(m)
+
+	m2 := netlist.New("b")
+	in2 := m2.AddInput("x", 2)
+	m2.AddOutput("y", netlist.Bus{m2.And(in2[0], in2[1]), m2.And(in2[1], in2[0])})
+	double := lib.Area(m2)
+
+	if r := double.Ratio(base); r != 2 {
+		t.Fatalf("ratio %.2f, want 2", r)
+	}
+	if (Report{}).Ratio(Report{}) != 0 {
+		t.Fatal("empty base ratio should be 0")
+	}
+}

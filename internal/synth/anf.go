@@ -1,0 +1,136 @@
+package synth
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/netlist"
+)
+
+// ANF computes the algebraic normal form of one output: the returned slice
+// anf, indexed by monomial mask u (bit i of u selects variable i), has bit
+// value 1 iff monomial u appears in the XOR-polynomial of the function.
+// Packing matches TruthTable: bit j of word j>>6.
+//
+// The transform is the standard Möbius (butterfly) transform over GF(2).
+func (t *TruthTable) ANF(o int) []uint64 {
+	n := t.NumInputs
+	size := t.Size()
+	// Unpack to bytes for the butterfly; sizes here are at most 2^20.
+	vals := make([]uint8, size)
+	for x := uint64(0); x < size; x++ {
+		vals[x] = uint8(t.Get(o, x))
+	}
+	for i := 0; i < n; i++ {
+		step := uint64(1) << uint(i)
+		for x := uint64(0); x < size; x++ {
+			if x&step != 0 {
+				vals[x] ^= vals[x^step]
+			}
+		}
+	}
+	words := (size + 63) / 64
+	out := make([]uint64, words)
+	for x := uint64(0); x < size; x++ {
+		if vals[x] == 1 {
+			out[x>>6] |= 1 << (x & 63)
+		}
+	}
+	return out
+}
+
+// ANFMonomialCount returns the number of monomials in output o's ANF.
+func (t *TruthTable) ANFMonomialCount(o int) int {
+	count := 0
+	for _, w := range t.ANF(o) {
+		count += bits.OnesCount64(w)
+	}
+	return count
+}
+
+// ANFDegree returns the algebraic degree of output o (0 for constants).
+func (t *TruthTable) ANFDegree(o int) int {
+	deg := 0
+	anf := t.ANF(o)
+	for x := uint64(0); x < t.Size(); x++ {
+		if (anf[x>>6]>>(x&63))&1 == 1 {
+			if d := bits.OnesCount64(x); d > deg {
+				deg = d
+			}
+		}
+	}
+	return deg
+}
+
+// SynthesizeANF emits an AND/XOR netlist computing the table. The module
+// has one input port named inputName of width NumInputs and one output port
+// named outputName of width NumOutputs. Monomials are shared across
+// outputs, and AND chains share common prefixes (monomials are decomposed
+// from the lowest variable upward with memoisation).
+func (t *TruthTable) SynthesizeANF(moduleName, inputName, outputName string) *netlist.Module {
+	m := netlist.New(moduleName)
+	in := m.AddInput(inputName, t.NumInputs)
+
+	monoCache := make(map[uint64]netlist.Net)
+	var mono func(mask uint64) netlist.Net
+	mono = func(mask uint64) netlist.Net {
+		if n, ok := monoCache[mask]; ok {
+			return n
+		}
+		var net netlist.Net
+		switch bits.OnesCount64(mask) {
+		case 0:
+			net = m.Const1()
+		case 1:
+			net = in[bits.TrailingZeros64(mask)]
+		default:
+			low := uint64(1) << uint(bits.TrailingZeros64(mask))
+			net = m.And(in[bits.TrailingZeros64(mask)], mono(mask&^low))
+		}
+		monoCache[mask] = net
+		return net
+	}
+
+	outBus := make(netlist.Bus, t.NumOutputs)
+	for o := 0; o < t.NumOutputs; o++ {
+		anf := t.ANF(o)
+		var terms netlist.Bus
+		hasConst := false
+		for x := uint64(0); x < t.Size(); x++ {
+			if (anf[x>>6]>>(x&63))&1 == 0 {
+				continue
+			}
+			if x == 0 {
+				hasConst = true
+				continue
+			}
+			terms = append(terms, mono(x))
+		}
+		var net netlist.Net
+		switch {
+		case len(terms) == 0 && !hasConst:
+			net = m.Const0()
+		case len(terms) == 0 && hasConst:
+			net = m.Const1()
+		default:
+			net = m.XorReduce(terms)
+			if hasConst {
+				net = m.Not(net)
+			}
+		}
+		// Outputs must be distinct nets even when functions coincide;
+		// buffer aliased outputs.
+		for _, prev := range outBus[:o] {
+			if prev == net {
+				net = m.Buf(net)
+				break
+			}
+		}
+		outBus[o] = net
+	}
+	m.AddOutput(outputName, outBus)
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("synth: ANF netlist invalid: %v", err))
+	}
+	return m
+}

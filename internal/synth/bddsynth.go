@@ -1,0 +1,118 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/netlist"
+)
+
+// SynthesizeBDD emits a MUX-tree netlist computing the table: the outputs'
+// shared ROBDD is built (variable 0 at the root) and every internal node is
+// mapped to one 2:1 multiplexer selecting between its cofactor nets. Node
+// sharing in the ROBDD becomes structural sharing in the netlist, which is
+// what keeps 8-bit S-boxes affordable.
+func (t *TruthTable) SynthesizeBDD(moduleName, inputName, outputName string) *netlist.Module {
+	mgr := bdd.New(t.NumInputs)
+	roots := make([]bdd.Node, t.NumOutputs)
+	for o := range roots {
+		roots[o] = mgr.FromTruthTable(t.Outputs[o], t.NumInputs)
+	}
+	return mapBDD(mgr, roots, moduleName, inputName, outputName, t.NumInputs)
+}
+
+// mapBDD lowers the shared BDD rooted at roots into a netlist.
+func mapBDD(mgr *bdd.Manager, roots []bdd.Node, moduleName, inputName, outputName string, width int) *netlist.Module {
+	m := netlist.New(moduleName)
+	in := m.AddInput(inputName, width)
+
+	nets := make(map[bdd.Node]netlist.Net)
+	var lower func(n bdd.Node) netlist.Net
+	lower = func(n bdd.Node) netlist.Net {
+		if net, ok := nets[n]; ok {
+			return net
+		}
+		var net netlist.Net
+		switch n {
+		case bdd.False:
+			net = m.Const0()
+		case bdd.True:
+			net = m.Const1()
+		default:
+			lo, hi := mgr.Cofactors(n)
+			sel := in[mgr.Level(n)]
+			// Special-case the four single-literal shapes so plain
+			// variables and complements do not burn a full MUX.
+			switch {
+			case lo == bdd.False && hi == bdd.True:
+				net = m.Buf(sel)
+			case lo == bdd.True && hi == bdd.False:
+				net = m.Not(sel)
+			case lo == bdd.False:
+				net = m.And(sel, lower(hi))
+			case hi == bdd.False:
+				net = m.And(m.Not(sel), lower(lo))
+			case hi == bdd.True:
+				net = m.Or(sel, lower(lo))
+			case lo == bdd.True:
+				net = m.Or(m.Not(sel), lower(hi))
+			default:
+				net = m.Mux(lower(lo), lower(hi), sel)
+			}
+		}
+		nets[n] = net
+		return net
+	}
+
+	outBus := make(netlist.Bus, len(roots))
+	for o, r := range roots {
+		net := lower(r)
+		for _, prev := range outBus[:o] {
+			if prev == net {
+				net = m.Buf(net)
+				break
+			}
+		}
+		outBus[o] = net
+	}
+	m.AddOutput(outputName, outBus)
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("synth: BDD netlist invalid: %v", err))
+	}
+	return m
+}
+
+// Engine selects a synthesis strategy.
+type Engine int
+
+// Available synthesis engines.
+const (
+	// EngineANF emits XOR-of-AND-monomial circuits (FTA-relevant form).
+	EngineANF Engine = iota
+	// EngineBDD emits shared MUX trees (compact for wide S-boxes).
+	EngineBDD
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineANF:
+		return "anf"
+	case EngineBDD:
+		return "bdd"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Synthesize dispatches on the engine.
+func (t *TruthTable) Synthesize(e Engine, moduleName, inputName, outputName string) *netlist.Module {
+	switch e {
+	case EngineANF:
+		return t.SynthesizeANF(moduleName, inputName, outputName)
+	case EngineBDD:
+		return t.SynthesizeBDD(moduleName, inputName, outputName)
+	default:
+		panic(fmt.Sprintf("synth: unknown engine %v", e))
+	}
+}

@@ -1,0 +1,151 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// checkAgainstTable exhaustively re-simulates a synthesised module against
+// its truth table.
+func checkAgainstTable(t *testing.T, m *netlist.Module, tt *TruthTable) {
+	t.Helper()
+	c, err := sim.Compile(m)
+	if err != nil {
+		t.Fatalf("%s: %v", m.Name, err)
+	}
+	for x := uint64(0); x < tt.Size(); x++ {
+		got := sim.EvalComb(c, map[string]uint64{"x": x})["y"]
+		if got != tt.Eval(x) {
+			t.Fatalf("%s(%X) = %X, want %X", m.Name, x, got, tt.Eval(x))
+		}
+	}
+}
+
+// presentSbox is a local copy to avoid an import cycle with the cipher
+// packages.
+var presentSbox = []uint64{0xC, 5, 6, 0xB, 9, 0, 0xA, 0xD, 3, 0xE, 0xF, 8, 4, 7, 1, 2}
+
+func TestANFSynthesisExhaustive(t *testing.T) {
+	tt := FromSbox(presentSbox, 4)
+	checkAgainstTable(t, tt.SynthesizeANF("s_anf", "x", "y"), tt)
+}
+
+func TestBDDSynthesisExhaustive(t *testing.T) {
+	tt := FromSbox(presentSbox, 4)
+	checkAgainstTable(t, tt.SynthesizeBDD("s_bdd", "x", "y"), tt)
+}
+
+func TestMergedTableSemantics(t *testing.T) {
+	tt := FromSbox(presentSbox, 4)
+	merged := tt.Merged()
+	for x := uint64(0); x < 16; x++ {
+		if merged.Eval(x) != tt.Eval(x) {
+			t.Fatalf("merged λ=0 differs at %X", x)
+		}
+		want := ^tt.Eval(^x&0xF) & 0xF
+		if merged.Eval(x|16) != want {
+			t.Fatalf("merged λ=1 at %X = %X, want %X", x, merged.Eval(x|16), want)
+		}
+	}
+}
+
+func TestInvertedTableSemantics(t *testing.T) {
+	tt := FromSbox(presentSbox, 4)
+	inv := tt.Inverted()
+	for x := uint64(0); x < 16; x++ {
+		if inv.Eval(x) != ^tt.Eval(^x&0xF)&0xF {
+			t.Fatalf("inverted table wrong at %X", x)
+		}
+	}
+}
+
+func TestSynthesisOfRandomFunctions(t *testing.T) {
+	// Property: both engines agree with an arbitrary 4->4 table.
+	f := func(raw [16]uint8) bool {
+		table := make([]uint64, 16)
+		for i, v := range raw {
+			table[i] = uint64(v & 0xF)
+		}
+		tt := FromSbox(table, 4)
+		for _, eng := range []Engine{EngineANF, EngineBDD} {
+			m := tt.Synthesize(eng, "rnd", "x", "y")
+			c, err := sim.Compile(m)
+			if err != nil {
+				return false
+			}
+			for x := uint64(0); x < 16; x++ {
+				if sim.EvalComb(c, map[string]uint64{"x": x})["y"] != tt.Eval(x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantAndIdentityFunctions(t *testing.T) {
+	// Degenerate tables: constant-0, constant-1 and identity.
+	for name, fn := range map[string]func(uint64) uint64{
+		"zero": func(uint64) uint64 { return 0 },
+		"ones": func(uint64) uint64 { return 0xF },
+		"id":   func(x uint64) uint64 { return x },
+	} {
+		tt := FromFunc(4, 4, fn)
+		for _, eng := range []Engine{EngineANF, EngineBDD} {
+			checkAgainstTable(t, tt.Synthesize(eng, name+"_"+eng.String(), "x", "y"), tt)
+		}
+	}
+}
+
+func TestANFProperties(t *testing.T) {
+	tt := FromSbox(presentSbox, 4)
+	// The PRESENT S-box has algebraic degree 3 on every output bit
+	// except possibly lower; max must be 3 for at least one output.
+	maxDeg := 0
+	for o := 0; o < 4; o++ {
+		if d := tt.ANFDegree(o); d > maxDeg {
+			maxDeg = d
+		}
+		if tt.ANFMonomialCount(o) == 0 {
+			t.Errorf("output %d has empty ANF", o)
+		}
+	}
+	if maxDeg != 3 {
+		t.Errorf("PRESENT S-box max degree = %d, want 3", maxDeg)
+	}
+	// XOR function has degree 1 and exactly 2 monomials.
+	xor := FromFunc(2, 1, func(x uint64) uint64 { return (x ^ x>>1) & 1 })
+	if xor.ANFDegree(0) != 1 || xor.ANFMonomialCount(0) != 2 {
+		t.Errorf("XOR ANF wrong: deg %d count %d", xor.ANFDegree(0), xor.ANFMonomialCount(0))
+	}
+}
+
+func TestIsPermutationTable(t *testing.T) {
+	if !FromSbox(presentSbox, 4).IsPermutationTable() {
+		t.Error("PRESENT S-box should be a permutation")
+	}
+	if FromFunc(4, 4, func(uint64) uint64 { return 0 }).IsPermutationTable() {
+		t.Error("constant function is not a permutation")
+	}
+	if FromFunc(4, 3, func(x uint64) uint64 { return x & 7 }).IsPermutationTable() {
+		t.Error("non-square function is not a permutation")
+	}
+}
+
+func TestMergedIs5Bit(t *testing.T) {
+	tt := FromSbox(presentSbox, 4).Merged()
+	if tt.NumInputs != 5 || tt.NumOutputs != 4 {
+		t.Fatalf("merged dims %dx%d", tt.NumInputs, tt.NumOutputs)
+	}
+	m := tt.SynthesizeANF("merged5", "x", "y")
+	if m.FindInput("x").Width() != 5 {
+		t.Fatal("merged module input width wrong")
+	}
+	checkAgainstTable(t, m, tt)
+}

@@ -1,0 +1,272 @@
+// Package verify provides combinational equivalence checking between
+// netlists — the miniature formal-verification step a synthesis flow runs
+// after optimisation. Three strategies are provided:
+//
+//   - exhaustive simulation (complete for small input counts),
+//   - random simulation (a falsifier for wide inputs), and
+//   - BDD-based checking (canonical-form equality, complete for modules
+//     whose BDDs stay small).
+//
+// The synthesis and countermeasure test suites use it to prove that the
+// optimiser and the encoding transformations preserve behaviour.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/netlist"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Counterexample reports one input assignment on which two modules
+// disagree.
+type Counterexample struct {
+	Inputs map[string]uint64
+	Port   string
+	GotA   uint64
+	GotB   uint64
+}
+
+// String formats the counterexample.
+func (c *Counterexample) String() string {
+	return fmt.Sprintf("output %q: %X vs %X under %v", c.Port, c.GotA, c.GotB, c.Inputs)
+}
+
+// samePortShape checks that two modules expose identical port signatures.
+func samePortShape(a, b *netlist.Module) error {
+	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		return fmt.Errorf("verify: port count mismatch")
+	}
+	for i := range a.Inputs {
+		pa, pb := &a.Inputs[i], &b.Inputs[i]
+		if pa.Name != pb.Name || pa.Width() != pb.Width() {
+			return fmt.Errorf("verify: input %d differs: %s[%d] vs %s[%d]",
+				i, pa.Name, pa.Width(), pb.Name, pb.Width())
+		}
+	}
+	for i := range a.Outputs {
+		pa, pb := &a.Outputs[i], &b.Outputs[i]
+		if pa.Name != pb.Name || pa.Width() != pb.Width() {
+			return fmt.Errorf("verify: output %d differs: %s[%d] vs %s[%d]",
+				i, pa.Name, pa.Width(), pb.Name, pb.Width())
+		}
+	}
+	return nil
+}
+
+func totalInputBits(m *netlist.Module) int {
+	n := 0
+	for i := range m.Inputs {
+		n += m.Inputs[i].Width()
+	}
+	return n
+}
+
+// assign spreads the bits of x across the input ports in declaration
+// order.
+func assign(m *netlist.Module, x uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(m.Inputs))
+	for i := range m.Inputs {
+		w := m.Inputs[i].Width()
+		out[m.Inputs[i].Name] = x & (1<<uint(w) - 1)
+		x >>= uint(w)
+	}
+	return out
+}
+
+func compare(ca, cb *sim.Compiled, in map[string]uint64) *Counterexample {
+	oa := sim.EvalComb(ca, in)
+	ob := sim.EvalComb(cb, in)
+	for i := range ca.Mod.Outputs {
+		name := ca.Mod.Outputs[i].Name
+		if oa[name] != ob[name] {
+			return &Counterexample{Inputs: in, Port: name, GotA: oa[name], GotB: ob[name]}
+		}
+	}
+	return nil
+}
+
+// Exhaustive checks all 2^k assignments; it refuses modules with more than
+// 24 total input bits. A nil counterexample means the modules are
+// equivalent.
+func Exhaustive(a, b *netlist.Module) (*Counterexample, error) {
+	if err := samePortShape(a, b); err != nil {
+		return nil, err
+	}
+	k := totalInputBits(a)
+	if k > 24 {
+		return nil, fmt.Errorf("verify: %d input bits too wide for exhaustive checking", k)
+	}
+	ca, err := sim.Compile(a)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := sim.Compile(b)
+	if err != nil {
+		return nil, err
+	}
+	for x := uint64(0); x < 1<<uint(k); x++ {
+		if cex := compare(ca, cb, assign(a, x)); cex != nil {
+			return cex, nil
+		}
+	}
+	return nil, nil
+}
+
+// Random performs n random simulation trials; it can only falsify, never
+// prove, equivalence.
+func Random(a, b *netlist.Module, n int, seed uint64) (*Counterexample, error) {
+	if err := samePortShape(a, b); err != nil {
+		return nil, err
+	}
+	ca, err := sim.Compile(a)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := sim.Compile(b)
+	if err != nil {
+		return nil, err
+	}
+	gen := rng.NewXoshiro(seed)
+	for i := 0; i < n; i++ {
+		in := make(map[string]uint64, len(a.Inputs))
+		for pi := range a.Inputs {
+			w := a.Inputs[pi].Width()
+			var v uint64
+			if w >= 64 {
+				v = gen.Uint64()
+			} else {
+				v = gen.Bits(w)
+			}
+			in[a.Inputs[pi].Name] = v
+		}
+		if cex := compare(ca, cb, in); cex != nil {
+			return cex, nil
+		}
+	}
+	return nil, nil
+}
+
+// BDD builds the shared BDD of both modules' output functions and compares
+// them node for node — a complete combinational equivalence check for
+// modules whose BDDs stay tractable (the guard rejects modules with more
+// than 32 input bits; DFFs are unsupported).
+func BDD(a, b *netlist.Module) (*Counterexample, error) {
+	if err := samePortShape(a, b); err != nil {
+		return nil, err
+	}
+	k := totalInputBits(a)
+	if k > 32 {
+		return nil, fmt.Errorf("verify: %d input bits too wide for BDD checking", k)
+	}
+	if a.NumDFFs() > 0 || b.NumDFFs() > 0 {
+		return nil, fmt.Errorf("verify: BDD checking is combinational only")
+	}
+	mgr := bdd.New(k)
+	fa, err := outputsToBDD(mgr, a)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := outputsToBDD(mgr, b)
+	if err != nil {
+		return nil, err
+	}
+	for i := range fa {
+		for bit := range fa[i] {
+			if fa[i][bit] != fb[i][bit] {
+				// Extract a distinguishing assignment from the
+				// XOR of the two functions.
+				diff := mgr.Xor(fa[i][bit], fb[i][bit])
+				x := satAssignment(mgr, diff)
+				in := assign(a, x)
+				ca, _ := sim.Compile(a)
+				cb, _ := sim.Compile(b)
+				if cex := compare(ca, cb, in); cex != nil {
+					return cex, nil
+				}
+				return &Counterexample{Inputs: in, Port: a.Outputs[i].Name}, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// outputsToBDD lowers every output bit of a combinational module to a BDD
+// node. BDD variable j corresponds to the j-th input bit in declaration
+// order.
+func outputsToBDD(mgr *bdd.Manager, m *netlist.Module) ([][]bdd.Node, error) {
+	order, err := m.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	val := make([]bdd.Node, m.NumNets()+1)
+	for i := range val {
+		val[i] = bdd.False
+	}
+	varIdx := 0
+	for pi := range m.Inputs {
+		for _, n := range m.Inputs[pi].Bits {
+			val[n] = mgr.Var(varIdx)
+			varIdx++
+		}
+	}
+	for _, ci := range order {
+		c := &m.Cells[ci]
+		in := c.Inputs()
+		var f bdd.Node
+		switch c.Kind {
+		case netlist.KindConst0:
+			f = bdd.False
+		case netlist.KindConst1:
+			f = bdd.True
+		case netlist.KindBuf:
+			f = val[in[0]]
+		case netlist.KindInv:
+			f = mgr.Not(val[in[0]])
+		case netlist.KindAnd2:
+			f = mgr.And(val[in[0]], val[in[1]])
+		case netlist.KindOr2:
+			f = mgr.Or(val[in[0]], val[in[1]])
+		case netlist.KindNand2:
+			f = mgr.Not(mgr.And(val[in[0]], val[in[1]]))
+		case netlist.KindNor2:
+			f = mgr.Not(mgr.Or(val[in[0]], val[in[1]]))
+		case netlist.KindXor2:
+			f = mgr.Xor(val[in[0]], val[in[1]])
+		case netlist.KindXnor2:
+			f = mgr.Xnor(val[in[0]], val[in[1]])
+		case netlist.KindMux2:
+			f = mgr.ITE(val[in[2]], val[in[1]], val[in[0]])
+		default:
+			return nil, fmt.Errorf("verify: unsupported cell kind %s", c.Kind)
+		}
+		val[c.Out] = f
+	}
+	out := make([][]bdd.Node, len(m.Outputs))
+	for i := range m.Outputs {
+		out[i] = make([]bdd.Node, m.Outputs[i].Width())
+		for bit, n := range m.Outputs[i].Bits {
+			out[i][bit] = val[n]
+		}
+	}
+	return out, nil
+}
+
+// satAssignment extracts one satisfying assignment of f (f must not be
+// False).
+func satAssignment(mgr *bdd.Manager, f bdd.Node) uint64 {
+	var x uint64
+	for !mgr.IsTerminal(f) {
+		lvl := mgr.Level(f)
+		lo, hi := mgr.Cofactors(f)
+		if lo != bdd.False {
+			f = lo
+		} else {
+			x |= 1 << uint(lvl)
+			f = hi
+		}
+	}
+	return x
+}

@@ -1,0 +1,132 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+var presentSbox = []uint64{0xC, 5, 6, 0xB, 9, 0, 0xA, 0xD, 3, 0xE, 0xF, 8, 4, 7, 1, 2}
+
+func sboxPair() (*netlist.Module, *netlist.Module) {
+	tt := synth.FromSbox(presentSbox, 4)
+	a := tt.SynthesizeANF("a", "x", "y")
+	b := tt.SynthesizeBDD("a", "x", "y") // same name so port shapes match
+	return a, b
+}
+
+func TestExhaustiveEquivalentEngines(t *testing.T) {
+	a, b := sboxPair()
+	cex, err := Exhaustive(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex != nil {
+		t.Fatalf("ANF and BDD synthesis disagree: %s", cex)
+	}
+}
+
+func TestBDDEquivalentEngines(t *testing.T) {
+	a, b := sboxPair()
+	cex, err := BDD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex != nil {
+		t.Fatalf("BDD check found a difference: %s", cex)
+	}
+}
+
+func TestOptimizerVerifiedByAllStrategies(t *testing.T) {
+	tt := synth.FromSbox(presentSbox, 4).Merged()
+	m := tt.SynthesizeANF("m", "x", "y")
+	o := synth.Optimize(m, synth.DefaultOptOptions())
+	o.Name = m.Name
+	if cex, err := Exhaustive(m, o); err != nil || cex != nil {
+		t.Fatalf("exhaustive: %v %v", err, cex)
+	}
+	if cex, err := Random(m, o, 500, 1); err != nil || cex != nil {
+		t.Fatalf("random: %v %v", err, cex)
+	}
+	if cex, err := BDD(m, o); err != nil || cex != nil {
+		t.Fatalf("bdd: %v %v", err, cex)
+	}
+}
+
+// broken returns an S-box netlist with one cell kind corrupted.
+func broken() (*netlist.Module, *netlist.Module) {
+	a, _ := sboxPair()
+	b := a.Clone()
+	for i := range b.Cells {
+		if b.Cells[i].Kind == netlist.KindXor2 {
+			b.Cells[i].Kind = netlist.KindXnor2
+			break
+		}
+	}
+	return a, b
+}
+
+func TestExhaustiveFindsInjectedBug(t *testing.T) {
+	a, b := broken()
+	cex, err := Exhaustive(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex == nil {
+		t.Fatal("injected bug not found")
+	}
+	if cex.GotA == cex.GotB {
+		t.Fatal("counterexample does not distinguish")
+	}
+}
+
+func TestBDDFindsInjectedBug(t *testing.T) {
+	a, b := broken()
+	cex, err := BDD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex == nil {
+		t.Fatal("injected bug not found by BDD check")
+	}
+}
+
+func TestRandomFindsInjectedBug(t *testing.T) {
+	a, b := broken()
+	cex, err := Random(a, b, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex == nil {
+		t.Fatal("injected bug not found by random simulation")
+	}
+}
+
+func TestPortShapeMismatchRejected(t *testing.T) {
+	a, _ := sboxPair()
+	c := netlist.New("a")
+	in := c.AddInput("z", 4)
+	c.AddOutput("y", in)
+	if _, err := Exhaustive(a, c); err == nil {
+		t.Fatal("port name mismatch should error")
+	}
+}
+
+func TestExhaustiveWidthGuard(t *testing.T) {
+	m := netlist.New("wide")
+	in := m.AddInput("x", 30)
+	m.AddOutput("y", netlist.Bus{m.OrReduce(in)})
+	if _, err := Exhaustive(m, m.Clone()); err == nil {
+		t.Fatal("expected width guard error")
+	}
+}
+
+func TestBDDRejectsSequential(t *testing.T) {
+	m := netlist.New("seq")
+	in := m.AddInput("x", 1)
+	m.AddOutput("y", netlist.Bus{m.DFF(in[0])})
+	if _, err := BDD(m, m.Clone()); err == nil {
+		t.Fatal("expected sequential rejection")
+	}
+}

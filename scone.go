@@ -1,0 +1,195 @@
+package scone
+
+import (
+	"repro/internal/attack"
+	"repro/internal/cipher/gift"
+	"repro/internal/cipher/present"
+	"repro/internal/cipher/scone64"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/rng"
+	"repro/internal/spn"
+	"repro/internal/stdcell"
+	"repro/internal/synth"
+)
+
+// Cipher description layer.
+type (
+	// Spec describes an SPN cipher; see PresentSpec and GiftSpec for
+	// ready-made instances.
+	Spec = spn.Spec
+	// KeyState holds a cipher key of up to 128 bits (word 0 = bits
+	// 0..63).
+	KeyState = spn.KeyState
+)
+
+// PresentSpec returns the PRESENT-80 description used throughout the
+// paper's evaluation.
+func PresentSpec() *Spec { return present.Spec() }
+
+// GiftSpec returns the GIFT-64 description (the genericity demo cipher).
+func GiftSpec() *Spec { return gift.Spec() }
+
+// Scone64Spec returns the synthetic dense-linear-layer demonstration
+// cipher (a GF(2) matrix diffusion layer instead of a bit permutation).
+func Scone64Spec() *Spec { return scone64.Spec() }
+
+// Countermeasure construction layer.
+type (
+	// Scheme selects the protection scheme.
+	Scheme = core.Scheme
+	// Entropy selects the λ entropy variant.
+	Entropy = core.Entropy
+	// Options configures Build.
+	Options = core.Options
+	// Design is a built gate-level core.
+	Design = core.Design
+	// Runner drives a design through the simulator.
+	Runner = core.Runner
+	// LambdaFunc supplies per-cycle λ values to a Runner.
+	LambdaFunc = core.LambdaFunc
+	// Branch identifies the actual or redundant computation.
+	Branch = core.Branch
+	// SoftwareCM is the word-level software model of Algorithm 1.
+	SoftwareCM = core.SoftwareCM
+)
+
+// Protection schemes.
+const (
+	SchemeUnprotected = core.SchemeUnprotected
+	SchemeNaiveDup    = core.SchemeNaiveDup
+	SchemeACISP       = core.SchemeACISP
+	SchemeThreeInOne  = core.SchemeThreeInOne
+)
+
+// Entropy variants.
+const (
+	EntropyPrime    = core.EntropyPrime
+	EntropyPerRound = core.EntropyPerRound
+	EntropyPerSbox  = core.EntropyPerSbox
+)
+
+// Branches.
+const (
+	BranchActual    = core.BranchActual
+	BranchRedundant = core.BranchRedundant
+)
+
+// Synthesis engines.
+const (
+	EngineANF = synth.EngineANF
+	EngineBDD = synth.EngineBDD
+)
+
+// Build constructs a gate-level design for the cipher and options.
+func Build(spec *Spec, opts Options) (*Design, error) { return core.Build(spec, opts) }
+
+// MustBuild is Build that panics on error.
+func MustBuild(spec *Spec, opts Options) *Design { return core.MustBuild(spec, opts) }
+
+// NewRunner compiles a design and returns a simulator-backed runner.
+func NewRunner(d *Design) (*Runner, error) { return core.NewRunner(d) }
+
+// LambdaConst adapts fixed per-lane λ values to a LambdaFunc (the prime
+// variant's contract).
+func LambdaConst(vals []uint64) LambdaFunc { return core.LambdaConst(vals) }
+
+// Fault-injection layer.
+type (
+	// FaultModel enumerates stuck-at-0/1 and bit-flip.
+	FaultModel = fault.Model
+	// Fault is one injected fault.
+	Fault = fault.Fault
+	// Campaign runs a classification campaign.
+	Campaign = fault.Campaign
+	// CampaignResult aggregates outcomes.
+	CampaignResult = fault.Result
+	// CampaignRun is one classified encryption.
+	CampaignRun = fault.Run
+	// Net identifies a wire in a design's netlist.
+	Net = netlist.Net
+)
+
+// Fault models.
+const (
+	StuckAt0 = fault.StuckAt0
+	StuckAt1 = fault.StuckAt1
+	BitFlip  = fault.BitFlip
+)
+
+// FaultAt returns a fault active during exactly one cycle.
+func FaultAt(net Net, model FaultModel, cycle int) Fault { return fault.At(net, model, cycle) }
+
+// Injector applies faults during simulation; install it with
+// Runner.S.SetInjector.
+type Injector = fault.Injector
+
+// NewInjector builds an injector over the given faults.
+func NewInjector(faults ...Fault) *Injector { return fault.NewInjector(faults...) }
+
+// Attack layer.
+type (
+	// AttackTarget wraps a design with the attacker's run plumbing.
+	AttackTarget = attack.Target
+	// AttackResult is the common attack outcome.
+	AttackResult = attack.Result
+	// DFAConfig parameterises the differential fault attack.
+	DFAConfig = attack.DFAConfig
+	// SIFAConfig parameterises the statistical ineffective fault attack.
+	SIFAConfig = attack.SIFAConfig
+	// FTAConfig parameterises the fault template attack.
+	FTAConfig = attack.FTAConfig
+)
+
+// NewAttackTarget compiles a design for attacking under the given key.
+func NewAttackTarget(d *Design, key KeyState, seed uint64) (*AttackTarget, error) {
+	return attack.NewTarget(d, key, seed)
+}
+
+// RunDFA mounts the last-round DFA (full key recovery on PRESENT-80).
+func RunDFA(t *AttackTarget, cfg DFAConfig) AttackResult { return attack.RunDFA(t, cfg) }
+
+// RunSIFA mounts the statistical ineffective fault attack.
+func RunSIFA(t *AttackTarget, cfg SIFAConfig) attack.SIFAResult { return attack.RunSIFA(t, cfg) }
+
+// RunFTA mounts the fault template attack on a freshly built design.
+func RunFTA(d *Design, key KeyState, cfg FTAConfig, seed uint64) (attack.FTAResult, error) {
+	return attack.RunFTAOnDesign(d, key, cfg, seed)
+}
+
+// RunIFA mounts Clavier's ineffective fault attack.
+func RunIFA(t *AttackTarget, cfg attack.IFAConfig) attack.IFAResult { return attack.RunIFA(t, cfg) }
+
+// RunSFA mounts the biased (statistical) fault attack.
+func RunSFA(t *AttackTarget, cfg attack.SFAConfig) attack.SIFAResult { return attack.RunSFA(t, cfg) }
+
+// Area layer.
+type (
+	// CellLibrary prices netlists in gate equivalents.
+	CellLibrary = stdcell.Library
+	// AreaReport is a GE breakdown.
+	AreaReport = stdcell.Report
+)
+
+// Nangate45 returns the GE model of the open 45nm Nangate PDK used by the
+// paper's tables.
+func Nangate45() *CellLibrary { return stdcell.Nangate45() }
+
+// Area prices a design against a library.
+func Area(lib *CellLibrary, d *Design) AreaReport { return lib.Area(d.Mod) }
+
+// Randomness layer.
+type (
+	// EntropySource yields random bits (TRNG model or deterministic
+	// PRNG).
+	EntropySource = rng.Source
+	// TRNG is the behavioural ring-oscillator TRNG model.
+	TRNG = rng.RingOscillatorTRNG
+)
+
+// NewTRNG creates the ring-oscillator TRNG model.
+func NewTRNG(seed uint64) *TRNG { return rng.NewRingOscillatorTRNG(seed) }
+
+// NewDeterministicSource creates the reproducible xoshiro256** source.
+func NewDeterministicSource(seed uint64) *rng.Xoshiro { return rng.NewXoshiro(seed) }

@@ -1,0 +1,75 @@
+package scone
+
+import "testing"
+
+// End-to-end test of the public facade: the README quickstart, verbatim.
+func TestFacadeQuickstart(t *testing.T) {
+	design := MustBuild(PresentSpec(), Options{
+		Scheme:  SchemeThreeInOne,
+		Entropy: EntropyPrime,
+		Engine:  EngineANF,
+	})
+	runner, err := NewRunner(design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trng := NewTRNG(2021)
+	key := KeyState{0x0123456789ABCDEF, 0x8421}
+	pt := uint64(0xCAFEBABE12345678)
+	ct, fault := runner.EncryptOne(pt, key, trng.Bits(64),
+		LambdaConst([]uint64{trng.Bits(1)}))
+	if fault {
+		t.Fatal("spurious fault")
+	}
+	if ref := PresentSpec().Encrypt(pt, key); ct != ref {
+		t.Fatalf("ct %016X != reference %016X", ct, ref)
+	}
+}
+
+func TestFacadeFaultDetection(t *testing.T) {
+	design := MustBuild(PresentSpec(), Options{
+		Scheme: SchemeThreeInOne, Entropy: EntropyPrime, Engine: EngineANF,
+	})
+	runner, err := NewRunner(design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.S.SetInjector(NewInjector(FaultAt(
+		design.SboxInputNet(BranchActual, 13, 2), StuckAt0, design.LastRoundCycle())))
+	trng := NewTRNG(7)
+	key := KeyState{1, 2}
+	escapes := 0
+	for i := 0; i < 32; i++ {
+		pt := trng.Bits(64)
+		ct, sensed := runner.EncryptOne(pt, key, trng.Bits(64),
+			LambdaConst([]uint64{trng.Bits(1)}))
+		if !sensed && ct != PresentSpec().Encrypt(pt, key) {
+			escapes++
+		}
+	}
+	if escapes != 0 {
+		t.Fatalf("%d faulty ciphertexts escaped", escapes)
+	}
+}
+
+func TestFacadeArea(t *testing.T) {
+	d := MustBuild(PresentSpec(), Options{
+		Scheme: SchemeNaiveDup, Engine: EngineANF, Optimize: true,
+	})
+	rep := Area(Nangate45(), d)
+	if rep.Total() <= 0 || rep.Sequential <= 0 {
+		t.Fatalf("implausible area report: %+v", rep)
+	}
+}
+
+func TestFacadeSpecs(t *testing.T) {
+	for _, spec := range []*Spec{PresentSpec(), GiftSpec(), Scone64Spec()} {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+		key := KeyState{3, 1}
+		if spec.Decrypt(spec.Encrypt(42, key), key) != 42 {
+			t.Errorf("%s: decrypt does not invert encrypt", spec.Name)
+		}
+	}
+}
