@@ -1,0 +1,41 @@
+# Development targets; CI (.github/workflows/ci.yml) runs the same steps.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke fmt fmt-check vet fuzz ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark run (slow; one benchmark per paper table/figure plus the
+# raw gate-eval throughput benchmarks).
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# One iteration of every benchmark — proves they still compile and run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Replay the checked-in fuzz seed corpus (no open-ended fuzzing).
+fuzz:
+	$(GO) test -run=Fuzz ./internal/netlist
+
+ci: fmt-check build vet test race bench-smoke fuzz

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiments"
@@ -17,10 +18,24 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to print: 2, 3 or all")
-	engine := flag.String("engine", "anf", "S-box synthesis engine for Table II: anf or bdd")
-	ablations := flag.Bool("ablations", false, "also print the entropy-variant and engine ablations")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "sconearea:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconearea", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.String("table", "all", "which table to print: 2, 3 or all")
+	engine := fs.String("engine", "anf", "S-box synthesis engine for Table II: anf or bdd")
+	ablations := fs.Bool("ablations", false, "also print the entropy-variant and engine ablations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var eng synth.Engine
 	switch *engine {
@@ -29,18 +44,23 @@ func main() {
 	case "bdd":
 		eng = synth.EngineBDD
 	default:
-		fmt.Fprintf(os.Stderr, "sconearea: unknown engine %q\n", *engine)
-		os.Exit(2)
+		return fmt.Errorf("unknown engine %q", *engine)
 	}
 
+	switch *table {
+	case "2", "3", "all":
+	default:
+		return fmt.Errorf("unknown table %q", *table)
+	}
 	if *table == "2" || *table == "all" {
-		fmt.Println(experiments.RunTableII(eng))
+		fmt.Fprintln(stdout, experiments.RunTableII(eng))
 	}
 	if *table == "3" || *table == "all" {
-		fmt.Println(experiments.RunTableIII())
+		fmt.Fprintln(stdout, experiments.RunTableIII())
 	}
 	if *ablations {
-		fmt.Println(experiments.RunEntropyAblation())
-		fmt.Println(experiments.RunEngineAblation())
+		fmt.Fprintln(stdout, experiments.RunEntropyAblation())
+		fmt.Fprintln(stdout, experiments.RunEngineAblation())
 	}
+	return nil
 }

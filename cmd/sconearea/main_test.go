@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTable3(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-table", "3"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "GE") {
+		t.Fatalf("expected area table in output, got:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-engine", "yosys"}, &out, &errb); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if err := run([]string{"-table", "7"}, &out, &errb); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, &out, &errb); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	sconeattack [-attack dfa|identical|sifa|fta|all] [-key hex80]
+//	sconeattack [-attack dfa|identical|sifa|ifa|fta|all] [-quick]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/attack"
@@ -29,67 +30,122 @@ func buildDesign(scheme core.Scheme, separate bool) *core.Design {
 	})
 }
 
-func newTarget(scheme core.Scheme) *attack.Target {
-	t, err := attack.NewTarget(buildDesign(scheme, false), deviceKey, 0xD0D0)
-	if err != nil {
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
 		fmt.Fprintln(os.Stderr, "sconeattack:", err)
 		os.Exit(1)
 	}
-	return t
 }
 
-func main() {
-	which := flag.String("attack", "all", "attack to run: dfa, identical, sifa, ifa, fta or all")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconeattack", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	which := fs.String("attack", "all", "attack to run: dfa, identical, sifa, ifa, fta or all")
+	quick := fs.Bool("quick", false, "shrink attack budgets for a fast smoke run (results are noisy)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *which {
+	case "dfa", "identical", "sifa", "ifa", "fta", "all":
+	default:
+		return fmt.Errorf("unknown attack %q", *which)
+	}
 
-	run := func(name string) bool { return *which == name || *which == "all" }
+	newTarget := func(scheme core.Scheme) (*attack.Target, error) {
+		return attack.NewTarget(buildDesign(scheme, false), deviceKey, 0xD0D0)
+	}
+	sel := func(name string) bool { return *which == name || *which == "all" }
 
-	if run("dfa") {
-		fmt.Println("=== Classic last-round DFA (single computation, bit-flip faults) ===")
+	if sel("dfa") {
+		fmt.Fprintln(stdout, "=== Classic last-round DFA (single computation, bit-flip faults) ===")
+		cfg := attack.DefaultDFAConfig()
+		if *quick {
+			cfg.PairsPerNibble = 4
+		}
 		for _, s := range []core.Scheme{core.SchemeUnprotected, core.SchemeNaiveDup, core.SchemeThreeInOne} {
-			res := attack.RunDFA(newTarget(s), attack.DefaultDFAConfig())
-			fmt.Printf("  vs %-24s %s\n", s.String()+":", res)
+			t, err := newTarget(s)
+			if err != nil {
+				return err
+			}
+			res := attack.RunDFA(t, cfg)
+			fmt.Fprintf(stdout, "  vs %-24s %s\n", s.String()+":", res)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
-	if run("identical") {
-		fmt.Println("=== Identical-fault DFA (FDTC 2016: same stuck-at in both computations) ===")
-		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeACISP, core.SchemeThreeInOne} {
-			res := attack.RunDFA(newTarget(s), attack.IdenticalDFAConfig())
-			fmt.Printf("  vs %-24s %s\n", s.String()+":", res)
-		}
+	if sel("identical") {
+		fmt.Fprintln(stdout, "=== Identical-fault DFA (FDTC 2016: same stuck-at in both computations) ===")
 		cfg := attack.IdenticalDFAConfig()
-		cfg.Model = fault.BitFlip
-		res := attack.RunDFA(newTarget(core.SchemeThreeInOne), cfg)
-		fmt.Printf("  vs %-24s %s\n", "three-in-one (identical bit-FLIP, the §IV-B-4 caveat):", res)
-		fmt.Println()
-	}
-
-	if run("sifa") {
-		fmt.Println("=== SIFA (stuck-at-0 at S-box 13 bit 2, ineffective-fault filtering) ===")
+		if *quick {
+			cfg.PairsPerNibble = 4
+		}
 		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeACISP, core.SchemeThreeInOne} {
-			res := attack.RunSIFA(newTarget(s), attack.DefaultSIFAConfig())
-			fmt.Printf("  vs %-24s %s\n", s.String()+":", res.Result)
+			t, err := newTarget(s)
+			if err != nil {
+				return err
+			}
+			res := attack.RunDFA(t, cfg)
+			fmt.Fprintf(stdout, "  vs %-24s %s\n", s.String()+":", res)
 		}
-		fmt.Println()
+		cfg.Model = fault.BitFlip
+		t, err := newTarget(core.SchemeThreeInOne)
+		if err != nil {
+			return err
+		}
+		res := attack.RunDFA(t, cfg)
+		fmt.Fprintf(stdout, "  vs %-24s %s\n", "three-in-one (identical bit-FLIP, the §IV-B-4 caveat):", res)
+		fmt.Fprintln(stdout)
 	}
 
-	if run("ifa") {
-		fmt.Println("=== IFA / biased-fault SFA (the models SIFA generalises, §IV-B-5) ===")
-		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeThreeInOne} {
-			res := attack.RunIFA(newTarget(s), attack.DefaultIFAConfig())
-			fmt.Printf("  IFA vs %-20s %s\n", s.String()+":", res.Result)
+	if sel("sifa") {
+		fmt.Fprintln(stdout, "=== SIFA (stuck-at-0 at S-box 13 bit 2, ineffective-fault filtering) ===")
+		cfg := attack.DefaultSIFAConfig()
+		if *quick {
+			cfg.Injections = 256
 		}
-		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeThreeInOne} {
-			res := attack.RunSFA(newTarget(s), attack.DefaultSFAConfig())
-			fmt.Printf("  SFA vs %-20s %s\n", s.String()+":", res.Result)
+		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeACISP, core.SchemeThreeInOne} {
+			t, err := newTarget(s)
+			if err != nil {
+				return err
+			}
+			res := attack.RunSIFA(t, cfg)
+			fmt.Fprintf(stdout, "  vs %-24s %s\n", s.String()+":", res.Result)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
-	if run("fta") {
-		fmt.Println("=== FTA (flip one input line of an AND gate in S-box 7) ===")
+	if sel("ifa") {
+		fmt.Fprintln(stdout, "=== IFA / biased-fault SFA (the models SIFA generalises, §IV-B-5) ===")
+		icfg := attack.DefaultIFAConfig()
+		scfg := attack.DefaultSFAConfig()
+		if *quick {
+			icfg.Runs = 128
+			scfg.Injections = 256
+		}
+		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeThreeInOne} {
+			t, err := newTarget(s)
+			if err != nil {
+				return err
+			}
+			res := attack.RunIFA(t, icfg)
+			fmt.Fprintf(stdout, "  IFA vs %-20s %s\n", s.String()+":", res.Result)
+		}
+		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeThreeInOne} {
+			t, err := newTarget(s)
+			if err != nil {
+				return err
+			}
+			res := attack.RunSFA(t, scfg)
+			fmt.Fprintf(stdout, "  SFA vs %-20s %s\n", s.String()+":", res.Result)
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	if sel("fta") {
+		fmt.Fprintln(stdout, "=== FTA (flip one input line of an AND gate in S-box 7) ===")
 		type cfg struct {
 			label    string
 			scheme   core.Scheme
@@ -105,12 +161,18 @@ func main() {
 			if c.separate {
 				fcfg.Repeats = 128
 			}
+			if *quick {
+				fcfg.Repeats = 8
+				fcfg.ProfilePTs = 2
+				fcfg.AttackPTs = 2
+			}
 			res, err := attack.RunFTAOnDesign(buildDesign(c.scheme, c.separate), deviceKey, fcfg, 0xFA)
 			if err != nil {
-				fmt.Printf("  vs %-28s error: %v\n", c.label+":", err)
+				fmt.Fprintf(stdout, "  vs %-28s error: %v\n", c.label+":", err)
 				continue
 			}
-			fmt.Printf("  vs %-28s %s\n", c.label+":", res.Result)
+			fmt.Fprintf(stdout, "  vs %-28s %s\n", c.label+":", res.Result)
 		}
 	}
+	return nil
 }

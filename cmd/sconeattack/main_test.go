@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickSIFA(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-attack", "sifa", "-quick"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "=== SIFA") {
+		t.Fatalf("expected SIFA section in output, got:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-attack", "rowhammer"}, &out, &errb); err == nil {
+		t.Fatal("unknown attack accepted")
+	}
+	if err := run([]string{"-bogus"}, &out, &errb); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

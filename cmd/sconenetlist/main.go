@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cipher/gift"
@@ -21,14 +22,28 @@ import (
 )
 
 func main() {
-	cipher := flag.String("cipher", "present80", "cipher: present80 or gift64")
-	scheme := flag.String("scheme", "three-in-one", "unprotected, naive, acisp, three-in-one")
-	entropy := flag.String("entropy", "prime", "prime, per-round, per-sbox")
-	engine := flag.String("engine", "anf", "S-box synthesis engine: anf or bdd")
-	optimize := flag.Bool("optimize", false, "run the synthesis optimiser")
-	separate := flag.Bool("separate-sbox", false, "use the ACISP separate-S-box layout")
-	format := flag.String("format", "stats", "output: stats, text or dot")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "sconenetlist:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconenetlist", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cipher := fs.String("cipher", "present80", "cipher: present80 or gift64")
+	scheme := fs.String("scheme", "three-in-one", "unprotected, naive, acisp, three-in-one")
+	entropy := fs.String("entropy", "prime", "prime, per-round, per-sbox")
+	engine := fs.String("engine", "anf", "S-box synthesis engine: anf or bdd")
+	optimize := fs.Bool("optimize", false, "run the synthesis optimiser")
+	separate := fs.Bool("separate-sbox", false, "use the ACISP separate-S-box layout")
+	format := fs.String("format", "stats", "output: stats, text or dot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var spec *spn.Spec
 	switch *cipher {
@@ -37,7 +52,7 @@ func main() {
 	case "gift64":
 		spec = gift.Spec()
 	default:
-		fail("unknown cipher %q", *cipher)
+		return fmt.Errorf("unknown cipher %q", *cipher)
 	}
 
 	opts := core.Options{Optimize: *optimize, SeparateSbox: *separate}
@@ -51,7 +66,7 @@ func main() {
 	case "three-in-one":
 		opts.Scheme = core.SchemeThreeInOne
 	default:
-		fail("unknown scheme %q", *scheme)
+		return fmt.Errorf("unknown scheme %q", *scheme)
 	}
 	switch *entropy {
 	case "prime":
@@ -61,7 +76,7 @@ func main() {
 	case "per-sbox":
 		opts.Entropy = core.EntropyPerSbox
 	default:
-		fail("unknown entropy variant %q", *entropy)
+		return fmt.Errorf("unknown entropy variant %q", *entropy)
 	}
 	switch *engine {
 	case "anf":
@@ -69,33 +84,29 @@ func main() {
 	case "bdd":
 		opts.Engine = synth.EngineBDD
 	default:
-		fail("unknown engine %q", *engine)
+		return fmt.Errorf("unknown engine %q", *engine)
 	}
 
 	d, err := core.Build(spec, opts)
 	if err != nil {
-		fail("build: %v", err)
+		return fmt.Errorf("build: %w", err)
 	}
 
 	switch *format {
 	case "stats":
-		fmt.Print(d.Mod.CollectStats())
-		fmt.Println()
-		fmt.Print(stdcell.Nangate45().Area(d.Mod))
+		fmt.Fprint(stdout, d.Mod.CollectStats())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, stdcell.Nangate45().Area(d.Mod))
 	case "text":
-		if err := d.Mod.WriteText(os.Stdout); err != nil {
-			fail("write: %v", err)
+		if err := d.Mod.WriteText(stdout); err != nil {
+			return fmt.Errorf("write: %w", err)
 		}
 	case "dot":
-		if err := d.Mod.WriteDOT(os.Stdout); err != nil {
-			fail("write: %v", err)
+		if err := d.Mod.WriteDOT(stdout); err != nil {
+			return fmt.Errorf("write: %w", err)
 		}
 	default:
-		fail("unknown format %q", *format)
+		return fmt.Errorf("unknown format %q", *format)
 	}
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sconenetlist: "+format+"\n", args...)
-	os.Exit(2)
+	return nil
 }

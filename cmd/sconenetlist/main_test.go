@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunStats(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-scheme", "unprotected", "-format", "stats"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "DFF") {
+		t.Fatalf("expected cell statistics in output, got:\n%s", out.String())
+	}
+}
+
+func TestRunTextExport(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-cipher", "gift64", "-scheme", "unprotected", "-format", "text"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if out.Len() == 0 {
+		t.Fatal("text export produced no output")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	for _, args := range [][]string{
+		{"-cipher", "des"},
+		{"-scheme", "quadruple"},
+		{"-entropy", "none"},
+		{"-engine", "abc"},
+		{"-format", "verilog"},
+		{"-bogus"},
+	} {
+		if err := run(args, &out, &errb); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -21,13 +22,30 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "fig4", "experiment to run: fig4, fig5, sweep, coverage, twofaults, leakage, persistent")
-	runs := flag.Int("runs", 80000, "simulated encryptions per design (per location for coverage)")
-	seed := flag.Uint64("seed", 0x5C09E2021, "campaign seed")
-	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-	scheme := flag.String("scheme", "three-in-one", "coverage: naive, acisp or three-in-one")
-	sites := flag.Int("sites", 400, "coverage: number of sampled fault locations (0 = all)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "sconesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("experiment", "fig4", "experiment to run: fig4, fig5, sweep, coverage, twofaults, leakage, persistent")
+	runs := fs.Int("runs", 80000, "simulated encryptions per design (per location for coverage)")
+	seed := fs.Uint64("seed", 0x5C09E2021, "campaign seed")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	scheme := fs.String("scheme", "three-in-one", "coverage: naive, acisp or three-in-one")
+	sites := fs.Int("sites", 400, "coverage: number of sampled fault locations (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *runs <= 0 {
+		return fmt.Errorf("-runs must be positive (got %d)", *runs)
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Runs = *runs
@@ -38,63 +56,72 @@ func main() {
 	switch *exp {
 	case "fig4":
 		res, err := experiments.RunFig4(cfg)
-		exitOn(err)
-		fmt.Println(res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, res)
 	case "fig5":
 		res, err := experiments.RunFig5(cfg)
-		exitOn(err)
-		fmt.Println(res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, res)
 	case "sweep":
 		res, err := experiments.RunSweep(cfg)
-		exitOn(err)
-		fmt.Println(res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, res)
 	case "persistent":
 		res, err := experiments.RunPersistent(cfg)
-		exitOn(err)
-		fmt.Println(res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, res)
 	case "twofaults":
 		res, err := experiments.RunTwoBiasedFaults(cfg)
-		exitOn(err)
-		fmt.Println(res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, res)
 	case "leakage":
 		// Uses -runs as traces per class (default 2048 when 80000).
 		if cfg.Runs == 80000 {
 			cfg.Runs = 2048
 		}
 		res, err := experiments.RunLeakage(cfg)
-		exitOn(err)
-		fmt.Println(res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, res)
 	case "coverage":
 		// Whole-design location sweep; runs-per-location comes from
 		// -runs (use a small value, e.g. 128).
-		res, err := experiments.RunLocationCoverage(cfg, coverageScheme(*scheme), *sites)
-		exitOn(err)
-		fmt.Println(res)
+		sch, err := coverageScheme(*scheme)
+		if err != nil {
+			return err
+		}
+		res, err := experiments.RunLocationCoverage(cfg, sch, *sites)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, res)
 	default:
-		fmt.Fprintf(os.Stderr, "sconesim: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return fmt.Errorf("unknown experiment %q", *exp)
 	}
-	fmt.Printf("\n(%d runs per design, seed %#x, %s)\n", cfg.Runs, cfg.Seed, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "\n(%d runs per design, seed %#x, %s)\n", cfg.Runs, cfg.Seed, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
-func coverageScheme(name string) core.Scheme {
+func coverageScheme(name string) (core.Scheme, error) {
 	switch name {
 	case "naive":
-		return core.SchemeNaiveDup
+		return core.SchemeNaiveDup, nil
 	case "acisp":
-		return core.SchemeACISP
+		return core.SchemeACISP, nil
 	case "three-in-one":
-		return core.SchemeThreeInOne
+		return core.SchemeThreeInOne, nil
 	default:
-		fmt.Fprintf(os.Stderr, "sconesim: unknown scheme %q\n", name)
-		os.Exit(2)
-		return 0
-	}
-}
-
-func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sconesim:", err)
-		os.Exit(1)
+		return 0, fmt.Errorf("unknown scheme %q", name)
 	}
 }

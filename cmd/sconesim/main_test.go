@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFig4Tiny(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-experiment", "fig4", "-runs", "256", "-workers", "2"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "256 runs per design") {
+		t.Fatalf("expected run summary in output, got:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-experiment", "fig99"}, &out, &errb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-experiment", "coverage", "-scheme", "none"}, &out, &errb); err == nil {
+		t.Fatal("unknown coverage scheme accepted")
+	}
+	if err := run([]string{"-runs", "0"}, &out, &errb); err == nil {
+		t.Fatal("zero run count accepted")
+	}
+	if err := run([]string{"-bogus"}, &out, &errb); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

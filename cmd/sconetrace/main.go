@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cipher/present"
@@ -24,13 +25,27 @@ import (
 )
 
 func main() {
-	scheme := flag.String("scheme", "three-in-one", "unprotected, naive, acisp, three-in-one")
-	doFault := flag.Bool("fault", false, "inject a stuck-at-0 during the last round")
-	sbox := flag.Int("sbox", 13, "targeted S-box index")
-	bit := flag.Int("bit", 2, "targeted S-box input bit")
-	pt := flag.Uint64("pt", 0xCAFEBABE12345678, "plaintext")
-	seed := flag.Uint64("seed", 2021, "device randomness seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "sconetrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconetrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scheme := fs.String("scheme", "three-in-one", "unprotected, naive, acisp, three-in-one")
+	doFault := fs.Bool("fault", false, "inject a stuck-at-0 during the last round")
+	sbox := fs.Int("sbox", 13, "targeted S-box index")
+	bit := fs.Int("bit", 2, "targeted S-box input bit")
+	pt := fs.Uint64("pt", 0xCAFEBABE12345678, "plaintext")
+	seed := fs.Uint64("seed", 2021, "device randomness seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var sch core.Scheme
 	switch *scheme {
@@ -43,8 +58,7 @@ func main() {
 	case "three-in-one":
 		sch = core.SchemeThreeInOne
 	default:
-		fmt.Fprintf(os.Stderr, "sconetrace: unknown scheme %q\n", *scheme)
-		os.Exit(2)
+		return fmt.Errorf("unknown scheme %q", *scheme)
 	}
 
 	d := core.MustBuild(present.Spec(), core.Options{
@@ -52,8 +66,7 @@ func main() {
 	})
 	r, err := core.NewRunner(d)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sconetrace:", err)
-		os.Exit(1)
+		return err
 	}
 
 	// Observe every port bit plus the targeted S-box input bus.
@@ -65,7 +78,7 @@ func main() {
 		nets = append(nets, d.Mod.Outputs[i].Bits...)
 	}
 	nets = append(nets, d.SboxInputBus(core.BranchActual, *sbox)...)
-	rec := sim.NewVCDRecorder(r.S, os.Stdout, 0, nets)
+	rec := sim.NewVCDRecorder(r.S, stdout, 0, nets)
 	r.CycleHook = func(int) { _ = rec.Sample() }
 
 	if *doFault {
@@ -82,9 +95,9 @@ func main() {
 	}
 	res := r.EncryptBatch([]uint64{*pt}, key, []uint64{gen.Uint64()}, lf)
 	if err := rec.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "sconetrace:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "ct=%016X fault=%v (%d cycles dumped)\n",
+	fmt.Fprintf(stderr, "ct=%016X fault=%v (%d cycles dumped)\n",
 		res.CT[0], res.Fault[0], d.CyclesPerRun())
+	return nil
 }

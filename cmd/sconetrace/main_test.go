@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDumpsVCD(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-scheme", "three-in-one", "-fault"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "$enddefinitions") {
+		t.Fatal("output is not a VCD dump")
+	}
+	if !strings.Contains(errb.String(), "ct=") {
+		t.Fatalf("expected ciphertext summary on stderr, got: %s", errb.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-scheme", "quintuple"}, &out, &errb); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if err := run([]string{"-bogus"}, &out, &errb); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -43,7 +43,7 @@ type Target struct {
 
 // NewTarget compiles the design. seed drives the device-side randomness.
 func NewTarget(d *core.Design, key spn.KeyState, seed uint64) (*Target, error) {
-	compiled, err := sim.Compile(d.Mod)
+	compiled, err := sim.CompileCached(d.Mod)
 	if err != nil {
 		return nil, err
 	}

@@ -21,9 +21,10 @@ type Runner struct {
 	CycleHook func(cycle int)
 }
 
-// NewRunner compiles the design and creates a simulator for it.
+// NewRunner compiles the design (through the process-wide compile cache)
+// and creates a simulator for it.
 func NewRunner(d *Design) (*Runner, error) {
-	c, err := sim.Compile(d.Mod)
+	c, err := sim.CompileCached(d.Mod)
 	if err != nil {
 		return nil, err
 	}

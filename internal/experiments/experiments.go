@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"sync"
+
 	"repro/internal/cipher/present"
 	"repro/internal/core"
 	"repro/internal/spn"
@@ -46,21 +48,36 @@ func (c Config) runs() int {
 	return 80000
 }
 
+// The figure experiments all target the same two PRESENT-80 designs;
+// building (and therefore compiling) them once lets every experiment in a
+// process share one netlist pointer, which is what makes the simulator's
+// pointer-keyed compile cache effective across fig4, fig5 and the sweeps.
+var (
+	naiveOnce, threeOnce     sync.Once
+	naiveDesign, threeDesign *core.Design
+)
+
 // buildNaive builds the naive-duplication PRESENT-80 core used as the
 // baseline of Figures 4 and 5.
 func buildNaive() *core.Design {
-	return core.MustBuild(present.Spec(), core.Options{
-		Scheme: core.SchemeNaiveDup,
-		Engine: synth.EngineANF,
+	naiveOnce.Do(func() {
+		naiveDesign = core.MustBuild(present.Spec(), core.Options{
+			Scheme: core.SchemeNaiveDup,
+			Engine: synth.EngineANF,
+		})
 	})
+	return naiveDesign
 }
 
 // buildThreeInOne builds the paper's countermeasure (prime variant) on
 // PRESENT-80.
 func buildThreeInOne() *core.Design {
-	return core.MustBuild(present.Spec(), core.Options{
-		Scheme:  core.SchemeThreeInOne,
-		Entropy: core.EntropyPrime,
-		Engine:  synth.EngineANF,
+	threeOnce.Do(func() {
+		threeDesign = core.MustBuild(present.Spec(), core.Options{
+			Scheme:  core.SchemeThreeInOne,
+			Entropy: core.EntropyPrime,
+			Engine:  synth.EngineANF,
+		})
 	})
+	return threeDesign
 }

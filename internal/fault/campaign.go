@@ -92,12 +92,15 @@ func (r Result) String() string {
 
 // Execute runs the campaign. observe, when non-nil, is called once per run
 // from the calling goroutine (after the parallel phase), in a deterministic
-// order given the seed.
+// order given the seed: batch by batch, lane by lane, regardless of how the
+// batches were scheduled across workers. Without an observer the workers
+// aggregate outcome counts directly and no Run is retained, so memory stays
+// flat no matter how large the campaign is.
 func (c *Campaign) Execute(observe func(Run)) (Result, error) {
 	if c.Runs <= 0 {
 		return Result{}, fmt.Errorf("fault: campaign needs a positive run count")
 	}
-	compiled, err := sim.Compile(c.Design.Mod)
+	compiled, err := sim.CompileCached(c.Design.Mod)
 	if err != nil {
 		return Result{}, err
 	}
@@ -120,19 +123,36 @@ func (c *Campaign) Execute(observe func(Run)) (Result, error) {
 		runsPerBatch[b] = n
 	}
 
-	all := make([][]Run, batches)
+	// all is only populated when an observer needs the deterministic
+	// replay; count-only campaigns aggregate inside the workers instead.
+	var all [][]Run
+	if observe != nil {
+		all = make([][]Run, batches)
+	}
+	partial := make([]Result, workers)
 	var wg sync.WaitGroup
 	batchCh := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			runner := core.NewRunnerFrom(c.Design, compiled)
 			runner.S.SetInjector(inj)
-			for b := range batchCh {
-				all[b] = c.runBatch(runner, b, runsPerBatch[b])
+			res := &partial[w]
+			emit := func(r Run) {
+				res.Total++
+				res.Counts[r.Outcome]++
 			}
-		}()
+			for b := range batchCh {
+				if observe != nil {
+					runs := make([]Run, 0, runsPerBatch[b])
+					c.runBatch(runner, b, runsPerBatch[b], func(r Run) { runs = append(runs, r) })
+					all[b] = runs
+				} else {
+					c.runBatch(runner, b, runsPerBatch[b], emit)
+				}
+			}
+		}(w)
 	}
 	for b := 0; b < batches; b++ {
 		batchCh <- b
@@ -141,21 +161,29 @@ func (c *Campaign) Execute(observe func(Run)) (Result, error) {
 	wg.Wait()
 
 	var res Result
+	if observe == nil {
+		for _, p := range partial {
+			res.Total += p.Total
+			for o, n := range p.Counts {
+				res.Counts[o] += n
+			}
+		}
+		return res, nil
+	}
 	for _, batch := range all {
 		for _, run := range batch {
 			res.Total++
 			res.Counts[run.Outcome]++
-			if observe != nil {
-				observe(run)
-			}
+			observe(run)
 		}
 	}
 	return res, nil
 }
 
-// runBatch executes one 64-lane batch. Each batch derives its randomness
-// from (seed, batch index), so results are independent of scheduling.
-func (c *Campaign) runBatch(runner *core.Runner, batch, n int) []Run {
+// runBatch executes one 64-lane batch, handing each finished Run to emit in
+// lane order. Each batch derives its randomness from (seed, batch index),
+// so results are independent of scheduling.
+func (c *Campaign) runBatch(runner *core.Runner, batch, n int, emit func(Run)) {
 	d := c.Design
 	gen := rng.NewXoshiro(c.Seed ^ (uint64(batch)+1)*0x9E3779B97F4A7C15)
 	pts := make([]uint64, n)
@@ -195,7 +223,6 @@ func (c *Campaign) runBatch(runner *core.Runner, batch, n int) []Run {
 	}
 
 	res := runner.EncryptBatch(pts, c.Key, garbage, lf)
-	runs := make([]Run, n)
 	for i := 0; i < n; i++ {
 		ref := d.Spec.Encrypt(pts[i], c.Key)
 		r := Run{PT: pts[i], CT: res.CT[i], RefCT: ref}
@@ -210,7 +237,6 @@ func (c *Campaign) runBatch(runner *core.Runner, batch, n int) []Run {
 		default:
 			r.Outcome = OutcomeEffective
 		}
-		runs[i] = r
+		emit(r)
 	}
-	return runs
 }

@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/cipher/present"
+	"repro/internal/core"
+	"repro/internal/spn"
+	"repro/internal/synth"
+)
+
+// The golden values below were produced by the original interpreted
+// per-cell switch evaluator (pre instruction-stream rewrite). They pin the
+// exact Result counts and the exact observer-visible Run stream for fixed
+// seeds, so any change to the simulator, the batching, or the worker
+// scheduling that alters a single released bit fails loudly.
+
+var goldenKey = spn.KeyState{0x0123456789ABCDEF, 0x8421}
+
+// hashRuns folds every observable field of the run stream, in observation
+// order, into one FNV-64a digest.
+func hashRuns(t *testing.T, c *Campaign) (Result, uint64) {
+	t.Helper()
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	res, err := c.Execute(func(r Run) {
+		word(r.PT)
+		word(r.CT)
+		word(r.RefCT)
+		word(r.Lambda0)
+		word(uint64(r.Outcome))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, h.Sum64()
+}
+
+func goldenDesign(t *testing.T, scheme core.Scheme) *core.Design {
+	t.Helper()
+	opts := core.Options{Scheme: scheme, Engine: synth.EngineANF}
+	if scheme.Randomized() {
+		opts.Entropy = core.EntropyPrime
+	}
+	d, err := core.Build(present.Spec(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGoldenCampaignResults(t *testing.T) {
+	cases := []struct {
+		name       string
+		scheme     core.Scheme
+		wantCounts [outcomeCount]int
+		wantDigest uint64
+	}{
+		{"naive-dup", core.SchemeNaiveDup, [outcomeCount]int{498, 502, 0}, 0x3b65c928c52a21d2},
+		{"three-in-one", core.SchemeThreeInOne, [outcomeCount]int{492, 508, 0}, 0xa188d67a405a7a39},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := goldenDesign(t, tc.scheme)
+			net := d.SboxInputNet(core.BranchActual, 13, 2)
+			camp := Campaign{
+				Design:  d,
+				Key:     goldenKey,
+				Faults:  []Fault{At(net, StuckAt0, d.LastRoundCycle())},
+				Runs:    1000,
+				Seed:    0x5C09E2021,
+				Workers: 3,
+			}
+			res, digest := hashRuns(t, &camp)
+			if res.Total != 1000 {
+				t.Fatalf("total = %d, want 1000", res.Total)
+			}
+			if res.Counts != tc.wantCounts {
+				t.Errorf("counts = %v, want %v", res.Counts, tc.wantCounts)
+			}
+			if digest != tc.wantDigest {
+				t.Errorf("run-stream digest = %#x, want %#x", digest, tc.wantDigest)
+			}
+		})
+	}
+}
+
+// TestCampaignWorkerCountInvariance proves the determinism guarantee the
+// docs advertise: a fixed seed yields an identical Result and an identical
+// observer-visible run stream for any worker count.
+func TestCampaignWorkerCountInvariance(t *testing.T) {
+	d := goldenDesign(t, core.SchemeThreeInOne)
+	net := d.SboxInputNet(core.BranchActual, 5, 1)
+	var ref Result
+	var refDigest uint64
+	for i, workers := range []int{1, 2, 5, 16} {
+		camp := Campaign{
+			Design:  d,
+			Key:     goldenKey,
+			Faults:  []Fault{At(net, BitFlip, d.LastRoundCycle())},
+			Runs:    700,
+			Seed:    99,
+			Workers: workers,
+		}
+		res, digest := hashRuns(t, &camp)
+		if i == 0 {
+			ref, refDigest = res, digest
+			continue
+		}
+		if res != ref {
+			t.Errorf("workers=%d: result %v differs from workers=1 result %v", workers, res, ref)
+		}
+		if digest != refDigest {
+			t.Errorf("workers=%d: run-stream digest %#x differs from %#x", workers, digest, refDigest)
+		}
+	}
+}

@@ -6,6 +6,14 @@
 // stimulus patterns. This is the property that makes the 80,000-run fault
 // campaigns of the paper cheap: a campaign batches runs 64 at a time.
 //
+// Compile lowers the levelized netlist into a compiled instruction stream
+// (struct-of-arrays program storage with constants folded and BUF chains
+// collapsed) that Eval executes with one of three specialised loops: a
+// branchless fast path when no injector is installed, a segmented path that
+// only pauses at nets pre-marked by Injector.Nets(), and a full-fidelity
+// fallback when a fault targets a folded net. EvalReference retains the
+// original per-cell interpreter for differential testing and benchmarking.
+//
 // Sequential designs are simulated cycle by cycle: Step evaluates the
 // combinational logic with the current register state, then clocks every
 // DFF. Fault injection is provided through the Injector interface; the
@@ -24,6 +32,10 @@ const Lanes = 64
 // Injector mutates net values during simulation. Apply is called for every
 // net listed by Nets() immediately after the net's value is computed (gate
 // output, register output at clocking time, or primary input at load time).
+// Apply must be a pure function of (cycle, net, value): the compiled
+// evaluator schedules independent gates for throughput, so the relative
+// order of Apply calls across different nets within one cycle is
+// unspecified.
 type Injector interface {
 	// Nets returns the set of nets the injector wants to observe; the
 	// simulator only calls Apply for these.
@@ -33,31 +45,57 @@ type Injector interface {
 	Apply(c int, n netlist.Net, v uint64) uint64
 }
 
+// evalMode selects which compiled loop Eval runs.
+type evalMode uint8
+
+const (
+	// evalFast: no injector; run the branchless fast stream end to end.
+	evalFast evalMode = iota
+	// evalSegment: an injector is installed and every faulted net is
+	// materialised by the fast stream; run it in segments, applying the
+	// injector at each pre-marked instruction boundary.
+	evalSegment
+	// evalFull: a fault targets a folded net (collapsed BUF output or
+	// constant); run the full per-cell stream with the reference
+	// injection semantics.
+	evalFull
+)
+
 // Simulator executes one Module. It is not safe for concurrent use; create
 // one Simulator per goroutine (construction is cheap after the first
-// levelization, which is cached in the module wrapper Compiled).
+// compilation, which is cached in the module wrapper Compiled).
 type Simulator struct {
 	mod    *netlist.Module
-	order  []int // topological order of combinational cells
-	dffs   []int // cell indices of DFFs, in Cells order
+	c      *Compiled
 	values []uint64
 	dffTmp []uint64
 	cycle  int
+
+	mode evalMode
+	// read maps a net to the value slot holding its current logic value:
+	// the alias table in fast/segmented mode (collapsed nets resolve to
+	// their source), the identity table in full mode.
+	read []int32
+	// segs lists fast-stream instruction indices whose output net is
+	// fault-marked, in topological order (segmented mode only).
+	segs []int32
 
 	hasFault []bool
 	injector Injector
 }
 
-// Compiled caches the levelization of a module so many Simulators can be
-// created without re-sorting.
+// Compiled caches the levelization and the lowered instruction stream of a
+// module so many Simulators can be created without re-sorting.
 type Compiled struct {
 	Mod   *netlist.Module
 	order []int
 	dffs  []int
+	prog  *program
 }
 
-// Compile levelizes the module once. It returns an error if the module has
-// combinational cycles or fails validation.
+// Compile levelizes the module once and lowers it to the instruction-stream
+// program. It returns an error if the module has combinational cycles or
+// fails validation.
 func Compile(m *netlist.Module) (*Compiled, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: module %q invalid: %w", m.Name, err)
@@ -72,7 +110,7 @@ func Compile(m *netlist.Module) (*Compiled, error) {
 			dffs = append(dffs, ci)
 		}
 	}
-	return &Compiled{Mod: m, order: order, dffs: dffs}, nil
+	return &Compiled{Mod: m, order: order, dffs: dffs, prog: lower(m, order, dffs)}, nil
 }
 
 // MustCompile is Compile that panics on error.
@@ -85,14 +123,19 @@ func MustCompile(m *netlist.Module) *Compiled {
 }
 
 // NewSimulator creates a simulator over the compiled module with all state
-// and inputs initialised to zero.
+// and inputs initialised to zero (and folded constants pre-loaded).
 func (c *Compiled) NewSimulator() *Simulator {
-	return &Simulator{
+	s := &Simulator{
 		mod:    c.Mod,
-		order:  c.order,
-		dffs:   c.dffs,
-		values: make([]uint64, c.Mod.NumNets()+1),
+		c:      c,
+		values: make([]uint64, c.prog.nets+1),
+		mode:   evalFast,
+		read:   c.prog.alias,
 	}
+	for i, n := range c.prog.constNets {
+		s.values[n] = c.prog.constVals[i]
+	}
+	return s
 }
 
 // New compiles m and returns a simulator; it panics if the module is
@@ -107,27 +150,56 @@ func (s *Simulator) Module() *netlist.Module { return s.mod }
 // Cycle returns the index of the next cycle Step will execute.
 func (s *Simulator) Cycle() int { return s.cycle }
 
-// SetInjector installs (or clears, with nil) the fault injector.
+// SetInjector installs (or clears, with nil) the fault injector and selects
+// the matching evaluation path: segmented when every faulted net is
+// materialised by the fast stream, full-fidelity otherwise.
 func (s *Simulator) SetInjector(inj Injector) {
 	s.injector = inj
+	p := s.c.prog
+	// A previous full-fidelity run may have left faulted values on folded
+	// constants; restore them before picking the new path.
+	for i, n := range p.constNets {
+		s.values[n] = p.constVals[i]
+	}
 	if inj == nil {
 		s.hasFault = nil
+		s.segs = nil
+		s.mode = evalFast
+		s.read = p.alias
 		return
 	}
 	s.hasFault = make([]bool, s.mod.NumNets()+1)
+	fallback := false
 	for _, n := range inj.Nets() {
 		if n > 0 && int(n) <= s.mod.NumNets() {
 			s.hasFault[n] = true
+			if p.folded[n] {
+				fallback = true
+			}
 		}
 	}
+	if fallback {
+		s.segs = nil
+		s.mode = evalFull
+		s.read = p.ident
+		return
+	}
+	s.segs = s.segs[:0]
+	for i, o := range p.rOut {
+		if s.hasFault[o] {
+			s.segs = append(s.segs, int32(i))
+		}
+	}
+	s.mode = evalSegment
+	s.read = p.alias
 }
 
 // Reset zeroes all register state and the cycle counter. Input values are
 // retained.
 func (s *Simulator) Reset() {
 	s.cycle = 0
-	for _, ci := range s.dffs {
-		s.values[s.mod.Cells[ci].Out] = 0
+	for _, o := range s.c.prog.dffOut {
+		s.values[o] = 0
 	}
 }
 
@@ -193,10 +265,87 @@ func (s *Simulator) applyFault(n netlist.Net, v uint64) uint64 {
 // register state, without advancing the clock. For purely combinational
 // modules this is a complete simulation pass.
 func (s *Simulator) Eval() {
+	switch s.mode {
+	case evalFast:
+		p := s.c.prog
+		p.evalRange(s.values, 0, len(p.rOut))
+	case evalSegment:
+		s.evalSegmented()
+	default:
+		s.evalFull()
+	}
+}
+
+// evalSegmented runs the fast stream in segments, applying the injector at
+// each instruction whose output net is fault-marked — the same per-net
+// injection points, in the same topological order, as the reference
+// interpreter.
+func (s *Simulator) evalSegmented() {
+	p := s.c.prog
+	v := s.values
+	lo := 0
+	for _, si := range s.segs {
+		p.evalRange(v, lo, int(si)+1)
+		o := p.rOut[si]
+		v[o] = s.injector.Apply(s.cycle, netlist.Net(o), v[o])
+		lo = int(si) + 1
+	}
+	p.evalRange(v, lo, len(p.rOut))
+}
+
+// evalFull executes the unfolded per-cell stream with injection checks on
+// every output — bit-for-bit the reference interpreter semantics, used when
+// a fault targets a net the fast stream folds away.
+func (s *Simulator) evalFull() {
+	p := s.c.prog
+	v := s.values
+	for i := range p.aOp {
+		var out uint64
+		switch netlist.CellKind(p.aOp[i]) {
+		case netlist.KindConst0:
+			out = 0
+		case netlist.KindConst1:
+			out = ^uint64(0)
+		case netlist.KindBuf:
+			out = v[p.aIn0[i]]
+		case netlist.KindInv:
+			out = ^v[p.aIn0[i]]
+		case netlist.KindAnd2:
+			out = v[p.aIn0[i]] & v[p.aIn1[i]]
+		case netlist.KindOr2:
+			out = v[p.aIn0[i]] | v[p.aIn1[i]]
+		case netlist.KindNand2:
+			out = ^(v[p.aIn0[i]] & v[p.aIn1[i]])
+		case netlist.KindNor2:
+			out = ^(v[p.aIn0[i]] | v[p.aIn1[i]])
+		case netlist.KindXor2:
+			out = v[p.aIn0[i]] ^ v[p.aIn1[i]]
+		case netlist.KindXnor2:
+			out = ^(v[p.aIn0[i]] ^ v[p.aIn1[i]])
+		case netlist.KindMux2:
+			sel := v[p.aIn2[i]]
+			out = (v[p.aIn0[i]] &^ sel) | (v[p.aIn1[i]] & sel)
+		default:
+			panic(fmt.Sprintf("sim: unexpected cell kind %s in combinational order", netlist.CellKind(p.aOp[i])))
+		}
+		o := p.aOut[i]
+		if s.hasFault[o] {
+			out = s.injector.Apply(s.cycle, netlist.Net(o), out)
+		}
+		v[o] = out
+	}
+}
+
+// EvalReference is the original interpreted evaluator: a per-cell switch
+// over the levelized netlist, with injection checks on every cell output.
+// It computes exactly what Eval computes (materialising every net at its
+// own slot) and exists as the differential-testing and benchmarking
+// baseline for the compiled instruction stream.
+func (s *Simulator) EvalReference() {
 	v := s.values
 	cells := s.mod.Cells
 	faulted := s.hasFault != nil
-	for _, ci := range s.order {
+	for _, ci := range s.c.order {
 		c := &cells[ci]
 		var out uint64
 		switch c.Kind {
@@ -239,21 +388,24 @@ func (s *Simulator) Step() {
 	s.Eval()
 	// Two-phase latch so chained DFFs shift correctly regardless of
 	// Cells order: capture all D values first, then commit.
-	cells := s.mod.Cells
-	if cap(s.dffTmp) < len(s.dffs) {
-		s.dffTmp = make([]uint64, len(s.dffs))
+	p := s.c.prog
+	din := p.dffInFast
+	if s.mode == evalFull {
+		din = p.dffInFull
 	}
-	tmp := s.dffTmp[:len(s.dffs)]
-	for i, ci := range s.dffs {
-		tmp[i] = s.values[cells[ci].In[0]]
+	if cap(s.dffTmp) < len(din) {
+		s.dffTmp = make([]uint64, len(din))
 	}
-	for i, ci := range s.dffs {
-		c := &cells[ci]
+	tmp := s.dffTmp[:len(din)]
+	for i, idx := range din {
+		tmp[i] = s.values[idx]
+	}
+	for i, o := range p.dffOut {
 		out := tmp[i]
-		if s.hasFault != nil && s.hasFault[c.Out] {
-			out = s.injector.Apply(s.cycle, c.Out, out)
+		if s.hasFault != nil && s.hasFault[o] {
+			out = s.injector.Apply(s.cycle, netlist.Net(o), out)
 		}
-		s.values[c.Out] = out
+		s.values[o] = out
 	}
 	s.cycle++
 }
@@ -273,7 +425,7 @@ func (s *Simulator) Output(port string) []uint64 {
 	}
 	out := make([]uint64, Lanes)
 	for bi, n := range p.Bits {
-		w := s.values[n]
+		w := s.values[s.read[n]]
 		for lane := 0; lane < Lanes; lane++ {
 			out[lane] |= ((w >> uint(lane)) & 1) << uint(bi)
 		}
@@ -289,20 +441,20 @@ func (s *Simulator) OutputLane(port string, lane int) uint64 {
 	}
 	var out uint64
 	for bi, n := range p.Bits {
-		out |= ((s.values[n] >> uint(lane)) & 1) << uint(bi)
+		out |= ((s.values[s.read[n]] >> uint(lane)) & 1) << uint(bi)
 	}
 	return out
 }
 
 // NetWord returns the raw 64-lane word currently on net n.
-func (s *Simulator) NetWord(n netlist.Net) uint64 { return s.values[n] }
+func (s *Simulator) NetWord(n netlist.Net) uint64 { return s.values[s.read[n]] }
 
 // BusLane reads the value of an arbitrary bus in one lane; useful for
 // probing internal state (e.g. the S-box input a SIFA histogram bins on).
 func (s *Simulator) BusLane(bus netlist.Bus, lane int) uint64 {
 	var out uint64
 	for bi, n := range bus {
-		out |= ((s.values[n] >> uint(lane)) & 1) << uint(bi)
+		out |= ((s.values[s.read[n]] >> uint(lane)) & 1) << uint(bi)
 	}
 	return out
 }
@@ -311,7 +463,7 @@ func (s *Simulator) BusLane(bus netlist.Bus, lane int) uint64 {
 func (s *Simulator) BusLanes(bus netlist.Bus) []uint64 {
 	out := make([]uint64, Lanes)
 	for bi, n := range bus {
-		w := s.values[n]
+		w := s.values[s.read[n]]
 		for lane := 0; lane < Lanes; lane++ {
 			out[lane] |= ((w >> uint(lane)) & 1) << uint(bi)
 		}

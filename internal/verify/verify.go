@@ -99,11 +99,11 @@ func Exhaustive(a, b *netlist.Module) (*Counterexample, error) {
 	if k > 24 {
 		return nil, fmt.Errorf("verify: %d input bits too wide for exhaustive checking", k)
 	}
-	ca, err := sim.Compile(a)
+	ca, err := sim.CompileCached(a)
 	if err != nil {
 		return nil, err
 	}
-	cb, err := sim.Compile(b)
+	cb, err := sim.CompileCached(b)
 	if err != nil {
 		return nil, err
 	}
@@ -121,11 +121,11 @@ func Random(a, b *netlist.Module, n int, seed uint64) (*Counterexample, error) {
 	if err := samePortShape(a, b); err != nil {
 		return nil, err
 	}
-	ca, err := sim.Compile(a)
+	ca, err := sim.CompileCached(a)
 	if err != nil {
 		return nil, err
 	}
-	cb, err := sim.Compile(b)
+	cb, err := sim.CompileCached(b)
 	if err != nil {
 		return nil, err
 	}
@@ -181,8 +181,8 @@ func BDD(a, b *netlist.Module) (*Counterexample, error) {
 				diff := mgr.Xor(fa[i][bit], fb[i][bit])
 				x := satAssignment(mgr, diff)
 				in := assign(a, x)
-				ca, _ := sim.Compile(a)
-				cb, _ := sim.Compile(b)
+				ca, _ := sim.CompileCached(a)
+				cb, _ := sim.CompileCached(b)
 				if cex := compare(ca, cb, in); cex != nil {
 					return cex, nil
 				}
