@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt fmt-check vet fuzz ci
+.PHONY: all build test race bench bench-smoke fmt fmt-check vet lint sconelint fuzz ci
 
 all: build test
 
@@ -34,8 +34,23 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Replay the checked-in fuzz seed corpus (no open-ended fuzzing).
-fuzz:
-	$(GO) test -run=Fuzz ./internal/netlist
+# Custom vet passes (internal/vetkit): norand, cachedcompile.
+lint: vet
+	$(GO) run ./cmd/sconevet .
 
-ci: fmt-check build vet test race bench-smoke fuzz
+# Static countermeasure audit: the synthesised PRESENT-80 three-in-one
+# core must lint clean for every entropy variant, and the unprotected
+# baseline must be flagged.
+sconelint:
+	$(GO) run ./cmd/sconelint -summary -cipher present80 -scheme three-in-one -entropy prime
+	$(GO) run ./cmd/sconelint -summary -cipher present80 -scheme three-in-one -entropy per-round
+	$(GO) run ./cmd/sconelint -summary -cipher present80 -scheme three-in-one -entropy per-sbox
+	@if $(GO) run ./cmd/sconelint -rules lambda-cone -scheme unprotected >/dev/null 2>&1; then \
+		echo "sconelint failed to flag the unprotected core" >&2; exit 1; \
+	else echo "unprotected core correctly flagged"; fi
+
+# Replay the checked-in fuzz seed corpora (no open-ended fuzzing).
+fuzz:
+	$(GO) test -run=Fuzz ./internal/netlist ./internal/lint
+
+ci: fmt-check build lint test race bench-smoke fuzz sconelint

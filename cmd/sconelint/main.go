@@ -1,0 +1,187 @@
+// Command sconelint statically audits netlists: structural health
+// (floating nets, loops, dead logic) and the countermeasure soundness
+// properties of the paper's duplication scheme (λ coverage, ¬λ branch
+// duality, comparator coverage, constant nets).
+//
+// It lints either netlist files in the scone text format:
+//
+//	sconelint core.nl other.nl
+//
+// or a core it synthesises on the fly:
+//
+//	sconelint -cipher present80 -scheme three-in-one -entropy prime
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/cipher/gift"
+	"repro/internal/cipher/present"
+	"repro/internal/core"
+	"repro/internal/lint"
+	"repro/internal/netlist"
+	"repro/internal/spn"
+	"repro/internal/synth"
+)
+
+// errFindings distinguishes "the lint ran and found problems" (exit 1)
+// from usage and I/O errors (exit 2).
+var errFindings = errors.New("findings reported")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	case errors.Is(err, errFindings):
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "sconelint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cipher := fs.String("cipher", "present80", "cipher to synthesise when no files are given: present80 or gift64")
+	scheme := fs.String("scheme", "three-in-one", "unprotected, naive, acisp, three-in-one")
+	entropy := fs.String("entropy", "prime", "prime, per-round, per-sbox")
+	engine := fs.String("engine", "anf", "S-box synthesis engine: anf or bdd")
+	rules := fs.String("rules", "", "comma-separated rule IDs or categories to run (default: all)")
+	maxPerRule := fs.Int("max-per-rule", 0, "cap diagnostics kept per rule (0 = unlimited)")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	summary := fs.Bool("summary", false, "prefix the per-rule summary table")
+	list := fs.Bool("list", false, "list the registered rules and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: sconelint [flags] [netlist.nl ...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, r := range lint.Rules() {
+			fmt.Fprintf(stdout, "%-16s %-15s %s\n", r.ID, "("+string(r.Category)+")", r.Doc)
+		}
+		return nil
+	}
+
+	opts := lint.Options{MaxPerRule: *maxPerRule}
+	if *rules != "" {
+		opts.Rules = strings.Split(*rules, ",")
+	}
+
+	var modules []*netlist.Module
+	if fs.NArg() > 0 {
+		for _, path := range fs.Args() {
+			m, err := readModule(path)
+			if err != nil {
+				return err
+			}
+			modules = append(modules, m)
+		}
+	} else {
+		m, err := buildModule(*cipher, *scheme, *entropy, *engine)
+		if err != nil {
+			return err
+		}
+		modules = append(modules, m)
+	}
+
+	clean := true
+	for _, m := range modules {
+		rep, err := lint.Run(m, opts)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			if err := rep.WriteJSON(stdout); err != nil {
+				return err
+			}
+		} else if err := rep.WriteText(stdout, *summary); err != nil {
+			return err
+		}
+		clean = clean && rep.Clean()
+	}
+	if !clean {
+		return errFindings
+	}
+	return nil
+}
+
+// readModule loads a netlist file laxly: structurally broken modules are
+// exactly what the linter is for.
+func readModule(path string) (*netlist.Module, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := netlist.ReadTextLax(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// buildModule synthesises the selected core, mirroring sconenetlist's
+// flag vocabulary.
+func buildModule(cipher, scheme, entropy, engine string) (*netlist.Module, error) {
+	var spec *spn.Spec
+	switch cipher {
+	case "present80":
+		spec = present.Spec()
+	case "gift64":
+		spec = gift.Spec()
+	default:
+		return nil, fmt.Errorf("unknown cipher %q", cipher)
+	}
+
+	var opts core.Options
+	switch scheme {
+	case "unprotected":
+		opts.Scheme = core.SchemeUnprotected
+	case "naive":
+		opts.Scheme = core.SchemeNaiveDup
+	case "acisp":
+		opts.Scheme = core.SchemeACISP
+	case "three-in-one":
+		opts.Scheme = core.SchemeThreeInOne
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", scheme)
+	}
+	switch entropy {
+	case "prime":
+		opts.Entropy = core.EntropyPrime
+	case "per-round":
+		opts.Entropy = core.EntropyPerRound
+	case "per-sbox":
+		opts.Entropy = core.EntropyPerSbox
+	default:
+		return nil, fmt.Errorf("unknown entropy variant %q", entropy)
+	}
+	switch engine {
+	case "anf":
+		opts.Engine = synth.EngineANF
+	case "bdd":
+		opts.Engine = synth.EngineBDD
+	default:
+		return nil, fmt.Errorf("unknown engine %q", engine)
+	}
+
+	d, err := core.Build(spec, opts)
+	if err != nil {
+		return nil, fmt.Errorf("build: %w", err)
+	}
+	return d.Mod, nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunHelp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-h"}, &out, &errb); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []string{"norand", "cachedcompile"} {
+		if !strings.Contains(out.String(), a) {
+			t.Errorf("analyzer %s missing from -list output", a)
+		}
+	}
+}
+
+func TestRunRepoClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{filepath.Join("..", "..")}, &out, &errb); err != nil {
+		t.Fatalf("repository must be sconevet-clean: %v\n%s", err, out.String())
+	}
+}
+
+func TestRunFindingsExit(t *testing.T) {
+	root := t.TempDir()
+	src := "package p\n\nimport \"math/rand\"\n\nvar _ = rand.Int\n"
+	if err := os.WriteFile(filepath.Join(root, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	err := run([]string{root}, &out, &errb)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("run returned %v, want errFindings", err)
+	}
+	if !strings.Contains(out.String(), "norand") {
+		t.Fatalf("expected a norand finding, got:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bogus"},
+		{"a", "b"},
+		{"no-such-dir"},
+	} {
+		var out, errb bytes.Buffer
+		err := run(args, &out, &errb)
+		if err == nil || errors.Is(err, errFindings) || errors.Is(err, flag.ErrHelp) {
+			t.Fatalf("args %v: err = %v, want a usage error", args, err)
+		}
+	}
+}

@@ -131,6 +131,7 @@ func Spec() *spn.Spec {
 		RoundXORMask:    roundXORMask,
 		NextKeyState:    nextKeyState,
 		KeySchedNet:     keySchedNet,
+		CounterBits:     6, // the round-constant LUT consumes all 6 bits
 	}
 	if err := s.Validate(); err != nil {
 		panic(err)

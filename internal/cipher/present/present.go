@@ -100,6 +100,7 @@ func Spec() *spn.Spec {
 		RoundXORMask:   func(ks spn.KeyState, r int) uint64 { return roundKey80(ks) },
 		NextKeyState:   nextKeyState80,
 		KeySchedNet:    keySchedNet,
+		CounterBits:    5, // keySchedNet reads counter[0..4]; 31 rounds fit
 	}
 	if err := s.Validate(); err != nil {
 		panic(err)

@@ -196,26 +196,26 @@ func Build(spec *spn.Spec, opts Options) (*Design, error) {
 
 	sm := BuildSboxModules(spec.Sbox, spec.SboxBits, opts.Engine, true)
 
-	pt := m.AddInput("pt", spec.BlockBits)
+	pt := m.AddInput(PortPT, spec.BlockBits)
 	keyLoW := spec.KeyBits
 	if keyLoW > 64 {
 		keyLoW = 64
 	}
-	key := m.AddInput("key_lo", keyLoW)
+	key := m.AddInput(PortKeyLo, keyLoW)
 	if spec.KeyBits > 64 {
-		key = key.Concat(m.AddInput("key_hi", spec.KeyBits-64))
+		key = key.Concat(m.AddInput(PortKeyHi, spec.KeyBits-64))
 	}
-	loadBus := m.AddInput("load", 1)
+	loadBus := m.AddInput(PortLoad, 1)
 	load := loadBus[0]
 
 	var lam netlist.Bus
 	if d.LambdaWidth > 0 {
-		lam = m.AddInput("lambda", d.LambdaWidth)
+		lam = m.AddInput(PortLambda, d.LambdaWidth)
 	}
 
 	var garbage netlist.Bus
 	if opts.Scheme.Duplicated() {
-		garbage = m.AddInput("garbage", spec.BlockBits)
+		garbage = m.AddInput(PortGarbage, spec.BlockBits)
 	}
 
 	// Branch λ assignment: the paper's first amendment fixes the
@@ -254,8 +254,8 @@ func Build(spec *spn.Spec, opts Options) (*Design, error) {
 		ct = ctA
 	}
 
-	m.AddOutput("ct", ct)
-	m.AddOutput("fault", netlist.Bus{fault})
+	m.AddOutput(PortCT, ct)
+	m.AddOutput(PortFault, netlist.Bus{fault})
 
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("core: built module invalid: %w", err)
@@ -291,19 +291,19 @@ func (d *Design) domIdx(sboxIdx int) int {
 // plus the round datapath) and returns the decoded ciphertext bus.
 func (d *Design) buildBranch(m *netlist.Module, b Branch, sm SboxModules, pt, key netlist.Bus, load netlist.Net, lam netlist.Bus) netlist.Bus {
 	spec := d.Spec
-	prefix := fmt.Sprintf("b%d", b)
+	prefix := BranchPrefix(b)
 	randomized := len(lam) > 0
 	needLamReg := randomized && d.Opts.Entropy != EntropyPrime
 	dom := func(p int) int { return d.domIdx(p / spec.SboxBits) }
 
 	// Register Q nets are allocated up front so the datapath can read
 	// them; the DFF cells are added once the D nets exist.
-	stateQ := m.NewNets(prefix+".state", spec.BlockBits)
-	keyQ := m.NewNets(prefix+".key", spec.KeyStateBits)
-	cntQ := m.NewNets(prefix+".cnt", 6)
+	stateQ := m.NewNets(prefix+"state", spec.BlockBits)
+	keyQ := m.NewNets(prefix+"key", spec.KeyStateBits)
+	cntQ := m.NewNets(prefix+"cnt", spec.CounterWidth())
 	var lamQ netlist.Bus
 	if needLamReg {
-		lamQ = m.NewNets(prefix+".lamreg", len(lam))
+		lamQ = m.NewNets(prefix+"lamreg", len(lam))
 	}
 	d.stateReg[b] = stateQ
 
@@ -353,7 +353,7 @@ func (d *Design) buildBranch(m *netlist.Module, b Branch, sm SboxModules, pt, ke
 	for s := 0; s < spec.NumSboxes(); s++ {
 		in := x.Slice(s*spec.SboxBits, (s+1)*spec.SboxBits)
 		d.sboxIn[b][s] = in
-		inst := fmt.Sprintf("%s.sbox%02d", prefix, s)
+		inst := fmt.Sprintf("%ssbox%02d", prefix, s)
 		var out netlist.Bus
 		switch {
 		case !randomized:
@@ -392,8 +392,8 @@ func (d *Design) buildBranch(m *netlist.Module, b Branch, sm SboxModules, pt, ke
 		m.AddCell(netlist.KindDFF, keyQ[i], keyD[i])
 	}
 
-	one := m.ConstBus(6, 1)
-	cntD := m.MuxBus(increment6(m, cntQ), one, load)
+	one := m.ConstBus(spec.CounterWidth(), 1)
+	cntD := m.MuxBus(incrementBus(m, cntQ), one, load)
 	for i := range cntQ {
 		m.AddCell(netlist.KindDFF, cntQ[i], cntD[i])
 	}
@@ -461,8 +461,9 @@ func (d *Design) linearLayer(m *netlist.Module, post netlist.Bus, lam netlist.Bu
 	return y
 }
 
-// increment6 builds a 6-bit incrementer (half-adder ripple chain).
-func increment6(m *netlist.Module, c netlist.Bus) netlist.Bus {
+// incrementBus builds an incrementer (half-adder ripple chain) as wide as
+// its input bus.
+func incrementBus(m *netlist.Module, c netlist.Bus) netlist.Bus {
 	out := make(netlist.Bus, len(c))
 	carry := netlist.Net(netlist.InvalidNet)
 	for i := range c {

@@ -1,0 +1,33 @@
+package core
+
+import "fmt"
+
+// Port and net naming conventions of Build's netlists. The static analyzer
+// in internal/lint locates the countermeasure structure (λ inputs, the two
+// computations, the error flag) purely through these names, so they are
+// part of the design contract rather than debug decoration.
+const (
+	// PortPT is the plaintext input port.
+	PortPT = "pt"
+	// PortKeyLo / PortKeyHi are the key input ports (hi only when the key
+	// is wider than 64 bits).
+	PortKeyLo = "key_lo"
+	PortKeyHi = "key_hi"
+	// PortLoad is the 1-bit load strobe: 1 during cycle 0.
+	PortLoad = "load"
+	// PortLambda is the λ randomness input of the randomised schemes.
+	PortLambda = "lambda"
+	// PortGarbage is the infective-output garbage input of the duplicated
+	// schemes.
+	PortGarbage = "garbage"
+	// PortCT is the ciphertext output port.
+	PortCT = "ct"
+	// PortFault is the 1-bit error-flag output driven by the comparator.
+	PortFault = "fault"
+)
+
+// BranchPrefix returns the net-name prefix of branch b's registers and
+// instances ("b0." for the actual computation, "b1." for the redundant
+// one). Register Q nets are named <prefix>state[i], <prefix>key[i],
+// <prefix>cnt[i] and <prefix>lamreg[i].
+func BranchPrefix(b Branch) string { return fmt.Sprintf("b%d.", b) }

@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// Context is the read-only shared state one lint run's rules operate on.
+// Everything is precomputed before the rules start, so concurrent access
+// needs no locking.
+type Context struct {
+	M *netlist.Module
+
+	// problems are the shared structural checks (one source of truth with
+	// netlist.Validate); structural rules filter them by Check ID.
+	problems []netlist.Problem
+
+	// order is the combinational topological order, nil with orderErr set
+	// when the module has a combinational cycle.
+	order    []int
+	orderErr error
+
+	// fanouts[n] lists the indices of cells reading net n.
+	fanouts [][]int32
+
+	pairs      []regPair
+	unpairedB1 []int // DFF cell indices with a b1. name but no b0. partner
+
+	// varIdx maps each net to its BDD variable index. Source nets
+	// (primary inputs, DFF outputs, floating nets) are ordered by a
+	// depth-first first-touch walk of the output-port fanin cones, which
+	// places variables that interact in one output — in particular the
+	// paired b0./b1. register bits the fault comparator XORs — next to
+	// each other. Net-id order would separate the branches (all b0
+	// registers are allocated before any b1 register), making the
+	// comparator's BDD exponential in the block size.
+	varIdx []int
+}
+
+// regPair is a matched pair of branch registers: the DFF holding suffix S
+// under the actual-branch prefix and its redundant-branch counterpart.
+type regPair struct {
+	Suffix string // register name without the branch prefix, e.g. "state[3]"
+	CellA  int    // DFF cell index, actual branch
+	CellB  int    // DFF cell index, redundant branch
+}
+
+func newContext(m *netlist.Module) *Context {
+	c := &Context{M: m}
+	c.problems = m.StructuralProblems()
+	c.order, c.orderErr = m.Levelize()
+
+	c.fanouts = make([][]int32, m.NumNets()+1)
+	for ci := range m.Cells {
+		for _, in := range m.Cells[ci].Inputs() {
+			if in > 0 && int(in) <= m.NumNets() {
+				c.fanouts[in] = append(c.fanouts[in], int32(ci))
+			}
+		}
+	}
+
+	prefixA, prefixB := core.BranchPrefix(core.BranchActual), core.BranchPrefix(core.BranchRedundant)
+	byName := make(map[string]int)
+	for ci := range m.Cells {
+		cell := &m.Cells[ci]
+		if cell.Kind != netlist.KindDFF {
+			continue
+		}
+		if name := m.NetName(cell.Out); strings.HasPrefix(name, prefixA) {
+			byName[strings.TrimPrefix(name, prefixA)] = ci
+		}
+	}
+	for ci := range m.Cells {
+		cell := &m.Cells[ci]
+		if cell.Kind != netlist.KindDFF {
+			continue
+		}
+		name := m.NetName(cell.Out)
+		if !strings.HasPrefix(name, prefixB) {
+			continue
+		}
+		suffix := strings.TrimPrefix(name, prefixB)
+		if a, ok := byName[suffix]; ok {
+			c.pairs = append(c.pairs, regPair{Suffix: suffix, CellA: a, CellB: ci})
+		} else {
+			c.unpairedB1 = append(c.unpairedB1, ci)
+		}
+	}
+	c.computeVarOrder()
+	return c
+}
+
+// computeVarOrder fills varIdx (see the field comment). Output ports are
+// walked in declaration order, then each DFF's next-state cone in cell
+// order, so every source net reachable from the observable logic gets an
+// index at its first touch; unreachable nets take the remaining indices.
+func (c *Context) computeVarOrder() {
+	m := c.M
+	c.varIdx = make([]int, m.NumNets()+1)
+	for n := range c.varIdx {
+		c.varIdx[n] = -1
+	}
+	seen := make([]bool, m.NumNets()+1)
+	next := 0
+	var visit func(n netlist.Net)
+	visit = func(n netlist.Net) {
+		if n <= 0 || int(n) > m.NumNets() || seen[n] {
+			return
+		}
+		seen[n] = true
+		if d := m.Driver(n); d >= 0 && !m.Cells[d].Kind.IsSequential() {
+			for _, in := range m.Cells[d].Inputs() {
+				visit(in)
+			}
+			return
+		}
+		c.varIdx[n] = next
+		next++
+	}
+	for i := range m.Outputs {
+		for _, n := range m.Outputs[i].Bits {
+			visit(n)
+		}
+	}
+	for ci := range m.Cells {
+		if m.Cells[ci].Kind.IsSequential() {
+			visit(m.Cells[ci].In[0])
+		}
+	}
+	// Combinational nets never consult their variable (buildBDDs folds
+	// over them in topological order), but keep varIdx total and
+	// collision-free so unreachable or floating nets stay distinct.
+	for n := netlist.Net(1); int(n) <= m.NumNets(); n++ {
+		if c.varIdx[n] < 0 {
+			c.varIdx[n] = next
+			next++
+		}
+	}
+}
+
+// Input returns the input port with the given name, or nil.
+func (c *Context) Input(name string) *netlist.Port { return c.M.FindInput(name) }
+
+// Output returns the output port with the given name, or nil.
+func (c *Context) Output(name string) *netlist.Port { return c.M.FindOutput(name) }
+
+// FanoutCone returns per-cell membership of the transitive fanout cone of
+// the root nets. When crossDFF is set the cone propagates through flip-
+// flops (a DFF whose D is in the cone places its Q, and everything reading
+// it, in the cone as well).
+func (c *Context) FanoutCone(roots []netlist.Net, crossDFF bool) []bool {
+	inCone := make([]bool, len(c.M.Cells))
+	seenNet := make([]bool, c.M.NumNets()+1)
+	stack := make([]netlist.Net, 0, len(roots))
+	for _, n := range roots {
+		if n > 0 && int(n) <= c.M.NumNets() && !seenNet[n] {
+			seenNet[n] = true
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ci := range c.fanouts[n] {
+			cell := &c.M.Cells[ci]
+			if !inCone[ci] {
+				inCone[ci] = true
+			}
+			if cell.Kind.IsSequential() && !crossDFF {
+				continue
+			}
+			if out := cell.Out; out > 0 && !seenNet[out] {
+				seenNet[out] = true
+				stack = append(stack, out)
+			}
+		}
+	}
+	return inCone
+}
+
+// FaninCone returns per-cell membership of the transitive fanin cone of
+// the root nets. When crossDFF is set the cone continues backwards through
+// flip-flops (from Q to the logic driving D).
+func (c *Context) FaninCone(roots []netlist.Net, crossDFF bool) []bool {
+	inCone := make([]bool, len(c.M.Cells))
+	var stack []int
+	push := func(n netlist.Net) {
+		if n <= 0 || int(n) > c.M.NumNets() {
+			return
+		}
+		if d := c.M.Driver(n); d >= 0 && !inCone[d] {
+			inCone[d] = true
+			stack = append(stack, d)
+		}
+	}
+	for _, n := range roots {
+		push(n)
+	}
+	for len(stack) > 0 {
+		ci := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cell := &c.M.Cells[ci]
+		if cell.Kind.IsSequential() && !crossDFF {
+			continue
+		}
+		for _, in := range cell.Inputs() {
+			push(in)
+		}
+	}
+	return inCone
+}
+
+// bddBudget bounds the number of BDD nodes a single rule may allocate;
+// past it the rule gives up and marks itself skipped rather than stalling
+// the lint run.
+const bddBudget = 4 << 20
+
+// netVar returns the BDD variable assigned to a net under the context's
+// first-touch ordering (see varIdx).
+func (c *Context) netVar(mgr *bdd.Manager, n netlist.Net) bdd.Node {
+	return mgr.Var(c.varIdx[n])
+}
+
+// buildBDDs computes a BDD for every net of the module. Source nets —
+// primary inputs, DFF outputs, floating nets — evaluate to varOf(net);
+// combinational cells are folded in topological order. It returns false if
+// the node budget is exceeded. The context's order must be valid.
+func (c *Context) buildBDDs(mgr *bdd.Manager, varOf func(n netlist.Net) bdd.Node) ([]bdd.Node, bool) {
+	m := c.M
+	vals := make([]bdd.Node, m.NumNets()+1)
+	for n := netlist.Net(1); int(n) <= m.NumNets(); n++ {
+		vals[n] = varOf(n)
+	}
+	for _, ci := range c.order {
+		cell := &m.Cells[ci]
+		in := cell.Inputs()
+		var v bdd.Node
+		switch cell.Kind {
+		case netlist.KindConst0:
+			v = bdd.False
+		case netlist.KindConst1:
+			v = bdd.True
+		case netlist.KindBuf:
+			v = vals[in[0]]
+		case netlist.KindInv:
+			v = mgr.Not(vals[in[0]])
+		case netlist.KindAnd2:
+			v = mgr.And(vals[in[0]], vals[in[1]])
+		case netlist.KindOr2:
+			v = mgr.Or(vals[in[0]], vals[in[1]])
+		case netlist.KindNand2:
+			v = mgr.Not(mgr.And(vals[in[0]], vals[in[1]]))
+		case netlist.KindNor2:
+			v = mgr.Not(mgr.Or(vals[in[0]], vals[in[1]]))
+		case netlist.KindXor2:
+			v = mgr.Xor(vals[in[0]], vals[in[1]])
+		case netlist.KindXnor2:
+			v = mgr.Xnor(vals[in[0]], vals[in[1]])
+		case netlist.KindMux2:
+			v = mgr.ITE(vals[in[2]], vals[in[1]], vals[in[0]])
+		default:
+			continue // DFFs keep their source variable
+		}
+		vals[cell.Out] = v
+		if mgr.Size() > bddBudget {
+			return nil, false
+		}
+	}
+	return vals, true
+}

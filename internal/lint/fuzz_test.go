@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// FuzzLint feeds arbitrary text netlists through the full rule set. Two
+// properties must hold: the linter never panics on anything the lax
+// parser accepts, and a module with no structural findings also passes
+// netlist.Validate (the two share one implementation; this pins that the
+// lint surface stays a superset).
+func FuzzLint(f *testing.F) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.nl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := netlist.ReadTextLax(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if m.NumNets() > 4096 || len(m.Cells) > 4096 {
+			return // keep BDD building cheap
+		}
+		rep, runErr := Run(m, Options{})
+		if runErr != nil {
+			t.Fatalf("Run with default options: %v", runErr)
+		}
+		structuralClean := true
+		for _, res := range rep.Results {
+			if res.Category == CategoryStructural && len(res.Diagnostics)+res.Truncated > 0 {
+				structuralClean = false
+			}
+		}
+		if structuralClean {
+			if err := m.Validate(); err != nil {
+				t.Fatalf("no structural findings but Validate fails: %v", err)
+			}
+		}
+	})
+}

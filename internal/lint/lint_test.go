@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cipher/gift"
+	"repro/internal/cipher/present"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func loadFixture(t *testing.T, name string) *netlist.Module {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := netlist.ReadTextLax(f)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return m
+}
+
+// TestSeededViolations runs the full rule set over each seeded-violation
+// fixture and requires that exactly the seeded rule fires.
+func TestSeededViolations(t *testing.T) {
+	for _, tc := range []struct {
+		file string
+		rule string
+	}{
+		{"floating_net.nl", "floating-net"},
+		{"multi_driven.nl", "multi-driven"},
+		{"comb_loop.nl", "comb-loop"},
+		{"duplicate_port.nl", "duplicate-port"},
+		{"port_width.nl", "port-width"},
+		{"dead_gate.nl", "dead-gate"},
+		{"const_net.nl", "const-net"},
+		{"lambda_cone.nl", "lambda-cone"},
+		{"dual_branch.nl", "dual-branch"},
+		{"detect_coverage.nl", "detect-coverage"},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			m := loadFixture(t, tc.file)
+			rep, err := Run(m, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := rep.Diagnostics()
+			if len(diags) == 0 {
+				t.Fatalf("no findings, want at least one from rule %s", tc.rule)
+			}
+			for _, d := range diags {
+				if d.Rule != tc.rule {
+					t.Errorf("unexpected finding from rule %s: %s", d.Rule, d.Message)
+				}
+			}
+			hit := false
+			for _, d := range diags {
+				hit = hit || d.Rule == tc.rule
+			}
+			if !hit {
+				t.Errorf("rule %s reported nothing", tc.rule)
+			}
+		})
+	}
+}
+
+// TestThreeInOneClean pins the central soundness statement: the paper's
+// three-in-one construction passes every rule, for all entropy variants
+// and for both ciphers.
+func TestThreeInOneClean(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		opts   core.Options
+		gift64 bool
+	}{
+		{"present-prime", core.Options{Scheme: core.SchemeThreeInOne, Entropy: core.EntropyPrime}, false},
+		{"present-per-round", core.Options{Scheme: core.SchemeThreeInOne, Entropy: core.EntropyPerRound}, false},
+		{"present-per-sbox", core.Options{Scheme: core.SchemeThreeInOne, Entropy: core.EntropyPerSbox}, false},
+		{"gift-prime", core.Options{Scheme: core.SchemeThreeInOne, Entropy: core.EntropyPrime}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := present.Spec()
+			if tc.gift64 {
+				spec = gift.Spec()
+			}
+			d := core.MustBuild(spec, tc.opts)
+			rep, err := Run(d.Mod, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, res := range rep.Results {
+				if res.Skipped != "" {
+					t.Errorf("rule %s skipped: %s", res.Rule, res.Skipped)
+				}
+			}
+			if !rep.Clean() {
+				var buf bytes.Buffer
+				rep.WriteText(&buf, true)
+				t.Fatalf("three-in-one core is not lint-clean:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+// TestWeakSchemesFlagged pins the differential statements: each weakened
+// scheme is caught by the rule that encodes the property it lacks.
+func TestWeakSchemesFlagged(t *testing.T) {
+	build := func(s core.Scheme) *core.Design {
+		return core.MustBuild(present.Spec(), core.Options{Scheme: s, Entropy: core.EntropyPrime})
+	}
+
+	t.Run("unprotected", func(t *testing.T) {
+		rep, err := Run(build(core.SchemeUnprotected).Mod, Options{Rules: []string{"lambda-cone"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Findings == 0 {
+			t.Fatal("lambda-cone must flag the unprotected core")
+		}
+	})
+	t.Run("naive-dup", func(t *testing.T) {
+		rep, err := Run(build(core.SchemeNaiveDup).Mod, Options{Rules: []string{"lambda-cone"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Findings == 0 {
+			t.Fatal("lambda-cone must flag the naive duplication core")
+		}
+	})
+	t.Run("acisp", func(t *testing.T) {
+		rep, err := Run(build(core.SchemeACISP).Mod, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dual []Diagnostic
+		for _, d := range rep.Diagnostics() {
+			if d.Rule != "dual-branch" {
+				t.Errorf("unexpected finding from rule %s: %s", d.Rule, d.Message)
+				continue
+			}
+			dual = append(dual, d)
+		}
+		if len(dual) != present.BlockBits {
+			t.Fatalf("dual-branch findings = %d, want one per state bit (%d)",
+				len(dual), present.BlockBits)
+		}
+		for _, d := range dual {
+			if !strings.Contains(d.Message, "shares λ") {
+				t.Fatalf("ACISP finding should call out the shared λ: %s", d.Message)
+			}
+		}
+	})
+}
+
+// TestGolden pins the verbose text report for the protected PRESENT-80
+// core so report format changes are deliberate.
+func TestGolden(t *testing.T) {
+	d := core.MustBuild(present.Spec(), core.Options{
+		Scheme: core.SchemeThreeInOne, Entropy: core.EntropyPrime,
+	})
+	rep, err := Run(d.Mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_present80_three_in_one_prime.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from golden file (rerun with -update if intended):\ngot:\n%s\nwant:\n%s",
+			buf.String(), want)
+	}
+}
+
+func TestRuleSelection(t *testing.T) {
+	m := loadFixture(t, "dead_gate.nl")
+
+	rep, err := Run(m, Options{Rules: []string{"dead-gate"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Rule != "dead-gate" {
+		t.Fatalf("rule selection by ID failed: %+v", rep.Results)
+	}
+
+	rep, err = Run(m, Options{Rules: []string{string(CategoryCountermeasure)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Results {
+		if res.Category != CategoryCountermeasure {
+			t.Fatalf("category selection leaked rule %s", res.Rule)
+		}
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("countermeasure category has %d rules, want 4", len(rep.Results))
+	}
+
+	if _, err := Run(m, Options{Rules: []string{"no-such-rule"}}); err == nil {
+		t.Fatal("unknown rule name must be an error")
+	}
+}
+
+func TestMaxPerRule(t *testing.T) {
+	d := core.MustBuild(present.Spec(), core.Options{Scheme: core.SchemeACISP, Entropy: core.EntropyPrime})
+	rep, err := Run(d.Mod, Options{Rules: []string{"dual-branch"}, MaxPerRule: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Results[0]
+	if len(res.Diagnostics) != 5 {
+		t.Fatalf("kept %d diagnostics, want 5", len(res.Diagnostics))
+	}
+	if res.Truncated != present.BlockBits-5 {
+		t.Fatalf("truncated = %d, want %d", res.Truncated, present.BlockBits-5)
+	}
+	if rep.Findings != present.BlockBits {
+		t.Fatalf("findings = %d, want %d (truncation must not hide the count)", rep.Findings, present.BlockBits)
+	}
+}
+
+// TestRuleMetadata keeps the registry well-formed: unique IDs, docs, and
+// a category on every rule.
+func TestRuleMetadata(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, r := range Rules() {
+		if r.ID == "" || r.Doc == "" {
+			t.Errorf("rule %+v lacks ID or doc", r)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate rule ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Category != CategoryStructural && r.Category != CategoryCountermeasure {
+			t.Errorf("rule %s has unknown category %q", r.ID, r.Category)
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("registry has %d rules, want 10", len(seen))
+	}
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders the report as human-readable text: one line per
+// finding. With verbose set it prefixes a per-rule summary table (the
+// format the golden report in testdata pins), including skipped rules and
+// their reasons.
+func (r *Report) WriteText(w io.Writer, verbose bool) error {
+	bw := bufio.NewWriter(w)
+	if verbose {
+		fmt.Fprintf(bw, "module %s: %d rules, %d findings\n", r.Module, len(r.Results), r.Findings)
+		for i := range r.Results {
+			res := &r.Results[i]
+			status := "ok"
+			switch {
+			case res.Skipped != "":
+				status = "skipped"
+			case len(res.Diagnostics) > 0 || res.Truncated > 0:
+				status = fmt.Sprintf("FAIL(%d)", len(res.Diagnostics)+res.Truncated)
+			}
+			fmt.Fprintf(bw, "  %-9s %-16s %-14s", status, res.Rule, "("+string(res.Category)+")")
+			if res.Skipped != "" {
+				fmt.Fprintf(bw, " — %s", res.Skipped)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	for i := range r.Results {
+		res := &r.Results[i]
+		for j := range res.Diagnostics {
+			d := &res.Diagnostics[j]
+			fmt.Fprintf(bw, "%s: %s[%s]: %s: %s\n", r.Module, d.Severity, d.Rule, d.Location(), d.Message)
+		}
+		if res.Truncated > 0 {
+			fmt.Fprintf(bw, "%s: %s[%s]: module: ... and %d more findings (truncated)\n",
+				r.Module, SeverityInfo, res.Rule, res.Truncated)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -5,23 +5,52 @@ import (
 	"fmt"
 )
 
-// Validate performs structural sanity checks: every read net is driven or a
-// primary input, ports reference valid nets, no combinational cycles, and
-// output ports are fully driven. It returns all problems found joined into
-// one error, or nil if the module is well-formed.
-func (m *Module) Validate() error {
-	var errs []error
+// Check identifiers for structural problems. The same identifiers are used
+// as rule IDs by the static analyzer in internal/lint, which delegates to
+// StructuralProblems so that Validate and the linter share one
+// implementation and report identical net/cell locations.
+const (
+	CheckFloatingNet   = "floating-net"   // read or exported net with no driver
+	CheckMultiDriven   = "multi-driven"   // input-port net also driven by a cell
+	CheckCombLoop      = "comb-loop"      // combinational cycle
+	CheckDuplicatePort = "duplicate-port" // two ports share a name
+	CheckPortWidth     = "port-width"     // port references an invalid net
+)
+
+// Problem is one structural defect found by StructuralProblems. Cell is the
+// index of the offending cell or -1; Net is the offending net or
+// InvalidNet; Port names the offending port ("" when not port-related).
+type Problem struct {
+	Check   string
+	Cell    int
+	Net     Net
+	Port    string
+	Message string
+}
+
+// String renders the problem as Validate historically formatted it.
+func (p Problem) String() string { return p.Message }
+
+// StructuralProblems performs the structural sanity checks behind Validate
+// and returns them as structured problems: every read net is driven or a
+// primary input, ports reference valid nets, port names are unique, output
+// ports are fully driven, and the combinational logic is acyclic.
+func (m *Module) StructuralProblems() []Problem {
+	var ps []Problem
 
 	isInput := make([]bool, m.NumNets()+1)
 	for i := range m.Inputs {
-		for bi, n := range m.Inputs[i].Bits {
+		p := &m.Inputs[i]
+		for bi, n := range p.Bits {
 			if n <= 0 || int(n) > m.NumNets() {
-				errs = append(errs, fmt.Errorf("input port %q bit %d: invalid net", m.Inputs[i].Name, bi))
+				ps = append(ps, Problem{Check: CheckPortWidth, Cell: -1, Port: p.Name,
+					Message: fmt.Sprintf("input port %q bit %d: invalid net", p.Name, bi)})
 				continue
 			}
 			if m.Driver(n) >= 0 {
-				errs = append(errs, fmt.Errorf("input port %q bit %d: net %q is driven by a cell",
-					m.Inputs[i].Name, bi, m.NetName(n)))
+				ps = append(ps, Problem{Check: CheckMultiDriven, Cell: m.Driver(n), Net: n, Port: p.Name,
+					Message: fmt.Sprintf("input port %q bit %d: net %q is driven by a cell",
+						p.Name, bi, m.NetName(n))})
 			}
 			isInput[n] = true
 		}
@@ -31,25 +60,30 @@ func (m *Module) Validate() error {
 		c := &m.Cells[ci]
 		for _, in := range c.Inputs() {
 			if in <= 0 || int(in) > m.NumNets() {
-				errs = append(errs, fmt.Errorf("cell %d (%s): invalid input net", ci, c.Kind))
+				ps = append(ps, Problem{Check: CheckFloatingNet, Cell: ci,
+					Message: fmt.Sprintf("cell %d (%s): invalid input net", ci, c.Kind)})
 				continue
 			}
 			if m.Driver(in) < 0 && !isInput[in] {
-				errs = append(errs, fmt.Errorf("cell %d (%s): input net %q is floating",
-					ci, c.Kind, m.NetName(in)))
+				ps = append(ps, Problem{Check: CheckFloatingNet, Cell: ci, Net: in,
+					Message: fmt.Sprintf("cell %d (%s): input net %q is floating",
+						ci, c.Kind, m.NetName(in))})
 			}
 		}
 	}
 
 	for i := range m.Outputs {
-		for bi, n := range m.Outputs[i].Bits {
+		p := &m.Outputs[i]
+		for bi, n := range p.Bits {
 			if n <= 0 || int(n) > m.NumNets() {
-				errs = append(errs, fmt.Errorf("output port %q bit %d: invalid net", m.Outputs[i].Name, bi))
+				ps = append(ps, Problem{Check: CheckPortWidth, Cell: -1, Port: p.Name,
+					Message: fmt.Sprintf("output port %q bit %d: invalid net", p.Name, bi)})
 				continue
 			}
 			if m.Driver(n) < 0 && !isInput[n] {
-				errs = append(errs, fmt.Errorf("output port %q bit %d: net %q is undriven",
-					m.Outputs[i].Name, bi, m.NetName(n)))
+				ps = append(ps, Problem{Check: CheckFloatingNet, Cell: -1, Net: n, Port: p.Name,
+					Message: fmt.Sprintf("output port %q bit %d: net %q is undriven",
+						p.Name, bi, m.NetName(n))})
 			}
 		}
 	}
@@ -57,21 +91,39 @@ func (m *Module) Validate() error {
 	seenIn := make(map[string]bool)
 	for i := range m.Inputs {
 		if seenIn[m.Inputs[i].Name] {
-			errs = append(errs, fmt.Errorf("duplicate input port %q", m.Inputs[i].Name))
+			ps = append(ps, Problem{Check: CheckDuplicatePort, Cell: -1, Port: m.Inputs[i].Name,
+				Message: fmt.Sprintf("duplicate input port %q", m.Inputs[i].Name)})
 		}
 		seenIn[m.Inputs[i].Name] = true
 	}
 	seenOut := make(map[string]bool)
 	for i := range m.Outputs {
 		if seenOut[m.Outputs[i].Name] {
-			errs = append(errs, fmt.Errorf("duplicate output port %q", m.Outputs[i].Name))
+			ps = append(ps, Problem{Check: CheckDuplicatePort, Cell: -1, Port: m.Outputs[i].Name,
+				Message: fmt.Sprintf("duplicate output port %q", m.Outputs[i].Name)})
 		}
 		seenOut[m.Outputs[i].Name] = true
 	}
 
 	if _, err := m.Levelize(); err != nil {
-		errs = append(errs, err)
+		ps = append(ps, Problem{Check: CheckCombLoop, Cell: -1, Message: err.Error()})
 	}
 
+	return ps
+}
+
+// Validate performs structural sanity checks: every read net is driven or a
+// primary input, ports reference valid nets, no combinational cycles, and
+// output ports are fully driven. It returns all problems found joined into
+// one error, or nil if the module is well-formed.
+func (m *Module) Validate() error {
+	ps := m.StructuralProblems()
+	if len(ps) == 0 {
+		return nil
+	}
+	errs := make([]error, len(ps))
+	for i, p := range ps {
+		errs[i] = errors.New(p.Message)
+	}
 	return errors.Join(errs...)
 }

@@ -83,10 +83,25 @@ type Spec struct {
 	NextKeyState func(ks KeyState, r int) KeyState
 
 	// KeySchedNet is the netlist form of (RoundXORMask, NextKeyState):
-	// given the key-state bus and the 6-bit round counter, it returns
-	// the round XOR mask bus and the next key-state bus. sbox
+	// given the key-state bus and the CounterWidth-bit round counter, it
+	// returns the round XOR mask bus and the next key-state bus. sbox
 	// instantiates the cipher's plain S-box.
 	KeySchedNet func(m *netlist.Module, ks netlist.Bus, counter netlist.Bus, sbox SboxNetFunc) (mask, next netlist.Bus)
+
+	// CounterBits is the width of the round-counter register the core
+	// hands to KeySchedNet. Zero means the default of 6 bits. Declaring
+	// the exact width the key schedule consumes keeps the synthesised
+	// core free of unobservable counter logic.
+	CounterBits int
+}
+
+// CounterWidth returns the round-counter width in bits (CounterBits, or
+// the default of 6 when unset).
+func (s *Spec) CounterWidth() int {
+	if s.CounterBits > 0 {
+		return s.CounterBits
+	}
+	return 6
 }
 
 // NumSboxes returns the number of parallel S-boxes per layer.
@@ -101,6 +116,10 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("spn: %s: key size %d out of range", s.Name, s.KeyBits)
 	case s.Rounds <= 0:
 		return fmt.Errorf("spn: %s: round count %d out of range", s.Name, s.Rounds)
+	case s.CounterBits < 0 || s.CounterBits > 16:
+		return fmt.Errorf("spn: %s: counter width %d out of range", s.Name, s.CounterBits)
+	case s.Rounds >= 1<<uint(s.CounterWidth()):
+		return fmt.Errorf("spn: %s: %d rounds do not fit a %d-bit counter", s.Name, s.Rounds, s.CounterWidth())
 	case s.BlockBits%s.SboxBits != 0:
 		return fmt.Errorf("spn: %s: block %d not divisible by S-box width %d", s.Name, s.BlockBits, s.SboxBits)
 	case len(s.Sbox) != 1<<uint(s.SboxBits):

@@ -1,0 +1,70 @@
+package vetkit
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Analyzers returns the repository's vet passes in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NoRand, CachedCompile}
+}
+
+// NoRand forbids math/rand outside test files and internal/rng.
+// Production randomness — the λ masks whose quality the countermeasure's
+// security rests on — must come from internal/rng, which wraps a real
+// entropy source and makes the generator choice auditable in one place.
+var NoRand = &Analyzer{
+	Name: "norand",
+	Doc:  "forbid math/rand outside _test.go files and internal/rng (use internal/rng)",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			if f.Test || strings.HasPrefix(f.Dir(), "internal/rng/") {
+				continue
+			}
+			for _, imp := range f.AST.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.Reportf(imp.Pos(), "import of %s in production code: draw randomness from internal/rng", path)
+				}
+			}
+		}
+	},
+}
+
+// simImportPath is the compiled-simulator package CachedCompile guards.
+const simImportPath = "repro/internal/sim"
+
+// CachedCompile forbids direct sim.Compile calls outside internal/sim.
+// Compiling a netlist is the dominant cost of every experiment loop;
+// sim.CompileCached shares compiled programs across callers, and calling
+// sim.Compile directly silently bypasses that cache.
+var CachedCompile = &Analyzer{
+	Name: "cachedcompile",
+	Doc:  "forbid direct sim.Compile outside internal/sim (use sim.CompileCached)",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			if f.Test || strings.HasPrefix(f.Dir(), "internal/sim/") {
+				continue
+			}
+			local := importName(f.AST, simImportPath)
+			if local == "" || local == "_" || local == "." {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Compile" {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == local && id.Obj == nil {
+					p.Reportf(call.Pos(), "direct sim.Compile call bypasses the program cache: use sim.CompileCached")
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,159 @@
+// Package vetkit is a minimal go/analysis-style framework built on the
+// standard library's go/ast and go/parser only, so the repository's custom
+// vet passes (cmd/sconevet) need no external module. An Analyzer receives
+// every parsed file of the module with its module-relative path and
+// reports position-anchored diagnostics.
+package vetkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is one parsed source file.
+type File struct {
+	Path string    // module-relative slash path, e.g. "internal/sim/compile.go"
+	Test bool      // *_test.go
+	AST  *ast.File // parsed with comments
+}
+
+// Dir returns the file's module-relative directory with a trailing slash
+// ("" for the module root), so analyzers can scope rules by package with
+// a plain prefix test.
+func (f *File) Dir() string {
+	d := filepath.ToSlash(filepath.Dir(f.Path))
+	if d == "." {
+		return ""
+	}
+	return d + "/"
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d *Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass hands one analyzer the parsed module and collects its findings.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*File
+
+	analyzer string
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at the given position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one vet pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// ParseModule parses every .go file under root, skipping testdata,
+// vendor and hidden directories. Paths in the result (and in reported
+// positions) are relative to root.
+func ParseModule(root string) (*token.FileSet, []*File, error) {
+	fset := token.NewFileSet()
+	var files []*File
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, rel, src, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", rel, err)
+		}
+		files = append(files, &File{
+			Path: rel,
+			Test: strings.HasSuffix(name, "_test.go"),
+			AST:  f,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return fset, files, nil
+}
+
+// Run parses the module once and applies every analyzer, returning all
+// findings sorted by position.
+func Run(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	fset, files, err := ParseModule(root)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a.Run(&Pass{Fset: fset, Files: files, analyzer: a.Name, diags: &diags})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// importName returns the local name under which the file imports the
+// given path, or "" when it does not import it.
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
+}

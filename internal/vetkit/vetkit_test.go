@@ -1,0 +1,121 @@
+package vetkit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materialises a fake module in a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestNoRand(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/attack/bad.go":     "package attack\n\nimport \"math/rand\"\n\nvar _ = rand.Int\n",
+		"internal/attack/v2.go":      "package attack\n\nimport mrand \"math/rand/v2\"\n\nvar _ = mrand.Int\n",
+		"internal/attack/ok_test.go": "package attack\n\nimport \"math/rand\"\n\nvar _ = rand.Int\n",
+		"internal/rng/rng.go":        "package rng\n\nimport \"math/rand\"\n\nvar _ = rand.Int\n",
+	})
+	diags, err := Run(root, []*Analyzer{NoRand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Pos.Filename != "internal/attack/bad.go" && d.Pos.Filename != "internal/attack/v2.go" {
+			t.Errorf("finding in wrong file: %s", d.String())
+		}
+	}
+}
+
+func TestCachedCompile(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/fault/bad.go": `package fault
+
+import "repro/internal/sim"
+
+func f(m any) { sim.Compile(m) }
+`,
+		"internal/fault/ok.go": `package fault
+
+import "repro/internal/sim"
+
+func g(m any) { sim.CompileCached(m) }
+`,
+		"internal/fault/shadow.go": `package fault
+
+func h() {
+	type simT struct{}
+	sim := struct{ Compile func() }{}
+	sim.Compile()
+	_ = simT{}
+}
+`,
+		"internal/fault/ok_test.go": `package fault
+
+import "repro/internal/sim"
+
+func t(m any) { sim.Compile(m) }
+`,
+		"internal/sim/compile.go": `package sim
+
+func Compile(m any) {}
+
+func CompileCached(m any) { Compile(m) }
+`,
+	})
+	diags, err := Run(root, []*Analyzer{CachedCompile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(diags), diags)
+	}
+	if d := diags[0]; d.Pos.Filename != "internal/fault/bad.go" || !strings.Contains(d.Message, "CompileCached") {
+		t.Fatalf("unexpected finding: %s", d.String())
+	}
+}
+
+func TestSkipsTestdataAndHiddenDirs(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"pkg/testdata/bad.go": "package broken !!!\n",
+		"pkg/.hidden/bad.go":  "package broken !!!\n",
+		"pkg/_skipped/bad.go": "package broken !!!\n",
+		"pkg/ok.go":           "package pkg\n",
+	})
+	diags, err := Run(root, Analyzers())
+	if err != nil {
+		t.Fatalf("walker must skip testdata/hidden dirs: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unexpected findings: %v", diags)
+	}
+}
+
+// TestRepoIsClean runs every analyzer over this repository itself: the
+// build gates on sconevet, so the source tree must stay finding-free.
+func TestRepoIsClean(t *testing.T) {
+	diags, err := Run(filepath.Join("..", ".."), Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d.String())
+	}
+}
