@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt fmt-check vet lint sconelint fuzz ci
+.PHONY: all build test race bench bench-smoke fmt fmt-check vet lint sconelint fuzz serve e2e ci
 
 all: build test
 
@@ -34,9 +34,22 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Custom vet passes (internal/vetkit): norand, cachedcompile.
+# Custom vet passes (internal/vetkit): norand, cachedcompile, ctxexecute.
 lint: vet
 	$(GO) run ./cmd/sconevet .
+
+# Run the fault-campaign daemon locally with durable state. Submit work
+# with cmd/sconectl or plain curl; SIGINT drains gracefully (running
+# campaigns checkpoint and resume on the next start).
+SCONED_STATE ?= .sconed-state
+serve:
+	$(GO) run ./cmd/sconed -addr :8344 -state $(SCONED_STATE)
+
+# Service end-to-end suite under the race detector: HTTP submission,
+# NDJSON streaming, bit-identical results vs direct Campaign.Execute,
+# and graceful-drain + checkpoint/resume.
+e2e:
+	$(GO) test -race -count=1 ./internal/service/... ./cmd/sconed/... ./cmd/sconectl/...
 
 # Static countermeasure audit: the synthesised PRESENT-80 three-in-one
 # core must lint clean for every entropy variant, and the unprotected

@@ -1,0 +1,209 @@
+// Command sconectl is the CLI client for a running sconed daemon.
+//
+// Usage:
+//
+//	sconectl [-server URL] submit -kind campaign -cipher present80 \
+//	         -scheme three-in-one -entropy prime -runs 80000 \
+//	         -seed 0x5C09E2021 -key 0x0123456789ABCDEF,0x8421 \
+//	         -sbox 13 -bit 2 [-stream]
+//	sconectl [-server URL] submit -kind lint -netlist core.nl
+//	sconectl [-server URL] get j000000
+//	sconectl [-server URL] list
+//	sconectl [-server URL] cancel j000000
+//	sconectl [-server URL] watch j000000
+//	sconectl [-server URL] metrics
+//
+// All output is JSON through the same encoder the daemon uses, so captured
+// CLI transcripts diff cleanly against raw API responses.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "sconectl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(stderr io.Writer, fs *flag.FlagSet) func() {
+	return func() {
+		fmt.Fprintln(stderr, "usage: sconectl [-server URL] <submit|get|list|cancel|watch|metrics> [flags]")
+		fs.PrintDefaults()
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconectl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://127.0.0.1:8344", "sconed base URL")
+	fs.Usage = usage(stderr, fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing command")
+	}
+	c := client.New(*server)
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "submit":
+		return cmdSubmit(ctx, c, rest, stdout, stderr)
+	case "get":
+		return oneJobCmd(ctx, rest, stdout, c.Get)
+	case "cancel":
+		return oneJobCmd(ctx, rest, stdout, c.Cancel)
+	case "list":
+		jobs, err := c.List(ctx)
+		if err != nil {
+			return err
+		}
+		return service.WriteJSON(stdout, map[string]any{"jobs": jobs})
+	case "watch":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: sconectl watch <job-id>")
+		}
+		return streamJob(ctx, c, rest[0], stdout)
+	case "metrics":
+		m, err := c.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		return service.WriteJSON(stdout, m)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func oneJobCmd(ctx context.Context, args []string, stdout io.Writer, f func(context.Context, string) (service.JobStatus, error)) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one job ID")
+	}
+	st, err := f(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return service.WriteJSON(stdout, st)
+}
+
+// streamJob follows the NDJSON feed, echoing every event line.
+func streamJob(ctx context.Context, c *client.Client, id string, stdout io.Writer) error {
+	final, err := c.Stream(ctx, id, func(ev service.Event) error {
+		return service.WriteJSON(stdout, ev)
+	})
+	if err != nil {
+		return err
+	}
+	if final.State != service.StateDone {
+		return fmt.Errorf("job %s finished %s", id, final.State)
+	}
+	return nil
+}
+
+func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconectl submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("kind", "campaign", "job kind: campaign, dfa, sifa, fta, area, lint")
+	cipher := fs.String("cipher", "present80", "cipher: present80, gift64, scone64")
+	scheme := fs.String("scheme", "three-in-one", "scheme: unprotected, naive, acisp, three-in-one")
+	entropy := fs.String("entropy", "prime", "entropy variant: prime, per-round, per-sbox")
+	engine := fs.String("engine", "anf", "S-box synthesis engine: anf, bdd")
+	netlistPath := fs.String("netlist", "", "netlist file to upload (area/lint jobs)")
+	runs := fs.Int("runs", 80000, "campaign: simulated encryptions")
+	seed := fs.String("seed", "0x5C09E2021", "campaign/attack seed")
+	key := fs.String("key", "0x0123456789ABCDEF,0x8421", "cipher key as two comma-separated 64-bit words")
+	sbox := fs.Int("sbox", 13, "faulted/probed S-box index")
+	bit := fs.Int("bit", 2, "faulted S-box input bit")
+	model := fs.String("model", "stuck-at-0", "fault model: stuck-at-0, stuck-at-1, bit-flip")
+	branch := fs.String("branch", "actual", "faulted branch: actual, redundant")
+	stream := fs.Bool("stream", false, "follow the job's NDJSON progress stream until it finishes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	seedV, err := service.ParseU64(*seed)
+	if err != nil {
+		return err
+	}
+	keyV, err := parseKey(*key)
+	if err != nil {
+		return err
+	}
+
+	req := service.JobRequest{
+		Kind: service.Kind(*kind),
+		Design: service.DesignSpec{
+			Cipher:  *cipher,
+			Scheme:  *scheme,
+			Entropy: *entropy,
+			Engine:  *engine,
+		},
+	}
+	if *netlistPath != "" {
+		b, err := os.ReadFile(*netlistPath)
+		if err != nil {
+			return err
+		}
+		req.Design = service.DesignSpec{Netlist: string(b)}
+	}
+	switch req.Kind {
+	case service.KindCampaign:
+		req.Campaign = &service.CampaignSpec{
+			Runs: *runs,
+			Seed: seedV,
+			Key:  keyV,
+			Faults: []service.FaultSpec{{
+				Branch: *branch, Sbox: *sbox, Bit: *bit, Model: *model,
+			}},
+		}
+	case service.KindDFA, service.KindSIFA, service.KindFTA:
+		req.Attack = &service.AttackSpec{Key: keyV, Seed: seedV, Sbox: sbox, Bit: bit, Model: ""}
+	case service.KindArea, service.KindLint:
+		// Design-only kinds.
+	default:
+		return fmt.Errorf("unknown job kind %q", *kind)
+	}
+
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return err
+	}
+	if err := service.WriteJSON(stdout, st); err != nil {
+		return err
+	}
+	if *stream {
+		return streamJob(ctx, c, st.ID, stdout)
+	}
+	return nil
+}
+
+// parseKey parses "lo,hi" 64-bit words (hex or decimal).
+func parseKey(s string) ([2]service.U64, error) {
+	var k [2]service.U64
+	parts := strings.Split(s, ",")
+	if len(parts) == 0 || len(parts) > 2 {
+		return k, fmt.Errorf("key must be one or two comma-separated 64-bit words")
+	}
+	for i, p := range parts {
+		v, err := service.ParseU64(strings.TrimSpace(p))
+		if err != nil {
+			return k, err
+		}
+		k[i] = v
+	}
+	return k, nil
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/synth"
+
+	"repro/internal/cipher/present"
+)
+
+func startServer(t *testing.T) (string, *service.Service) {
+	t.Helper()
+	svc, err := service.New(service.Config{Workers: 2, CheckpointEveryRuns: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv.URL, svc
+}
+
+func runCtl(t *testing.T, server string, args ...string) (string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(context.Background(), append([]string{"-server", server}, args...), &out, &errb)
+	return out.String(), err
+}
+
+func TestSubmitGetCancelList(t *testing.T) {
+	server, _ := startServer(t)
+
+	out, err := runCtl(t, server, "submit",
+		"-kind", "campaign", "-cipher", "present80", "-scheme", "three-in-one",
+		"-entropy", "prime", "-runs", "100000", "-seed", "0x5C09E2021",
+		"-key", "0x0123456789ABCDEF,0x8421", "-sbox", "13", "-bit", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("submit output %q: %v", out, err)
+	}
+	if st.Kind != service.KindCampaign || st.ID == "" {
+		t.Fatalf("submit returned %+v", st)
+	}
+
+	out, err = runCtl(t, server, "get", st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, st.ID) {
+		t.Fatalf("get output %q missing job ID", out)
+	}
+
+	out, err = runCtl(t, server, "cancel", st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canceled service.JobStatus
+	if err := json.Unmarshal([]byte(out), &canceled); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err = runCtl(t, server, "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Jobs []service.JobStatus `json:"jobs"`
+	}
+	if err := json.Unmarshal([]byte(out), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 1 || listing.Jobs[0].ID != st.ID {
+		t.Fatalf("list returned %+v", listing.Jobs)
+	}
+}
+
+func TestWatchStreamsToCompletion(t *testing.T) {
+	server, _ := startServer(t)
+
+	out, err := runCtl(t, server, "submit",
+		"-kind", "campaign", "-runs", "320", "-stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The output is the submit status followed by the event stream; the
+	// final event must be a result whose job state is done.
+	dec := json.NewDecoder(strings.NewReader(out))
+	var st service.JobStatus
+	if err := dec.Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	var lastType string
+	var lastJob *service.JobStatus
+	for dec.More() {
+		var ev service.Event
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		lastType, lastJob = ev.Type, ev.Job
+	}
+	if lastType != "result" || lastJob == nil || lastJob.State != service.StateDone {
+		t.Fatalf("stream ended with %q event, job %+v", lastType, lastJob)
+	}
+	if lastJob.Result == nil || lastJob.Result.Campaign == nil {
+		t.Fatal("terminal event has no campaign result")
+	}
+	if lastJob.Result.Campaign.Total != 320 {
+		t.Fatalf("campaign total %d, want 320", lastJob.Result.Campaign.Total)
+	}
+
+	// watch re-follows a finished job and still lands on the result line.
+	out, err = runCtl(t, server, "watch", st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"result"`) {
+		t.Fatalf("watch output %q has no result event", out)
+	}
+}
+
+func TestSubmitNetlistLint(t *testing.T) {
+	server, _ := startServer(t)
+
+	d, err := core.Build(present.Spec(), core.Options{Scheme: core.SchemeThreeInOne, Engine: synth.EngineANF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nl bytes.Buffer
+	if err := d.Mod.WriteText(&nl); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "core.nl")
+	if err := os.WriteFile(path, nl.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := runCtl(t, server, "submit", "-kind", "lint", "-netlist", path, "-stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"lint"`) {
+		t.Fatalf("lint stream output %q", out)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	server, _ := startServer(t)
+	if _, err := runCtl(t, server, "frobnicate"); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if _, err := runCtl(t, server); err == nil {
+		t.Error("missing command accepted")
+	}
+	if _, err := runCtl(t, server, "get"); err == nil {
+		t.Error("get without ID accepted")
+	}
+	if _, err := runCtl(t, server, "get", "j424242"); err == nil {
+		t.Error("get of unknown job succeeded")
+	}
+	if _, err := runCtl(t, server, "submit", "-kind", "explode"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := runCtl(t, server, "submit", "-key", "1,2,3"); err == nil {
+		t.Error("three-word key accepted")
+	}
+	if _, err := runCtl(t, server, "submit", "-seed", "banana"); err == nil {
+		t.Error("non-numeric seed accepted")
+	}
+}
+
+func TestMetricsCommand(t *testing.T) {
+	server, _ := startServer(t)
+	out, err := runCtl(t, server, "metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal([]byte(out), &m); err != nil {
+		t.Fatalf("metrics output %q: %v", out, err)
+	}
+	if _, ok := m["jobs_submitted_total"]; !ok {
+		t.Fatalf("metrics missing counters: %v", m)
+	}
+}

@@ -1,0 +1,103 @@
+// Command sconed serves the scone engine as a fault-campaign daemon: an
+// HTTP/JSON API over internal/service with a bounded job queue, a sharded
+// worker pool, NDJSON progress streaming and durable campaign checkpoints.
+//
+// Usage:
+//
+//	sconed [-addr :8344] [-state DIR] [-workers N] [-queue N]
+//	       [-checkpoint-runs N] [-sim-workers N]
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: intake stops, running
+// campaigns checkpoint and return to the queue, and a restart on the same
+// -state directory resumes them with bit-identical final results.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "sconed:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled (signal) or the
+// listener fails. It prints the bound address, so callers (and tests) can
+// use -addr with port 0.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconed", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8344", "listen address")
+	state := fs.String("state", "", "state directory for job records and campaign checkpoints (empty: in-memory only)")
+	workers := fs.Int("workers", 2, "worker goroutines / queue shards (jobs running concurrently)")
+	queueDepth := fs.Int("queue", 32, "queued-job capacity per shard")
+	ckptRuns := fs.Int("checkpoint-runs", 4096, "campaign checkpoint interval in simulated runs")
+	simWorkers := fs.Int("sim-workers", 0, "goroutines per campaign simulation (0 = GOMAXPROCS)")
+	drainWait := fs.Duration("drain-timeout", 30*time.Second, "how long to wait for running jobs to checkpoint on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	svc, err := service.New(service.Config{
+		Workers:             *workers,
+		QueueDepth:          *queueDepth,
+		StateDir:            *state,
+		CheckpointEveryRuns: *ckptRuns,
+		SimWorkers:          *simWorkers,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "sconed: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "sconed: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	drainErr := svc.Drain(drainCtx)
+	shutErr := srv.Shutdown(drainCtx)
+	if drainErr != nil {
+		return drainErr
+	}
+	if shutErr != nil && shutErr != http.ErrServerClosed {
+		return shutErr
+	}
+	fmt.Fprintln(stdout, "sconed: stopped")
+	return nil
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base URL
+// plus a cancel func that triggers the graceful-drain path.
+func startDaemon(t *testing.T, extraArgs ...string) (string, context.CancelFunc, <-chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "30s"}, extraArgs...)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, args, pw, io.Discard)
+		pw.Close()
+	}()
+
+	sc := bufio.NewScanner(pr)
+	if !sc.Scan() {
+		cancel()
+		t.Fatalf("daemon produced no output: %v", sc.Err())
+	}
+	line := sc.Text()
+	addr, ok := strings.CutPrefix(line, "sconed: listening on ")
+	if !ok {
+		cancel()
+		t.Fatalf("unexpected first line %q", line)
+	}
+	// Keep draining the pipe so later prints don't block the daemon.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return "http://" + addr, cancel, errCh
+}
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	base, cancel, errCh := startDaemon(t)
+	defer cancel()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := m["jobs_submitted_total"]; !ok {
+		t.Fatalf("metrics missing counters: %v", m)
+	}
+
+	body := `{"kind":"lint","design":{"cipher":"present80","scheme":"three-in-one"}}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: %s %+v", resp.Status, st)
+	}
+
+	// Signal-equivalent shutdown: cancelling run's context drains and exits.
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("daemon did not exit after cancel")
+	}
+}
+
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-addr"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("missing flag value accepted")
+	}
+	err = run(context.Background(), []string{"stray"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unexpected arguments") {
+		t.Fatalf("stray argument: %v", err)
+	}
+}
+
+func TestDaemonStatePersistsAcrossRestart(t *testing.T) {
+	state := t.TempDir()
+
+	base, cancel, errCh := startDaemon(t, "-state", state, "-workers", "1")
+	body := `{"kind":"lint","design":{"cipher":"present80","scheme":"three-in-one"}}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+
+	// Wait for the job to finish before restarting.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, st.ID))
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		var got struct {
+			State string `json:"state"`
+		}
+		json.NewDecoder(r.Body).Decode(&got)
+		r.Body.Close()
+		if got.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("job stuck in %s", got.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	base2, cancel2, errCh2 := startDaemon(t, "-state", state, "-workers", "1")
+	defer func() {
+		cancel2()
+		<-errCh2
+	}()
+	r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base2, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		State string `json:"state"`
+	}
+	json.NewDecoder(r.Body).Decode(&got)
+	r.Body.Close()
+	if got.State != "done" {
+		t.Fatalf("restarted daemon reports job %s as %q, want done", st.ID, got.State)
+	}
+}

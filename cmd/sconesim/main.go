@@ -8,6 +8,10 @@
 //	sconesim -experiment fig4 [-runs 80000] [-seed N] [-workers N]
 //	sconesim -experiment fig5
 //	sconesim -experiment sweep
+//
+// With -json, results are emitted as a machine-readable document through
+// the same encoder and campaign-result schema the sconed service uses, so
+// CLI output and service API responses diff cleanly against each other.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/service"
 )
 
 func main() {
@@ -40,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	scheme := fs.String("scheme", "three-in-one", "coverage: naive, acisp or three-in-one")
 	sites := fs.Int("sites", 400, "coverage: number of sampled fault locations (0 = all)")
+	jsonOut := fs.Bool("json", false, "emit results as JSON in the sconed service schema")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,37 +59,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg.Workers = *workers
 
 	start := time.Now()
+	var result any
 	switch *exp {
 	case "fig4":
 		res, err := experiments.RunFig4(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, res)
+		result = res
 	case "fig5":
 		res, err := experiments.RunFig5(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, res)
+		result = res
 	case "sweep":
 		res, err := experiments.RunSweep(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, res)
+		result = res
 	case "persistent":
 		res, err := experiments.RunPersistent(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, res)
+		result = res
 	case "twofaults":
 		res, err := experiments.RunTwoBiasedFaults(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, res)
+		result = res
 	case "leakage":
 		// Uses -runs as traces per class (default 2048 when 80000).
 		if cfg.Runs == 80000 {
@@ -93,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, res)
+		result = res
 	case "coverage":
 		// Whole-design location sweep; runs-per-location comes from
 		// -runs (use a small value, e.g. 128).
@@ -105,12 +112,70 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, res)
+		result = res
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+	if *jsonOut {
+		return service.WriteJSON(stdout, jsonDocument(*exp, cfg, result))
+	}
+	fmt.Fprintln(stdout, result)
 	fmt.Fprintf(stdout, "\n(%d runs per design, seed %#x, %s)\n", cfg.Runs, cfg.Seed, time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// jsonDocument wraps an experiment result in the service schema: campaign
+// tallies become service.CampaignResult (the exact shape sconed returns for
+// campaign jobs) and seeds use the service's hex-string uint64 encoding.
+// Experiments without embedded campaigns pass their result through as-is.
+func jsonDocument(exp string, cfg experiments.Config, result any) map[string]any {
+	doc := map[string]any{
+		"experiment": exp,
+		"runs":       cfg.Runs,
+		"seed":       service.U64(cfg.Seed),
+	}
+	switch r := result.(type) {
+	case experiments.Fig4Result:
+		doc["panels"] = []map[string]any{fig4Panel(r.Naive), fig4Panel(r.ThreeInOne)}
+	case experiments.Fig5Result:
+		doc["panels"] = []map[string]any{fig5Panel(r.Naive), fig5Panel(r.ThreeInOne)}
+	case experiments.SweepResult:
+		rows := make([]map[string]any, 0, len(r.Rows))
+		for _, row := range r.Rows {
+			rows = append(rows, map[string]any{
+				"scheme":   row.Scheme.String(),
+				"model":    row.Model.String(),
+				"both":     row.Both,
+				"campaign": service.NewCampaignResult(row.Campaign),
+				"escaped":  row.Escaped(),
+			})
+		}
+		doc["rows"] = rows
+	default:
+		doc["result"] = result
+	}
+	return doc
+}
+
+func fig4Panel(p experiments.Fig4Panel) map[string]any {
+	return map[string]any{
+		"design":        p.Design,
+		"campaign":      service.NewCampaignResult(p.Campaign),
+		"histogram":     p.Histogram.Counts,
+		"sei":           p.Histogram.SEI(),
+		"sei_threshold": p.SEIThreshold,
+		"empty_bins":    p.Histogram.EmptyBins(),
+		"biased":        p.Biased,
+	}
+}
+
+func fig5Panel(p experiments.Fig5Panel) map[string]any {
+	return map[string]any{
+		"design":      p.Design,
+		"campaign":    service.NewCampaignResult(p.Campaign),
+		"released":    p.Released.Counts,
+		"ineffective": p.Ineffective.Counts,
+	}
 }
 
 func coverageScheme(name string) (core.Scheme, error) {

@@ -3,6 +3,8 @@
 //
 //	norand         forbid math/rand outside _test.go and internal/rng
 //	cachedcompile  forbid direct sim.Compile outside internal/sim
+//	ctxexecute     forbid context-free .Execute( in internal/service and
+//	               cmd/sconed (use ExecuteContext/ExecuteBatches)
 //
 // Usage:
 //

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -90,92 +91,158 @@ func (r Result) String() string {
 		r.Total, r.Ineffective(), r.Detected(), r.Effective())
 }
 
+// NumBatches returns the number of sim.Lanes-wide batches the campaign is
+// split into. Batch b derives all of its randomness from (Seed, b), so any
+// contiguous batch range can be executed — or re-executed — independently
+// with ExecuteBatches and the combined counts and observer stream are
+// identical to a single uninterrupted Execute.
+func (c *Campaign) NumBatches() int {
+	return (c.Runs + sim.Lanes - 1) / sim.Lanes
+}
+
 // Execute runs the campaign. observe, when non-nil, is called once per run
-// from the calling goroutine (after the parallel phase), in a deterministic
-// order given the seed: batch by batch, lane by lane, regardless of how the
-// batches were scheduled across workers. Without an observer the workers
-// aggregate outcome counts directly and no Run is retained, so memory stays
-// flat no matter how large the campaign is.
+// from the calling goroutine, in a deterministic order given the seed:
+// batch by batch, lane by lane, regardless of how the batches were
+// scheduled across workers. Without an observer the workers aggregate
+// outcome counts directly and no Run is retained, so memory stays flat no
+// matter how large the campaign is.
 func (c *Campaign) Execute(observe func(Run)) (Result, error) {
+	return c.ExecuteContext(context.Background(), observe)
+}
+
+// ExecuteContext is Execute with cancellation: between batches the workers
+// watch ctx and exit early once it is done. On cancellation the counts (and
+// observer stream) of a contiguous prefix of batches are returned together
+// with ctx.Err(); a later ExecuteBatches from the next batch boundary
+// continues the campaign with bit-identical final results.
+func (c *Campaign) ExecuteContext(ctx context.Context, observe func(Run)) (Result, error) {
+	return c.ExecuteBatches(ctx, 0, c.NumBatches(), observe)
+}
+
+// batchOut carries one finished batch from a worker to the reorder buffer.
+type batchOut struct {
+	batch int
+	runs  []Run // retained only when an observer is attached
+	res   Result
+}
+
+// ExecuteBatches runs the half-open batch range [first, last) of the
+// campaign. It is the checkpoint/resume primitive: a service that persists
+// (completed-batch count, accumulated counts) after each call can be killed
+// and later resume from the recorded boundary, and the summed Result is
+// bit-identical to an uninterrupted Execute with the same seed.
+//
+// The returned Result covers a contiguous prefix of the range: batches are
+// handed to workers in order and a dispatched batch always runs to
+// completion, so cancellation can only trim whole batches off the tail.
+// When the range is cut short the partial Result is returned with ctx.Err();
+// Result.Total / sim.Lanes then gives the number of completed batches
+// (every completed batch is full, because only the campaign's final batch
+// can be partial and it is always the last to complete).
+func (c *Campaign) ExecuteBatches(ctx context.Context, first, last int, observe func(Run)) (Result, error) {
 	if c.Runs <= 0 {
 		return Result{}, fmt.Errorf("fault: campaign needs a positive run count")
+	}
+	if batches := c.NumBatches(); first < 0 || last > batches || first > last {
+		return Result{}, fmt.Errorf("fault: batch range [%d,%d) outside the campaign's %d batches", first, last, batches)
 	}
 	compiled, err := sim.CompileCached(c.Design.Mod)
 	if err != nil {
 		return Result{}, err
 	}
+	if first == last {
+		return Result{}, nil
+	}
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	batches := (c.Runs + sim.Lanes - 1) / sim.Lanes
-	if workers > batches {
-		workers = batches
+	if n := last - first; workers > n {
+		workers = n
 	}
 
 	inj := NewInjector(c.Faults...)
-	runsPerBatch := make([]int, batches)
-	for b := range runsPerBatch {
+	runsIn := func(b int) int {
 		n := sim.Lanes
 		if rem := c.Runs - b*sim.Lanes; rem < n {
 			n = rem
 		}
-		runsPerBatch[b] = n
+		return n
 	}
 
-	// all is only populated when an observer needs the deterministic
-	// replay; count-only campaigns aggregate inside the workers instead.
-	var all [][]Run
-	if observe != nil {
-		all = make([][]Run, batches)
-	}
-	partial := make([]Result, workers)
-	var wg sync.WaitGroup
 	batchCh := make(chan int)
+	outCh := make(chan batchOut, workers)
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
 			runner := core.NewRunnerFrom(c.Design, compiled)
 			runner.S.SetInjector(inj)
-			res := &partial[w]
-			emit := func(r Run) {
-				res.Total++
-				res.Counts[r.Outcome]++
-			}
 			for b := range batchCh {
-				if observe != nil {
-					runs := make([]Run, 0, runsPerBatch[b])
-					c.runBatch(runner, b, runsPerBatch[b], func(r Run) { runs = append(runs, r) })
-					all[b] = runs
-				} else {
-					c.runBatch(runner, b, runsPerBatch[b], emit)
+				out := batchOut{batch: b}
+				count := func(r Run) {
+					out.res.Total++
+					out.res.Counts[r.Outcome]++
 				}
+				if observe != nil {
+					out.runs = make([]Run, 0, runsIn(b))
+					c.runBatch(runner, b, runsIn(b), func(r Run) {
+						out.runs = append(out.runs, r)
+						count(r)
+					})
+				} else {
+					c.runBatch(runner, b, runsIn(b), count)
+				}
+				outCh <- out
 			}
-		}(w)
+		}()
 	}
-	for b := 0; b < batches; b++ {
-		batchCh <- b
-	}
-	close(batchCh)
-	wg.Wait()
+	// The feeder stops dispatching once ctx is done; batches already
+	// handed to a worker run to completion, so the completed set is a
+	// contiguous prefix of the range.
+	go func() {
+		defer close(batchCh)
+		for b := first; b < last; b++ {
+			select {
+			case batchCh <- b:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(outCh)
+	}()
 
+	// Batches finish out of order; the reorder buffer delivers runs to
+	// the observer batch by batch, lane by lane, regardless of worker
+	// scheduling, and bounds retained memory by the workers' spread
+	// instead of the whole campaign.
 	var res Result
-	if observe == nil {
-		for _, p := range partial {
-			res.Total += p.Total
-			for o, n := range p.Counts {
-				res.Counts[o] += n
+	pending := make(map[int]batchOut)
+	next := first
+	for out := range outCh {
+		pending[out.batch] = out
+		for {
+			o, ok := pending[next]
+			if !ok {
+				break
 			}
+			delete(pending, next)
+			res.Total += o.res.Total
+			for i, n := range o.res.Counts {
+				res.Counts[i] += n
+			}
+			for _, r := range o.runs {
+				observe(r)
+			}
+			next++
 		}
-		return res, nil
 	}
-	for _, batch := range all {
-		for _, run := range batch {
-			res.Total++
-			res.Counts[run.Outcome]++
-			observe(run)
-		}
+	if next < last {
+		return res, ctx.Err()
 	}
 	return res, nil
 }

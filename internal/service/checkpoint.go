@@ -1,0 +1,103 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Checkpoint is the durable mid-flight state of a campaign job. Because
+// campaign batch b draws all randomness from (seed, b), the pair
+// (NextBatch, Counts) is sufficient to resume: re-running batches
+// [NextBatch, NumBatches) and adding the counts reproduces an
+// uninterrupted run bit for bit.
+type Checkpoint struct {
+	NextBatch int            `json:"next_batch"`
+	Counts    CampaignResult `json:"counts"`
+}
+
+// jobRecord is the on-disk form of a job: the full request (jobs are
+// defined by their requests — the determinism contract), lifecycle state
+// and, for campaigns, the latest checkpoint.
+type jobRecord struct {
+	ID         string      `json:"id"`
+	Req        JobRequest  `json:"request"`
+	State      State       `json:"state"`
+	Error      string      `json:"error,omitempty"`
+	Result     *JobResult  `json:"result,omitempty"`
+	Resumed    int         `json:"resumed,omitempty"`
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
+	Submitted  time.Time   `json:"submitted"`
+}
+
+// store persists job records under dir/jobs/<id>.json. A nil store (no
+// state dir configured) turns every operation into a no-op: the service
+// then runs purely in memory.
+type store struct {
+	dir string
+}
+
+func openStore(dir string) (*store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("service: state dir: %w", err)
+	}
+	return &store{dir: dir}, nil
+}
+
+func (st *store) path(id string) string {
+	return filepath.Join(st.dir, "jobs", id+".json")
+}
+
+// save writes atomically (temp file + rename) so a kill mid-write can never
+// corrupt a record: the previous checkpoint stays intact.
+func (st *store) save(rec *jobRecord) error {
+	if st == nil {
+		return nil
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := st.path(rec.ID) + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, st.path(rec.ID))
+}
+
+// loadAll returns every persisted record sorted by ID (IDs are zero-padded
+// sequence numbers, so this is submission order).
+func (st *store) loadAll() ([]*jobRecord, error) {
+	if st == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var recs []*jobRecord
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(st.dir, "jobs", name))
+		if err != nil {
+			return nil, err
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("service: corrupt job record %s: %w", name, err)
+		}
+		recs = append(recs, &rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs, nil
+}

@@ -1,0 +1,203 @@
+// Package client is the Go client for the sconed HTTP API. cmd/sconectl is
+// a thin shell around it and the e2e suite drives the daemon through it,
+// so the client is exercised against every response shape the server can
+// produce.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Client talks to one sconed instance.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8344".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError is the uniform error envelope the daemon emits.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// Error is a non-2xx daemon response.
+type Error struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("sconed: %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		return &Error{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a job.
+func (c *Client) Submit(ctx context.Context, req service.JobRequest) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Get fetches a job's status.
+func (c *Client) Get(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches every job in submission order.
+func (c *Client) List(ctx context.Context) ([]service.JobStatus, error) {
+	var out struct {
+		Jobs []service.JobStatus `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out.Jobs, err
+}
+
+// Cancel stops a job.
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, &st)
+	return st, err
+}
+
+// Metrics fetches the daemon's counter snapshot.
+func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
+	var out map[string]int64
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out)
+	return out, err
+}
+
+// Stream follows a job's NDJSON event feed, invoking fn for every event
+// until the stream's terminal line (whose final status is returned) or
+// until fn returns an error. fn may be nil.
+func (c *Client) Stream(ctx context.Context, id string, fn func(service.Event) error) (service.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		return service.JobStatus{}, &Error{StatusCode: resp.StatusCode, Message: msg}
+	}
+
+	var last service.JobStatus
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return last, fmt.Errorf("bad stream line: %w", err)
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return last, err
+			}
+		}
+		if ev.Job != nil {
+			last = *ev.Job
+		}
+		if ev.Type == "result" {
+			return last, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	// Stream ended without a terminal line (e.g. the daemon drained);
+	// report the last status the caller saw.
+	return last, fmt.Errorf("stream ended before job %s finished (state %s)", id, last.State)
+}
+
+// Wait polls until the job is terminal.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (service.JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

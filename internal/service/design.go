@@ -1,0 +1,180 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cipher/gift"
+	"repro/internal/cipher/present"
+	"repro/internal/cipher/scone64"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/spn"
+	"repro/internal/synth"
+)
+
+// parseDesign resolves a synthesised-core spec into build inputs. It is the
+// single place the wire vocabulary (the sconelint flag names) maps onto
+// core.Options, so every job kind validates and builds identically.
+func parseDesign(ds DesignSpec) (*spn.Spec, core.Options, error) {
+	var spec *spn.Spec
+	switch ds.Cipher {
+	case "", "present80":
+		spec = present.Spec()
+	case "gift64":
+		spec = gift.Spec()
+	case "scone64":
+		spec = scone64.Spec()
+	default:
+		return nil, core.Options{}, fmt.Errorf("unknown cipher %q", ds.Cipher)
+	}
+
+	var opts core.Options
+	switch ds.Scheme {
+	case "unprotected":
+		opts.Scheme = core.SchemeUnprotected
+	case "naive":
+		opts.Scheme = core.SchemeNaiveDup
+	case "acisp":
+		opts.Scheme = core.SchemeACISP
+	case "", "three-in-one":
+		opts.Scheme = core.SchemeThreeInOne
+	default:
+		return nil, core.Options{}, fmt.Errorf("unknown scheme %q", ds.Scheme)
+	}
+	switch ds.Entropy {
+	case "", "prime":
+		opts.Entropy = core.EntropyPrime
+	case "per-round":
+		opts.Entropy = core.EntropyPerRound
+	case "per-sbox":
+		opts.Entropy = core.EntropyPerSbox
+	default:
+		return nil, core.Options{}, fmt.Errorf("unknown entropy variant %q", ds.Entropy)
+	}
+	switch ds.Engine {
+	case "", "anf":
+		opts.Engine = synth.EngineANF
+	case "bdd":
+		opts.Engine = synth.EngineBDD
+	default:
+		return nil, core.Options{}, fmt.Errorf("unknown engine %q", ds.Engine)
+	}
+	opts.SeparateSbox = ds.SeparateSbox
+	opts.Optimize = ds.Optimize
+	return spec, opts, nil
+}
+
+// BuildDesign synthesises the core a job addresses. Compilation of the
+// resulting netlist goes through sim.CompileCached downstream, so repeated
+// jobs against the same spec share one compiled program.
+func BuildDesign(ds DesignSpec) (*core.Design, error) {
+	if ds.Netlist != "" {
+		return nil, fmt.Errorf("this job kind needs a synthesised design, not an inline netlist")
+	}
+	spec, opts, err := parseDesign(ds)
+	if err != nil {
+		return nil, err
+	}
+	d, err := core.Build(spec, opts)
+	if err != nil {
+		return nil, fmt.Errorf("build: %w", err)
+	}
+	return d, nil
+}
+
+// ResolveModule returns the netlist a design-only job (area, lint) operates
+// on: the inline text netlist when one was uploaded, else a freshly
+// synthesised core.
+func ResolveModule(ds DesignSpec) (*netlist.Module, error) {
+	if ds.Netlist != "" {
+		m, err := netlist.ReadTextLax(strings.NewReader(ds.Netlist))
+		if err != nil {
+			return nil, fmt.Errorf("netlist: %w", err)
+		}
+		return m, nil
+	}
+	d, err := BuildDesign(ds)
+	if err != nil {
+		return nil, err
+	}
+	return d.Mod, nil
+}
+
+func parseBranch(s string) (core.Branch, error) {
+	switch s {
+	case "", "actual":
+		return core.BranchActual, nil
+	case "redundant":
+		return core.BranchRedundant, nil
+	default:
+		return 0, fmt.Errorf("unknown branch %q", s)
+	}
+}
+
+func parseModel(s string) (fault.Model, error) {
+	switch s {
+	case "", "stuck-at-0":
+		return fault.StuckAt0, nil
+	case "stuck-at-1":
+		return fault.StuckAt1, nil
+	case "bit-flip":
+		return fault.BitFlip, nil
+	default:
+		return 0, fmt.Errorf("unknown fault model %q", s)
+	}
+}
+
+// resolveFaults maps wire fault specs onto concrete nets of the built
+// design. Branch addressing on an unduplicated design, or out-of-range
+// S-box coordinates, fail the job here with a descriptive error.
+func resolveFaults(d *core.Design, specs []FaultSpec) ([]fault.Fault, error) {
+	faults := make([]fault.Fault, 0, len(specs))
+	for i, fs := range specs {
+		branch, err := parseBranch(fs.Branch)
+		if err != nil {
+			return nil, fmt.Errorf("fault %d: %w", i, err)
+		}
+		model, err := parseModel(fs.Model)
+		if err != nil {
+			return nil, fmt.Errorf("fault %d: %w", i, err)
+		}
+		if branch == core.BranchRedundant && d.NumBranches() < 2 {
+			return nil, fmt.Errorf("fault %d: design %s has no redundant branch", i, d.Mod.Name)
+		}
+		if fs.Sbox >= d.Spec.NumSboxes() || fs.Bit >= d.Spec.SboxBits {
+			return nil, fmt.Errorf("fault %d: S-box %d bit %d out of range for %s", i, fs.Sbox, fs.Bit, d.Spec.Name)
+		}
+		cycle := d.LastRoundCycle()
+		if fs.Cycle != nil {
+			cycle = *fs.Cycle
+			if cycle < 0 || cycle > d.LastRoundCycle() {
+				return nil, fmt.Errorf("fault %d: cycle %d outside 0..%d", i, cycle, d.LastRoundCycle())
+			}
+		}
+		net := d.SboxInputNet(branch, fs.Sbox, fs.Bit)
+		faults = append(faults, fault.At(net, model, cycle))
+	}
+	return faults, nil
+}
+
+// buildCampaign assembles the engine campaign for a validated request.
+func buildCampaign(d *core.Design, cs *CampaignSpec, defaultWorkers int) (*fault.Campaign, error) {
+	faults, err := resolveFaults(d, cs.Faults)
+	if err != nil {
+		return nil, err
+	}
+	workers := cs.Workers
+	if workers <= 0 {
+		workers = defaultWorkers
+	}
+	return &fault.Campaign{
+		Design:  d,
+		Key:     spn.KeyState{uint64(cs.Key[0]), uint64(cs.Key[1])},
+		Faults:  faults,
+		Runs:    cs.Runs,
+		Seed:    uint64(cs.Seed),
+		Workers: workers,
+	}, nil
+}

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// WriteJSON is the one encoder every scone surface shares — the daemon's
+// responses, sconectl's rendering and sconesim -json all go through it, so
+// their outputs are diff-able byte for byte.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// writeError emits the uniform error envelope.
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = WriteJSON(w, map[string]string{"error": err.Error()})
+}
+
+func writeStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = WriteJSON(w, v)
+}
+
+// maxRequestBytes bounds submissions; inline netlists are the largest
+// legitimate payload and the PRESENT-80 cores are well under this.
+const maxRequestBytes = 8 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit (JobRequest -> JobStatus, 202)
+//	GET    /v1/jobs             list
+//	GET    /v1/jobs/{id}        status
+//	DELETE /v1/jobs/{id}        cancel
+//	POST   /v1/jobs/{id}/cancel cancel (proxy-friendly alias)
+//	GET    /v1/jobs/{id}/stream NDJSON progress stream
+//	GET    /healthz             liveness
+//	GET    /metrics             counter snapshot
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeStatus(w, http.StatusOK, map[string]any{"jobs": s.List()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeStatus(w, http.StatusOK, st)
+	})
+	cancel := func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeStatus(w, http.StatusOK, st)
+	}
+	mux.HandleFunc("DELETE /v1/jobs/{id}", cancel)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", cancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeStatus(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeStatus(w, http.StatusOK, s.Metrics.Snapshot())
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	st, err := s.Submit(req)
+	switch {
+	case err == nil:
+		writeStatus(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// handleStream serves the NDJSON progress feed: one status snapshot, then
+// progress events as checkpoints land, then a final snapshot carrying the
+// result. Each line is a complete Event and the connection closes after
+// the terminal line, so `curl -N` and the client package can follow a job
+// in real time.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, off, err := s.Watch(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	defer off()
+	s.Metrics.add(&s.Metrics.StreamClients, 1)
+	defer s.Metrics.add(&s.Metrics.StreamClients, -1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // NDJSON: one compact JSON object per line
+
+	emit := func(ev Event) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	st, err := s.Get(id)
+	if err != nil {
+		return
+	}
+	if !emit(Event{Type: "status", Job: &st}) {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				// Terminal: the subscription closed; emit the final
+				// snapshot (it may have raced past a dropped event).
+				if st, err := s.Get(id); err == nil {
+					emit(Event{Type: "result", Job: &st})
+				}
+				return
+			}
+			if ev.Type == "result" {
+				emit(ev)
+				return
+			}
+			if !emit(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package service turns the scone engine into a long-lived fault-campaign
+// server: a bounded job queue, a sharded worker pool over fault.Campaign
+// and the attack drivers, per-job seed-deterministic checkpoint/resume and
+// expvar-style metrics. cmd/sconed exposes it over HTTP/JSON; the wire
+// types in this file are its request/response schema and are shared with
+// cmd/sconesim -json so CLI and daemon outputs are diff-able.
+//
+// Determinism contract: a campaign job is defined entirely by its request
+// (design spec, key, faults, run count, seed). Batch b of a campaign
+// derives all randomness from (seed, b), so the service may checkpoint at
+// any batch boundary, be killed, and resume on a fresh process — the final
+// Result is bit-identical to an uninterrupted fault.Campaign.Execute with
+// the same parameters.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/lint"
+)
+
+// Kind enumerates the job types the service executes. Together they make
+// the whole engine reachable over the wire: simulation campaigns, the
+// attack drivers, area pricing and the static countermeasure linter.
+type Kind string
+
+// Supported job kinds.
+const (
+	KindCampaign Kind = "campaign"
+	KindDFA      Kind = "dfa"
+	KindSIFA     Kind = "sifa"
+	KindFTA      Kind = "fta"
+	KindArea     Kind = "area"
+	KindLint     Kind = "lint"
+)
+
+// Kinds lists the supported job kinds in a stable order.
+func Kinds() []Kind {
+	return []Kind{KindCampaign, KindDFA, KindSIFA, KindFTA, KindArea, KindLint}
+}
+
+// U64 is a uint64 that travels as a hex string ("0x1f"). JSON numbers lose
+// precision above 2^53, and seeds, keys and subkey guesses are genuinely
+// 64-bit; the string form keeps them exact and diff-able.
+type U64 uint64
+
+// MarshalJSON renders the value as a 0x-prefixed hex string.
+func (u U64) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", "0x"+strconv.FormatUint(uint64(u), 16))), nil
+}
+
+// UnmarshalJSON accepts a hex or decimal string, or a plain JSON number.
+func (u *U64) UnmarshalJSON(b []byte) error {
+	s := strings.TrimSpace(string(b))
+	if len(s) >= 2 && s[0] == '"' {
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+	}
+	v, err := ParseU64(s)
+	if err != nil {
+		return err
+	}
+	*u = v
+	return nil
+}
+
+// ParseU64 parses the wire forms of U64: "0x.." hex or decimal.
+func ParseU64(s string) (U64, error) {
+	base := 10
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		s, base = s[2:], 16
+	}
+	v, err := strconv.ParseUint(s, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("service: bad uint64 %q", s)
+	}
+	return U64(v), nil
+}
+
+// DesignSpec names the design a job operates on: either a core synthesised
+// on the fly (cipher/scheme/entropy/engine, the sconelint vocabulary) or,
+// for area and lint jobs, an inline netlist in the scone text format.
+type DesignSpec struct {
+	Cipher  string `json:"cipher,omitempty"`  // present80, gift64, scone64
+	Scheme  string `json:"scheme,omitempty"`  // unprotected, naive, acisp, three-in-one
+	Entropy string `json:"entropy,omitempty"` // prime, per-round, per-sbox
+	Engine  string `json:"engine,omitempty"`  // anf, bdd
+	// SeparateSbox selects the ACISP-style split S-box layout ablation.
+	SeparateSbox bool `json:"separate_sbox,omitempty"`
+	// Optimize runs the synthesis optimiser (area jobs only: optimised
+	// designs lose the probe points fault campaigns address).
+	Optimize bool `json:"optimize,omitempty"`
+	// Netlist is an inline text netlist (area/lint jobs), read laxly so
+	// the linter can be pointed at structurally broken modules.
+	Netlist string `json:"netlist,omitempty"`
+}
+
+// FaultSpec locates one injected fault by S-box coordinates, the addressing
+// the paper's campaigns use.
+type FaultSpec struct {
+	// Branch is "actual" (default) or "redundant".
+	Branch string `json:"branch,omitempty"`
+	// Sbox/Bit select the faulted S-box input wire.
+	Sbox int `json:"sbox"`
+	Bit  int `json:"bit"`
+	// Model is "stuck-at-0" (default), "stuck-at-1" or "bit-flip".
+	Model string `json:"model,omitempty"`
+	// Cycle is the active cycle; nil means the last round.
+	Cycle *int `json:"cycle,omitempty"`
+}
+
+// CampaignSpec parameterises a campaign job.
+type CampaignSpec struct {
+	Runs   int         `json:"runs"`
+	Seed   U64         `json:"seed"`
+	Key    [2]U64      `json:"key"`
+	Faults []FaultSpec `json:"faults"`
+	// Workers bounds the goroutines of this campaign's simulation; 0
+	// uses the service default.
+	Workers int `json:"workers,omitempty"`
+}
+
+// AttackSpec parameterises the dfa, sifa and fta job kinds. Zero fields
+// take the attack drivers' published defaults.
+type AttackSpec struct {
+	Key [2]U64 `json:"key"`
+	// DeviceSeed drives the victim's TRNG model; Seed the attacker.
+	DeviceSeed U64 `json:"device_seed,omitempty"`
+	Seed       U64 `json:"seed,omitempty"`
+
+	// DFA.
+	PairsPerNibble  int    `json:"pairs_per_nibble,omitempty"`
+	Model           string `json:"model,omitempty"`
+	BothBranches    bool   `json:"both_branches,omitempty"`
+	UnknownPolarity bool   `json:"unknown_polarity,omitempty"`
+
+	// SIFA (and FTA's probed S-box).
+	Sbox       *int `json:"sbox,omitempty"`
+	Bit        *int `json:"bit,omitempty"`
+	Injections int  `json:"injections,omitempty"`
+
+	// FTA.
+	Repeats    int `json:"repeats,omitempty"`
+	ProfilePTs int `json:"profile_pts,omitempty"`
+	AttackPTs  int `json:"attack_pts,omitempty"`
+}
+
+// LintSpec parameterises a lint job.
+type LintSpec struct {
+	Rules      []string `json:"rules,omitempty"`
+	MaxPerRule int      `json:"max_per_rule,omitempty"`
+}
+
+// JobRequest is the submission payload.
+type JobRequest struct {
+	Kind     Kind          `json:"kind"`
+	Design   DesignSpec    `json:"design"`
+	Campaign *CampaignSpec `json:"campaign,omitempty"`
+	Attack   *AttackSpec   `json:"attack,omitempty"`
+	Lint     *LintSpec     `json:"lint,omitempty"`
+}
+
+// Validate rejects malformed requests before they reach the queue, so a
+// submission error is always a synchronous 400 rather than a failed job.
+func (r *JobRequest) Validate() error {
+	switch r.Kind {
+	case KindCampaign:
+		c := r.Campaign
+		if c == nil {
+			return fmt.Errorf("campaign job needs a campaign spec")
+		}
+		if c.Runs <= 0 {
+			return fmt.Errorf("campaign needs a positive run count (got %d)", c.Runs)
+		}
+		if len(c.Faults) == 0 {
+			return fmt.Errorf("campaign needs at least one fault")
+		}
+		for i, f := range c.Faults {
+			if _, err := parseBranch(f.Branch); err != nil {
+				return fmt.Errorf("fault %d: %w", i, err)
+			}
+			if _, err := parseModel(f.Model); err != nil {
+				return fmt.Errorf("fault %d: %w", i, err)
+			}
+			if f.Sbox < 0 || f.Bit < 0 {
+				return fmt.Errorf("fault %d: negative S-box coordinates", i)
+			}
+		}
+	case KindDFA, KindSIFA, KindFTA:
+		if r.Attack == nil {
+			return fmt.Errorf("%s job needs an attack spec", r.Kind)
+		}
+		if _, err := parseModel(r.Attack.Model); err != nil {
+			return err
+		}
+	case KindArea, KindLint:
+		// Design-only kinds.
+	default:
+		return fmt.Errorf("unknown job kind %q", r.Kind)
+	}
+	if r.Design.Netlist != "" && r.Kind != KindArea && r.Kind != KindLint {
+		return fmt.Errorf("%s jobs need a synthesised design, not an inline netlist", r.Kind)
+	}
+	if r.Design.Netlist == "" {
+		if _, _, err := parseDesign(r.Design); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. A drained (SIGTERM'd) campaign goes back to queued with its
+// checkpoint intact, so a restarted service resumes it transparently.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// CampaignResult is the wire form of fault.Result — the one schema shared
+// by the daemon, the client and sconesim -json.
+type CampaignResult struct {
+	Total       int `json:"total"`
+	Ineffective int `json:"ineffective"`
+	Detected    int `json:"detected"`
+	Effective   int `json:"effective"`
+}
+
+// NewCampaignResult converts an engine result to the wire form.
+func NewCampaignResult(r fault.Result) CampaignResult {
+	return CampaignResult{
+		Total:       r.Total,
+		Ineffective: r.Ineffective(),
+		Detected:    r.Detected(),
+		Effective:   r.Effective(),
+	}
+}
+
+// Add accumulates another partial result (checkpoint arithmetic).
+func (c *CampaignResult) Add(r fault.Result) {
+	c.Total += r.Total
+	c.Ineffective += r.Ineffective()
+	c.Detected += r.Detected()
+	c.Effective += r.Effective()
+}
+
+// DFAResult is the wire form of a DFA outcome.
+type DFAResult struct {
+	Succeeded    bool   `json:"succeeded"`
+	Detail       string `json:"detail"`
+	RecoveredKey [2]U64 `json:"recovered_key"`
+}
+
+// SIFAResult is the wire form of a SIFA outcome.
+type SIFAResult struct {
+	Succeeded  bool   `json:"succeeded"`
+	Detail     string `json:"detail"`
+	BestGuess  U64    `json:"best_guess"`
+	TrueSubkey U64    `json:"true_subkey"`
+	Usable     int    `json:"usable"`
+}
+
+// FTAResult is the wire form of an FTA outcome.
+type FTAResult struct {
+	Succeeded  bool      `json:"succeeded"`
+	Detail     string    `json:"detail"`
+	Accuracy   float64   `json:"accuracy"`
+	Bits       int       `json:"bits"`
+	Separation []float64 `json:"separation,omitempty"`
+}
+
+// AreaResult is the wire form of a gate-equivalent area report.
+type AreaResult struct {
+	Module        string             `json:"module"`
+	Library       string             `json:"library"`
+	Combinational float64            `json:"combinational_ge"`
+	Sequential    float64            `json:"sequential_ge"`
+	Total         float64            `json:"total_ge"`
+	CellCount     int                `json:"cell_count"`
+	ByKind        map[string]float64 `json:"by_kind,omitempty"`
+}
+
+// JobResult is the kind-discriminated result payload; exactly one field is
+// set on a done job.
+type JobResult struct {
+	Campaign *CampaignResult `json:"campaign,omitempty"`
+	DFA      *DFAResult      `json:"dfa,omitempty"`
+	SIFA     *SIFAResult     `json:"sifa,omitempty"`
+	FTA      *FTAResult      `json:"fta,omitempty"`
+	Area     *AreaResult     `json:"area,omitempty"`
+	Lint     *lint.Report    `json:"lint,omitempty"`
+}
+
+// Progress is a point-in-time view of a running campaign job, published at
+// every checkpoint boundary.
+type Progress struct {
+	Done   int            `json:"done"`
+	Total  int            `json:"total"`
+	Counts CampaignResult `json:"counts"`
+}
+
+// JobStatus is the wire view of a job.
+type JobStatus struct {
+	ID       string     `json:"id"`
+	Kind     Kind       `json:"kind"`
+	State    State      `json:"state"`
+	Error    string     `json:"error,omitempty"`
+	Progress *Progress  `json:"progress,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+	// Resumed counts checkpoint resumes across service restarts and
+	// drains.
+	Resumed   int        `json:"resumed,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+// Event is one NDJSON line of a job's progress stream: a status snapshot
+// ("status"), a checkpoint-granular progress update ("progress"), or the
+// final snapshot carrying the result ("result").
+type Event struct {
+	Type     string     `json:"type"`
+	Job      *JobStatus `json:"job,omitempty"`
+	Progress *Progress  `json:"progress,omitempty"`
+}

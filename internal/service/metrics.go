@@ -1,0 +1,56 @@
+package service
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Metrics is the service's expvar-style instrument set: monotonic counters
+// plus point-in-time gauges, all lock-free atomics so the campaign hot path
+// never contends. Unlike package expvar the registry is per-Service, so
+// tests can run many instances in one process without name collisions.
+type Metrics struct {
+	JobsSubmitted int64
+	JobsCompleted int64
+	JobsFailed    int64
+	JobsCanceled  int64
+	JobsResumed   int64
+	Checkpoints   int64
+	RunsSimulated int64
+	StreamClients int64
+
+	jobsRunning int64
+	queueDepth  func() int
+}
+
+func (m *Metrics) add(p *int64, n int64) { atomic.AddInt64(p, n) }
+
+// Snapshot returns the current values keyed by their exported names.
+func (m *Metrics) Snapshot() map[string]int64 {
+	s := map[string]int64{
+		"jobs_submitted_total": atomic.LoadInt64(&m.JobsSubmitted),
+		"jobs_completed_total": atomic.LoadInt64(&m.JobsCompleted),
+		"jobs_failed_total":    atomic.LoadInt64(&m.JobsFailed),
+		"jobs_canceled_total":  atomic.LoadInt64(&m.JobsCanceled),
+		"jobs_resumed_total":   atomic.LoadInt64(&m.JobsResumed),
+		"checkpoints_total":    atomic.LoadInt64(&m.Checkpoints),
+		"runs_simulated_total": atomic.LoadInt64(&m.RunsSimulated),
+		"stream_clients":       atomic.LoadInt64(&m.StreamClients),
+		"jobs_running":         atomic.LoadInt64(&m.jobsRunning),
+	}
+	if m.queueDepth != nil {
+		s["queue_depth"] = int64(m.queueDepth())
+	}
+	return s
+}
+
+// Names returns the snapshot keys sorted, for stable rendering.
+func (m *Metrics) Names() []string {
+	snap := m.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"errors"
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Submit when the target shard's backlog is at
+// capacity; HTTP maps it to 429 so load-shedding is visible to clients.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrDraining is returned by Submit once a graceful shutdown has begun.
+var ErrDraining = errors.New("service: draining, not accepting jobs")
+
+// queue is a sharded bounded FIFO of jobs. A job hashes to a shard by ID
+// and each shard is served by exactly one worker goroutine, so jobs on the
+// same shard run strictly in submission order (useful for reproducible
+// multi-job sessions) and no lock is shared on the hot path — the shards
+// are plain buffered channels.
+type queue struct {
+	shards []chan *job
+	depth  int32 // queued-but-not-started jobs, all shards
+}
+
+func newQueue(shards, depthPerShard int) *queue {
+	q := &queue{shards: make([]chan *job, shards)}
+	for i := range q.shards {
+		q.shards[i] = make(chan *job, depthPerShard)
+	}
+	return q
+}
+
+// shardOf maps a job ID onto its serving shard.
+func (q *queue) shardOf(id string) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(len(q.shards)))
+}
+
+// push enqueues without blocking; a full shard sheds load.
+func (q *queue) push(j *job) error {
+	select {
+	case q.shards[q.shardOf(j.id)] <- j:
+		atomic.AddInt32(&q.depth, 1)
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// took is called by a worker when it dequeues a job.
+func (q *queue) took() { atomic.AddInt32(&q.depth, -1) }
+
+// Len reports the queued backlog across shards.
+func (q *queue) Len() int { return int(atomic.LoadInt32(&q.depth)) }
+
+// closeAll releases the workers; pending jobs stay readable until drained.
+func (q *queue) closeAll() {
+	for _, sh := range q.shards {
+		close(sh)
+	}
+}

@@ -1,0 +1,669 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/lint"
+	"repro/internal/sim"
+	"repro/internal/spn"
+	"repro/internal/stdcell"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of queue shards / worker goroutines (jobs
+	// running concurrently). Default 2.
+	Workers int
+	// QueueDepth is the queued-job capacity per shard. Default 32.
+	QueueDepth int
+	// StateDir persists job records and campaign checkpoints; "" runs
+	// in memory only (no resume across restarts).
+	StateDir string
+	// CheckpointEveryRuns is the campaign checkpoint/progress interval
+	// in simulated runs; rounded up to whole sim.Lanes batches.
+	// Default 4096.
+	CheckpointEveryRuns int
+	// SimWorkers bounds the goroutines inside one campaign execution
+	// (fault.Campaign.Workers). Default GOMAXPROCS.
+	SimWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.CheckpointEveryRuns <= 0 {
+		c.CheckpointEveryRuns = 4096
+	}
+	if c.SimWorkers <= 0 {
+		c.SimWorkers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// ErrUnknownJob is returned for IDs the service has never seen.
+var ErrUnknownJob = errors.New("service: unknown job")
+
+// job is the in-memory state of one job. All mutable fields are guarded by
+// Service.mu; the campaign hot loop runs without it and communicates
+// through per-chunk callbacks.
+type job struct {
+	id  string
+	req JobRequest
+
+	state      State
+	err        string
+	result     *JobResult
+	progress   *Progress
+	resumed    int
+	checkpoint *Checkpoint
+	userCancel bool
+	cancel     context.CancelFunc // set while running
+
+	submitted time.Time
+	started   *time.Time
+	finished  *time.Time
+
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// Service is the campaign server: a bounded sharded queue feeding a fixed
+// worker pool, with durable state when a StateDir is configured.
+type Service struct {
+	cfg     Config
+	Metrics *Metrics
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	nextID   int
+	queue    *queue
+	store    *store
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// New opens the state dir, resumes any incomplete jobs it records, and
+// starts the worker pool.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	st, err := openStore(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := st.loadAll()
+	if err != nil {
+		return nil, err
+	}
+
+	pending := 0
+	for _, rec := range recs {
+		if !rec.State.Terminal() {
+			pending++
+		}
+	}
+	depth := cfg.QueueDepth
+	if per := (pending + cfg.Workers - 1) / cfg.Workers; per > depth {
+		depth = per // a restart must always be able to re-enqueue its own backlog
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:     cfg,
+		Metrics: &Metrics{},
+		baseCtx: ctx,
+		stop:    cancel,
+		jobs:    make(map[string]*job),
+		queue:   newQueue(cfg.Workers, depth),
+		store:   st,
+	}
+	s.Metrics.queueDepth = s.queue.Len
+
+	for _, rec := range recs {
+		j := &job{
+			id:         rec.ID,
+			req:        rec.Req,
+			state:      rec.State,
+			err:        rec.Error,
+			result:     rec.Result,
+			resumed:    rec.Resumed,
+			checkpoint: rec.Checkpoint,
+			submitted:  rec.Submitted,
+			subs:       make(map[int]chan Event),
+		}
+		if n, ok := parseJobID(rec.ID); ok && n >= s.nextID {
+			s.nextID = n + 1
+		}
+		if !j.state.Terminal() {
+			// Queued and interrupted-running jobs alike go back on
+			// the queue; campaigns pick up from their checkpoint.
+			j.state = StateQueued
+			if err := s.queue.push(j); err != nil {
+				cancel()
+				return nil, fmt.Errorf("service: re-enqueue %s: %w", j.id, err)
+			}
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker(w)
+	}
+	return s, nil
+}
+
+func parseJobID(id string) (int, bool) {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Submit validates and enqueues a job, returning its initial status.
+func (s *Service) Submit(req JobRequest) (JobStatus, error) {
+	if err := req.Validate(); err != nil {
+		return JobStatus{}, fmt.Errorf("invalid request: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
+	j := &job{
+		id:        fmt.Sprintf("j%06d", s.nextID),
+		req:       req,
+		state:     StateQueued,
+		submitted: time.Now().UTC(),
+		subs:      make(map[int]chan Event),
+	}
+	if err := s.queue.push(j); err != nil {
+		return JobStatus{}, err
+	}
+	s.nextID++
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.Metrics.add(&s.Metrics.JobsSubmitted, 1)
+	s.persistLocked(j)
+	return s.statusLocked(j), nil
+}
+
+// Get returns a job's status.
+func (s *Service) Get(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return s.statusLocked(j), nil
+}
+
+// List returns every job in submission order.
+func (s *Service) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// Cancel stops a job: queued jobs are marked canceled immediately, running
+// jobs are interrupted at their next batch boundary. Cancelling a terminal
+// job is a no-op.
+func (s *Service) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	switch j.state {
+	case StateQueued:
+		j.userCancel = true
+		s.finishLocked(j, StateCanceled, nil, "")
+	case StateRunning:
+		j.userCancel = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return s.statusLocked(j), nil
+}
+
+// Watch subscribes to a job's event stream. The returned channel delivers
+// progress and terminal events and is closed when the job reaches a
+// terminal state (read the final status with Get); call off to detach
+// early. Slow consumers may miss intermediate progress events — the stream
+// is a live feed, not a journal.
+func (s *Service) Watch(id string) (<-chan Event, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, ErrUnknownJob
+	}
+	ch := make(chan Event, 16)
+	if j.state.Terminal() {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	key := j.nextSub
+	j.nextSub++
+	j.subs[key] = ch
+	off := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, live := j.subs[key]; live {
+			delete(j.subs, key) // publisher holds mu, so no send can race this
+		}
+	}
+	return ch, off, nil
+}
+
+// Drain gracefully shuts the service down: intake stops, running campaigns
+// checkpoint and return to the queued state (durably, when a StateDir is
+// configured), and the workers exit. ctx bounds the wait. A subsequent New
+// on the same StateDir resumes the interrupted jobs.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.queue.closeAll()
+	s.mu.Unlock()
+	s.stop() // interrupt running jobs at their next batch boundary
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+}
+
+// Close is Drain without a deadline.
+func (s *Service) Close() error { return s.Drain(context.Background()) }
+
+// statusLocked snapshots a job. Callers hold s.mu.
+func (s *Service) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:        j.id,
+		Kind:      j.req.Kind,
+		State:     j.state,
+		Error:     j.err,
+		Result:    j.result,
+		Resumed:   j.resumed,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+	if j.progress != nil {
+		p := *j.progress
+		st.Progress = &p
+	}
+	return st
+}
+
+// persistLocked writes the job's durable record; persistence failures are
+// recorded on the job rather than crashing the worker.
+func (s *Service) persistLocked(j *job) {
+	rec := &jobRecord{
+		ID:         j.id,
+		Req:        j.req,
+		State:      j.state,
+		Error:      j.err,
+		Result:     j.result,
+		Resumed:    j.resumed,
+		Checkpoint: j.checkpoint,
+		Submitted:  j.submitted,
+	}
+	if err := s.store.save(rec); err != nil && j.err == "" {
+		j.err = fmt.Sprintf("checkpoint write failed: %v", err)
+	}
+}
+
+// publishLocked fans an event out to the job's subscribers (non-blocking;
+// laggards drop intermediate events).
+func (s *Service) publishLocked(j *job, ev Event) {
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// finishLocked moves a job to a terminal state, persists it and closes the
+// event stream.
+func (s *Service) finishLocked(j *job, state State, result *JobResult, errMsg string) {
+	now := time.Now().UTC()
+	j.state = state
+	j.result = result
+	j.err = errMsg
+	j.finished = &now
+	j.cancel = nil
+	switch state {
+	case StateDone:
+		s.Metrics.add(&s.Metrics.JobsCompleted, 1)
+	case StateFailed:
+		s.Metrics.add(&s.Metrics.JobsFailed, 1)
+	case StateCanceled:
+		s.Metrics.add(&s.Metrics.JobsCanceled, 1)
+	}
+	s.persistLocked(j)
+	st := s.statusLocked(j)
+	s.publishLocked(j, Event{Type: "result", Job: &st})
+	for k, ch := range j.subs {
+		close(ch)
+		delete(j.subs, k)
+	}
+}
+
+// worker serves one queue shard until drain.
+func (s *Service) worker(w int) {
+	defer s.wg.Done()
+	for j := range s.queue.shards[w] {
+		s.queue.took()
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job.
+func (s *Service) runJob(j *job) {
+	s.mu.Lock()
+	if j.state != StateQueued || s.draining {
+		// Canceled while queued, or the service is shutting down; a
+		// drained job stays queued on disk for the next process.
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	now := time.Now().UTC()
+	j.state = StateRunning
+	j.started = &now
+	j.cancel = cancel
+	s.Metrics.add(&s.Metrics.jobsRunning, 1)
+	s.persistLocked(j)
+	st := s.statusLocked(j)
+	s.publishLocked(j, Event{Type: "status", Job: &st})
+	s.mu.Unlock()
+	defer s.Metrics.add(&s.Metrics.jobsRunning, -1)
+
+	var result *JobResult
+	var err error
+	switch j.req.Kind {
+	case KindCampaign:
+		result, err = s.runCampaign(ctx, j)
+	case KindDFA, KindSIFA, KindFTA:
+		result, err = s.runAttack(ctx, j)
+	case KindArea:
+		result, err = runArea(j.req)
+	case KindLint:
+		result, err = runLint(j.req)
+	default:
+		err = fmt.Errorf("unknown job kind %q", j.req.Kind)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		s.finishLocked(j, StateDone, result, "")
+	case errors.Is(err, context.Canceled) && j.userCancel:
+		s.finishLocked(j, StateCanceled, nil, "")
+	case errors.Is(err, context.Canceled):
+		// Drain: back to queued with the checkpoint intact; the next
+		// process resumes from here.
+		j.state = StateQueued
+		j.cancel = nil
+		s.persistLocked(j)
+		st := s.statusLocked(j)
+		s.publishLocked(j, Event{Type: "status", Job: &st})
+	default:
+		s.finishLocked(j, StateFailed, nil, err.Error())
+	}
+}
+
+// runCampaign executes a campaign job in checkpoint-sized chunks. Each
+// chunk is a contiguous batch range of the seed-deterministic campaign;
+// after every chunk the accumulated counts and the next batch index are
+// persisted and a progress event is published.
+func (s *Service) runCampaign(ctx context.Context, j *job) (*JobResult, error) {
+	d, err := BuildDesign(j.req.Design)
+	if err != nil {
+		return nil, err
+	}
+	camp, err := buildCampaign(d, j.req.Campaign, s.cfg.SimWorkers)
+	if err != nil {
+		return nil, err
+	}
+
+	batches := camp.NumBatches()
+	chunk := (s.cfg.CheckpointEveryRuns + sim.Lanes - 1) / sim.Lanes
+	if chunk < 1 {
+		chunk = 1
+	}
+
+	s.mu.Lock()
+	var acc CampaignResult
+	start := 0
+	if j.checkpoint != nil {
+		start = j.checkpoint.NextBatch
+		acc = j.checkpoint.Counts
+		j.resumed++
+		s.Metrics.add(&s.Metrics.JobsResumed, 1)
+	}
+	j.progress = &Progress{Done: acc.Total, Total: camp.Runs, Counts: acc}
+	s.mu.Unlock()
+
+	for b := start; b < batches; {
+		end := b + chunk
+		if end > batches {
+			end = batches
+		}
+		res, execErr := camp.ExecuteBatches(ctx, b, end, nil)
+		acc.Add(res)
+		// Completed batches are always full sim.Lanes wide except the
+		// campaign's final batch, which only completes error-free.
+		completed := b + res.Total/sim.Lanes
+		if execErr == nil {
+			completed = end
+		}
+		s.mu.Lock()
+		j.checkpoint = &Checkpoint{NextBatch: completed, Counts: acc}
+		j.progress = &Progress{Done: acc.Total, Total: camp.Runs, Counts: acc}
+		s.Metrics.add(&s.Metrics.RunsSimulated, int64(res.Total))
+		s.Metrics.add(&s.Metrics.Checkpoints, 1)
+		s.persistLocked(j)
+		p := *j.progress
+		s.publishLocked(j, Event{Type: "progress", Progress: &p})
+		s.mu.Unlock()
+		if execErr != nil {
+			return nil, execErr
+		}
+		b = end
+	}
+	cr := acc
+	return &JobResult{Campaign: &cr}, nil
+}
+
+// runAttack executes the one-shot attack kinds. The drivers are not
+// incrementally interruptible (they are short relative to campaigns), so
+// cancellation is honoured at the boundaries.
+func (s *Service) runAttack(ctx context.Context, j *job) (*JobResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	a := j.req.Attack
+	key := spn.KeyState{uint64(a.Key[0]), uint64(a.Key[1])}
+	d, err := BuildDesign(j.req.Design)
+	if err != nil {
+		return nil, err
+	}
+	deviceSeed := uint64(a.DeviceSeed)
+	if deviceSeed == 0 {
+		deviceSeed = 0x5C017ED
+	}
+
+	switch j.req.Kind {
+	case KindDFA:
+		t, err := attack.NewTarget(d, key, deviceSeed)
+		if err != nil {
+			return nil, err
+		}
+		cfg := attack.DefaultDFAConfig()
+		if a.PairsPerNibble > 0 {
+			cfg.PairsPerNibble = a.PairsPerNibble
+		}
+		if a.Model != "" {
+			cfg.Model, _ = parseModel(a.Model)
+		}
+		cfg.BothBranches = a.BothBranches
+		cfg.UnknownPolarity = a.UnknownPolarity
+		if a.Seed != 0 {
+			cfg.Seed = uint64(a.Seed)
+		}
+		res := attack.RunDFA(t, cfg)
+		return &JobResult{DFA: &DFAResult{
+			Succeeded:    res.Succeeded,
+			Detail:       res.Detail,
+			RecoveredKey: [2]U64{U64(res.RecoveredKey[0]), U64(res.RecoveredKey[1])},
+		}}, ctx.Err()
+	case KindSIFA:
+		t, err := attack.NewTarget(d, key, deviceSeed)
+		if err != nil {
+			return nil, err
+		}
+		cfg := attack.DefaultSIFAConfig()
+		if a.Sbox != nil {
+			cfg.SboxIndex = *a.Sbox
+		}
+		if a.Bit != nil {
+			cfg.FaultBit = *a.Bit
+		}
+		if a.Injections > 0 {
+			cfg.Injections = a.Injections
+		}
+		if a.Seed != 0 {
+			cfg.Seed = uint64(a.Seed)
+		}
+		if cfg.SboxIndex >= d.Spec.NumSboxes() || cfg.FaultBit >= d.Spec.SboxBits {
+			return nil, fmt.Errorf("S-box %d bit %d out of range for %s", cfg.SboxIndex, cfg.FaultBit, d.Spec.Name)
+		}
+		res := attack.RunSIFA(t, cfg)
+		return &JobResult{SIFA: &SIFAResult{
+			Succeeded:  res.Succeeded,
+			Detail:     res.Detail,
+			BestGuess:  U64(res.BestGuess),
+			TrueSubkey: U64(res.TrueSubkey),
+			Usable:     res.Usable,
+		}}, ctx.Err()
+	case KindFTA:
+		cfg := attack.DefaultFTAConfig()
+		if a.Sbox != nil {
+			cfg.SboxIndex = *a.Sbox
+		}
+		if a.Repeats > 0 {
+			cfg.Repeats = a.Repeats
+		}
+		if a.ProfilePTs > 0 {
+			cfg.ProfilePTs = a.ProfilePTs
+		}
+		if a.AttackPTs > 0 {
+			cfg.AttackPTs = a.AttackPTs
+		}
+		if a.Seed != 0 {
+			cfg.Seed = uint64(a.Seed)
+		}
+		if cfg.SboxIndex >= d.Spec.NumSboxes() {
+			return nil, fmt.Errorf("S-box %d out of range for %s", cfg.SboxIndex, d.Spec.Name)
+		}
+		res, err := attack.RunFTAOnDesign(d, key, cfg, deviceSeed)
+		if err != nil {
+			return nil, err
+		}
+		return &JobResult{FTA: &FTAResult{
+			Succeeded:  res.Succeeded,
+			Detail:     res.Detail,
+			Accuracy:   res.Accuracy,
+			Bits:       res.Bits,
+			Separation: res.Separation,
+		}}, ctx.Err()
+	}
+	return nil, fmt.Errorf("unknown attack kind %q", j.req.Kind)
+}
+
+// runArea prices a design (or uploaded netlist) in gate equivalents.
+func runArea(req JobRequest) (*JobResult, error) {
+	m, err := ResolveModule(req.Design)
+	if err != nil {
+		return nil, err
+	}
+	rep := stdcell.Nangate45().Area(m)
+	byKind := make(map[string]float64, len(rep.ByKind))
+	for k, ge := range rep.ByKind {
+		byKind[k.String()] = ge
+	}
+	return &JobResult{Area: &AreaResult{
+		Module:        rep.Module,
+		Library:       rep.Library,
+		Combinational: rep.Combinational,
+		Sequential:    rep.Sequential,
+		Total:         rep.Total(),
+		CellCount:     rep.CellCount,
+		ByKind:        byKind,
+	}}, nil
+}
+
+// runLint audits a design (or uploaded netlist) with the static
+// countermeasure linter.
+func runLint(req JobRequest) (*JobResult, error) {
+	m, err := ResolveModule(req.Design)
+	if err != nil {
+		return nil, err
+	}
+	opts := lint.Options{}
+	if req.Lint != nil {
+		opts.Rules = req.Lint.Rules
+		opts.MaxPerRule = req.Lint.MaxPerRule
+	}
+	rep, err := lint.Run(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{Lint: rep}, nil
+}
+
+// QueueLen reports the queued backlog (for /metrics and tests).
+func (s *Service) QueueLen() int { return s.queue.Len() }

@@ -1,0 +1,422 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cipher/present"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+var testKey = [2]U64{0x0123456789ABCDEF, 0x8421}
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func campaignRequest(runs int, entropy string) JobRequest {
+	return JobRequest{
+		Kind: KindCampaign,
+		Design: DesignSpec{
+			Cipher: "present80", Scheme: "three-in-one", Entropy: entropy,
+		},
+		Campaign: &CampaignSpec{
+			Runs: runs,
+			Seed: 0x5C09E2021,
+			Key:  testKey,
+			Faults: []FaultSpec{
+				{Sbox: 13, Bit: 2, Model: "stuck-at-0"},
+			},
+		},
+	}
+}
+
+func waitTerminal(t *testing.T, s *Service, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobStatus{}
+}
+
+func TestU64JSONRoundTrip(t *testing.T) {
+	for _, v := range []U64{0, 1, 0x5C09E2021, ^U64(0)} {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(b, []byte(`"0x`)) {
+			t.Fatalf("U64 %d marshalled as %s, want hex string", v, b)
+		}
+		var back U64
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != v {
+			t.Fatalf("round trip %d -> %s -> %d", v, b, back)
+		}
+	}
+	var fromNumber U64
+	if err := json.Unmarshal([]byte("42"), &fromNumber); err != nil || fromNumber != 42 {
+		t.Fatalf("number form: %v %d", err, fromNumber)
+	}
+	var fromDecimal U64
+	if err := json.Unmarshal([]byte(`"42"`), &fromDecimal); err != nil || fromDecimal != 42 {
+		t.Fatalf("decimal string form: %v %d", err, fromDecimal)
+	}
+}
+
+func TestValidateRejectsBadRequests(t *testing.T) {
+	cases := []struct {
+		name string
+		req  JobRequest
+	}{
+		{"unknown kind", JobRequest{Kind: "explode"}},
+		{"campaign without spec", JobRequest{Kind: KindCampaign}},
+		{"campaign zero runs", JobRequest{Kind: KindCampaign, Campaign: &CampaignSpec{Faults: []FaultSpec{{}}}}},
+		{"campaign no faults", JobRequest{Kind: KindCampaign, Campaign: &CampaignSpec{Runs: 10}}},
+		{"campaign bad model", JobRequest{Kind: KindCampaign, Campaign: &CampaignSpec{Runs: 10, Faults: []FaultSpec{{Model: "gamma-ray"}}}}},
+		{"campaign bad branch", JobRequest{Kind: KindCampaign, Campaign: &CampaignSpec{Runs: 10, Faults: []FaultSpec{{Branch: "imaginary"}}}}},
+		{"campaign with netlist", JobRequest{Kind: KindCampaign, Design: DesignSpec{Netlist: "module m\nend\n"}, Campaign: &CampaignSpec{Runs: 10, Faults: []FaultSpec{{}}}}},
+		{"attack without spec", JobRequest{Kind: KindDFA}},
+		{"bad cipher", JobRequest{Kind: KindLint, Design: DesignSpec{Cipher: "des"}}},
+		{"bad scheme", JobRequest{Kind: KindLint, Design: DesignSpec{Scheme: "hope"}}},
+		{"bad entropy", JobRequest{Kind: KindLint, Design: DesignSpec{Entropy: "vibes"}}},
+		{"bad engine", JobRequest{Kind: KindLint, Design: DesignSpec{Engine: "hdl"}}},
+	}
+	for _, tc := range cases {
+		if err := tc.req.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	ok := campaignRequest(100, "prime")
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+}
+
+// The service's campaign result must be bit-identical to a direct
+// library-level Campaign.Execute with the same parameters.
+func TestCampaignJobMatchesDirectExecute(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, CheckpointEveryRuns: 128})
+	st, err := s.Submit(campaignRequest(300, "prime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, s, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job finished %s (%s)", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.Campaign == nil {
+		t.Fatal("done campaign job has no campaign result")
+	}
+
+	direct := directCampaignResult(t, 300, "prime")
+	if *final.Result.Campaign != direct {
+		t.Errorf("service result %+v != direct %+v", *final.Result.Campaign, direct)
+	}
+}
+
+// directCampaignResult runs the same campaign through the library path.
+func directCampaignResult(t *testing.T, runs int, entropy string) CampaignResult {
+	t.Helper()
+	req := campaignRequest(runs, entropy)
+	d, err := BuildDesign(req.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := buildCampaign(d, req.Campaign, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camp.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCampaignResult(res)
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, CheckpointEveryRuns: 64})
+	// A long first job keeps the single worker busy while we cancel the
+	// second, still-queued one.
+	first, err := s.Submit(campaignRequest(4096, "prime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Submit(campaignRequest(4096, "prime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Cancel(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("queued job after cancel: %s", st.State)
+	}
+	if _, err := s.Cancel(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, s, first.ID)
+	if final.State != StateCanceled {
+		t.Fatalf("running job after cancel finished %s", final.State)
+	}
+	if _, err := s.Cancel("j999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("cancel of unknown job: %v", err)
+	}
+}
+
+func TestQueueShedsLoadWhenFull(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 1, CheckpointEveryRuns: 64})
+	// Occupy the worker, then fill the single-slot shard backlog.
+	busy, err := s.Submit(campaignRequest(1<<20, "prime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFull := false
+	ids := []string{busy.ID}
+	for i := 0; i < 8; i++ {
+		st, err := s.Submit(campaignRequest(64, "prime"))
+		if errors.Is(err, ErrQueueFull) {
+			sawFull = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	if !sawFull {
+		t.Error("queue never reported full")
+	}
+	for _, id := range ids {
+		s.Cancel(id)
+	}
+}
+
+func TestAreaAndLintJobs(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+
+	area, err := s.Submit(JobRequest{Kind: KindArea, Design: DesignSpec{Cipher: "present80", Scheme: "naive"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lintClean, err := s.Submit(JobRequest{Kind: KindLint, Design: DesignSpec{Cipher: "present80", Scheme: "three-in-one"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := waitTerminal(t, s, area.ID)
+	if st.State != StateDone || st.Result == nil || st.Result.Area == nil {
+		t.Fatalf("area job: %s (%s)", st.State, st.Error)
+	}
+	if st.Result.Area.Total <= 0 || st.Result.Area.CellCount <= 0 {
+		t.Errorf("area result empty: %+v", st.Result.Area)
+	}
+
+	st = waitTerminal(t, s, lintClean.ID)
+	if st.State != StateDone || st.Result == nil || st.Result.Lint == nil {
+		t.Fatalf("lint job: %s (%s)", st.State, st.Error)
+	}
+	if !st.Result.Lint.Clean() {
+		t.Errorf("three-in-one core should lint clean, found %d findings", st.Result.Lint.Findings)
+	}
+}
+
+// An uploaded text netlist reaches the linter through ReadTextLax.
+func TestLintJobOnUploadedNetlist(t *testing.T) {
+	d, err := core.Build(present.Spec(), core.Options{Scheme: core.SchemeThreeInOne, Engine: synth.EngineANF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nl bytes.Buffer
+	if err := d.Mod.WriteText(&nl); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestService(t, Config{Workers: 1})
+	st, err := s.Submit(JobRequest{
+		Kind:   KindLint,
+		Design: DesignSpec{Netlist: nl.String()},
+		Lint:   &LintSpec{Rules: []string{"structural"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, s, st.ID)
+	if final.State != StateDone || final.Result == nil || final.Result.Lint == nil {
+		t.Fatalf("netlist lint job: %s (%s)", final.State, final.Error)
+	}
+
+	if _, err := netlist.ReadTextLax(strings.NewReader(nl.String())); err != nil {
+		t.Fatalf("round-trip sanity: %v", err)
+	}
+}
+
+func TestAttackJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("attack jobs build several designs")
+	}
+	s := newTestService(t, Config{Workers: 2})
+	sbox, bit := 13, 2
+
+	dfa, err := s.Submit(JobRequest{
+		Kind:   KindDFA,
+		Design: DesignSpec{Cipher: "present80", Scheme: "unprotected"},
+		Attack: &AttackSpec{Key: testKey, PairsPerNibble: 16, Model: "bit-flip"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sifa, err := s.Submit(JobRequest{
+		Kind:   KindSIFA,
+		Design: DesignSpec{Cipher: "present80", Scheme: "naive"},
+		Attack: &AttackSpec{Key: testKey, Sbox: &sbox, Bit: &bit, Injections: 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fta, err := s.Submit(JobRequest{
+		Kind:   KindFTA,
+		Design: DesignSpec{Cipher: "present80", Scheme: "naive"},
+		Attack: &AttackSpec{Key: testKey, Sbox: &sbox, Repeats: 32, ProfilePTs: 4, AttackPTs: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := waitTerminal(t, s, dfa.ID)
+	if st.State != StateDone || st.Result == nil || st.Result.DFA == nil {
+		t.Fatalf("dfa job: %s (%s)", st.State, st.Error)
+	}
+	if !st.Result.DFA.Succeeded {
+		t.Errorf("DFA against the unprotected core should succeed: %s", st.Result.DFA.Detail)
+	}
+	if got := [2]U64{st.Result.DFA.RecoveredKey[0], st.Result.DFA.RecoveredKey[1]}; got != testKey {
+		t.Errorf("recovered key %v != %v", got, testKey)
+	}
+
+	st = waitTerminal(t, s, sifa.ID)
+	if st.State != StateDone || st.Result == nil || st.Result.SIFA == nil {
+		t.Fatalf("sifa job: %s (%s)", st.State, st.Error)
+	}
+	st = waitTerminal(t, s, fta.ID)
+	if st.State != StateDone || st.Result == nil || st.Result.FTA == nil {
+		t.Fatalf("fta job: %s (%s)", st.State, st.Error)
+	}
+}
+
+func TestMetricsCountJobs(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, CheckpointEveryRuns: 64})
+	st, err := s.Submit(campaignRequest(128, "prime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, st.ID)
+	snap := s.Metrics.Snapshot()
+	if snap["jobs_submitted_total"] != 1 || snap["jobs_completed_total"] != 1 {
+		t.Errorf("job counters: %v", snap)
+	}
+	if snap["runs_simulated_total"] != 128 {
+		t.Errorf("runs_simulated_total = %d, want 128", snap["runs_simulated_total"])
+	}
+	if snap["checkpoints_total"] < 2 {
+		t.Errorf("checkpoints_total = %d, want >= 2", snap["checkpoints_total"])
+	}
+}
+
+func TestWatchDeliversProgressAndResult(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, CheckpointEveryRuns: 64})
+	// Keep the single worker busy until the watch is subscribed so no
+	// progress event can fire before we listen.
+	blocker, err := s.Submit(campaignRequest(1<<20, "prime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Submit(campaignRequest(320, "prime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, off, err := s.Watch(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off()
+	if _, err := s.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	progress, result := 0, 0
+	lastDone := -1
+	deadline := time.After(2 * time.Minute)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				if result == 0 {
+					// The result event can be dropped under load;
+					// terminal close is the authoritative signal.
+					final := waitTerminal(t, s, st.ID)
+					if final.State != StateDone {
+						t.Fatalf("job %s", final.State)
+					}
+				}
+				if progress == 0 {
+					t.Error("no progress events delivered")
+				}
+				return
+			}
+			switch ev.Type {
+			case "progress":
+				progress++
+				if ev.Progress.Done <= lastDone {
+					t.Errorf("progress not monotone: %d after %d", ev.Progress.Done, lastDone)
+				}
+				lastDone = ev.Progress.Done
+			case "result":
+				result++
+				if ev.Job == nil || ev.Job.Result == nil {
+					t.Error("result event without payload")
+				}
+			}
+		case <-deadline:
+			t.Fatal("watch timed out")
+		}
+	}
+}
+
+func TestDrainRejectsNewWork(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(campaignRequest(64, "prime")); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	// Drain is idempotent.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

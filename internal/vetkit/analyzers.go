@@ -7,7 +7,7 @@ import (
 
 // Analyzers returns the repository's vet passes in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoRand, CachedCompile}
+	return []*Analyzer{NoRand, CachedCompile, CtxExecute}
 }
 
 // NoRand forbids math/rand outside test files and internal/rng.
@@ -28,6 +28,47 @@ var NoRand = &Analyzer{
 					p.Reportf(imp.Pos(), "import of %s in production code: draw randomness from internal/rng", path)
 				}
 			}
+		}
+	},
+}
+
+// ctxExecuteDirs are the packages whose jobs must stay cancellable: the
+// service's drain/checkpoint machinery and the daemon wrapping it.
+var ctxExecuteDirs = []string{"internal/service/", "cmd/sconed/"}
+
+// CtxExecute forbids context-free Campaign.Execute calls in the service
+// layer. Graceful drain and checkpoint/resume both rely on cancellation
+// reaching the simulation between batches; a bare Execute call would run
+// a campaign to completion no matter what, wedging shutdown for the whole
+// worker. Use ExecuteContext or ExecuteBatches there instead.
+var CtxExecute = &Analyzer{
+	Name: "ctxexecute",
+	Doc:  "forbid context-free .Execute( in internal/service and cmd/sconed (use ExecuteContext/ExecuteBatches)",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			scoped := false
+			for _, dir := range ctxExecuteDirs {
+				if strings.HasPrefix(f.Dir(), dir) {
+					scoped = true
+					break
+				}
+			}
+			if !scoped {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Execute" {
+					p.Reportf(call.Pos(), "context-free .Execute call in the service layer cannot be drained: use ExecuteContext or ExecuteBatches")
+				}
+				return true
+			})
 		}
 	},
 }

@@ -92,6 +92,52 @@ func CompileCached(m any) { Compile(m) }
 	}
 }
 
+func TestCtxExecute(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/service/bad.go": `package service
+
+func f(c interface{ Execute(func()) }) { c.Execute(nil) }
+`,
+		"internal/service/ok.go": `package service
+
+import "context"
+
+func g(c interface {
+	ExecuteContext(context.Context, func()) error
+}) {
+	c.ExecuteContext(context.Background(), nil)
+}
+`,
+		"internal/service/ok_test.go": `package service
+
+func t(c interface{ Execute(func()) }) { c.Execute(nil) }
+`,
+		"cmd/sconed/bad.go": `package main
+
+func f(c interface{ Execute(func()) }) { c.Execute(nil) }
+`,
+		"internal/experiments/ok.go": `package experiments
+
+func h(c interface{ Execute(func()) }) { c.Execute(nil) }
+`,
+	})
+	diags, err := Run(root, []*Analyzer{CtxExecute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Pos.Filename != "internal/service/bad.go" && d.Pos.Filename != "cmd/sconed/bad.go" {
+			t.Errorf("finding in wrong file: %s", d.String())
+		}
+		if !strings.Contains(d.Message, "ExecuteContext") {
+			t.Errorf("message should point at ExecuteContext: %s", d.String())
+		}
+	}
+}
+
 func TestSkipsTestdataAndHiddenDirs(t *testing.T) {
 	root := writeTree(t, map[string]string{
 		"pkg/testdata/bad.go": "package broken !!!\n",

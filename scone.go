@@ -9,6 +9,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/netlist"
 	"repro/internal/rng"
+	"repro/internal/service"
 	"repro/internal/spn"
 	"repro/internal/stdcell"
 	"repro/internal/synth"
@@ -178,6 +179,37 @@ func Nangate45() *CellLibrary { return stdcell.Nangate45() }
 
 // Area prices a design against a library.
 func Area(lib *CellLibrary, d *Design) AreaReport { return lib.Area(d.Mod) }
+
+// Service layer (the sconed daemon's job engine; see cmd/sconed and
+// internal/service/client for the HTTP surface).
+type (
+	// ServiceConfig sizes a Service's worker pool, queue and checkpoint
+	// interval.
+	ServiceConfig = service.Config
+	// Service is the embeddable fault-campaign job engine behind sconed.
+	Service = service.Service
+	// JobRequest describes one job submission.
+	JobRequest = service.JobRequest
+	// JobStatus is a job's externally visible state.
+	JobStatus = service.JobStatus
+	// JobKind enumerates the job types a Service executes.
+	JobKind = service.Kind
+	// JobEvent is one entry of a job's progress stream.
+	JobEvent = service.Event
+)
+
+// Job kinds.
+const (
+	JobCampaign = service.KindCampaign
+	JobDFA      = service.KindDFA
+	JobSIFA     = service.KindSIFA
+	JobFTA      = service.KindFTA
+	JobArea     = service.KindArea
+	JobLint     = service.KindLint
+)
+
+// NewService starts a job engine; Close (or Drain) releases its workers.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
 
 // Randomness layer.
 type (

@@ -73,3 +73,23 @@ func TestFacadeSpecs(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeService(t *testing.T) {
+	svc, err := NewService(ServiceConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	st, err := svc.Submit(JobRequest{Kind: JobArea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !st.State.Terminal() {
+		if st, err = svc.Get(st.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Result == nil || st.Result.Area == nil || st.Result.Area.Total <= 0 {
+		t.Fatalf("area job returned %+v", st)
+	}
+}
