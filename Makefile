@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt fmt-check vet lint sconelint fuzz serve e2e ci
+.PHONY: all build test race bench bench-full bench-smoke fmt fmt-check vet lint sconelint fuzz serve e2e ci
 
 all: build test
 
@@ -15,9 +15,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark run (slow; one benchmark per paper table/figure plus the
-# raw gate-eval throughput benchmarks).
+# Campaign benchmark suite: PRESENT-80 across all three entropy variants,
+# written to BENCH_PR4.json (runs/sec, ns/eval, allocs). CI uploads the
+# report as an artifact so the perf trajectory is tracked per commit.
 bench:
+	$(GO) run ./cmd/sconebench -short
+
+# Full go-test benchmark run (slow; one benchmark per paper table/figure
+# plus the raw gate-eval throughput benchmarks).
+bench-full:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
 
 # One iteration of every benchmark — proves they still compile and run.
@@ -34,7 +40,8 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Custom vet passes (internal/vetkit): norand, cachedcompile, ctxexecute.
+# Custom vet passes (internal/vetkit): norand, cachedcompile, ctxexecute,
+# obsnames.
 lint: vet
 	$(GO) run ./cmd/sconevet .
 

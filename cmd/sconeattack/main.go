@@ -5,6 +5,13 @@
 // Usage:
 //
 //	sconeattack [-attack dfa|identical|sifa|ifa|fta|all] [-quick]
+//	            [-spec present80] [-scheme three-in-one] [-entropy prime] [-json]
+//
+// The design flags share the sconectl/sconesim vocabulary: -spec, -entropy
+// and -engine retarget every attack's victim design, and -scheme (when set
+// to a non-default value) restricts the matrix to that scheme's rows. With
+// -json the matrix is emitted through the shared service encoder instead of
+// the text report.
 package main
 
 import (
@@ -14,21 +21,14 @@ import (
 	"os"
 
 	"repro/internal/attack"
-	"repro/internal/cipher/present"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/service"
 	"repro/internal/spn"
-	"repro/internal/synth"
 )
 
 var deviceKey = spn.KeyState{0x0123456789ABCDEF, 0x8421}
-
-func buildDesign(scheme core.Scheme, separate bool) *core.Design {
-	return core.MustBuild(present.Spec(), core.Options{
-		Scheme: scheme, Entropy: core.EntropyPrime,
-		Engine: synth.EngineANF, SeparateSbox: separate,
-	})
-}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -40,11 +40,50 @@ func main() {
 	}
 }
 
+// matrixRow is one (attack, scheme) cell of the report, in the shared wire
+// vocabulary so -json output lines up with the sconed job results.
+type matrixRow struct {
+	Attack    string `json:"attack"`
+	Scheme    string `json:"scheme"`
+	Succeeded bool   `json:"succeeded"`
+	Detail    string `json:"detail"`
+}
+
+// report accumulates matrix rows and, in text mode, mirrors them to stdout
+// in the traditional section layout.
+type report struct {
+	w    io.Writer // nil in -json mode
+	rows []matrixRow
+}
+
+func (r *report) section(title string) {
+	if r.w != nil {
+		fmt.Fprintf(r.w, "=== %s ===\n", title)
+	}
+}
+
+func (r *report) sectionEnd() {
+	if r.w != nil {
+		fmt.Fprintln(r.w)
+	}
+}
+
+// add records one cell. scheme is the wire-vocabulary scheme name; label is
+// the (possibly more descriptive) text-report line.
+func (r *report) add(attackName string, scheme core.Scheme, label string, res attack.Result, width int) {
+	r.rows = append(r.rows, matrixRow{Attack: attackName, Scheme: schemeName(scheme), Succeeded: res.Succeeded, Detail: res.Detail})
+	if r.w != nil {
+		fmt.Fprintf(r.w, "  vs %-*s %s\n", width, label+":", res)
+	}
+}
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sconeattack", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	which := fs.String("attack", "all", "attack to run: dfa, identical, sifa, ifa, fta or all")
 	quick := fs.Bool("quick", false, "shrink attack budgets for a fast smoke run (results are noisy)")
+	design := cliflags.RegisterDesign(fs)
+	jsonOut := fs.Bool("json", false, "emit the attack matrix as JSON through the shared service encoder")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,72 +92,107 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown attack %q", *which)
 	}
+	_, opts, err := design.Parse()
+	if err != nil {
+		return err
+	}
 
+	// The matrix sweeps schemes by design; a non-default -scheme narrows it
+	// to that scheme's rows instead of being silently ignored.
+	only := core.Scheme(0)
+	restrict := design.Scheme != cliflags.DefaultScheme
+	if restrict {
+		only = opts.Scheme
+	}
+	keep := func(s core.Scheme) bool { return !restrict || s == only }
+
+	buildDesign := func(scheme core.Scheme, separate bool) (*core.Design, error) {
+		ds := design.DesignSpec()
+		ds.Scheme = schemeName(scheme)
+		ds.SeparateSbox = separate
+		return service.BuildDesign(ds)
+	}
 	newTarget := func(scheme core.Scheme) (*attack.Target, error) {
-		return attack.NewTarget(buildDesign(scheme, false), deviceKey, 0xD0D0)
+		d, err := buildDesign(scheme, false)
+		if err != nil {
+			return nil, err
+		}
+		return attack.NewTarget(d, deviceKey, 0xD0D0)
 	}
 	sel := func(name string) bool { return *which == name || *which == "all" }
 
+	rep := &report{w: stdout}
+	if *jsonOut {
+		rep.w = nil
+	}
+
 	if sel("dfa") {
-		fmt.Fprintln(stdout, "=== Classic last-round DFA (single computation, bit-flip faults) ===")
+		rep.section("Classic last-round DFA (single computation, bit-flip faults)")
 		cfg := attack.DefaultDFAConfig()
 		if *quick {
 			cfg.PairsPerNibble = 4
 		}
 		for _, s := range []core.Scheme{core.SchemeUnprotected, core.SchemeNaiveDup, core.SchemeThreeInOne} {
+			if !keep(s) {
+				continue
+			}
 			t, err := newTarget(s)
 			if err != nil {
 				return err
 			}
-			res := attack.RunDFA(t, cfg)
-			fmt.Fprintf(stdout, "  vs %-24s %s\n", s.String()+":", res)
+			rep.add("dfa", s, s.String(), attack.RunDFA(t, cfg), 24)
 		}
-		fmt.Fprintln(stdout)
+		rep.sectionEnd()
 	}
 
 	if sel("identical") {
-		fmt.Fprintln(stdout, "=== Identical-fault DFA (FDTC 2016: same stuck-at in both computations) ===")
+		rep.section("Identical-fault DFA (FDTC 2016: same stuck-at in both computations)")
 		cfg := attack.IdenticalDFAConfig()
 		if *quick {
 			cfg.PairsPerNibble = 4
 		}
 		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeACISP, core.SchemeThreeInOne} {
+			if !keep(s) {
+				continue
+			}
 			t, err := newTarget(s)
 			if err != nil {
 				return err
 			}
-			res := attack.RunDFA(t, cfg)
-			fmt.Fprintf(stdout, "  vs %-24s %s\n", s.String()+":", res)
+			rep.add("identical-dfa", s, s.String(), attack.RunDFA(t, cfg), 24)
 		}
-		cfg.Model = fault.BitFlip
-		t, err := newTarget(core.SchemeThreeInOne)
-		if err != nil {
-			return err
+		if keep(core.SchemeThreeInOne) {
+			cfg.Model = fault.BitFlip
+			t, err := newTarget(core.SchemeThreeInOne)
+			if err != nil {
+				return err
+			}
+			rep.add("identical-dfa-bitflip", core.SchemeThreeInOne, "three-in-one (identical bit-FLIP, the §IV-B-4 caveat)", attack.RunDFA(t, cfg), 24)
 		}
-		res := attack.RunDFA(t, cfg)
-		fmt.Fprintf(stdout, "  vs %-24s %s\n", "three-in-one (identical bit-FLIP, the §IV-B-4 caveat):", res)
-		fmt.Fprintln(stdout)
+		rep.sectionEnd()
 	}
 
 	if sel("sifa") {
-		fmt.Fprintln(stdout, "=== SIFA (stuck-at-0 at S-box 13 bit 2, ineffective-fault filtering) ===")
+		rep.section("SIFA (stuck-at-0 at S-box 13 bit 2, ineffective-fault filtering)")
 		cfg := attack.DefaultSIFAConfig()
 		if *quick {
 			cfg.Injections = 256
 		}
 		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeACISP, core.SchemeThreeInOne} {
+			if !keep(s) {
+				continue
+			}
 			t, err := newTarget(s)
 			if err != nil {
 				return err
 			}
-			res := attack.RunSIFA(t, cfg)
-			fmt.Fprintf(stdout, "  vs %-24s %s\n", s.String()+":", res.Result)
+			rep.add("sifa", s, s.String(), attack.RunSIFA(t, cfg).Result, 24)
 		}
-		fmt.Fprintln(stdout)
+		rep.sectionEnd()
 	}
 
 	if sel("ifa") {
-		fmt.Fprintln(stdout, "=== IFA / biased-fault SFA (the models SIFA generalises, §IV-B-5) ===")
+		rep.section("IFA / biased-fault SFA (the models SIFA generalises, §IV-B-5)")
 		icfg := attack.DefaultIFAConfig()
 		scfg := attack.DefaultSFAConfig()
 		if *quick {
@@ -126,26 +200,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 			scfg.Injections = 256
 		}
 		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeThreeInOne} {
+			if !keep(s) {
+				continue
+			}
 			t, err := newTarget(s)
 			if err != nil {
 				return err
 			}
-			res := attack.RunIFA(t, icfg)
-			fmt.Fprintf(stdout, "  IFA vs %-20s %s\n", s.String()+":", res.Result)
+			rep.add("ifa", s, s.String(), attack.RunIFA(t, icfg).Result, 20)
 		}
 		for _, s := range []core.Scheme{core.SchemeNaiveDup, core.SchemeThreeInOne} {
+			if !keep(s) {
+				continue
+			}
 			t, err := newTarget(s)
 			if err != nil {
 				return err
 			}
-			res := attack.RunSFA(t, scfg)
-			fmt.Fprintf(stdout, "  SFA vs %-20s %s\n", s.String()+":", res.Result)
+			rep.add("sfa", s, s.String(), attack.RunSFA(t, scfg).Result, 20)
 		}
-		fmt.Fprintln(stdout)
+		rep.sectionEnd()
 	}
 
 	if sel("fta") {
-		fmt.Fprintln(stdout, "=== FTA (flip one input line of an AND gate in S-box 7) ===")
+		rep.section("FTA (flip one input line of an AND gate in S-box 7)")
 		type cfg struct {
 			label    string
 			scheme   core.Scheme
@@ -157,6 +235,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			{"acisp (separate S-boxes)", core.SchemeACISP, true},
 			{"three-in-one (merged)", core.SchemeThreeInOne, false},
 		} {
+			if !keep(c.scheme) {
+				continue
+			}
 			fcfg := attack.DefaultFTAConfig()
 			if c.separate {
 				fcfg.Repeats = 128
@@ -166,13 +247,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 				fcfg.ProfilePTs = 2
 				fcfg.AttackPTs = 2
 			}
-			res, err := attack.RunFTAOnDesign(buildDesign(c.scheme, c.separate), deviceKey, fcfg, 0xFA)
+			d, err := buildDesign(c.scheme, c.separate)
 			if err != nil {
-				fmt.Fprintf(stdout, "  vs %-28s error: %v\n", c.label+":", err)
+				return err
+			}
+			res, err := attack.RunFTAOnDesign(d, deviceKey, fcfg, 0xFA)
+			if err != nil {
+				if rep.w != nil {
+					fmt.Fprintf(rep.w, "  vs %-28s error: %v\n", c.label+":", err)
+				}
+				rep.rows = append(rep.rows, matrixRow{Attack: "fta", Scheme: schemeName(c.scheme), Detail: "error: " + err.Error()})
 				continue
 			}
-			fmt.Fprintf(stdout, "  vs %-28s %s\n", c.label+":", res.Result)
+			rep.add("fta", c.scheme, c.label, res.Result, 28)
 		}
 	}
+
+	if *jsonOut {
+		return service.WriteJSON(stdout, map[string]any{
+			"attack": *which,
+			"design": design.DesignSpec(),
+			"rows":   rep.rows,
+		})
+	}
 	return nil
+}
+
+// schemeName maps a core.Scheme back onto the shared wire vocabulary.
+func schemeName(s core.Scheme) string {
+	switch s {
+	case core.SchemeUnprotected:
+		return "unprotected"
+	case core.SchemeNaiveDup:
+		return "naive"
+	case core.SchemeACISP:
+		return "acisp"
+	case core.SchemeThreeInOne:
+		return "three-in-one"
+	default:
+		return s.String()
+	}
 }

@@ -1,0 +1,191 @@
+// Command sconebench runs the PRESENT-80 fault-campaign benchmark suite
+// across the paper's three λ-entropy variants and writes a machine-readable
+// report. It is the perf-trajectory anchor for the observability work: the
+// numbers in BENCH_PR4.json are produced with the obs registry enabled, so
+// instrument overhead is part of what is measured.
+//
+// Usage:
+//
+//	sconebench [-runs 16384] [-seed 0x5C09E2021] [-workers N]
+//	           [-short] [-o BENCH_PR4.json]
+//
+// For each entropy variant (prime, per-round, per-sbox) the suite runs one
+// three-in-one campaign — stuck-at-0 on S-box 13 bit 2 in the last round,
+// the Figure 4 fault — and reports runs/sec, ns per simulator eval and heap
+// allocations per run. The eval count comes from the simulator's own
+// scone_sim_evals_total counter, so the benchmark doubles as an end-to-end
+// check of the metrics plumbing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/spn"
+)
+
+// benchKey is the device key shared with the attack matrix and the
+// service's campaign defaults.
+var benchKey = spn.KeyState{0x0123456789ABCDEF, 0x8421}
+
+// benchSbox/benchBit pin the faulted S-box input line (the Figure 4 site).
+const (
+	benchSbox = 13
+	benchBit  = 2
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "sconebench:", err)
+		os.Exit(1)
+	}
+}
+
+// variantReport is one entropy variant's measurement.
+type variantReport struct {
+	Entropy string `json:"entropy"`
+	// Campaign pins the outcome tallies so a perf run doubles as a
+	// determinism check: same seed, same tallies, every time.
+	Campaign   service.CampaignResult `json:"campaign"`
+	ElapsedNS  int64                  `json:"elapsed_ns"`
+	RunsPerSec float64                `json:"runs_per_sec"`
+	Evals      int64                  `json:"evals"`
+	NSPerEval  float64                `json:"ns_per_eval"`
+	// AllocsPerRun is the heap-allocation count per simulated run,
+	// measured over the whole campaign (workers included).
+	AllocsPerRun float64 `json:"allocs_per_run"`
+	BytesPerRun  float64 `json:"bytes_per_run"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runs := fs.Int("runs", 16384, "simulated encryptions per variant")
+	seed := fs.Uint64("seed", 0x5C09E2021, "campaign seed")
+	workers := fs.Int("workers", 0, "worker goroutines per campaign (0 = GOMAXPROCS)")
+	short := fs.Bool("short", false, "shrink the suite for CI (2048 runs per variant)")
+	out := fs.String("o", "BENCH_PR4.json", "report path (\"-\" writes the JSON to stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *short {
+		*runs = 2048
+	}
+	if *runs <= 0 {
+		return fmt.Errorf("-runs must be positive (got %d)", *runs)
+	}
+
+	// The suite benchmarks the instrumented path: evals are read back from
+	// the simulator's own counter (registration is idempotent, so this
+	// returns the instrument sim just registered).
+	reg := obs.NewRegistry()
+	sim.EnableObservability(reg)
+	fault.EnableObservability(reg)
+	evals := reg.NewCounter("scone_sim_evals_total", "simulator eval calls")
+
+	variants := []string{"prime", "per-round", "per-sbox"}
+	reports := make([]variantReport, 0, len(variants))
+	for _, entropy := range variants {
+		rep, err := benchVariant(entropy, *runs, *seed, *workers, evals)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		if *out != "-" {
+			fmt.Fprintf(stdout, "%-10s %10.0f runs/s  %8.1f ns/eval  %6.1f allocs/run  (%s)\n",
+				entropy, rep.RunsPerSec, rep.NSPerEval, rep.AllocsPerRun,
+				time.Duration(rep.ElapsedNS).Round(time.Millisecond))
+		}
+	}
+
+	doc := map[string]any{
+		"bench":      "present80-campaign-suite",
+		"spec":       "present80",
+		"scheme":     "three-in-one",
+		"runs":       *runs,
+		"seed":       service.U64(*seed),
+		"go":         runtime.Version(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"variants":   reports,
+	}
+	if *out == "-" {
+		return service.WriteJSON(stdout, doc)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := service.WriteJSON(f, doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	return nil
+}
+
+// benchVariant builds the three-in-one PRESENT-80 design with the given
+// entropy mode and times one campaign over it.
+func benchVariant(entropy string, runs int, seed uint64, workers int, evals *obs.Counter) (variantReport, error) {
+	d, err := service.BuildDesign(service.DesignSpec{
+		Cipher:  "present80",
+		Scheme:  "three-in-one",
+		Entropy: entropy,
+	})
+	if err != nil {
+		return variantReport{}, err
+	}
+	net := d.SboxInputNet(core.BranchActual, benchSbox, benchBit)
+	camp := fault.Campaign{
+		Design:  d,
+		Key:     benchKey,
+		Faults:  []fault.Fault{fault.At(net, fault.StuckAt0, d.LastRoundCycle())},
+		Runs:    runs,
+		Seed:    seed,
+		Workers: workers,
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	evalsBefore := evals.Value()
+	start := time.Now()
+	res, err := camp.Execute(nil)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return variantReport{}, err
+	}
+
+	evalCount := evals.Value() - evalsBefore
+	rep := variantReport{
+		Entropy:      entropy,
+		Campaign:     service.NewCampaignResult(res),
+		ElapsedNS:    elapsed.Nanoseconds(),
+		RunsPerSec:   float64(runs) / elapsed.Seconds(),
+		Evals:        evalCount,
+		AllocsPerRun: float64(after.Mallocs-before.Mallocs) / float64(runs),
+		BytesPerRun:  float64(after.TotalAlloc-before.TotalAlloc) / float64(runs),
+	}
+	if evalCount > 0 {
+		rep.NSPerEval = float64(elapsed.Nanoseconds()) / float64(evalCount)
+	}
+	return rep, nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// The suite must produce a parseable report with one measurement per
+// entropy variant, and the tallies must be the seed-determined ones.
+func TestBenchWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_PR4.json")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-runs", "192", "-o", path}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Fatalf("missing confirmation line:\n%s", out.String())
+	}
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Bench    string      `json:"bench"`
+		Runs     int         `json:"runs"`
+		Seed     service.U64 `json:"seed"`
+		Variants []struct {
+			Entropy    string                 `json:"entropy"`
+			Campaign   service.CampaignResult `json:"campaign"`
+			RunsPerSec float64                `json:"runs_per_sec"`
+			Evals      int64                  `json:"evals"`
+			NSPerEval  float64                `json:"ns_per_eval"`
+		} `json:"variants"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, b)
+	}
+	if doc.Bench != "present80-campaign-suite" || doc.Runs != 192 || doc.Seed != 0x5C09E2021 {
+		t.Fatalf("envelope %+v", doc)
+	}
+	if len(doc.Variants) != 3 {
+		t.Fatalf("expected 3 entropy variants, got %d", len(doc.Variants))
+	}
+	for i, want := range []string{"prime", "per-round", "per-sbox"} {
+		v := doc.Variants[i]
+		if v.Entropy != want {
+			t.Errorf("variant %d entropy %q, want %q", i, v.Entropy, want)
+		}
+		if v.Campaign.Total != 192 {
+			t.Errorf("variant %s total %d, want 192", v.Entropy, v.Campaign.Total)
+		}
+		if v.RunsPerSec <= 0 || v.Evals <= 0 || v.NSPerEval <= 0 {
+			t.Errorf("variant %s has empty measurements: %+v", v.Entropy, v)
+		}
+	}
+}
+
+// "-o -" streams the JSON to stdout with no human chatter mixed in.
+func TestBenchStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-runs", "64", "-o", "-"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("stdout is not pure JSON: %v\n%s", err, out.String())
+	}
+}
+
+func TestBenchRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-runs", "0"}, &out, &errb); err == nil {
+		t.Fatal("zero run count accepted")
+	}
+	if err := run([]string{"stray"}, &out, &errb); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+	if err := run([]string{"-bogus"}, &out, &errb); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

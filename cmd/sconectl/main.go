@@ -12,9 +12,12 @@
 //	sconectl [-server URL] cancel j000000
 //	sconectl [-server URL] watch j000000
 //	sconectl [-server URL] metrics
+//	sconectl [-server URL] top [-interval 2s] [-iterations N]
 //
 // All output is JSON through the same encoder the daemon uses, so captured
-// CLI transcripts diff cleanly against raw API responses.
+// CLI transcripts diff cleanly against raw API responses. The one exception
+// is top, which renders a human-readable status screen from the same metrics
+// snapshot and job list the JSON commands expose.
 package main
 
 import (
@@ -23,8 +26,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/service"
 	"repro/internal/service/client"
 )
@@ -41,7 +47,7 @@ func main() {
 
 func usage(stderr io.Writer, fs *flag.FlagSet) func() {
 	return func() {
-		fmt.Fprintln(stderr, "usage: sconectl [-server URL] <submit|get|list|cancel|watch|metrics> [flags]")
+		fmt.Fprintln(stderr, "usage: sconectl [-server URL] <submit|get|list|cancel|watch|metrics|top> [flags]")
 		fs.PrintDefaults()
 	}
 }
@@ -84,6 +90,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		return service.WriteJSON(stdout, m)
+	case "top":
+		return cmdTop(ctx, c, rest, stdout, stderr)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -108,8 +116,71 @@ func streamJob(ctx context.Context, c *client.Client, id string, stdout io.Write
 	if err != nil {
 		return err
 	}
-	if final.State != service.StateDone {
-		return fmt.Errorf("job %s finished %s", id, final.State)
+	_, outcome := client.Done(final)
+	if outcome != nil {
+		return fmt.Errorf("job %s: %w", id, outcome)
+	}
+	return nil
+}
+
+// cmdTop renders a top-style status screen: the daemon's counter snapshot
+// followed by a per-job table, newest submissions last. With -interval it
+// refreshes until interrupted or -iterations screens have been drawn.
+func cmdTop(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconectl top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	interval := fs.Duration("interval", 0, "refresh period (0 = one snapshot and exit)")
+	iters := fs.Int("iterations", 0, "stop after this many screens (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	for n := 1; ; n++ {
+		if err := topScreen(ctx, c, stdout); err != nil {
+			return err
+		}
+		if *interval <= 0 || (*iters > 0 && n >= *iters) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(*interval):
+		}
+	}
+}
+
+func topScreen(ctx context.Context, c *client.Client, stdout io.Writer) error {
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	jobs, err := c.List(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "sconed %s\n", time.Now().Format(time.RFC3339))
+	fmt.Fprintf(stdout, "queue %-6d running %-6d streams %-6d\n",
+		m["queue_depth"], m["jobs_running"], m["stream_clients"])
+	fmt.Fprintf(stdout, "submitted %-6d done %-6d failed %-6d canceled %-6d resumed %-6d\n",
+		m["jobs_submitted_total"], m["jobs_completed_total"], m["jobs_failed_total"],
+		m["jobs_canceled_total"], m["jobs_resumed_total"])
+	fmt.Fprintf(stdout, "runs simulated %-12d checkpoints %-6d\n\n",
+		m["runs_simulated_total"], m["checkpoints_total"])
+
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Submitted.Before(jobs[j].Submitted) })
+	fmt.Fprintf(stdout, "%-10s %-10s %-9s %s\n", "ID", "KIND", "STATE", "PROGRESS")
+	for _, j := range jobs {
+		progress := "-"
+		if j.Progress != nil && j.Progress.Total > 0 {
+			progress = fmt.Sprintf("%d/%d", j.Progress.Done, j.Progress.Total)
+		}
+		if j.Error != "" {
+			progress = "error: " + j.Error
+		}
+		fmt.Fprintf(stdout, "%-10s %-10s %-9s %s\n", j.ID, j.Kind, j.State, progress)
 	}
 	return nil
 }
@@ -118,10 +189,7 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, std
 	fs := flag.NewFlagSet("sconectl submit", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	kind := fs.String("kind", "campaign", "job kind: campaign, dfa, sifa, fta, area, lint")
-	cipher := fs.String("cipher", "present80", "cipher: present80, gift64, scone64")
-	scheme := fs.String("scheme", "three-in-one", "scheme: unprotected, naive, acisp, three-in-one")
-	entropy := fs.String("entropy", "prime", "entropy variant: prime, per-round, per-sbox")
-	engine := fs.String("engine", "anf", "S-box synthesis engine: anf, bdd")
+	design := cliflags.RegisterDesign(fs)
 	netlistPath := fs.String("netlist", "", "netlist file to upload (area/lint jobs)")
 	runs := fs.Int("runs", 80000, "campaign: simulated encryptions")
 	seed := fs.String("seed", "0x5C09E2021", "campaign/attack seed")
@@ -145,13 +213,8 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, std
 	}
 
 	req := service.JobRequest{
-		Kind: service.Kind(*kind),
-		Design: service.DesignSpec{
-			Cipher:  *cipher,
-			Scheme:  *scheme,
-			Entropy: *entropy,
-			Engine:  *engine,
-		},
+		Kind:   service.Kind(*kind),
+		Design: design.DesignSpec(),
 	}
 	if *netlistPath != "" {
 		b, err := os.ReadFile(*netlistPath)

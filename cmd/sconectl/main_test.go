@@ -196,3 +196,33 @@ func TestMetricsCommand(t *testing.T) {
 		t.Fatalf("metrics missing counters: %v", m)
 	}
 }
+
+// top renders the human status screen: counters up front, one row per job.
+func TestTopCommand(t *testing.T) {
+	server, _ := startServer(t)
+	out, err := runCtl(t, server, "submit", "-kind", "campaign", "-runs", "320", "-stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(strings.NewReader(out)).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err = runCtl(t, server, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"submitted 1", "runs simulated 320", "ID", st.ID, "done"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+
+	if _, err := runCtl(t, server, "top", "stray"); err == nil {
+		t.Error("top accepted a positional argument")
+	}
+	if _, err := runCtl(t, server, "top", "-interval", "nope"); err == nil {
+		t.Error("top accepted a malformed interval")
+	}
+}

@@ -5,11 +5,16 @@
 // Usage:
 //
 //	sconed [-addr :8344] [-state DIR] [-workers N] [-queue N]
-//	       [-checkpoint-runs N] [-sim-workers N]
+//	       [-checkpoint-runs N] [-sim-workers N] [-pprof]
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: intake stops, running
 // campaigns checkpoint and return to the queue, and a restart on the same
 // -state directory resumes them with bit-identical final results.
+//
+// GET /metrics serves the full observability registry — service, simulator
+// and fault-campaign families — in Prometheus text format (legacy JSON with
+// Accept: application/json). With -pprof the Go runtime profiles are exposed
+// under /debug/pprof/.
 package main
 
 import (
@@ -19,12 +24,16 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -52,6 +61,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	ckptRuns := fs.Int("checkpoint-runs", 4096, "campaign checkpoint interval in simulated runs")
 	simWorkers := fs.Int("sim-workers", 0, "goroutines per campaign simulation (0 = GOMAXPROCS)")
 	drainWait := fs.Duration("drain-timeout", 30*time.Second, "how long to wait for running jobs to checkpoint on shutdown")
+	pprofOn := fs.Bool("pprof", false, "expose Go runtime profiles under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,12 +69,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
+	// One registry for the whole process: the service registers its own
+	// families on it, and the simulator and fault packages hook their
+	// package-level instruments in so /metrics shows every layer at once.
+	reg := obs.NewRegistry()
+	sim.EnableObservability(reg)
+	fault.EnableObservability(reg)
+
 	svc, err := service.New(service.Config{
 		Workers:             *workers,
 		QueueDepth:          *queueDepth,
 		StateDir:            *state,
 		CheckpointEveryRuns: *ckptRuns,
 		SimWorkers:          *simWorkers,
+		Obs:                 reg,
 	})
 	if err != nil {
 		return err
@@ -76,7 +94,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "sconed: listening on %s\n", ln.Addr())
 
-	srv := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+
+	srv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 

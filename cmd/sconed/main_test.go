@@ -57,7 +57,37 @@ func TestDaemonServesAndDrains(t *testing.T) {
 		t.Fatalf("healthz: %s", resp.Status)
 	}
 
+	// Default /metrics is Prometheus text and carries all three layers'
+	// families (the daemon wires sim and fault onto the service registry).
 	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	for _, family := range []string{
+		"# TYPE scone_service_jobs_submitted_total counter",
+		"scone_sim_evals_total",
+		"scone_fault_runs_total",
+	} {
+		if !strings.Contains(string(text), family) {
+			t.Fatalf("metrics missing %q:\n%s", family, text)
+		}
+	}
+
+	// Legacy JSON snapshot stays available via content negotiation.
+	req, err := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,6 +126,49 @@ func TestDaemonServesAndDrains(t *testing.T) {
 		}
 	case <-time.After(time.Minute):
 		t.Fatal("daemon did not exit after cancel")
+	}
+}
+
+// -pprof mounts the Go runtime profiles next to the API; without it the
+// debug endpoints do not exist.
+func TestDaemonPprofFlag(t *testing.T) {
+	base, cancel, errCh := startDaemon(t, "-pprof")
+	resp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		cancel()
+		t.Fatalf("pprof cmdline: %s", resp.Status)
+	}
+	// The API must still be reachable through the wrapping mux.
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		cancel()
+		t.Fatalf("healthz behind pprof mux: %s", resp.Status)
+	}
+	cancel()
+	<-errCh
+
+	base, cancel, errCh = startDaemon(t)
+	defer func() {
+		cancel()
+		<-errCh
+	}()
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof exposed without -pprof")
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/service"
@@ -43,7 +44,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	runs := fs.Int("runs", 80000, "simulated encryptions per design (per location for coverage)")
 	seed := fs.Uint64("seed", 0x5C09E2021, "campaign seed")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-	scheme := fs.String("scheme", "three-in-one", "coverage: naive, acisp or three-in-one")
+	design := cliflags.RegisterDesign(fs)
 	sites := fs.Int("sites", 400, "coverage: number of sampled fault locations (0 = all)")
 	jsonOut := fs.Bool("json", false, "emit results as JSON in the sconed service schema")
 	if err := fs.Parse(args); err != nil {
@@ -51,6 +52,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *runs <= 0 {
 		return fmt.Errorf("-runs must be positive (got %d)", *runs)
+	}
+	// The design flags share the service vocabulary; reject bad values
+	// before any campaign starts.
+	_, opts, err := design.Parse()
+	if err != nil {
+		return err
+	}
+	// The figure experiments compare fixed design pairs from the paper;
+	// only the coverage sweep honours -scheme, and none retarget -spec.
+	if design.Spec != cliflags.DefaultSpec {
+		return fmt.Errorf("sconesim experiments are defined on %s; -spec is fixed", cliflags.DefaultSpec)
+	}
+	if *exp != "coverage" && !design.IsDefault() {
+		return fmt.Errorf("experiment %q pins its designs; -scheme/-entropy/-engine only apply to -experiment coverage", *exp)
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -104,11 +119,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case "coverage":
 		// Whole-design location sweep; runs-per-location comes from
 		// -runs (use a small value, e.g. 128).
-		sch, err := coverageScheme(*scheme)
-		if err != nil {
-			return err
+		if opts.Scheme == core.SchemeUnprotected {
+			return fmt.Errorf("coverage needs a duplication scheme (naive, acisp or three-in-one)")
 		}
-		res, err := experiments.RunLocationCoverage(cfg, sch, *sites)
+		res, err := experiments.RunLocationCoverage(cfg, opts.Scheme, *sites)
 		if err != nil {
 			return err
 		}
@@ -175,18 +189,5 @@ func fig5Panel(p experiments.Fig5Panel) map[string]any {
 		"campaign":    service.NewCampaignResult(p.Campaign),
 		"released":    p.Released.Counts,
 		"ineffective": p.Ineffective.Counts,
-	}
-}
-
-func coverageScheme(name string) (core.Scheme, error) {
-	switch name {
-	case "naive":
-		return core.SchemeNaiveDup, nil
-	case "acisp":
-		return core.SchemeACISP, nil
-	case "three-in-one":
-		return core.SchemeThreeInOne, nil
-	default:
-		return 0, fmt.Errorf("unknown scheme %q", name)
 	}
 }

@@ -97,4 +97,15 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}, &out, &errb); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
+	// The shared design flag surface is validated up front: the figure
+	// experiments are defined on PRESENT-80 and pin their designs.
+	if err := run([]string{"-spec", "gift64"}, &out, &errb); err == nil {
+		t.Fatal("-spec retarget accepted by a pinned experiment")
+	}
+	if err := run([]string{"-experiment", "fig4", "-entropy", "per-round"}, &out, &errb); err == nil {
+		t.Fatal("-entropy override accepted by a pinned experiment")
+	}
+	if err := run([]string{"-experiment", "coverage", "-scheme", "unprotected"}, &out, &errb); err == nil {
+		t.Fatal("coverage accepted an unduplicated scheme")
+	}
 }

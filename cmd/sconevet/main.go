@@ -5,6 +5,8 @@
 //	cachedcompile  forbid direct sim.Compile outside internal/sim
 //	ctxexecute     forbid context-free .Execute( in internal/service and
 //	               cmd/sconed (use ExecuteContext/ExecuteBatches)
+//	obsnames       enforce scone_<pkg>_<metric>_<unit> metric names at obs
+//	               registration sites
 //
 // Usage:
 //

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rng"
@@ -180,6 +181,11 @@ func (c *Campaign) ExecuteBatches(ctx context.Context, first, last int, observe 
 			runner := core.NewRunnerFrom(c.Design, compiled)
 			runner.S.SetInjector(inj)
 			for b := range batchCh {
+				var start time.Time
+				mm := met.Load()
+				if mm != nil {
+					start = time.Now()
+				}
 				out := batchOut{batch: b}
 				count := func(r Run) {
 					out.res.Total++
@@ -194,6 +200,9 @@ func (c *Campaign) ExecuteBatches(ctx context.Context, first, last int, observe 
 				} else {
 					c.runBatch(runner, b, runsIn(b), count)
 				}
+				if mm != nil {
+					mm.countBatch(time.Since(start).Nanoseconds(), len(c.Faults), out.res)
+				}
 				outCh <- out
 			}
 		}()
@@ -204,6 +213,12 @@ func (c *Campaign) ExecuteBatches(ctx context.Context, first, last int, observe 
 	go func() {
 		defer close(batchCh)
 		for b := first; b < last; b++ {
+			// Checking Err first makes an already-cancelled context
+			// deterministic: select alone picks randomly when both the
+			// send and Done are ready.
+			if ctx.Err() != nil {
+				return
+			}
 			select {
 			case batchCh <- b:
 			case <-ctx.Done():
@@ -221,6 +236,7 @@ func (c *Campaign) ExecuteBatches(ctx context.Context, first, last int, observe 
 	// scheduling, and bounds retained memory by the workers' spread
 	// instead of the whole campaign.
 	var res Result
+	mm := met.Load()
 	pending := make(map[int]batchOut)
 	next := first
 	for out := range outCh {
@@ -240,6 +256,7 @@ func (c *Campaign) ExecuteBatches(ctx context.Context, first, last int, observe 
 			}
 			next++
 		}
+		mm.setReorderDepth(len(pending))
 	}
 	if next < last {
 		return res, ctx.Err()

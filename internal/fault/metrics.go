@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// metrics is the fault engine's instrument set, swapped in atomically by
+// EnableObservability so campaign workers pay one pointer load per batch
+// while observability is disabled.
+type metrics struct {
+	runs        *obs.Counter
+	batches     *obs.Counter
+	injections  *obs.Counter
+	detected    *obs.Counter
+	ineffective *obs.Counter
+	effective   *obs.Counter
+	batchNS     *obs.Histogram
+	reorder     *obs.Gauge
+}
+
+var met atomic.Pointer[metrics]
+
+// EnableObservability registers the fault engine's metrics on reg and starts
+// recording into them. Passing nil reverts to the free no-op default.
+// Instruments are updated outside the deterministic (seed, batch) randomness
+// derivation, so campaign results are bit-identical with observability on or
+// off.
+func EnableObservability(reg *obs.Registry) {
+	if reg == nil {
+		met.Store(nil)
+		return
+	}
+	met.Store(&metrics{
+		runs:        reg.NewCounter("scone_fault_runs_total", "Faulted encryptions simulated"),
+		batches:     reg.NewCounter("scone_fault_batches_total", "64-lane campaign batches completed"),
+		injections:  reg.NewCounter("scone_fault_injections_total", "Fault injection points armed per batch (faults x batches)"),
+		detected:    reg.NewCounter("scone_fault_detected_total", "Runs where the comparator fired and garbage was released"),
+		ineffective: reg.NewCounter("scone_fault_ineffective_total", "Runs where the fault did not change the released output"),
+		effective:   reg.NewCounter("scone_fault_effective_total", "Runs releasing an undetected wrong ciphertext"),
+		batchNS:     reg.NewHistogram("scone_fault_batch_ns", "Wall time of one 64-lane batch", obs.ExpBuckets(4_000, 4, 14)),
+		reorder:     reg.NewGauge("scone_fault_reorder_depth_count", "Batches parked in the reorder buffer awaiting in-order delivery"),
+	})
+}
+
+// countBatch records one completed batch: its wall time, run outcomes and
+// the number of armed injection points.
+func (m *metrics) countBatch(ns int64, faults int, res Result) {
+	if m == nil {
+		return
+	}
+	m.batches.Inc()
+	m.batchNS.Observe(ns)
+	m.injections.Add(int64(faults))
+	m.runs.Add(int64(res.Total))
+	m.ineffective.Add(int64(res.Counts[OutcomeIneffective]))
+	m.detected.Add(int64(res.Counts[OutcomeDetected]))
+	m.effective.Add(int64(res.Counts[OutcomeEffective]))
+}
+
+// setReorderDepth mirrors the reorder buffer's occupancy.
+func (m *metrics) setReorderDepth(n int) {
+	if m == nil {
+		return
+	}
+	m.reorder.Set(int64(n))
+}

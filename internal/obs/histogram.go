@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution of int64 observations (the
+// repository's histograms measure durations in nanoseconds and sizes in
+// plain counts). Buckets are defined by their inclusive upper bounds; an
+// implicit +Inf bucket catches everything above the last bound. Observe is
+// lock-free and allocation-free, so histograms can sit on per-batch paths.
+type Histogram struct {
+	d      desc
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Int64
+}
+
+// NewHistogram registers a histogram over the given bucket upper bounds
+// (must be sorted ascending and non-empty). Returns nil on a nil registry.
+func (r *Registry) NewHistogram(name, help string, bounds []int64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
+		panic(fmt.Sprintf("obs: histogram %s bounds not ascending: %v", name, bounds))
+	}
+	h := &Histogram{
+		d:      desc{name: name, help: help, labels: renderLabels(labels), kind: kindHistogram},
+		bounds: append([]int64(nil), bounds...),
+	}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	return r.register(h).(*Histogram)
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Bounds returns the bucket upper bounds (excluding the implicit +Inf).
+func (h *Histogram) Bounds() []int64 {
+	if h == nil {
+		return nil
+	}
+	return append([]int64(nil), h.bounds...)
+}
+
+// Counts returns the per-bucket (non-cumulative) observation counts; the
+// final entry is the +Inf bucket.
+func (h *Histogram) Counts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+func (h *Histogram) describe() desc { return h.d }
+
+// ExpBuckets builds n exponentially spaced bucket bounds starting at base
+// and multiplying by factor — the standard shape for latency histograms.
+func ExpBuckets(base int64, factor float64, n int) []int64 {
+	if base <= 0 || factor <= 1 || n <= 0 {
+		panic(fmt.Sprintf("obs: bad ExpBuckets(%d, %g, %d)", base, factor, n))
+	}
+	out := make([]int64, n)
+	f := float64(base)
+	for i := range out {
+		out[i] = int64(f)
+		f *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the repository's default duration histogram shape:
+// 16 exponential buckets from 64µs up to hours, in nanoseconds. It covers
+// everything from one checkpoint write to a full 80k-run campaign.
+func LatencyBuckets() []int64 { return ExpBuckets(64_000, 4, 16) }

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound contract: a
+// value equal to a bound lands in that bound's bucket, one above it spills
+// into the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("scone_test_bounds_ns", "", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 101, 1000, 1001, 1 << 40} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 2, 2} // {1,10} {11,100} {101,1000} {1001,2^40}
+	if got := h.Counts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("bucket counts = %v, want %v", got, want)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", h.Count())
+	}
+	wantSum := int64(1+10+11+100+101+1000+1001) + 1<<40
+	if h.Sum() != wantSum {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	r := NewRegistry()
+	for name, bounds := range map[string][]int64{
+		"empty":    {},
+		"unsorted": {100, 10},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds should panic", name)
+				}
+			}()
+			r.NewHistogram("scone_test_bad_ns", "", bounds)
+		}()
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(10, 10, 4)
+	want := []int64{10, 100, 1000, 10000}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExpBuckets = %v, want %v", got, want)
+	}
+	b := LatencyBuckets()
+	if len(b) != 16 || b[0] != 64_000 {
+		t.Fatalf("LatencyBuckets shape changed: len=%d first=%d", len(b), b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("LatencyBuckets not ascending at %d: %v", i, b)
+		}
+	}
+}
+
+func TestSpanObserves(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("scone_test_span_ns", "", LatencyBuckets())
+	g := r.NewGauge("scone_test_span_active_count", "")
+	s := StartSpanActive(h, g)
+	if g.Value() != 1 {
+		t.Fatalf("active gauge = %d during span, want 1", g.Value())
+	}
+	s.End()
+	if g.Value() != 0 {
+		t.Fatalf("active gauge = %d after span, want 0", g.Value())
+	}
+	if h.Count() != 1 {
+		t.Fatalf("span did not observe: count=%d", h.Count())
+	}
+	if h.Sum() < 0 {
+		t.Fatal("negative duration observed")
+	}
+}

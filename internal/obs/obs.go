@@ -1,0 +1,240 @@
+// Package obs is the repository's dependency-free observability layer:
+// atomic counters, gauges, bucketed histograms and lightweight span timing
+// behind one Registry, with Prometheus text exposition (prometheus.go).
+//
+// The design goal is that the simulation hot path pays nothing when
+// observability is off. Every instrument is used through a pointer, and
+// every method is a no-op on a nil receiver, so a package that has not been
+// handed a live Registry holds nil instruments and each "record" call is a
+// single predictable nil check — no allocation, no atomic traffic, no
+// locks. A nil *Registry behaves the same way: its constructors return nil
+// instruments, so `var reg *obs.Registry` is the no-op default.
+//
+// Metric names follow the `scone_<pkg>_<metric>_<unit>` convention (unit is
+// one of total, count, ns, bytes, ratio); the obsnames sconevet pass
+// enforces it at every registration site. Dimensions (for example the queue
+// shard) are constant label pairs fixed at registration time.
+//
+// The determinism contract of the engine is untouched: instruments only
+// count and time, they never feed values back into a simulation, so enabling
+// or disabling observability cannot change a campaign result.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// kind discriminates the exposition type of a metric.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// desc is the identity of one registered instrument: base name, help text
+// and the rendered constant-label set.
+type desc struct {
+	name   string
+	help   string
+	labels string // `{k="v",...}` or ""
+	kind   kind
+}
+
+// fullName is the registry key: base name plus rendered labels.
+func (d desc) fullName() string { return d.name + d.labels }
+
+// metric is the exposition-side view of an instrument.
+type metric interface {
+	describe() desc
+}
+
+// Registry holds a set of registered instruments. The zero value is not
+// usable; call NewRegistry. A nil *Registry is the documented no-op: all
+// constructors return nil instruments.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]metric
+}
+
+// NewRegistry returns an empty live registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]metric)}
+}
+
+// renderLabels turns alternating key/value pairs into the canonical
+// `{k="v",...}` form, sorted by key so the same label set always renders
+// identically. It panics on an odd pair count — registration happens at
+// startup, so this is a programmer error, not a runtime condition.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label pair count %d", len(pairs)))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register records m under its full name. Registering the same full name
+// twice returns the existing instrument when the kind matches (so enabling
+// observability is idempotent) and panics on a kind clash.
+func (r *Registry) register(m metric) metric {
+	d := m.describe()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[d.fullName()]; ok {
+		if prev.describe().kind != d.kind {
+			panic(fmt.Sprintf("obs: %s re-registered as a different kind", d.fullName()))
+		}
+		return prev
+	}
+	r.byName[d.fullName()] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// snapshotMetrics returns the registered instruments sorted by (name,
+// labels) for stable exposition.
+func (r *Registry) snapshotMetrics() []metric {
+	r.mu.Lock()
+	out := make([]metric, len(r.metrics))
+	copy(out, r.metrics)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].describe(), out[j].describe()
+		if di.name != dj.name {
+			return di.name < dj.name
+		}
+		return di.labels < dj.labels
+	})
+	return out
+}
+
+// Counter is a monotonically increasing value. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+	d desc
+}
+
+// NewCounter registers a counter. labels are alternating constant key/value
+// pairs. Returns nil (the no-op instrument) on a nil registry.
+func (r *Registry) NewCounter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{d: desc{name: name, help: help, labels: renderLabels(labels), kind: kindCounter}}
+	return r.register(c).(*Counter)
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on the no-op instrument).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) describe() desc { return c.d }
+
+// Gauge is a point-in-time value: either a stored atomic (Set/Add) or, when
+// registered with NewGaugeFunc, a callback sampled at exposition time. All
+// methods are no-ops on a nil receiver.
+type Gauge struct {
+	v  atomic.Int64
+	fn func() int64
+	d  desc
+}
+
+// NewGauge registers a stored gauge.
+func (r *Registry) NewGauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{d: desc{name: name, help: help, labels: renderLabels(labels), kind: kindGauge}}
+	return r.register(g).(*Gauge)
+}
+
+// NewGaugeFunc registers a gauge whose value is sampled from fn at
+// exposition time — the right shape for values another structure already
+// tracks (queue depth, map sizes).
+func (r *Registry) NewGaugeFunc(name, help string, fn func() int64, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{fn: fn, d: desc{name: name, help: help, labels: renderLabels(labels), kind: kindGauge}}
+	return r.register(g).(*Gauge)
+}
+
+// Set stores v. No-op on func gauges and nil receivers.
+func (g *Gauge) Set(v int64) {
+	if g == nil || g.fn != nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the stored value by n (negative to decrement).
+func (g *Gauge) Add(n int64) {
+	if g == nil || g.fn != nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value, sampling func gauges.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	if g.fn != nil {
+		return g.fn()
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) describe() desc { return g.d }

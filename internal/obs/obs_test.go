@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("scone_test_adds_total", "concurrent adds")
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestDuplicateRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("scone_test_dup_total", "a")
+	b := r.NewCounter("scone_test_dup_total", "b")
+	if a != b {
+		t.Fatal("same name+labels should return the existing instrument")
+	}
+	// Different labels are a distinct instrument.
+	c := r.NewCounter("scone_test_dup_total", "c", "shard", "1")
+	if c == a {
+		t.Fatal("distinct labels must not collide")
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("scone_test_clash_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering as a different kind should panic")
+		}
+	}()
+	r.NewGauge("scone_test_clash_total", "")
+}
+
+func TestLabelRendering(t *testing.T) {
+	got := renderLabels([]string{"zeta", "z", "alpha", "a"})
+	want := `{alpha="a",zeta="z"}`
+	if got != want {
+		t.Fatalf("renderLabels = %s, want %s", got, want)
+	}
+	if renderLabels(nil) != "" {
+		t.Fatal("no labels should render empty")
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	n := int64(0)
+	g := r.NewGaugeFunc("scone_test_depth_count", "", func() int64 { return n })
+	n = 42
+	if g.Value() != 42 {
+		t.Fatalf("func gauge = %d, want 42", g.Value())
+	}
+	g.Set(7) // must be ignored on func gauges
+	if g.Value() != 42 {
+		t.Fatal("Set must not override a func gauge")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("scone_test_runs_total", "runs executed").Add(3)
+	r.NewGauge("scone_test_depth_count", "queue depth", "shard", "0").Set(5)
+	h := r.NewHistogram("scone_test_wait_ns", "wait time", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE scone_test_runs_total counter",
+		"scone_test_runs_total 3",
+		`scone_test_depth_count{shard="0"} 5`,
+		"# TYPE scone_test_wait_ns histogram",
+		`scone_test_wait_ns_bucket{le="10"} 1`,
+		`scone_test_wait_ns_bucket{le="100"} 2`,
+		`scone_test_wait_ns_bucket{le="+Inf"} 3`,
+		"scone_test_wait_ns_sum 5055",
+		"scone_test_wait_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilRegistryNoOp(t *testing.T) {
+	var r *Registry
+	c := r.NewCounter("scone_test_x_total", "")
+	g := r.NewGauge("scone_test_y_count", "")
+	h := r.NewHistogram("scone_test_z_ns", "", []int64{1})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	sp := StartSpan(h)
+	sp.End()
+	sp = StartSpanActive(h, g)
+	sp.End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("no-op instruments must stay zero")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoOpZeroAlloc(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Add(1)
+		h.Observe(17)
+		s := StartSpan(h)
+		s.End()
+		s = StartSpanActive(h, g)
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled hot path allocated %v per run, want 0", allocs)
+	}
+}
+
+func TestLiveInstrumentsZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("scone_test_hot_total", "")
+	h := r.NewHistogram("scone_test_hot_ns", "", LatencyBuckets())
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(128_000)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled hot path allocated %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4): one # HELP / # TYPE header per
+// metric family, then one sample line per instrument, histograms expanded
+// into cumulative _bucket/_sum/_count series. Instruments sharing a base
+// name (same metric, different constant labels) are grouped under one
+// header. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	prev := ""
+	for _, m := range r.snapshotMetrics() {
+		d := m.describe()
+		if d.name != prev {
+			if d.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", d.name, escapeHelp(d.help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", d.name, d.kind)
+			prev = d.name
+		}
+		switch inst := m.(type) {
+		case *Counter:
+			fmt.Fprintf(bw, "%s%s %d\n", d.name, d.labels, inst.Value())
+		case *Gauge:
+			fmt.Fprintf(bw, "%s%s %d\n", d.name, d.labels, inst.Value())
+		case *Histogram:
+			writeHistogram(bw, d, inst)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram expands one histogram into its cumulative bucket series.
+func writeHistogram(w io.Writer, d desc, h *Histogram) {
+	counts := h.Counts()
+	bounds := h.Bounds()
+	var cum int64
+	for i, bound := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", d.name, withLE(d.labels, strconv.FormatInt(bound, 10)), cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", d.name, withLE(d.labels, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %d\n", d.name, d.labels, h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", d.name, d.labels, cum)
+}
+
+// withLE merges the le bucket label into an already-rendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return strings.TrimSuffix(labels, "}") + `,le="` + le + `"}`
+}
+
+// escapeHelp escapes newlines and backslashes per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,44 @@
+package obs
+
+import "time"
+
+// Span is a lightweight trace span: a start timestamp bound to the
+// histogram its duration lands in and, optionally, a gauge counting spans
+// currently in flight. Spans are plain values — starting and ending one
+// never allocates — and a span started against nil instruments is inert,
+// so span timing can wrap hot sections unconditionally.
+type Span struct {
+	start  time.Time
+	h      *Histogram
+	active *Gauge
+}
+
+// StartSpan opens a span whose duration will be observed on h at End.
+// With h == nil the span is inert.
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{start: time.Now(), h: h}
+}
+
+// StartSpanActive is StartSpan plus an in-flight gauge: active is
+// incremented now and decremented at End.
+func StartSpanActive(h *Histogram, active *Gauge) Span {
+	s := StartSpan(h)
+	if s.h == nil {
+		return s
+	}
+	s.active = active
+	active.Add(1)
+	return s
+}
+
+// End closes the span, recording its duration in nanoseconds.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.start).Nanoseconds())
+	s.active.Add(-1)
+}

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,6 +18,51 @@ import (
 
 	"repro/internal/service"
 )
+
+// Sentinel errors for the daemon's well-known failure modes. Responses are
+// still returned as *Error (carrying status code and message); these match
+// through errors.Is, so callers branch on condition instead of status code:
+//
+//	if errors.Is(err, client.ErrQueueFull) { backoff() }
+var (
+	// ErrNotFound: the job ID is unknown to the daemon.
+	ErrNotFound = errors.New("job not found")
+	// ErrQueueFull: the daemon shed the submission; retry with backoff.
+	ErrQueueFull = errors.New("job queue full")
+	// ErrDraining: the daemon is shutting down and not accepting jobs.
+	ErrDraining = errors.New("daemon draining")
+	// ErrCanceled: the job reached StateCanceled; reported by Done.
+	ErrCanceled = errors.New("job canceled")
+)
+
+// JobState is a job's lifecycle position — the same type the server uses,
+// re-exported so callers of this package need not import internal/service
+// to compare states.
+type JobState = service.State
+
+// Job states, shared with the server's wire schema.
+const (
+	StateQueued   JobState = service.StateQueued
+	StateRunning  JobState = service.StateRunning
+	StateDone     JobState = service.StateDone
+	StateFailed   JobState = service.StateFailed
+	StateCanceled JobState = service.StateCanceled
+)
+
+// Done reports whether st is terminal and, when it is, maps the outcome to
+// an error: nil for StateDone, ErrCanceled for StateCanceled, and an error
+// carrying the job's failure message for StateFailed.
+func Done(st service.JobStatus) (bool, error) {
+	switch st.State {
+	case StateDone:
+		return true, nil
+	case StateCanceled:
+		return true, ErrCanceled
+	case StateFailed:
+		return true, fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	}
+	return false, nil
+}
 
 // Client talks to one sconed instance.
 type Client struct {
@@ -53,6 +99,20 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("sconed: %d: %s", e.StatusCode, e.Message)
 }
 
+// Is maps the response's status code onto the package sentinels, so
+// errors.Is(err, ErrNotFound) works without inspecting StatusCode.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case ErrNotFound:
+		return e.StatusCode == http.StatusNotFound
+	case ErrQueueFull:
+		return e.StatusCode == http.StatusTooManyRequests
+	case ErrDraining:
+		return e.StatusCode == http.StatusServiceUnavailable
+	}
+	return false
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
@@ -69,6 +129,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// The daemon content-negotiates /metrics; asking for JSON everywhere
+	// keeps this client on the structured views.
+	req.Header.Set("Accept", "application/json")
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
@@ -118,11 +181,34 @@ func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, erro
 	return st, err
 }
 
-// Metrics fetches the daemon's counter snapshot.
+// Metrics fetches the daemon's legacy JSON counter snapshot.
 func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
 	var out map[string]int64
 	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out)
 	return out, err
+}
+
+// MetricsText fetches the daemon's full Prometheus text exposition — every
+// registered instrument, including the sim and fault engine families the
+// JSON snapshot does not carry.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &Error{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(b))}
+	}
+	return string(b), nil
 }
 
 // Stream follows a job's NDJSON event feed, invoking fn for every event

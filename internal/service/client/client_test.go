@@ -1,0 +1,160 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// startDaemon runs a real Service behind httptest and returns a client for
+// it, so every assertion below is a full wire round trip.
+func startDaemon(t *testing.T, cfg service.Config) *Client {
+	t.Helper()
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		_ = svc.Close()
+	})
+	return New(srv.URL)
+}
+
+func campaignRequest(runs int) service.JobRequest {
+	return service.JobRequest{
+		Kind:   service.KindCampaign,
+		Design: service.DesignSpec{Cipher: "present80", Scheme: "three-in-one", Entropy: "prime"},
+		Campaign: &service.CampaignSpec{
+			Runs:   runs,
+			Seed:   0x5C09E,
+			Key:    [2]service.U64{0x0123456789ABCDEF, 0x8421},
+			Faults: []service.FaultSpec{{Sbox: 0, Bit: 0, Model: "stuck-at-0"}},
+		},
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	c := startDaemon(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	_, err := c.Get(ctx, "j424242")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown job: got %v, want ErrNotFound", err)
+	}
+	if errors.Is(err, ErrQueueFull) {
+		t.Fatal("404 must not match ErrQueueFull")
+	}
+	// The typed error is still there for callers who need the raw code.
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("want *Error with 404, got %v", err)
+	}
+}
+
+func TestQueueFullRoundTrip(t *testing.T) {
+	// One worker, one slot: the first job occupies the worker, the second
+	// fills the shard, a third submission must shed as ErrQueueFull.
+	c := startDaemon(t, service.Config{Workers: 1, QueueDepth: 1})
+	ctx := context.Background()
+
+	first, err := c.Submit(ctx, campaignRequest(400_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFull bool
+	for i := 0; i < 16 && !sawFull; i++ {
+		_, err := c.Submit(ctx, campaignRequest(400_000))
+		if errors.Is(err, ErrQueueFull) {
+			sawFull = true
+		} else if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if !sawFull {
+		t.Fatal("never observed ErrQueueFull with a 1-deep queue")
+	}
+	if _, err := c.Cancel(ctx, first.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobStatesAndDone(t *testing.T) {
+	c := startDaemon(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, campaignRequest(640))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client's re-exported states are the server's wire values.
+	if st.State != StateQueued && st.State != StateRunning {
+		t.Fatalf("fresh job in state %q", st.State)
+	}
+	if terminal, _ := Done(st); terminal {
+		t.Fatalf("state %q reported terminal", st.State)
+	}
+
+	final, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terminal, outcome := Done(final)
+	if !terminal || outcome != nil {
+		t.Fatalf("completed job: terminal=%v outcome=%v", terminal, outcome)
+	}
+	if final.Result == nil || final.Result.Campaign == nil || final.Result.Campaign.Total != 640 {
+		t.Fatalf("bad result: %+v", final.Result)
+	}
+
+	// A canceled job maps to ErrCanceled.
+	st2, err := c.Submit(ctx, campaignRequest(10_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(ctx, st2.ID); err != nil {
+		t.Fatal(err)
+	}
+	final2, err := c.Wait(ctx, st2.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, outcome := Done(final2); !errors.Is(outcome, ErrCanceled) {
+		t.Fatalf("canceled job outcome = %v, want ErrCanceled", outcome)
+	}
+}
+
+func TestMetricsBothViews(t *testing.T) {
+	c := startDaemon(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"jobs_submitted_total", "queue_depth", "jobs_running"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON snapshot missing legacy key %q: %v", key, m)
+		}
+	}
+
+	text, err := c.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE scone_service_jobs_submitted_total counter",
+		`scone_service_queue_shard_depth_count{shard="0"}`,
+		"scone_service_job_wait_ns_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -14,10 +14,10 @@ import (
 	"repro/internal/synth"
 )
 
-// parseDesign resolves a synthesised-core spec into build inputs. It is the
+// ParseDesign resolves a synthesised-core spec into build inputs. It is the
 // single place the wire vocabulary (the sconelint flag names) maps onto
 // core.Options, so every job kind validates and builds identically.
-func parseDesign(ds DesignSpec) (*spn.Spec, core.Options, error) {
+func ParseDesign(ds DesignSpec) (*spn.Spec, core.Options, error) {
 	var spec *spn.Spec
 	switch ds.Cipher {
 	case "", "present80":
@@ -73,7 +73,7 @@ func BuildDesign(ds DesignSpec) (*core.Design, error) {
 	if ds.Netlist != "" {
 		return nil, fmt.Errorf("this job kind needs a synthesised design, not an inline netlist")
 	}
-	spec, opts, err := parseDesign(ds)
+	spec, opts, err := ParseDesign(ds)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 )
 
 // WriteJSON is the one encoder every scone surface shares — the daemon's
@@ -43,7 +44,7 @@ const maxRequestBytes = 8 << 20
 //	POST   /v1/jobs/{id}/cancel cancel (proxy-friendly alias)
 //	GET    /v1/jobs/{id}/stream NDJSON progress stream
 //	GET    /healthz             liveness
-//	GET    /metrics             counter snapshot
+//	GET    /metrics             Prometheus text (JSON snapshot with Accept: application/json)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -72,10 +73,21 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeStatus(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeStatus(w, http.StatusOK, s.Metrics.Snapshot())
-	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// handleMetrics serves the full registry in Prometheus text exposition
+// format. The pre-obs JSON snapshot (short legacy keys) remains available
+// under Accept: application/json for sconectl and existing scrapers.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeStatus(w, http.StatusOK, s.Metrics.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.Metrics.WritePrometheus(w)
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -112,8 +124,8 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer off()
-	s.Metrics.add(&s.Metrics.StreamClients, 1)
-	defer s.Metrics.add(&s.Metrics.StreamClients, -1)
+	s.Metrics.StreamClients.Add(1)
+	defer s.Metrics.StreamClients.Add(-1)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)

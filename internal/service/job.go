@@ -208,7 +208,7 @@ func (r *JobRequest) Validate() error {
 		return fmt.Errorf("%s jobs need a synthesised design, not an inline netlist", r.Kind)
 	}
 	if r.Design.Netlist == "" {
-		if _, _, err := parseDesign(r.Design); err != nil {
+		if _, _, err := ParseDesign(r.Design); err != nil {
 			return err
 		}
 	}

@@ -1,47 +1,93 @@
 package service
 
 import (
+	"io"
 	"sort"
-	"sync/atomic"
+	"strconv"
+
+	"repro/internal/obs"
 )
 
-// Metrics is the service's expvar-style instrument set: monotonic counters
-// plus point-in-time gauges, all lock-free atomics so the campaign hot path
-// never contends. Unlike package expvar the registry is per-Service, so
-// tests can run many instances in one process without name collisions.
+// Metrics is the service's instrument set, registered on an obs.Registry
+// (the one from Config.Obs, or a private per-Service registry so tests can
+// run many instances in one process without name collisions). The legacy
+// short snapshot keys (jobs_submitted_total, queue_depth, ...) are preserved
+// by Snapshot for the JSON /metrics view and existing clients; the registry
+// additionally exposes everything — including the latency histograms — in
+// Prometheus text form.
 type Metrics struct {
-	JobsSubmitted int64
-	JobsCompleted int64
-	JobsFailed    int64
-	JobsCanceled  int64
-	JobsResumed   int64
-	Checkpoints   int64
-	RunsSimulated int64
-	StreamClients int64
+	reg *obs.Registry
 
-	jobsRunning int64
-	queueDepth  func() int
+	JobsSubmitted *obs.Counter
+	JobsCompleted *obs.Counter
+	JobsFailed    *obs.Counter
+	JobsCanceled  *obs.Counter
+	JobsResumed   *obs.Counter
+	Checkpoints   *obs.Counter
+	RunsSimulated *obs.Counter
+	StreamClients *obs.Gauge
+	JobsRunning   *obs.Gauge
+	QueueDepth    *obs.Gauge
+
+	// JobWaitNS measures submission-to-start queueing latency, JobRunNS the
+	// start-to-terminal execution time, CheckpointNS one durable state write.
+	JobWaitNS    *obs.Histogram
+	JobRunNS     *obs.Histogram
+	CheckpointNS *obs.Histogram
 }
 
-func (m *Metrics) add(p *int64, n int64) { atomic.AddInt64(p, n) }
+// newMetrics registers the service instruments on reg, including one depth
+// gauge per queue shard.
+func newMetrics(reg *obs.Registry, q *queue) *Metrics {
+	m := &Metrics{
+		reg:           reg,
+		JobsSubmitted: reg.NewCounter("scone_service_jobs_submitted_total", "Jobs accepted by Submit"),
+		JobsCompleted: reg.NewCounter("scone_service_jobs_completed_total", "Jobs finished in StateDone"),
+		JobsFailed:    reg.NewCounter("scone_service_jobs_failed_total", "Jobs finished in StateFailed"),
+		JobsCanceled:  reg.NewCounter("scone_service_jobs_canceled_total", "Jobs finished in StateCanceled"),
+		JobsResumed:   reg.NewCounter("scone_service_jobs_resumed_total", "Campaign executions resumed from a checkpoint"),
+		Checkpoints:   reg.NewCounter("scone_service_checkpoints_total", "Campaign checkpoints persisted"),
+		RunsSimulated: reg.NewCounter("scone_service_runs_simulated_total", "Campaign runs simulated across all jobs"),
+		StreamClients: reg.NewGauge("scone_service_stream_clients_count", "Connected NDJSON stream consumers"),
+		JobsRunning:   reg.NewGauge("scone_service_jobs_running_count", "Jobs currently executing"),
+		QueueDepth: reg.NewGaugeFunc("scone_service_queue_depth_count", "Queued-but-not-started jobs across all shards",
+			func() int64 { return int64(q.Len()) }),
+		JobWaitNS:    reg.NewHistogram("scone_service_job_wait_ns", "Queueing latency from Submit to job start", obs.LatencyBuckets()),
+		JobRunNS:     reg.NewHistogram("scone_service_job_run_ns", "Execution time from job start to terminal state", obs.LatencyBuckets()),
+		CheckpointNS: reg.NewHistogram("scone_service_checkpoint_ns", "Durable job-record write time", obs.ExpBuckets(16_000, 4, 12)),
+	}
+	for i, sh := range q.shards {
+		sh := sh
+		reg.NewGaugeFunc("scone_service_queue_shard_depth_count", "Queued jobs in one shard",
+			func() int64 { return int64(len(sh)) }, "shard", strconv.Itoa(i))
+	}
+	return m
+}
 
-// Snapshot returns the current values keyed by their exported names.
+// Registry exposes the backing registry so the daemon can register the sim
+// and fault engine metrics alongside the service's own and render one
+// exposition.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// WritePrometheus renders every registered instrument in Prometheus text
+// exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) error { return m.reg.WritePrometheus(w) }
+
+// Snapshot returns the current values under the service's legacy short keys
+// (the JSON /metrics contract from before the obs migration).
 func (m *Metrics) Snapshot() map[string]int64 {
-	s := map[string]int64{
-		"jobs_submitted_total": atomic.LoadInt64(&m.JobsSubmitted),
-		"jobs_completed_total": atomic.LoadInt64(&m.JobsCompleted),
-		"jobs_failed_total":    atomic.LoadInt64(&m.JobsFailed),
-		"jobs_canceled_total":  atomic.LoadInt64(&m.JobsCanceled),
-		"jobs_resumed_total":   atomic.LoadInt64(&m.JobsResumed),
-		"checkpoints_total":    atomic.LoadInt64(&m.Checkpoints),
-		"runs_simulated_total": atomic.LoadInt64(&m.RunsSimulated),
-		"stream_clients":       atomic.LoadInt64(&m.StreamClients),
-		"jobs_running":         atomic.LoadInt64(&m.jobsRunning),
+	return map[string]int64{
+		"jobs_submitted_total": m.JobsSubmitted.Value(),
+		"jobs_completed_total": m.JobsCompleted.Value(),
+		"jobs_failed_total":    m.JobsFailed.Value(),
+		"jobs_canceled_total":  m.JobsCanceled.Value(),
+		"jobs_resumed_total":   m.JobsResumed.Value(),
+		"checkpoints_total":    m.Checkpoints.Value(),
+		"runs_simulated_total": m.RunsSimulated.Value(),
+		"stream_clients":       m.StreamClients.Value(),
+		"jobs_running":         m.JobsRunning.Value(),
+		"queue_depth":          m.QueueDepth.Value(),
 	}
-	if m.queueDepth != nil {
-		s["queue_depth"] = int64(m.queueDepth())
-	}
-	return s
 }
 
 // Names returns the snapshot keys sorted, for stable rendering.

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/lint"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spn"
 	"repro/internal/stdcell"
@@ -33,6 +34,12 @@ type Config struct {
 	// SimWorkers bounds the goroutines inside one campaign execution
 	// (fault.Campaign.Workers). Default GOMAXPROCS.
 	SimWorkers int
+	// Obs is the metrics registry the service registers its instruments
+	// on. nil creates a private registry, which keeps multiple Service
+	// instances in one process from sharing counters; the daemon passes a
+	// shared registry so service, sim and fault metrics render as one
+	// exposition.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -122,17 +129,20 @@ func New(cfg Config) (*Service, error) {
 		depth = per // a restart must always be able to re-enqueue its own backlog
 	}
 
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:     cfg,
-		Metrics: &Metrics{},
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*job),
 		queue:   newQueue(cfg.Workers, depth),
 		store:   st,
 	}
-	s.Metrics.queueDepth = s.queue.Len
+	s.Metrics = newMetrics(reg, s.queue)
 
 	for _, rec := range recs {
 		j := &job{
@@ -203,7 +213,7 @@ func (s *Service) Submit(req JobRequest) (JobStatus, error) {
 	s.nextID++
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	s.Metrics.add(&s.Metrics.JobsSubmitted, 1)
+	s.Metrics.JobsSubmitted.Inc()
 	s.persistLocked(j)
 	return s.statusLocked(j), nil
 }
@@ -347,7 +357,10 @@ func (s *Service) persistLocked(j *job) {
 		Checkpoint: j.checkpoint,
 		Submitted:  j.submitted,
 	}
-	if err := s.store.save(rec); err != nil && j.err == "" {
+	sp := obs.StartSpan(s.Metrics.CheckpointNS)
+	err := s.store.save(rec)
+	sp.End()
+	if err != nil && j.err == "" {
 		j.err = fmt.Sprintf("checkpoint write failed: %v", err)
 	}
 }
@@ -372,13 +385,16 @@ func (s *Service) finishLocked(j *job, state State, result *JobResult, errMsg st
 	j.err = errMsg
 	j.finished = &now
 	j.cancel = nil
+	if j.started != nil {
+		s.Metrics.JobRunNS.Observe(now.Sub(*j.started).Nanoseconds())
+	}
 	switch state {
 	case StateDone:
-		s.Metrics.add(&s.Metrics.JobsCompleted, 1)
+		s.Metrics.JobsCompleted.Inc()
 	case StateFailed:
-		s.Metrics.add(&s.Metrics.JobsFailed, 1)
+		s.Metrics.JobsFailed.Inc()
 	case StateCanceled:
-		s.Metrics.add(&s.Metrics.JobsCanceled, 1)
+		s.Metrics.JobsCanceled.Inc()
 	}
 	s.persistLocked(j)
 	st := s.statusLocked(j)
@@ -413,12 +429,13 @@ func (s *Service) runJob(j *job) {
 	j.state = StateRunning
 	j.started = &now
 	j.cancel = cancel
-	s.Metrics.add(&s.Metrics.jobsRunning, 1)
+	s.Metrics.JobWaitNS.Observe(now.Sub(j.submitted).Nanoseconds())
+	s.Metrics.JobsRunning.Add(1)
 	s.persistLocked(j)
 	st := s.statusLocked(j)
 	s.publishLocked(j, Event{Type: "status", Job: &st})
 	s.mu.Unlock()
-	defer s.Metrics.add(&s.Metrics.jobsRunning, -1)
+	defer s.Metrics.JobsRunning.Add(-1)
 
 	var result *JobResult
 	var err error
@@ -482,7 +499,7 @@ func (s *Service) runCampaign(ctx context.Context, j *job) (*JobResult, error) {
 		start = j.checkpoint.NextBatch
 		acc = j.checkpoint.Counts
 		j.resumed++
-		s.Metrics.add(&s.Metrics.JobsResumed, 1)
+		s.Metrics.JobsResumed.Inc()
 	}
 	j.progress = &Progress{Done: acc.Total, Total: camp.Runs, Counts: acc}
 	s.mu.Unlock()
@@ -503,8 +520,8 @@ func (s *Service) runCampaign(ctx context.Context, j *job) (*JobResult, error) {
 		s.mu.Lock()
 		j.checkpoint = &Checkpoint{NextBatch: completed, Counts: acc}
 		j.progress = &Progress{Done: acc.Total, Total: camp.Runs, Counts: acc}
-		s.Metrics.add(&s.Metrics.RunsSimulated, int64(res.Total))
-		s.Metrics.add(&s.Metrics.Checkpoints, 1)
+		s.Metrics.RunsSimulated.Add(int64(res.Total))
+		s.Metrics.Checkpoints.Inc()
 		s.persistLocked(j)
 		p := *j.progress
 		s.publishLocked(j, Event{Type: "progress", Progress: &p})

@@ -240,8 +240,10 @@ var compileCache sync.Map // *netlist.Module -> *Compiled
 // pointer. Errors are not cached.
 func CompileCached(m *netlist.Module) (*Compiled, error) {
 	if c, ok := compileCache.Load(m); ok {
+		countCacheHit()
 		return c.(*Compiled), nil
 	}
+	countCacheMiss()
 	c, err := Compile(m)
 	if err != nil {
 		return nil, err

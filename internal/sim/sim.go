@@ -110,7 +110,9 @@ func Compile(m *netlist.Module) (*Compiled, error) {
 			dffs = append(dffs, ci)
 		}
 	}
-	return &Compiled{Mod: m, order: order, dffs: dffs, prog: lower(m, order, dffs)}, nil
+	p := lower(m, order, dffs)
+	countCompile(p)
+	return &Compiled{Mod: m, order: order, dffs: dffs, prog: p}, nil
 }
 
 // MustCompile is Compile that panics on error.
@@ -265,6 +267,7 @@ func (s *Simulator) applyFault(n netlist.Net, v uint64) uint64 {
 // register state, without advancing the clock. For purely combinational
 // modules this is a complete simulation pass.
 func (s *Simulator) Eval() {
+	countEval()
 	switch s.mode {
 	case evalFast:
 		p := s.c.prog

@@ -2,12 +2,14 @@ package vetkit
 
 import (
 	"go/ast"
+	"go/token"
+	"strconv"
 	"strings"
 )
 
 // Analyzers returns the repository's vet passes in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoRand, CachedCompile, CtxExecute}
+	return []*Analyzer{NoRand, CachedCompile, CtxExecute, ObsNames}
 }
 
 // NoRand forbids math/rand outside test files and internal/rng.
@@ -108,4 +110,91 @@ var CachedCompile = &Analyzer{
 			})
 		}
 	},
+}
+
+// obsRegisterFuncs are the obs.Registry registration methods whose first
+// argument is the metric name.
+var obsRegisterFuncs = map[string]bool{
+	"NewCounter":   true,
+	"NewGauge":     true,
+	"NewGaugeFunc": true,
+	"NewHistogram": true,
+}
+
+// obsUnits are the unit suffixes the metric naming scheme permits.
+var obsUnits = map[string]bool{
+	"total": true, "count": true, "ns": true, "bytes": true, "ratio": true,
+}
+
+// ObsNames enforces the scone_<pkg>_<metric>_<unit> naming scheme at obs
+// registration sites. Metric names are API: dashboards and alert rules
+// outlive refactors, so the scheme is pinned mechanically — a literal name
+// passed to NewCounter/NewGauge/NewGaugeFunc/NewHistogram must be
+// scone-prefixed lowercase snake_case ending in a known unit, and inside
+// internal/<pkg> the name's package segment must match the directory.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "enforce scone_<pkg>_<metric>_<unit> names at obs registration sites (unit: total/count/ns/bytes/ratio)",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			// Inside internal/<pkg>/ the name must carry that package's
+			// segment; elsewhere (cmd/ looking up shared instruments)
+			// only the overall shape is checked.
+			wantPkg := ""
+			if rest, ok := strings.CutPrefix(f.Dir(), "internal/"); ok {
+				wantPkg = rest[:strings.Index(rest, "/")]
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !obsRegisterFuncs[sel.Sel.Name] {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				checkObsName(p, lit.Pos(), name, wantPkg)
+				return true
+			})
+		}
+	},
+}
+
+// checkObsName reports naming-scheme violations for one registered metric.
+func checkObsName(p *Pass, pos token.Pos, name, wantPkg string) {
+	parts := strings.Split(name, "_")
+	if len(parts) < 4 || parts[0] != "scone" {
+		p.Reportf(pos, "metric %q does not follow scone_<pkg>_<metric>_<unit>", name)
+		return
+	}
+	for _, seg := range parts {
+		for _, r := range seg {
+			if (r < 'a' || r > 'z') && (r < '0' || r > '9') {
+				p.Reportf(pos, "metric %q is not lowercase snake_case", name)
+				return
+			}
+		}
+		if seg == "" {
+			p.Reportf(pos, "metric %q has an empty name segment", name)
+			return
+		}
+	}
+	if unit := parts[len(parts)-1]; !obsUnits[unit] {
+		p.Reportf(pos, "metric %q ends in %q; unit must be one of total, count, ns, bytes or ratio", name, unit)
+		return
+	}
+	if wantPkg != "" && parts[1] != wantPkg {
+		p.Reportf(pos, "metric %q carries package segment %q but is registered in internal/%s", name, parts[1], wantPkg)
+	}
 }

@@ -138,6 +138,59 @@ func h(c interface{ Execute(func()) }) { c.Execute(nil) }
 	}
 }
 
+func TestObsNames(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/sim/ok.go": `package sim
+
+func f(reg interface {
+	NewCounter(name, help string) any
+	NewHistogram(name, help string, bounds []int64) any
+}) {
+	reg.NewCounter("scone_sim_evals_total", "evals")
+	reg.NewHistogram("scone_sim_batch_ns", "latency", nil)
+}
+`,
+		"internal/sim/bad.go": `package sim
+
+func g(reg interface {
+	NewCounter(name, help string) any
+	NewGauge(name, help string) any
+	NewGaugeFunc(name, help string, fn func() int64) any
+}) {
+	reg.NewCounter("sim_evals_total", "missing scone prefix")
+	reg.NewCounter("scone_fault_runs_total", "wrong package segment")
+	reg.NewGauge("scone_sim_queue_depth", "missing unit")
+	reg.NewGaugeFunc("scone_sim_Queue_depth_count", "upper case", nil)
+}
+`,
+		"cmd/bench/main.go": `package main
+
+func h(reg interface{ NewCounter(name, help string) any }) {
+	reg.NewCounter("scone_sim_evals_total", "cmd lookup: shape only, no package check")
+	reg.NewCounter("scone_bench_elapsed_seconds", "bad unit")
+}
+`,
+		"internal/sim/ok_test.go": `package sim
+
+func t(reg interface{ NewCounter(name, help string) any }) {
+	reg.NewCounter("anything_goes", "tests are exempt")
+}
+`,
+	})
+	diags, err := Run(root, []*Analyzer{ObsNames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 5 {
+		t.Fatalf("got %d findings, want 5: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Pos.Filename == "internal/sim/ok.go" || strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			t.Errorf("finding in clean file: %s", d.String())
+		}
+	}
+}
+
 func TestSkipsTestdataAndHiddenDirs(t *testing.T) {
 	root := writeTree(t, map[string]string{
 		"pkg/testdata/bad.go": "package broken !!!\n",

@@ -1,6 +1,9 @@
 package scone
 
 import (
+	"context"
+	"errors"
+
 	"repro/internal/attack"
 	"repro/internal/cipher/gift"
 	"repro/internal/cipher/present"
@@ -8,14 +11,23 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/service"
+	"repro/internal/sim"
 	"repro/internal/spn"
 	"repro/internal/stdcell"
 	"repro/internal/synth"
 )
 
-// Cipher description layer.
+// ---------------------------------------------------------------------------
+// Cipher description layer
+//
+// An SPN cipher is described once as a Spec; everything downstream — the
+// software reference, the protected gate-level cores, the attacks — derives
+// from it.
+// ---------------------------------------------------------------------------
+
 type (
 	// Spec describes an SPN cipher; see PresentSpec and GiftSpec for
 	// ready-made instances.
@@ -36,7 +48,14 @@ func GiftSpec() *Spec { return gift.Spec() }
 // cipher (a GF(2) matrix diffusion layer instead of a bit permutation).
 func Scone64Spec() *Spec { return scone64.Spec() }
 
-// Countermeasure construction layer.
+// ---------------------------------------------------------------------------
+// Countermeasure construction layer
+//
+// Build turns a Spec plus Options into a gate-level Design protected with
+// the selected duplication scheme; a Runner drives the design through the
+// bit-parallel simulator.
+// ---------------------------------------------------------------------------
+
 type (
 	// Scheme selects the protection scheme.
 	Scheme = core.Scheme
@@ -58,28 +77,39 @@ type (
 
 // Protection schemes.
 const (
+	// SchemeUnprotected builds the bare core with no duplication.
 	SchemeUnprotected = core.SchemeUnprotected
-	SchemeNaiveDup    = core.SchemeNaiveDup
-	SchemeACISP       = core.SchemeACISP
-	SchemeThreeInOne  = core.SchemeThreeInOne
+	// SchemeNaiveDup duplicates the datapath and compares outputs.
+	SchemeNaiveDup = core.SchemeNaiveDup
+	// SchemeACISP is the ACISP 2020 randomised duplication.
+	SchemeACISP = core.SchemeACISP
+	// SchemeThreeInOne is the paper's merged three-in-one countermeasure.
+	SchemeThreeInOne = core.SchemeThreeInOne
 )
 
 // Entropy variants.
 const (
-	EntropyPrime    = core.EntropyPrime
+	// EntropyPrime draws one λ bit per encryption (the λ′ variant).
+	EntropyPrime = core.EntropyPrime
+	// EntropyPerRound draws a fresh λ bit every round.
 	EntropyPerRound = core.EntropyPerRound
-	EntropyPerSbox  = core.EntropyPerSbox
+	// EntropyPerSbox draws a fresh λ bit per S-box per round.
+	EntropyPerSbox = core.EntropyPerSbox
 )
 
 // Branches.
 const (
-	BranchActual    = core.BranchActual
+	// BranchActual is the computation whose output is released.
+	BranchActual = core.BranchActual
+	// BranchRedundant is the duplicated check computation.
 	BranchRedundant = core.BranchRedundant
 )
 
 // Synthesis engines.
 const (
+	// EngineANF synthesises S-boxes from their algebraic normal form.
 	EngineANF = synth.EngineANF
+	// EngineBDD synthesises S-boxes from reduced ordered BDDs.
 	EngineBDD = synth.EngineBDD
 )
 
@@ -96,40 +126,116 @@ func NewRunner(d *Design) (*Runner, error) { return core.NewRunner(d) }
 // variant's contract).
 func LambdaConst(vals []uint64) LambdaFunc { return core.LambdaConst(vals) }
 
-// Fault-injection layer.
+// ---------------------------------------------------------------------------
+// Simulation layer
+//
+// The simulator is mostly an implementation detail behind Runner and
+// Campaign; the facade exposes its one load-bearing constant.
+// ---------------------------------------------------------------------------
+
+// SimLanes is the simulator's lane width: every Eval simulates this many
+// independent runs bit-parallel in one pass, and campaigns are batched in
+// SimLanes-sized groups.
+const SimLanes = sim.Lanes
+
+// ---------------------------------------------------------------------------
+// Fault-injection layer
+//
+// A Campaign classifies many faulted encryptions (ineffective / detected /
+// effective) under a deterministic seed; an Injector applies individual
+// faults during bespoke simulations.
+// ---------------------------------------------------------------------------
+
 type (
-	// FaultModel enumerates stuck-at-0/1 and bit-flip.
-	FaultModel = fault.Model
+	// Model enumerates the fault models: stuck-at-0/1 and bit-flip.
+	Model = fault.Model
 	// Fault is one injected fault.
 	Fault = fault.Fault
 	// Campaign runs a classification campaign.
 	Campaign = fault.Campaign
 	// CampaignResult aggregates outcomes.
 	CampaignResult = fault.Result
-	// CampaignRun is one classified encryption.
-	CampaignRun = fault.Run
+	// Run is one classified encryption of a campaign.
+	Run = fault.Run
 	// Net identifies a wire in a design's netlist.
 	Net = netlist.Net
+	// Injector applies faults during simulation; install it with
+	// Runner.S.SetInjector.
+	Injector = fault.Injector
 )
+
+// FaultModel enumerates stuck-at-0/1 and bit-flip.
+//
+// Deprecated: use Model.
+type FaultModel = fault.Model
+
+// CampaignRun is one classified encryption.
+//
+// Deprecated: use Run.
+type CampaignRun = fault.Run
 
 // Fault models.
 const (
+	// StuckAt0 forces the faulted net to 0.
 	StuckAt0 = fault.StuckAt0
+	// StuckAt1 forces the faulted net to 1.
 	StuckAt1 = fault.StuckAt1
-	BitFlip  = fault.BitFlip
+	// BitFlip inverts the faulted net.
+	BitFlip = fault.BitFlip
 )
 
 // FaultAt returns a fault active during exactly one cycle.
-func FaultAt(net Net, model FaultModel, cycle int) Fault { return fault.At(net, model, cycle) }
-
-// Injector applies faults during simulation; install it with
-// Runner.S.SetInjector.
-type Injector = fault.Injector
+func FaultAt(net Net, model Model, cycle int) Fault { return fault.At(net, model, cycle) }
 
 // NewInjector builds an injector over the given faults.
 func NewInjector(faults ...Fault) *Injector { return fault.NewInjector(faults...) }
 
-// Attack layer.
+// BoundCampaign is a Campaign tied to the context it was created with
+// (the http.NewRequestWithContext pattern): Run honours that context's
+// cancellation between batches, so a drained or timed-out campaign
+// returns the counts of a contiguous batch prefix together with the
+// context's error.
+type BoundCampaign struct {
+	// Campaign is the underlying campaign; its fields stay settable
+	// (Workers, extra Faults) before the first Run.
+	Campaign
+	ctx context.Context
+}
+
+// NewCampaign constructs a fault-classification campaign over a built
+// design, bound to ctx. The campaign derives all randomness from seed, so
+// equal arguments give bit-identical results regardless of worker count
+// or interruption points.
+func NewCampaign(ctx context.Context, d *Design, key KeyState, runs int, seed uint64, faults ...Fault) (*BoundCampaign, error) {
+	if ctx == nil {
+		return nil, errors.New("scone: nil context in NewCampaign")
+	}
+	if d == nil {
+		return nil, errors.New("scone: nil design in NewCampaign")
+	}
+	if runs <= 0 {
+		return nil, errors.New("scone: campaign needs a positive run count")
+	}
+	return &BoundCampaign{
+		Campaign: Campaign{Design: d, Key: key, Faults: faults, Runs: runs, Seed: seed},
+		ctx:      ctx,
+	}, nil
+}
+
+// Run executes the campaign under the bound context. observe, when
+// non-nil, sees every classified run in deterministic seed order.
+func (c *BoundCampaign) Run(observe func(Run)) (CampaignResult, error) {
+	return c.ExecuteContext(c.ctx, observe)
+}
+
+// ---------------------------------------------------------------------------
+// Attack layer
+//
+// The attacks of Section IV-B: classic and identical-fault DFA, SIFA (and
+// the IFA / biased-SFA models it generalises), and the fault template
+// attack.
+// ---------------------------------------------------------------------------
+
 type (
 	// AttackTarget wraps a design with the attacker's run plumbing.
 	AttackTarget = attack.Target
@@ -139,8 +245,18 @@ type (
 	DFAConfig = attack.DFAConfig
 	// SIFAConfig parameterises the statistical ineffective fault attack.
 	SIFAConfig = attack.SIFAConfig
+	// SIFAResult is the SIFA outcome with its bias statistics.
+	SIFAResult = attack.SIFAResult
+	// IFAConfig parameterises Clavier's ineffective fault attack.
+	IFAConfig = attack.IFAConfig
+	// IFAResult is the IFA outcome.
+	IFAResult = attack.IFAResult
+	// SFAConfig parameterises the biased (statistical) fault attack.
+	SFAConfig = attack.SFAConfig
 	// FTAConfig parameterises the fault template attack.
 	FTAConfig = attack.FTAConfig
+	// FTAResult is the FTA outcome with its template statistics.
+	FTAResult = attack.FTAResult
 )
 
 // NewAttackTarget compiles a design for attacking under the given key.
@@ -152,20 +268,26 @@ func NewAttackTarget(d *Design, key KeyState, seed uint64) (*AttackTarget, error
 func RunDFA(t *AttackTarget, cfg DFAConfig) AttackResult { return attack.RunDFA(t, cfg) }
 
 // RunSIFA mounts the statistical ineffective fault attack.
-func RunSIFA(t *AttackTarget, cfg SIFAConfig) attack.SIFAResult { return attack.RunSIFA(t, cfg) }
+func RunSIFA(t *AttackTarget, cfg SIFAConfig) SIFAResult { return attack.RunSIFA(t, cfg) }
 
 // RunFTA mounts the fault template attack on a freshly built design.
-func RunFTA(d *Design, key KeyState, cfg FTAConfig, seed uint64) (attack.FTAResult, error) {
+func RunFTA(d *Design, key KeyState, cfg FTAConfig, seed uint64) (FTAResult, error) {
 	return attack.RunFTAOnDesign(d, key, cfg, seed)
 }
 
 // RunIFA mounts Clavier's ineffective fault attack.
-func RunIFA(t *AttackTarget, cfg attack.IFAConfig) attack.IFAResult { return attack.RunIFA(t, cfg) }
+func RunIFA(t *AttackTarget, cfg IFAConfig) IFAResult { return attack.RunIFA(t, cfg) }
 
 // RunSFA mounts the biased (statistical) fault attack.
-func RunSFA(t *AttackTarget, cfg attack.SFAConfig) attack.SIFAResult { return attack.RunSFA(t, cfg) }
+func RunSFA(t *AttackTarget, cfg SFAConfig) SIFAResult { return attack.RunSFA(t, cfg) }
 
-// Area layer.
+// ---------------------------------------------------------------------------
+// Area layer
+//
+// Gate-equivalent pricing against the Nangate-45-like standard-cell
+// library of the paper's tables.
+// ---------------------------------------------------------------------------
+
 type (
 	// CellLibrary prices netlists in gate equivalents.
 	CellLibrary = stdcell.Library
@@ -180,11 +302,16 @@ func Nangate45() *CellLibrary { return stdcell.Nangate45() }
 // Area prices a design against a library.
 func Area(lib *CellLibrary, d *Design) AreaReport { return lib.Area(d.Mod) }
 
-// Service layer (the sconed daemon's job engine; see cmd/sconed and
-// internal/service/client for the HTTP surface).
+// ---------------------------------------------------------------------------
+// Service layer
+//
+// The sconed daemon's embeddable job engine; see cmd/sconed and
+// internal/service/client for the HTTP surface.
+// ---------------------------------------------------------------------------
+
 type (
 	// ServiceConfig sizes a Service's worker pool, queue and checkpoint
-	// interval.
+	// interval; its Obs field attaches the service to a shared Registry.
 	ServiceConfig = service.Config
 	// Service is the embeddable fault-campaign job engine behind sconed.
 	Service = service.Service
@@ -194,24 +321,88 @@ type (
 	JobStatus = service.JobStatus
 	// JobKind enumerates the job types a Service executes.
 	JobKind = service.Kind
+	// JobState enumerates a job's lifecycle states.
+	JobState = service.State
 	// JobEvent is one entry of a job's progress stream.
 	JobEvent = service.Event
 )
 
 // Job kinds.
 const (
+	// JobCampaign runs a fault-classification campaign.
 	JobCampaign = service.KindCampaign
-	JobDFA      = service.KindDFA
-	JobSIFA     = service.KindSIFA
-	JobFTA      = service.KindFTA
-	JobArea     = service.KindArea
-	JobLint     = service.KindLint
+	// JobDFA runs the differential fault attack.
+	JobDFA = service.KindDFA
+	// JobSIFA runs the statistical ineffective fault attack.
+	JobSIFA = service.KindSIFA
+	// JobFTA runs the fault template attack.
+	JobFTA = service.KindFTA
+	// JobArea prices the design in gate equivalents.
+	JobArea = service.KindArea
+	// JobLint runs the static countermeasure audit.
+	JobLint = service.KindLint
+)
+
+// Job states.
+const (
+	// JobQueued is a job waiting for a worker.
+	JobQueued = service.StateQueued
+	// JobRunning is a job being executed.
+	JobRunning = service.StateRunning
+	// JobDone is a successfully finished job.
+	JobDone = service.StateDone
+	// JobFailed is a job that ended with an error.
+	JobFailed = service.StateFailed
+	// JobCanceled is a job stopped by the user.
+	JobCanceled = service.StateCanceled
 )
 
 // NewService starts a job engine; Close (or Drain) releases its workers.
 func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
 
-// Randomness layer.
+// ---------------------------------------------------------------------------
+// Observability layer
+//
+// A dependency-free metrics registry (internal/obs): atomic counters and
+// gauges, bucketed histograms, span timing, and Prometheus text
+// exposition. Instruments are nil-safe, so an unwired component costs
+// nothing — see DESIGN.md §10.
+// ---------------------------------------------------------------------------
+
+type (
+	// Registry holds registered instruments and renders them; the zero
+	// point of the observability layer.
+	Registry = obs.Registry
+	// Counter is a monotonically increasing metric.
+	Counter = obs.Counter
+	// Gauge is a settable point-in-time metric.
+	Gauge = obs.Gauge
+	// Histogram is a bucketed distribution metric.
+	Histogram = obs.Histogram
+	// Span times one operation into a Histogram.
+	Span = obs.Span
+)
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// EnableObservability registers the simulator and fault-engine instrument
+// families on reg, so campaign internals (cache hits, evals, batch
+// latency, reorder depth) surface in reg's Prometheus exposition. Pass
+// nil to detach them again — the hot paths then cost nothing. Service
+// instances attach through ServiceConfig.Obs instead.
+func EnableObservability(reg *Registry) {
+	sim.EnableObservability(reg)
+	fault.EnableObservability(reg)
+}
+
+// ---------------------------------------------------------------------------
+// Randomness layer
+//
+// The entropy sources feeding λ: a behavioural TRNG model for realism, a
+// deterministic PRNG for reproducible experiments.
+// ---------------------------------------------------------------------------
+
 type (
 	// EntropySource yields random bits (TRNG model or deterministic
 	// PRNG).
