@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-full bench-smoke fmt fmt-check vet lint sconelint fuzz serve e2e ci
+.PHONY: all build test race bench bench-full bench-smoke fmt fmt-check vet lint sconelint fuzz serve e2e e2e-dist ci
 
 all: build test
 
@@ -57,6 +57,14 @@ serve:
 # and graceful-drain + checkpoint/resume.
 e2e:
 	$(GO) test -race -count=1 ./internal/service/... ./cmd/sconed/... ./cmd/sconectl/...
+
+# Distributed campaign fabric under the race detector: coordinator lease
+# table, worker kill + lease reassignment with bit-identical merged results,
+# the /v1 worker protocol round trip, and sconed's worker mode.
+e2e-dist:
+	$(GO) test -race -count=1 \
+		-run 'TestCoordinator|TestE2EDistributed|TestDistEndpoints|TestSubmitRetr|TestDaemonWorker|TestWorkersLeasesAndTopFleet' \
+		./internal/service/... ./cmd/sconed/... ./cmd/sconectl/...
 
 # Static countermeasure audit: the synthesised PRESENT-80 three-in-one
 # core must lint clean for every entropy variant, and the unprotected

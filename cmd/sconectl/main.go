@@ -12,12 +12,15 @@
 //	sconectl [-server URL] cancel j000000
 //	sconectl [-server URL] watch j000000
 //	sconectl [-server URL] metrics
+//	sconectl [-server URL] workers
+//	sconectl [-server URL] leases
 //	sconectl [-server URL] top [-interval 2s] [-iterations N]
 //
 // All output is JSON through the same encoder the daemon uses, so captured
 // CLI transcripts diff cleanly against raw API responses. The one exception
 // is top, which renders a human-readable status screen from the same metrics
-// snapshot and job list the JSON commands expose.
+// snapshot, job list and (on a coordinator) worker registry the JSON
+// commands expose.
 package main
 
 import (
@@ -47,7 +50,7 @@ func main() {
 
 func usage(stderr io.Writer, fs *flag.FlagSet) func() {
 	return func() {
-		fmt.Fprintln(stderr, "usage: sconectl [-server URL] <submit|get|list|cancel|watch|metrics|top> [flags]")
+		fmt.Fprintln(stderr, "usage: sconectl [-server URL] <submit|get|list|cancel|watch|metrics|workers|leases|top> [flags]")
 		fs.PrintDefaults()
 	}
 }
@@ -90,6 +93,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		return service.WriteJSON(stdout, m)
+	case "workers":
+		ws, err := c.Workers(ctx)
+		if err != nil {
+			return err
+		}
+		return service.WriteJSON(stdout, map[string]any{"workers": ws})
+	case "leases":
+		ls, err := c.Leases(ctx)
+		if err != nil {
+			return err
+		}
+		return service.WriteJSON(stdout, map[string]any{"leases": ls})
 	case "top":
 		return cmdTop(ctx, c, rest, stdout, stderr)
 	default:
@@ -167,8 +182,22 @@ func topScreen(ctx context.Context, c *client.Client, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "submitted %-6d done %-6d failed %-6d canceled %-6d resumed %-6d\n",
 		m["jobs_submitted_total"], m["jobs_completed_total"], m["jobs_failed_total"],
 		m["jobs_canceled_total"], m["jobs_resumed_total"])
-	fmt.Fprintf(stdout, "runs simulated %-12d checkpoints %-6d\n\n",
+	fmt.Fprintf(stdout, "runs simulated %-12d checkpoints %-6d\n",
 		m["runs_simulated_total"], m["checkpoints_total"])
+	if workers, err := c.Workers(ctx); err == nil && len(workers) > 0 {
+		fmt.Fprintf(stdout, "workers %-6d leases active %-6d granted %-6d reassigned %-6d\n\n",
+			m["workers"], m["leases_active"], m["leases_granted_total"], m["leases_reassigned_total"])
+		fmt.Fprintf(stdout, "%-10s %-12s %-8s %-7s %-7s %s\n", "WORKER", "NAME", "STATE", "ACTIVE", "DONE", "LAST SEEN")
+		for _, w := range workers {
+			name := w.Name
+			if name == "" {
+				name = "-"
+			}
+			fmt.Fprintf(stdout, "%-10s %-12s %-8s %-7d %-7d %s\n",
+				w.ID, name, w.State, w.Active, w.Completed, w.LastSeen.Format(time.RFC3339))
+		}
+	}
+	fmt.Fprintln(stdout)
 
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Submitted.Before(jobs[j].Submitted) })
 	fmt.Fprintf(stdout, "%-10s %-10s %-9s %s\n", "ID", "KIND", "STATE", "PROGRESS")

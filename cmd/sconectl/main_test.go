@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/service"
+	"repro/internal/service/client"
 	"repro/internal/synth"
 
 	"repro/internal/cipher/present"
@@ -224,5 +225,85 @@ func TestTopCommand(t *testing.T) {
 	}
 	if _, err := runCtl(t, server, "top", "-interval", "nope"); err == nil {
 		t.Error("top accepted a malformed interval")
+	}
+}
+
+// TestWorkersLeasesAndTopFleet drives the fleet commands against a
+// coordinator: empty listings first, then a joined worker shows up in
+// workers, leases and the top screen's fleet section.
+func TestWorkersLeasesAndTopFleet(t *testing.T) {
+	svc, err := service.New(service.Config{Workers: 1, Dist: service.DistConfig{Enabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	server := srv.URL
+
+	out, err := runCtl(t, server, "workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws struct {
+		Workers []service.WorkerInfo `json:"workers"`
+	}
+	if err := json.Unmarshal([]byte(out), &ws); err != nil {
+		t.Fatalf("workers output %q: %v", out, err)
+	}
+	if len(ws.Workers) != 0 {
+		t.Fatalf("fresh coordinator lists workers: %+v", ws.Workers)
+	}
+
+	if _, err := client.New(server).JoinWorker(context.Background(), service.JoinRequest{Name: "probe"}); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err = runCtl(t, server, "workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(out), &ws); err != nil {
+		t.Fatal(err)
+	}
+	if len(ws.Workers) != 1 || ws.Workers[0].Name != "probe" || ws.Workers[0].State != service.WorkerActive {
+		t.Fatalf("workers after join: %+v", ws.Workers)
+	}
+
+	out, err = runCtl(t, server, "leases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ls struct {
+		Leases []service.LeaseInfo `json:"leases"`
+	}
+	if err := json.Unmarshal([]byte(out), &ls); err != nil {
+		t.Fatalf("leases output %q: %v", out, err)
+	}
+	if len(ls.Leases) != 0 {
+		t.Fatalf("idle coordinator lists leases: %+v", ls.Leases)
+	}
+
+	out, err = runCtl(t, server, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"workers 1", "WORKER", "probe", "active"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top fleet section missing %q:\n%s", want, out)
+		}
+	}
+
+	// Against a non-coordinator the listings stay empty and top omits the
+	// fleet section entirely.
+	server2, _ := startServer(t)
+	out, err = runCtl(t, server2, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "WORKER") {
+		t.Fatalf("top shows a fleet section on a non-coordinator:\n%s", out)
 	}
 }

@@ -6,15 +6,28 @@
 //
 //	sconed [-addr :8344] [-state DIR] [-workers N] [-queue N]
 //	       [-checkpoint-runs N] [-sim-workers N] [-pprof]
+//	       [-dist] [-lease-batches N] [-lease-ttl D] [-lease-attempts N]
+//	sconed -worker -join URL [-name NAME] [-capacity N] [-chunk-batches N]
+//	       [-sim-workers N]
+//
+// With -dist the daemon is a distributed-fabric coordinator: campaign jobs
+// are split into batch-range leases that worker processes pull, execute and
+// report back over /v1; expired or failed leases are reassigned with
+// jittered backoff and the merged result is bit-identical to a single-node
+// run. With -worker the process runs no HTTP API of its own — it joins the
+// coordinator at -join, heartbeats, and executes leases until signalled.
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: intake stops, running
 // campaigns checkpoint and return to the queue, and a restart on the same
-// -state directory resumes them with bit-identical final results.
+// -state directory resumes them with bit-identical final results. A
+// signalled worker fails its current lease back to the coordinator for
+// immediate reassignment and leaves the registry.
 //
-// GET /metrics serves the full observability registry — service, simulator
-// and fault-campaign families — in Prometheus text format (legacy JSON with
-// Accept: application/json). With -pprof the Go runtime profiles are exposed
-// under /debug/pprof/.
+// GET /v1/metrics serves the full observability registry — service,
+// simulator and fault-campaign families — in Prometheus text format (legacy
+// JSON with Accept: application/json); the unversioned /metrics and
+// /healthz aliases answer with a Deprecation header. With -pprof the Go
+// runtime profiles are exposed under /debug/pprof/.
 package main
 
 import (
@@ -62,11 +75,35 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	simWorkers := fs.Int("sim-workers", 0, "goroutines per campaign simulation (0 = GOMAXPROCS)")
 	drainWait := fs.Duration("drain-timeout", 30*time.Second, "how long to wait for running jobs to checkpoint on shutdown")
 	pprofOn := fs.Bool("pprof", false, "expose Go runtime profiles under /debug/pprof/")
+	dist := fs.Bool("dist", false, "coordinator mode: distribute campaign jobs to sconed workers as batch-range leases")
+	leaseBatches := fs.Int("lease-batches", 8, "batches per lease in coordinator mode")
+	leaseTTL := fs.Duration("lease-ttl", 15*time.Second, "lease heartbeat TTL in coordinator mode")
+	leaseAttempts := fs.Int("lease-attempts", 8, "grant attempts per batch range before the job fails")
+	workerMode := fs.Bool("worker", false, "worker mode: pull and execute leases from a coordinator instead of serving HTTP")
+	join := fs.String("join", "", "coordinator base URL to join in worker mode (e.g. http://127.0.0.1:8344)")
+	name := fs.String("name", "", "worker name shown in /v1/workers listings")
+	capacity := fs.Int("capacity", 1, "concurrent leases advertised by the worker")
+	chunkBatches := fs.Int("chunk-batches", 4, "batches per progress report inside one lease")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *workerMode {
+		if *join == "" {
+			return fmt.Errorf("-worker needs -join <coordinator-url>")
+		}
+		return runWorker(ctx, workerOptions{
+			join:         *join,
+			name:         *name,
+			capacity:     *capacity,
+			chunkBatches: *chunkBatches,
+			simWorkers:   *simWorkers,
+		}, stdout)
+	}
+	if *join != "" {
+		return fmt.Errorf("-join requires -worker")
 	}
 
 	// One registry for the whole process: the service registers its own
@@ -83,6 +120,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		CheckpointEveryRuns: *ckptRuns,
 		SimWorkers:          *simWorkers,
 		Obs:                 reg,
+		Dist: service.DistConfig{
+			Enabled:      *dist,
+			LeaseBatches: *leaseBatches,
+			LeaseTTL:     *leaseTTL,
+			MaxAttempts:  *leaseAttempts,
+		},
 	})
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -242,5 +243,115 @@ func TestDaemonStatePersistsAcrossRestart(t *testing.T) {
 	r.Body.Close()
 	if got.State != "done" {
 		t.Fatalf("restarted daemon reports job %s as %q, want done", st.ID, got.State)
+	}
+}
+
+// TestDaemonWorkerMode runs a coordinator and a worker as two run()
+// invocations of this binary — the two-terminal deployment from the README
+// — and checks the worker pulls leases until the campaign completes.
+func TestDaemonWorkerMode(t *testing.T) {
+	base, cancel, errCh := startDaemon(t,
+		"-dist", "-lease-batches", "1", "-lease-ttl", "5s", "-workers", "1")
+	defer func() {
+		cancel()
+		<-errCh
+	}()
+
+	body := `{"kind":"campaign","design":{"cipher":"present80","scheme":"three-in-one"},` +
+		`"campaign":{"runs":320,"seed":24696350753,"key":[81985529216486895,33825],` +
+		`"faults":[{"sbox":13,"bit":2,"model":"stuck-at-0"}]}}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: %s %+v", resp.Status, st)
+	}
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	pr, pw := io.Pipe()
+	werrCh := make(chan error, 1)
+	go func() {
+		werrCh <- run(wctx, []string{"-worker", "-join", base, "-name", "w0", "-chunk-batches", "1"}, pw, io.Discard)
+		pw.Close()
+	}()
+	var mu sync.Mutex
+	var lines []string
+	linesDone := make(chan struct{})
+	go func() {
+		defer close(linesDone)
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			mu.Lock()
+			lines = append(lines, sc.Text())
+			mu.Unlock()
+		}
+	}()
+
+	deadline := time.Now().Add(time.Minute)
+	for {
+		r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, st.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		json.NewDecoder(r.Body).Decode(&got)
+		r.Body.Close()
+		if got.State == "done" {
+			break
+		}
+		if got.State == "failed" || time.Now().After(deadline) {
+			t.Fatalf("distributed job state %q: %s", got.State, got.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	wcancel()
+	select {
+	case err := <-werrCh:
+		if err != nil {
+			t.Fatalf("worker exited with %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not exit after cancel")
+	}
+	<-linesDone
+
+	mu.Lock()
+	defer mu.Unlock()
+	var joined, leased, stopped bool
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l, "sconed: worker joining "):
+			joined = true
+		case strings.HasPrefix(l, "sconed: lease l") && strings.Contains(l, st.ID):
+			leased = true
+		case l == "sconed: worker stopped":
+			stopped = true
+		}
+	}
+	if !joined || !leased || !stopped {
+		t.Fatalf("worker transcript joined=%v leased=%v stopped=%v:\n%s",
+			joined, leased, stopped, strings.Join(lines, "\n"))
+	}
+}
+
+func TestDaemonWorkerFlagValidation(t *testing.T) {
+	err := run(context.Background(), []string{"-worker"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-join") {
+		t.Fatalf("-worker without -join: %v", err)
+	}
+	err = run(context.Background(), []string{"-join", "http://127.0.0.1:1"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-worker") {
+		t.Fatalf("-join without -worker: %v", err)
 	}
 }

@@ -42,6 +42,12 @@ var facadeSymbols = []string{
 	"JobCampaign", "JobDFA", "JobSIFA", "JobFTA", "JobArea", "JobLint",
 	"JobQueued", "JobRunning", "JobDone", "JobFailed", "JobCanceled",
 	"NewService",
+	// Distributed execution layer.
+	"DistConfig", "WorkerState", "LeaseState", "WorkerInfo", "LeaseInfo",
+	"LeaseGrant", "CampaignWorker", "CampaignWorkerConfig",
+	"WorkerActive", "WorkerLost", "WorkerLeft",
+	"LeasePending", "LeaseActive", "LeaseDone",
+	"NewCampaignWorker",
 	// Observability layer.
 	"Registry", "Counter", "Gauge", "Histogram", "Span",
 	"NewRegistry", "EnableObservability",

@@ -1,7 +1,9 @@
 // Package client is the Go client for the sconed HTTP API. cmd/sconectl is
 // a thin shell around it and the e2e suite drives the daemon through it,
 // so the client is exercised against every response shape the server can
-// produce.
+// produce. All traffic goes over the versioned /v1 surface with the typed
+// error envelope; the unversioned legacy aliases exist only for pre-v1
+// deployments and are never used here.
 package client
 
 import (
@@ -16,23 +18,29 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/rng"
 	"repro/internal/service"
 )
 
 // Sentinel errors for the daemon's well-known failure modes. Responses are
-// still returned as *Error (carrying status code and message); these match
-// through errors.Is, so callers branch on condition instead of status code:
+// still returned as *Error (carrying status code, envelope code and
+// message); these match through errors.Is, so callers branch on condition
+// instead of status code:
 //
 //	if errors.Is(err, client.ErrQueueFull) { backoff() }
 var (
-	// ErrNotFound: the job ID is unknown to the daemon.
-	ErrNotFound = errors.New("job not found")
-	// ErrQueueFull: the daemon shed the submission; retry with backoff.
+	// ErrNotFound: the job, worker or lease ID is unknown to the daemon.
+	ErrNotFound = errors.New("not found")
+	// ErrQueueFull: the daemon shed the submission; Submit retries these
+	// automatically with capped jittered backoff (see RetryPolicy).
 	ErrQueueFull = errors.New("job queue full")
-	// ErrDraining: the daemon is shutting down and not accepting jobs.
+	// ErrDraining: the daemon is shutting down and not accepting work.
 	ErrDraining = errors.New("daemon draining")
 	// ErrCanceled: the job reached StateCanceled; reported by Done.
 	ErrCanceled = errors.New("job canceled")
+	// ErrConflict: a lease report was rejected because the lease was
+	// reassigned to another worker; the reporter discards its work.
+	ErrConflict = errors.New("lease conflict")
 )
 
 // JobState is a job's lifecycle position — the same type the server uses,
@@ -64,12 +72,41 @@ func Done(st service.JobStatus) (bool, error) {
 	return false, nil
 }
 
+// RetryPolicy bounds Submit's automatic retry of load-shed (ErrQueueFull)
+// submissions: capped exponential backoff with jitter, honoring the
+// caller's context. The zero value takes the defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries. Default 4; 1 disables
+	// retrying.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff. Default 25ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep. Default 1s.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
 // Client talks to one sconed instance.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8344".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry tunes Submit's load-shed retry; the zero value uses the
+	// package defaults.
+	Retry RetryPolicy
 }
 
 // New returns a client for the daemon at baseURL.
@@ -84,75 +121,145 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// apiError is the uniform error envelope the daemon emits.
+// apiError decodes both error envelopes: the /v1 typed form
+// {"error":{"code","message"}} and the legacy flat {"error":"message"}.
 type apiError struct {
-	Error string `json:"error"`
+	Error json.RawMessage `json:"error"`
+}
+
+func (a apiError) body() (code, msg string) {
+	if len(a.Error) == 0 {
+		return "", ""
+	}
+	var eb service.ErrorBody
+	if json.Unmarshal(a.Error, &eb) == nil && (eb.Code != "" || eb.Message != "") {
+		return eb.Code, eb.Message
+	}
+	var s string
+	if json.Unmarshal(a.Error, &s) == nil {
+		return "", s
+	}
+	return "", ""
 }
 
 // Error is a non-2xx daemon response.
 type Error struct {
 	StatusCode int
-	Message    string
+	// Code is the typed envelope code ("not_found", "queue_full", ...);
+	// empty on legacy flat-envelope responses.
+	Code    string
+	Message string
 }
 
 func (e *Error) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("sconed: %d %s: %s", e.StatusCode, e.Code, e.Message)
+	}
 	return fmt.Sprintf("sconed: %d: %s", e.StatusCode, e.Message)
 }
 
-// Is maps the response's status code onto the package sentinels, so
-// errors.Is(err, ErrNotFound) works without inspecting StatusCode.
+// Is maps the response onto the package sentinels — by envelope code when
+// present, falling back to the status code — so errors.Is(err, ErrNotFound)
+// works without inspecting either.
 func (e *Error) Is(target error) bool {
 	switch target {
 	case ErrNotFound:
-		return e.StatusCode == http.StatusNotFound
+		return e.Code == service.CodeNotFound || (e.Code == "" && e.StatusCode == http.StatusNotFound)
 	case ErrQueueFull:
-		return e.StatusCode == http.StatusTooManyRequests
+		return e.Code == service.CodeQueueFull || (e.Code == "" && e.StatusCode == http.StatusTooManyRequests)
 	case ErrDraining:
-		return e.StatusCode == http.StatusServiceUnavailable
+		return e.Code == service.CodeDraining || (e.Code == "" && e.StatusCode == http.StatusServiceUnavailable)
+	case ErrConflict:
+		return e.Code == service.CodeConflict || (e.Code == "" && e.StatusCode == http.StatusConflict)
 	}
 	return false
 }
 
+func responseError(resp *http.Response) *Error {
+	var ae apiError
+	code, msg := "", resp.Status
+	if json.NewDecoder(resp.Body).Decode(&ae) == nil {
+		if c, m := ae.body(); m != "" {
+			code, msg = c, m
+		}
+	}
+	return &Error{StatusCode: resp.StatusCode, Code: code, Message: msg}
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	_, err := c.doStatus(ctx, method, path, body, out)
+	return err
+}
+
+// doStatus performs one JSON round trip and additionally reports the
+// status code, for endpoints where 2xx codes are semantic (204 = no lease
+// available).
+func (c *Client) doStatus(ctx context.Context, method, path string, body, out any) (int, error) {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		rd = bytes.NewReader(b)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	// The daemon content-negotiates /metrics; asking for JSON everywhere
+	// The daemon content-negotiates /v1/metrics; asking for JSON everywhere
 	// keeps this client on the structured views.
 	req.Header.Set("Accept", "application/json")
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var ae apiError
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
-			msg = ae.Error
-		}
-		return &Error{StatusCode: resp.StatusCode, Message: msg}
+		return resp.StatusCode, responseError(resp)
 	}
-	if out == nil {
-		return nil
+	if out == nil || resp.StatusCode == http.StatusNoContent {
+		return resp.StatusCode, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Submit enqueues a job.
+// Submit enqueues a job. Load-shed submissions (ErrQueueFull) are retried
+// with capped jittered exponential backoff until the context is done or
+// Retry.MaxAttempts is exhausted; the last shed error is then returned, so
+// errors.Is(err, ErrQueueFull) still reports a persistently full daemon.
 func (c *Client) Submit(ctx context.Context, req service.JobRequest) (service.JobStatus, error) {
+	p := c.Retry.withDefaults()
+	jitter := rng.NewXoshiro(uint64(time.Now().UnixNano()))
+	delay := p.BaseDelay
+	var st service.JobStatus
+	var err error
+	for attempt := 1; ; attempt++ {
+		st, err = c.submitOnce(ctx, req)
+		if err == nil || !errors.Is(err, ErrQueueFull) || attempt >= p.MaxAttempts {
+			return st, err
+		}
+		// Sleep in [delay/2, delay) so a burst of shed clients spreads out
+		// instead of re-submitting in lockstep.
+		half := int64(delay / 2)
+		d := time.Duration(half + int64(jitter.Uint64()%uint64(half+1)))
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return st, ctx.Err()
+		case <-t.C:
+		}
+		if delay *= 2; delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}
+
+func (c *Client) submitOnce(ctx context.Context, req service.JobRequest) (service.JobStatus, error) {
 	var st service.JobStatus
 	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
 	return st, err
@@ -184,7 +291,7 @@ func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, erro
 // Metrics fetches the daemon's legacy JSON counter snapshot.
 func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
 	var out map[string]int64
-	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &out)
 	return out, err
 }
 
@@ -192,7 +299,7 @@ func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
 // registered instrument, including the sim and fault engine families the
 // JSON snapshot does not carry.
 func (c *Client) MetricsText(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/metrics", nil)
 	if err != nil {
 		return "", err
 	}
@@ -211,6 +318,73 @@ func (c *Client) MetricsText(ctx context.Context) (string, error) {
 	return string(b), nil
 }
 
+// Workers lists the coordinator's worker registry.
+func (c *Client) Workers(ctx context.Context) ([]service.WorkerInfo, error) {
+	var out struct {
+		Workers []service.WorkerInfo `json:"workers"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/workers", nil, &out)
+	return out.Workers, err
+}
+
+// Leases lists the coordinator's live lease table.
+func (c *Client) Leases(ctx context.Context) ([]service.LeaseInfo, error) {
+	var out struct {
+		Leases []service.LeaseInfo `json:"leases"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/leases", nil, &out)
+	return out.Leases, err
+}
+
+// JoinWorker registers a worker with the coordinator.
+func (c *Client) JoinWorker(ctx context.Context, req service.JoinRequest) (service.JoinResponse, error) {
+	var out service.JoinResponse
+	err := c.do(ctx, http.MethodPost, "/v1/workers/join", req, &out)
+	return out, err
+}
+
+// WorkerHeartbeat renews a worker's leases.
+func (c *Client) WorkerHeartbeat(ctx context.Context, workerID string, req service.HeartbeatRequest) (service.HeartbeatResponse, error) {
+	var out service.HeartbeatResponse
+	err := c.do(ctx, http.MethodPost, "/v1/workers/"+workerID+"/heartbeat", req, &out)
+	return out, err
+}
+
+// LeaveWorker deregisters a worker cleanly; its leases requeue immediately.
+func (c *Client) LeaveWorker(ctx context.Context, workerID string) error {
+	return c.do(ctx, http.MethodPost, "/v1/workers/"+workerID+"/leave", nil, nil)
+}
+
+// AcquireLease pulls the next available lease; nil when none is grantable
+// right now (poll again after the advertised interval).
+func (c *Client) AcquireLease(ctx context.Context, workerID string) (*service.LeaseGrant, error) {
+	var g service.LeaseGrant
+	status, err := c.doStatus(ctx, http.MethodPost, "/v1/leases/acquire", service.AcquireRequest{WorkerID: workerID}, &g)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNoContent {
+		return nil, nil
+	}
+	return &g, nil
+}
+
+// LeaseProgress posts a partial tally, renewing the lease.
+func (c *Client) LeaseProgress(ctx context.Context, leaseID string, rep service.LeaseReport) error {
+	return c.do(ctx, http.MethodPost, "/v1/leases/"+leaseID+"/progress", rep, nil)
+}
+
+// CompleteLease posts a lease's final tally.
+func (c *Client) CompleteLease(ctx context.Context, leaseID string, rep service.LeaseReport) error {
+	return c.do(ctx, http.MethodPost, "/v1/leases/"+leaseID+"/complete", rep, nil)
+}
+
+// FailLease reports a lease execution error; the coordinator requeues the
+// range with backoff.
+func (c *Client) FailLease(ctx context.Context, leaseID string, rep service.LeaseReport) error {
+	return c.do(ctx, http.MethodPost, "/v1/leases/"+leaseID+"/fail", rep, nil)
+}
+
 // Stream follows a job's NDJSON event feed, invoking fn for every event
 // until the stream's terminal line (whose final status is returned) or
 // until fn returns an error. fn may be nil.
@@ -225,12 +399,7 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(service.Event) e
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var ae apiError
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
-			msg = ae.Error
-		}
-		return service.JobStatus{}, &Error{StatusCode: resp.StatusCode, Message: msg}
+		return service.JobStatus{}, responseError(resp)
 	}
 
 	var last service.JobStatus

@@ -3,8 +3,10 @@ package client
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -156,5 +158,156 @@ func TestMetricsBothViews(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)
 		}
+	}
+}
+
+// shedServer fakes a /v1 daemon that sheds the first n submissions with the
+// typed queue_full envelope, so retry behavior is tested without having to
+// race a real queue.
+func shedServer(t *testing.T, shed int32) (*Client, *int32) {
+	t.Helper()
+	var attempts int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/jobs" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if atomic.AddInt32(&attempts, 1) <= shed {
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"queue_full","message":"job queue full"}}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"j000000","kind":"campaign","state":"queued"}`))
+	}))
+	t.Cleanup(srv.Close)
+	return New(srv.URL), &attempts
+}
+
+func TestSubmitRetriesQueueFull(t *testing.T) {
+	c, attempts := shedServer(t, 2)
+	c.Retry = RetryPolicy{MaxAttempts: 5, BaseDelay: 2 * time.Millisecond, MaxDelay: 10 * time.Millisecond}
+
+	st, err := c.Submit(context.Background(), campaignRequest(640))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j000000" {
+		t.Fatalf("retried submit returned %+v", st)
+	}
+	if got := atomic.LoadInt32(attempts); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (2 shed + 1 accepted)", got)
+	}
+}
+
+func TestSubmitRetryBudgetExhausted(t *testing.T) {
+	c, attempts := shedServer(t, 1<<30)
+	c.Retry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+
+	_, err := c.Submit(context.Background(), campaignRequest(640))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("persistently full daemon: %v, want ErrQueueFull", err)
+	}
+	if got := atomic.LoadInt32(attempts); got != 3 {
+		t.Fatalf("server saw %d attempts, want exactly MaxAttempts=3", got)
+	}
+}
+
+func TestSubmitRetryHonorsContext(t *testing.T) {
+	c, _ := shedServer(t, 1<<30)
+	// Backoff far longer than the deadline: the retry sleep must abort.
+	c.Retry = RetryPolicy{MaxAttempts: 100, BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Submit(ctx, campaignRequest(640))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("submit under deadline: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry sleep ignored the context for %v", elapsed)
+	}
+}
+
+func TestSubmitDoesNotRetryOtherErrors(t *testing.T) {
+	var attempts int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&attempts, 1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":{"code":"invalid_request","message":"bad"}}`))
+	}))
+	t.Cleanup(srv.Close)
+	c := New(srv.URL)
+
+	_, err := c.Submit(context.Background(), campaignRequest(640))
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != service.CodeInvalidRequest {
+		t.Fatalf("validation failure: %v", err)
+	}
+	if errors.Is(err, ErrQueueFull) {
+		t.Fatal("invalid_request matched ErrQueueFull")
+	}
+	if got := atomic.LoadInt32(&attempts); got != 1 {
+		t.Fatalf("non-shed error retried: %d attempts", got)
+	}
+}
+
+// TestDistEndpointsRoundTrip drives every worker/lease endpoint once
+// against a real coordinator, including the 204 no-lease and post-leave
+// not_found shapes.
+func TestDistEndpointsRoundTrip(t *testing.T) {
+	c := startDaemon(t, service.Config{Workers: 1, Dist: service.DistConfig{Enabled: true}})
+	ctx := context.Background()
+
+	jr, err := c.JoinWorker(ctx, service.JoinRequest{Name: "probe"})
+	if err != nil || jr.WorkerID == "" || jr.LeaseTTLMS <= 0 {
+		t.Fatalf("join: %+v %v", jr, err)
+	}
+
+	// No jobs queued: acquire is a clean 204 -> (nil, nil).
+	g, err := c.AcquireLease(ctx, jr.WorkerID)
+	if err != nil || g != nil {
+		t.Fatalf("idle acquire: %+v %v", g, err)
+	}
+
+	hb, err := c.WorkerHeartbeat(ctx, jr.WorkerID, service.HeartbeatRequest{
+		Leases: map[string]int{"l424242": 1},
+	})
+	if err != nil || len(hb.Drop) != 1 {
+		t.Fatalf("heartbeat: %+v %v", hb, err)
+	}
+
+	ws, err := c.Workers(ctx)
+	if err != nil || len(ws) != 1 || ws[0].ID != jr.WorkerID {
+		t.Fatalf("workers: %+v %v", ws, err)
+	}
+	ls, err := c.Leases(ctx)
+	if err != nil || len(ls) != 0 {
+		t.Fatalf("leases: %+v %v", ls, err)
+	}
+
+	if err := c.CompleteLease(ctx, "l424242", service.LeaseReport{WorkerID: jr.WorkerID}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("complete of unknown lease: %v", err)
+	}
+
+	if err := c.LeaveWorker(ctx, jr.WorkerID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WorkerHeartbeat(ctx, jr.WorkerID, service.HeartbeatRequest{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("heartbeat after leave: %v", err)
+	}
+
+	// A daemon without Dist.Enabled rejects mutating fleet calls but still
+	// answers the listings (empty), so sconectl works against any daemon.
+	plain := startDaemon(t, service.Config{Workers: 1})
+	var apiErr *Error
+	if _, err := plain.JoinWorker(ctx, service.JoinRequest{}); !errors.As(err, &apiErr) || apiErr.Code != service.CodeInvalidRequest {
+		t.Fatalf("join on non-coordinator: %v", err)
+	}
+	if ws, err := plain.Workers(ctx); err != nil || len(ws) != 0 {
+		t.Fatalf("workers on non-coordinator: %+v %v", ws, err)
 	}
 }

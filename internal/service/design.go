@@ -159,6 +159,22 @@ func resolveFaults(d *core.Design, specs []FaultSpec) ([]fault.Fault, error) {
 	return faults, nil
 }
 
+// BuildCampaign synthesises the design and assembles the engine campaign
+// for a validated campaign request. Coordinator and workers both build
+// through here, so a lease grant's (Design, Campaign) pair reconstructs the
+// exact campaign the submitting client described — the determinism
+// contract's precondition.
+func BuildCampaign(ds DesignSpec, cs *CampaignSpec, defaultWorkers int) (*fault.Campaign, error) {
+	if cs == nil {
+		return nil, fmt.Errorf("campaign job needs a campaign spec")
+	}
+	d, err := BuildDesign(ds)
+	if err != nil {
+		return nil, err
+	}
+	return buildCampaign(d, cs, defaultWorkers)
+}
+
 // buildCampaign assembles the engine campaign for a validated request.
 func buildCampaign(d *core.Design, cs *CampaignSpec, defaultWorkers int) (*fault.Campaign, error) {
 	faults, err := resolveFaults(d, cs.Faults)

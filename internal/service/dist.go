@@ -1,0 +1,787 @@
+package service
+
+// Distributed campaign fabric: the coordinator side. A campaign job on a
+// coordinator (Config.Dist.Enabled) is not executed in-process; it is split
+// into batch-range *leases* that worker processes (sconed -worker) pull
+// over HTTP, execute via fault.Campaign.ExecuteBatches, and report back.
+// Because batch b of a campaign derives all randomness from (seed, b), a
+// lease is location-transparent: any worker, any number of retries, any
+// interleaving — the counts for a batch range are always the same, so the
+// coordinator only has to merge completed ranges in batch order to produce
+// a result bit-identical to a single-node run.
+//
+// Failure handling is lease-shaped: a lease is granted with a TTL and must
+// be renewed by worker heartbeats; an expired lease (worker died), a
+// failed lease (worker errored) and a released lease (worker drained) all
+// return to the pending set — the first two with jittered backoff and an
+// attempt count that eventually fails the job, the last immediately and
+// for free. The coordinator's own drain cancels distributed jobs back to
+// the queued state with their merged-prefix checkpoint intact, exactly
+// like local campaigns.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// DistConfig enables and tunes the distributed campaign fabric on a
+// coordinator. The zero value disables it: campaign jobs then execute
+// in-process as before.
+type DistConfig struct {
+	// Enabled switches campaign execution from in-process to
+	// lease-distributed. Attack, area and lint jobs always run on the
+	// coordinator — they are short relative to campaigns.
+	Enabled bool
+	// LeaseBatches is the number of sim.Lanes-wide batches per lease.
+	// Default 8.
+	LeaseBatches int
+	// LeaseTTL is how long a granted lease lives without a heartbeat
+	// before it is reassigned. Default 15s.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds grant attempts per batch range before the whole
+	// job fails. Default 8.
+	MaxAttempts int
+	// HeartbeatEvery is the renewal interval advertised to workers.
+	// Default LeaseTTL/3.
+	HeartbeatEvery time.Duration
+	// PollEvery is the idle lease-poll interval advertised to workers.
+	// Default 500ms.
+	PollEvery time.Duration
+}
+
+func (c DistConfig) withDefaults() DistConfig {
+	if c.LeaseBatches <= 0 {
+		c.LeaseBatches = 8
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.LeaseTTL / 3
+	}
+	if c.PollEvery <= 0 {
+		c.PollEvery = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Sentinel errors of the distributed protocol.
+var (
+	// ErrUnknownWorker is returned for worker IDs the coordinator has
+	// never seen (or has forgotten across a restart); workers re-join.
+	ErrUnknownWorker = errors.New("service: unknown worker")
+	// ErrUnknownLease is returned for lease IDs that no longer exist
+	// (job finished, canceled, or the coordinator restarted).
+	ErrUnknownLease = errors.New("service: unknown lease")
+	// ErrLeaseConflict is returned when a worker reports on a lease it no
+	// longer owns — it expired and was reassigned. The worker discards
+	// its partial work; determinism makes the redo bit-identical.
+	ErrLeaseConflict = errors.New("service: lease owned by another worker")
+)
+
+// WorkerState is a registered worker's lifecycle position.
+type WorkerState string
+
+// Worker states. A lost worker that heartbeats again is revived; a worker
+// that left deregistered cleanly and does not come back under that ID.
+const (
+	WorkerActive WorkerState = "active"
+	WorkerLost   WorkerState = "lost"
+	WorkerLeft   WorkerState = "left"
+)
+
+// LeaseState is a lease's lifecycle position.
+type LeaseState string
+
+// Lease states. Done leases are merged and dropped, so listings only ever
+// show pending and active ones.
+const (
+	LeasePending LeaseState = "pending"
+	LeaseActive  LeaseState = "active"
+	LeaseDone    LeaseState = "done"
+)
+
+// WorkerInfo is the wire view of a registered worker (GET /v1/workers).
+type WorkerInfo struct {
+	ID        string      `json:"id"`
+	Name      string      `json:"name,omitempty"`
+	State     WorkerState `json:"state"`
+	Capacity  int         `json:"capacity"`
+	Active    int         `json:"active_leases"`
+	Completed int         `json:"completed_leases"`
+	Joined    time.Time   `json:"joined"`
+	LastSeen  time.Time   `json:"last_seen"`
+}
+
+// LeaseInfo is the wire view of a live lease (GET /v1/leases).
+type LeaseInfo struct {
+	ID          string     `json:"id"`
+	JobID       string     `json:"job_id"`
+	State       LeaseState `json:"state"`
+	Worker      string     `json:"worker,omitempty"`
+	FirstBatch  int        `json:"first_batch"`
+	LastBatch   int        `json:"last_batch"`
+	DoneBatches int        `json:"done_batches"`
+	Attempt     int        `json:"attempt"`
+	Expires     *time.Time `json:"expires,omitempty"`
+	NotBefore   *time.Time `json:"not_before,omitempty"`
+}
+
+// JoinRequest registers a worker (POST /v1/workers/join).
+type JoinRequest struct {
+	Name string `json:"name,omitempty"`
+	// Capacity is how many leases the worker wants concurrently.
+	// Default 1.
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// JoinResponse hands the worker its identity and the coordinator's pacing.
+type JoinResponse struct {
+	WorkerID    string `json:"worker_id"`
+	LeaseTTLMS  int64  `json:"lease_ttl_ms"`
+	HeartbeatMS int64  `json:"heartbeat_ms"`
+	PollMS      int64  `json:"poll_ms"`
+}
+
+// HeartbeatRequest renews a worker's leases; Leases carries per-lease
+// completed-batch counts (the streamed partial-tally view).
+type HeartbeatRequest struct {
+	Leases map[string]int `json:"leases,omitempty"`
+}
+
+// HeartbeatResponse tells the worker which of its reported leases it no
+// longer owns (abort those executions) and whether the coordinator drains.
+type HeartbeatResponse struct {
+	Drop     []string `json:"drop,omitempty"`
+	Draining bool     `json:"draining,omitempty"`
+}
+
+// AcquireRequest asks for a lease (POST /v1/leases/acquire).
+type AcquireRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseGrant is a granted lease: the full campaign request plus the batch
+// range this worker executes. The worker builds the identical campaign
+// and runs ExecuteBatches(FirstBatch, LastBatch).
+type LeaseGrant struct {
+	LeaseID    string       `json:"lease_id"`
+	JobID      string       `json:"job_id"`
+	Design     DesignSpec   `json:"design"`
+	Campaign   CampaignSpec `json:"campaign"`
+	FirstBatch int          `json:"first_batch"`
+	LastBatch  int          `json:"last_batch"`
+	TTLMS      int64        `json:"ttl_ms"`
+}
+
+// LeaseReport carries a worker's partial or final tally for one lease
+// (POST /v1/leases/{id}/progress, /complete, /fail).
+type LeaseReport struct {
+	WorkerID    string         `json:"worker_id"`
+	DoneBatches int            `json:"done_batches"`
+	Counts      CampaignResult `json:"counts"`
+	Error       string         `json:"error,omitempty"`
+}
+
+// lease is one batch range of one distributed job.
+type lease struct {
+	id      string
+	jobID   string
+	first   int
+	last    int
+	state   LeaseState
+	worker  string
+	attempt int // grant attempts so far
+
+	expires   time.Time // active: reassignment deadline
+	notBefore time.Time // pending: backoff gate after a failure
+	done      int       // worker-reported completed batches
+}
+
+// workerEntry is one registered worker.
+type workerEntry struct {
+	id        string
+	name      string
+	state     WorkerState
+	capacity  int
+	active    int // leases currently held
+	completed int
+	joined    time.Time
+	lastSeen  time.Time
+}
+
+// completedRange is a merged-but-not-yet-contiguous lease result.
+type completedRange struct {
+	last   int
+	counts CampaignResult
+}
+
+// distJob is the coordinator-side state of one distributed campaign job.
+type distJob struct {
+	id      string
+	req     JobRequest
+	batches int
+
+	cursor    int // merged contiguous batch prefix
+	acc       CampaignResult
+	completed map[int]completedRange // firstBatch -> out-of-order results
+	failed    string
+
+	// notify wakes the job goroutine (runCampaignDistributed); it is
+	// capacity-1 and sends never block, so the coordinator can signal
+	// while holding its mutex.
+	notify chan struct{}
+}
+
+// coordinator owns the worker registry and the lease table. It has its own
+// mutex — never held together with Service.mu — and talks to job
+// goroutines only through non-blocking notify channels.
+type coordinator struct {
+	cfg     DistConfig
+	metrics *Metrics // set by Service.New after newMetrics
+
+	mu         sync.Mutex
+	workers    map[string]*workerEntry
+	jobs       map[string]*distJob
+	leases     map[string]*lease
+	order      []*lease // grant scan order: creation order, stable
+	nextWorker int
+	nextLease  int
+	jitter     *rng.Xoshiro
+	draining   bool
+}
+
+func newCoordinator(cfg DistConfig) *coordinator {
+	return &coordinator{
+		cfg:     cfg.withDefaults(),
+		metrics: &Metrics{}, // nil-safe no-op instruments until the Service wires its own
+		workers: make(map[string]*workerEntry),
+		jobs:    make(map[string]*distJob),
+		leases:  make(map[string]*lease),
+		jitter:  rng.NewXoshiro(uint64(time.Now().UnixNano())),
+	}
+}
+
+// register creates the lease table for a distributed job, starting from
+// the checkpointed batch cursor. It arms the notify channel once so the
+// job goroutine immediately observes already-done edge cases (e.g. a
+// resume at the final batch).
+func (c *coordinator) register(jobID string, req JobRequest, start, batches int, acc CampaignResult) *distJob {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dj := &distJob{
+		id:        jobID,
+		req:       req,
+		batches:   batches,
+		cursor:    start,
+		acc:       acc,
+		completed: make(map[int]completedRange),
+		notify:    make(chan struct{}, 1),
+	}
+	c.jobs[jobID] = dj
+	for first := start; first < batches; first += c.cfg.LeaseBatches {
+		last := first + c.cfg.LeaseBatches
+		if last > batches {
+			last = batches
+		}
+		l := &lease{
+			id:    fmt.Sprintf("l%06d", c.nextLease),
+			jobID: jobID,
+			first: first,
+			last:  last,
+			state: LeasePending,
+		}
+		c.nextLease++
+		c.leases[l.id] = l
+		c.order = append(c.order, l)
+	}
+	dj.wake()
+	return dj
+}
+
+// unregister drops a job and all of its leases (completion, cancel,
+// drain). Workers still executing them learn via conflict responses.
+func (c *coordinator) unregister(jobID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.jobs, jobID)
+	c.dropJobLeasesLocked(jobID)
+}
+
+func (c *coordinator) dropJobLeasesLocked(jobID string) {
+	kept := c.order[:0]
+	for _, l := range c.order {
+		if l.jobID != jobID {
+			kept = append(kept, l)
+			continue
+		}
+		if l.state == LeaseActive {
+			if w := c.workers[l.worker]; w != nil {
+				w.active--
+			}
+		}
+		delete(c.leases, l.id)
+	}
+	c.order = kept
+}
+
+// snapshot reads a job's merged state for the job goroutine.
+func (c *coordinator) snapshot(jobID string) (cursor int, acc CampaignResult, done bool, failed string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dj, ok := c.jobs[jobID]
+	if !ok {
+		return 0, CampaignResult{}, false, ""
+	}
+	return dj.cursor, dj.acc, dj.cursor == dj.batches, dj.failed
+}
+
+// wake signals the job goroutine without ever blocking.
+func (dj *distJob) wake() {
+	select {
+	case dj.notify <- struct{}{}:
+	default:
+	}
+}
+
+// join registers a worker and hands back its identity plus pacing.
+func (c *coordinator) join(req JoinRequest) JoinResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now().UTC()
+	w := &workerEntry{
+		id:       fmt.Sprintf("w%06d", c.nextWorker),
+		name:     req.Name,
+		state:    WorkerActive,
+		capacity: req.Capacity,
+		joined:   now,
+		lastSeen: now,
+	}
+	if w.capacity <= 0 {
+		w.capacity = 1
+	}
+	c.nextWorker++
+	c.workers[w.id] = w
+	c.metrics.WorkersJoined.Inc()
+	return JoinResponse{
+		WorkerID:    w.id,
+		LeaseTTLMS:  c.cfg.LeaseTTL.Milliseconds(),
+		HeartbeatMS: c.cfg.HeartbeatEvery.Milliseconds(),
+		PollMS:      c.cfg.PollEvery.Milliseconds(),
+	}
+}
+
+// touchLocked revives a worker on any authenticated traffic. Left workers
+// stay left: their ID is retired.
+func (c *coordinator) touchLocked(id string) (*workerEntry, error) {
+	w, ok := c.workers[id]
+	if !ok || w.state == WorkerLeft {
+		return nil, ErrUnknownWorker
+	}
+	w.lastSeen = time.Now().UTC()
+	w.state = WorkerActive
+	return w, nil
+}
+
+// heartbeat renews every active lease the worker holds and reports back
+// the reported leases it no longer owns.
+func (c *coordinator) heartbeat(id string, req HeartbeatRequest) (HeartbeatResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, err := c.touchLocked(id)
+	if err != nil {
+		return HeartbeatResponse{}, err
+	}
+	c.metrics.Heartbeats.Inc()
+	deadline := time.Now().Add(c.cfg.LeaseTTL)
+	resp := HeartbeatResponse{Draining: c.draining}
+	for leaseID, done := range req.Leases {
+		l := c.leases[leaseID]
+		if l == nil || l.state != LeaseActive || l.worker != w.id {
+			resp.Drop = append(resp.Drop, leaseID)
+			continue
+		}
+		l.expires = deadline
+		if done > l.done {
+			l.done = done
+		}
+	}
+	return resp, nil
+}
+
+// leave deregisters a worker cleanly; its active leases go straight back
+// to pending with no backoff and no attempt charge — a drained worker is
+// not the batch range's fault.
+func (c *coordinator) leave(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[id]
+	if !ok {
+		return ErrUnknownWorker
+	}
+	w.state = WorkerLeft
+	now := time.Now()
+	for _, l := range c.order {
+		if l.state == LeaseActive && l.worker == id {
+			c.releaseLocked(l, now, false)
+		}
+	}
+	w.active = 0
+	return nil
+}
+
+// acquire grants the lowest pending batch range whose backoff gate has
+// passed. Granting in range order keeps the merge cursor advancing
+// steadily, so checkpoints stay fresh.
+func (c *coordinator) acquire(workerID string) (*LeaseGrant, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return nil, ErrDraining
+	}
+	w, err := c.touchLocked(workerID)
+	if err != nil {
+		return nil, err
+	}
+	if w.active >= w.capacity {
+		return nil, nil
+	}
+	now := time.Now()
+	for _, l := range c.order {
+		if l.state != LeasePending || now.Before(l.notBefore) {
+			continue
+		}
+		dj := c.jobs[l.jobID]
+		if dj == nil || dj.failed != "" {
+			continue
+		}
+		l.state = LeaseActive
+		l.worker = w.id
+		l.attempt++
+		l.expires = now.Add(c.cfg.LeaseTTL)
+		l.done = 0
+		w.active++
+		c.metrics.LeasesGranted.Inc()
+		if l.attempt > 1 {
+			c.metrics.LeasesReassigned.Inc()
+		}
+		return &LeaseGrant{
+			LeaseID:    l.id,
+			JobID:      l.jobID,
+			Design:     dj.req.Design,
+			Campaign:   *dj.req.Campaign,
+			FirstBatch: l.first,
+			LastBatch:  l.last,
+			TTLMS:      c.cfg.LeaseTTL.Milliseconds(),
+		}, nil
+	}
+	return nil, nil
+}
+
+// ownedLocked resolves a lease report to the lease iff the worker still
+// owns it.
+func (c *coordinator) ownedLocked(leaseID, workerID string) (*lease, error) {
+	l, ok := c.leases[leaseID]
+	if !ok {
+		return nil, ErrUnknownLease
+	}
+	if l.state != LeaseActive || l.worker != workerID {
+		return nil, ErrLeaseConflict
+	}
+	return l, nil
+}
+
+// progress records a partial tally and renews the lease — a worker that is
+// visibly computing does not need a separate heartbeat to stay alive.
+func (c *coordinator) progress(leaseID string, rep LeaseReport) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.touchLocked(rep.WorkerID); err != nil {
+		return err
+	}
+	l, err := c.ownedLocked(leaseID, rep.WorkerID)
+	if err != nil {
+		return err
+	}
+	if rep.DoneBatches > l.done {
+		l.done = rep.DoneBatches
+	}
+	l.expires = time.Now().Add(c.cfg.LeaseTTL)
+	return nil
+}
+
+// complete finalises a lease: its counts enter the job's merge table and
+// the contiguous prefix is folded forward in batch order.
+func (c *coordinator) complete(leaseID string, rep LeaseReport) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, err := c.touchLocked(rep.WorkerID)
+	if err != nil {
+		return err
+	}
+	l, err := c.ownedLocked(leaseID, rep.WorkerID)
+	if err != nil {
+		return err
+	}
+	dj := c.jobs[l.jobID]
+	if dj == nil {
+		return ErrUnknownLease
+	}
+	l.state = LeaseDone
+	w.active--
+	w.completed++
+	c.metrics.LeasesCompleted.Inc()
+	delete(c.leases, l.id)
+	for i, o := range c.order {
+		if o == l {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	dj.completed[l.first] = completedRange{last: l.last, counts: rep.Counts}
+	advanced := false
+	for {
+		r, ok := dj.completed[dj.cursor]
+		if !ok {
+			break
+		}
+		delete(dj.completed, dj.cursor)
+		dj.acc.Accumulate(r.counts)
+		dj.cursor = r.last
+		advanced = true
+	}
+	if advanced {
+		dj.wake()
+	}
+	return nil
+}
+
+// fail returns a lease to the pending set with jittered backoff; past
+// MaxAttempts the whole job fails (every worker is hitting the same
+// deterministic error).
+func (c *coordinator) fail(leaseID string, rep LeaseReport) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.touchLocked(rep.WorkerID); err != nil {
+		return err
+	}
+	l, err := c.ownedLocked(leaseID, rep.WorkerID)
+	if err != nil {
+		return err
+	}
+	if w := c.workers[l.worker]; w != nil {
+		w.active--
+	}
+	c.requeueLocked(l, time.Now(), rep.Error)
+	return nil
+}
+
+// releaseLocked puts an active lease back in the pending set. charged
+// requeues count toward MaxAttempts and get a backoff gate; a clean
+// release (worker leave) keeps the attempt and is grantable immediately.
+func (c *coordinator) releaseLocked(l *lease, now time.Time, charged bool) {
+	l.state = LeasePending
+	l.worker = ""
+	l.done = 0
+	l.expires = time.Time{}
+	if charged {
+		l.notBefore = now.Add(c.backoffLocked(l.attempt))
+	} else {
+		l.attempt-- // the re-grant is not a new attempt
+		l.notBefore = time.Time{}
+	}
+}
+
+// requeueLocked is releaseLocked plus the attempt-budget check. The lease
+// goes back to pending either way so worker accounting stays consistent;
+// once the job is marked failed, acquire never grants its leases again.
+func (c *coordinator) requeueLocked(l *lease, now time.Time, cause string) {
+	attempt := l.attempt
+	c.releaseLocked(l, now, true)
+	if attempt >= c.cfg.MaxAttempts {
+		if dj := c.jobs[l.jobID]; dj != nil && dj.failed == "" {
+			dj.failed = fmt.Sprintf("lease %s [%d,%d) failed after %d attempts: %s",
+				l.id, l.first, l.last, attempt, cause)
+			dj.wake()
+		}
+	}
+}
+
+// backoffLocked computes the jittered re-grant delay for the given attempt
+// count: (TTL/4) << (attempt-1), capped at 4×TTL, then jittered into
+// [d/2, d) so a fleet of failures does not re-dispatch in lockstep.
+// Callers hold c.mu (the jitter source is not goroutine-safe).
+func (c *coordinator) backoffLocked(attempt int) time.Duration {
+	base := c.cfg.LeaseTTL / 4
+	if base < 10*time.Millisecond {
+		base = 10 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < 4*c.cfg.LeaseTTL; i++ {
+		d *= 2
+	}
+	if limit := 4 * c.cfg.LeaseTTL; d > limit {
+		d = limit
+	}
+	half := int64(d / 2)
+	return time.Duration(half + int64(c.jitter.Uint64()%uint64(half+1)))
+}
+
+// sweep expires overdue leases and marks silent workers lost. Called by
+// the janitor goroutine; the interval is a fraction of the lease TTL.
+func (c *coordinator) sweep(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lostDeadline := now.Add(-2 * c.cfg.LeaseTTL)
+	for _, w := range c.workers {
+		if w.state == WorkerActive && w.lastSeen.Before(lostDeadline) {
+			w.state = WorkerLost
+		}
+	}
+	for _, l := range c.order {
+		if l.state != LeaseActive || now.Before(l.expires) {
+			continue
+		}
+		if w := c.workers[l.worker]; w != nil {
+			w.active--
+		}
+		c.metrics.LeasesExpired.Inc()
+		c.requeueLocked(l, now, "lease expired (worker lost)")
+	}
+}
+
+// janitor drives sweep until the service's base context dies.
+func (c *coordinator) janitor(done <-chan struct{}) {
+	interval := c.cfg.LeaseTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case now := <-t.C:
+			c.sweep(now)
+		}
+	}
+}
+
+// setDraining flips the intake off; heartbeats start telling workers.
+func (c *coordinator) setDraining() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+}
+
+// workerCount reports live (non-left) workers; nil-safe for gauges.
+func (c *coordinator) workerCount() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, w := range c.workers {
+		if w.state == WorkerActive {
+			n++
+		}
+	}
+	return n
+}
+
+// activeLeaseCount reports granted-and-unexpired leases; nil-safe.
+func (c *coordinator) activeLeaseCount() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, l := range c.order {
+		if l.state == LeaseActive {
+			n++
+		}
+	}
+	return n
+}
+
+// workersInfo lists the registry for GET /v1/workers.
+func (c *coordinator) workersInfo() []WorkerInfo {
+	if c == nil {
+		return []WorkerInfo{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, WorkerInfo{
+			ID:        w.id,
+			Name:      w.name,
+			State:     w.state,
+			Capacity:  w.capacity,
+			Active:    w.active,
+			Completed: w.completed,
+			Joined:    w.joined,
+			LastSeen:  w.lastSeen,
+		})
+	}
+	sortByID(out, func(w WorkerInfo) string { return w.ID })
+	return out
+}
+
+// leasesInfo lists live leases for GET /v1/leases.
+func (c *coordinator) leasesInfo() []LeaseInfo {
+	if c == nil {
+		return []LeaseInfo{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]LeaseInfo, 0, len(c.order))
+	for _, l := range c.order {
+		li := LeaseInfo{
+			ID:          l.id,
+			JobID:       l.jobID,
+			State:       l.state,
+			Worker:      l.worker,
+			FirstBatch:  l.first,
+			LastBatch:   l.last,
+			DoneBatches: l.done,
+			Attempt:     l.attempt,
+		}
+		if !l.expires.IsZero() {
+			e := l.expires
+			li.Expires = &e
+		}
+		if !l.notBefore.IsZero() {
+			nb := l.notBefore
+			li.NotBefore = &nb
+		}
+		out = append(out, li)
+	}
+	sortByID(out, func(l LeaseInfo) string { return l.ID })
+	return out
+}
+
+// sortByID orders wire listings by their zero-padded sequence IDs.
+func sortByID[T any](s []T, id func(T) string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && id(s[j]) < id(s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package service
+
+// Unit tests for the coordinator's lease table: grant order, out-of-order
+// merge, heartbeat renewal, expiry/reassignment, the attempt budget, clean
+// worker leave and drain. These drive the state machine directly (no HTTP,
+// no simulation) so every transition is tested in isolation; the e2e suite
+// covers the same machinery end to end with real workers.
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func distReq() JobRequest {
+	return JobRequest{
+		Kind:   KindCampaign,
+		Design: DesignSpec{Cipher: "present80", Scheme: "three-in-one"},
+		Campaign: &CampaignSpec{
+			Runs: 320, Seed: 1,
+			Faults: []FaultSpec{{Sbox: 13, Bit: 2, Model: "stuck-at-0"}},
+		},
+	}
+}
+
+// acquirePoll retries acquire until a grant arrives or a second passes,
+// riding out jittered backoff gates.
+func acquirePoll(t *testing.T, c *coordinator, workerID string) *LeaseGrant {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for {
+		g, err := c.acquire(workerID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != nil {
+			return g
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no lease granted within a second")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestCoordinatorGrantOrderAndMerge(t *testing.T) {
+	c := newCoordinator(DistConfig{LeaseBatches: 2, LeaseTTL: time.Hour})
+	dj := c.register("j1", distReq(), 0, 5, CampaignResult{})
+	select {
+	case <-dj.notify:
+	default:
+		t.Fatal("register did not arm the notify channel")
+	}
+	if got := len(c.leasesInfo()); got != 3 {
+		t.Fatalf("5 batches at 2 per lease made %d leases, want 3", got)
+	}
+
+	w1 := c.join(JoinRequest{Name: "a"})
+	w2 := c.join(JoinRequest{Name: "b"})
+	if w1.LeaseTTLMS != time.Hour.Milliseconds() || w1.HeartbeatMS <= 0 || w1.PollMS <= 0 {
+		t.Fatalf("join pacing %+v", w1)
+	}
+
+	g1 := acquirePoll(t, c, w1.WorkerID)
+	g2 := acquirePoll(t, c, w2.WorkerID)
+	if g1.FirstBatch != 0 || g1.LastBatch != 2 || g2.FirstBatch != 2 || g2.LastBatch != 4 {
+		t.Fatalf("grants out of range order: %+v %+v", g1, g2)
+	}
+	if g1.JobID != "j1" || g1.Campaign.Runs != 320 {
+		t.Fatalf("grant payload %+v", g1)
+	}
+	// Default capacity is one lease at a time.
+	if g, err := c.acquire(w1.WorkerID); err != nil || g != nil {
+		t.Fatalf("over-capacity acquire: %v %v", g, err)
+	}
+
+	// Out-of-order completion parks until the prefix is contiguous.
+	if err := c.complete(g2.LeaseID, LeaseReport{
+		WorkerID: w2.WorkerID, Counts: CampaignResult{Total: 128, Detected: 128},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cursor, acc, done, _ := c.snapshot("j1")
+	if cursor != 0 || acc.Total != 0 || done {
+		t.Fatalf("cursor advanced past a gap: cursor %d acc %+v", cursor, acc)
+	}
+	if err := c.complete(g1.LeaseID, LeaseReport{
+		WorkerID: w1.WorkerID, Counts: CampaignResult{Total: 128, Detected: 100},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cursor, acc, done, _ = c.snapshot("j1")
+	if cursor != 4 || acc.Total != 256 || acc.Detected != 228 || done {
+		t.Fatalf("after folding both ranges: cursor %d acc %+v", cursor, acc)
+	}
+
+	g3 := acquirePoll(t, c, w1.WorkerID)
+	if g3.FirstBatch != 4 || g3.LastBatch != 5 {
+		t.Fatalf("tail grant %+v", g3)
+	}
+	if err := c.complete(g3.LeaseID, LeaseReport{
+		WorkerID: w1.WorkerID, Counts: CampaignResult{Total: 64, Detected: 64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cursor, acc, done, failed := c.snapshot("j1")
+	if cursor != 5 || !done || failed != "" || acc.Total != 320 || acc.Detected != 292 {
+		t.Fatalf("final snapshot: cursor %d done %v acc %+v", cursor, done, acc)
+	}
+	if got := len(c.leasesInfo()); got != 0 {
+		t.Fatalf("%d leases survive a finished job", got)
+	}
+
+	ws := c.workersInfo()
+	if len(ws) != 2 || ws[0].ID >= ws[1].ID {
+		t.Fatalf("worker listing %+v", ws)
+	}
+	if ws[0].Completed+ws[1].Completed != 3 || ws[0].Active+ws[1].Active != 0 {
+		t.Fatalf("worker accounting %+v", ws)
+	}
+}
+
+func TestCoordinatorHeartbeatRenewsAndDrops(t *testing.T) {
+	c := newCoordinator(DistConfig{LeaseBatches: 8, LeaseTTL: time.Hour})
+	c.register("j1", distReq(), 0, 5, CampaignResult{})
+	w := c.join(JoinRequest{})
+	g := acquirePoll(t, c, w.WorkerID)
+
+	resp, err := c.heartbeat(w.WorkerID, HeartbeatRequest{
+		Leases: map[string]int{g.LeaseID: 3, "l999999": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Drop) != 1 || resp.Drop[0] != "l999999" {
+		t.Fatalf("drop list %v, want the unknown lease only", resp.Drop)
+	}
+	ls := c.leasesInfo()
+	if len(ls) != 1 || ls[0].DoneBatches != 3 || ls[0].State != LeaseActive {
+		t.Fatalf("lease after heartbeat %+v", ls)
+	}
+	// A renewed lease survives a sweep well past the original deadline.
+	c.sweep(time.Now().Add(30 * time.Minute))
+	if ls := c.leasesInfo(); ls[0].State != LeaseActive {
+		t.Fatalf("renewed lease swept: %+v", ls[0])
+	}
+
+	if _, err := c.heartbeat("w999999", HeartbeatRequest{}); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("unknown worker heartbeat: %v", err)
+	}
+}
+
+func TestCoordinatorExpiryReassignsAndConflicts(t *testing.T) {
+	ttl := 40 * time.Millisecond
+	c := newCoordinator(DistConfig{LeaseBatches: 8, LeaseTTL: ttl})
+	c.register("j1", distReq(), 0, 5, CampaignResult{})
+	w1 := c.join(JoinRequest{Name: "victim"})
+	w2 := c.join(JoinRequest{Name: "survivor"})
+	g1 := acquirePoll(t, c, w1.WorkerID)
+
+	// No heartbeat for longer than the TTL: the sweep requeues the lease
+	// with a backoff gate and keeps the attempt on the books.
+	time.Sleep(ttl + 10*time.Millisecond)
+	c.sweep(time.Now())
+	ls := c.leasesInfo()
+	if len(ls) != 1 || ls[0].State != LeasePending || ls[0].Attempt != 1 || ls[0].NotBefore == nil {
+		t.Fatalf("lease after expiry %+v", ls)
+	}
+
+	g2 := acquirePoll(t, c, w2.WorkerID)
+	if g2.LeaseID != g1.LeaseID || g2.FirstBatch != g1.FirstBatch {
+		t.Fatalf("reassignment granted %+v, want the expired range %+v", g2, g1)
+	}
+	if ls := c.leasesInfo(); ls[0].Attempt != 2 || ls[0].Worker != w2.WorkerID {
+		t.Fatalf("reassigned lease %+v", ls[0])
+	}
+
+	// The original owner's late report is a conflict; the new owner's
+	// progress renews.
+	err := c.complete(g1.LeaseID, LeaseReport{WorkerID: w1.WorkerID, Counts: CampaignResult{Total: 320}})
+	if !errors.Is(err, ErrLeaseConflict) {
+		t.Fatalf("stale complete: %v", err)
+	}
+	if err := c.progress(g2.LeaseID, LeaseReport{WorkerID: w2.WorkerID, DoneBatches: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if ls := c.leasesInfo(); ls[0].DoneBatches != 2 {
+		t.Fatalf("progress not recorded: %+v", ls[0])
+	}
+	cursor, acc, _, _ := c.snapshot("j1")
+	if cursor != 0 || acc.Total != 0 {
+		t.Fatalf("stale counts leaked into the merge: cursor %d acc %+v", cursor, acc)
+	}
+}
+
+func TestCoordinatorFailureBudgetFailsJob(t *testing.T) {
+	c := newCoordinator(DistConfig{LeaseBatches: 8, LeaseTTL: 40 * time.Millisecond, MaxAttempts: 2})
+	c.register("j1", distReq(), 0, 5, CampaignResult{})
+	w := c.join(JoinRequest{})
+
+	for attempt := 1; attempt <= 2; attempt++ {
+		g := acquirePoll(t, c, w.WorkerID)
+		if err := c.fail(g.LeaseID, LeaseReport{WorkerID: w.WorkerID, Error: "boom"}); err != nil {
+			t.Fatalf("fail attempt %d: %v", attempt, err)
+		}
+	}
+	_, _, done, failed := c.snapshot("j1")
+	if done || failed == "" {
+		t.Fatalf("job not failed after exhausting attempts: done %v failed %q", done, failed)
+	}
+	// A failed job's leases are never granted again.
+	time.Sleep(60 * time.Millisecond)
+	if g, err := c.acquire(w.WorkerID); err != nil || g != nil {
+		t.Fatalf("grant from a failed job: %v %v", g, err)
+	}
+	if ws := c.workersInfo(); ws[0].Active != 0 {
+		t.Fatalf("worker accounting after failures %+v", ws[0])
+	}
+	c.unregister("j1")
+	if got := len(c.leasesInfo()); got != 0 {
+		t.Fatalf("%d leases survive unregister", got)
+	}
+}
+
+func TestCoordinatorLeaveReleasesUncharged(t *testing.T) {
+	c := newCoordinator(DistConfig{LeaseBatches: 8, LeaseTTL: time.Hour})
+	c.register("j1", distReq(), 0, 5, CampaignResult{})
+	w1 := c.join(JoinRequest{})
+	w2 := c.join(JoinRequest{})
+	g1 := acquirePoll(t, c, w1.WorkerID)
+
+	if err := c.leave(w1.WorkerID); err != nil {
+		t.Fatal(err)
+	}
+	// No backoff gate and no attempt charge: the range was not at fault.
+	g2, err := c.acquire(w2.WorkerID)
+	if err != nil || g2 == nil || g2.LeaseID != g1.LeaseID {
+		t.Fatalf("post-leave acquire: %+v %v", g2, err)
+	}
+	if ls := c.leasesInfo(); ls[0].Attempt != 1 {
+		t.Fatalf("leave charged an attempt: %+v", ls[0])
+	}
+
+	// A left worker's ID is retired.
+	if _, err := c.heartbeat(w1.WorkerID, HeartbeatRequest{}); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("heartbeat after leave: %v", err)
+	}
+	if _, err := c.acquire(w1.WorkerID); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("acquire after leave: %v", err)
+	}
+	if err := c.leave("w999999"); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("leave of unknown worker: %v", err)
+	}
+}
+
+func TestCoordinatorRegisterFromCheckpoint(t *testing.T) {
+	c := newCoordinator(DistConfig{LeaseBatches: 2, LeaseTTL: time.Hour})
+	acc := CampaignResult{Total: 192, Detected: 180, Ineffective: 12}
+	c.register("j1", distReq(), 3, 5, acc)
+
+	cursor, got, done, _ := c.snapshot("j1")
+	if cursor != 3 || got != acc || done {
+		t.Fatalf("resume snapshot: cursor %d acc %+v", cursor, got)
+	}
+	ls := c.leasesInfo()
+	if len(ls) != 1 || ls[0].FirstBatch != 3 || ls[0].LastBatch != 5 {
+		t.Fatalf("resume lease table %+v", ls)
+	}
+
+	w := c.join(JoinRequest{})
+	g := acquirePoll(t, c, w.WorkerID)
+	if err := c.complete(g.LeaseID, LeaseReport{
+		WorkerID: w.WorkerID, Counts: CampaignResult{Total: 128, Detected: 120, Ineffective: 8},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cursor, got, done, _ = c.snapshot("j1")
+	if cursor != 5 || !done || got.Total != 320 || got.Detected != 300 || got.Ineffective != 20 {
+		t.Fatalf("resumed job final: cursor %d acc %+v", cursor, got)
+	}
+}
+
+func TestCoordinatorDrainingAndNilSafety(t *testing.T) {
+	c := newCoordinator(DistConfig{LeaseBatches: 8, LeaseTTL: time.Hour})
+	c.register("j1", distReq(), 0, 5, CampaignResult{})
+	w := c.join(JoinRequest{})
+
+	c.setDraining()
+	if _, err := c.acquire(w.WorkerID); !errors.Is(err, ErrDraining) {
+		t.Fatalf("acquire while draining: %v", err)
+	}
+	resp, err := c.heartbeat(w.WorkerID, HeartbeatRequest{})
+	if err != nil || !resp.Draining {
+		t.Fatalf("heartbeat while draining: %+v %v", resp, err)
+	}
+
+	// The gauge and listing helpers are nil-safe so non-coordinators can
+	// share the same wiring.
+	var nilc *coordinator
+	nilc.setDraining()
+	if nilc.workerCount() != 0 || nilc.activeLeaseCount() != 0 {
+		t.Fatal("nil coordinator reports non-zero gauges")
+	}
+	if ws, ls := nilc.workersInfo(), nilc.leasesInfo(); len(ws) != 0 || len(ls) != 0 {
+		t.Fatal("nil coordinator reports listings")
+	}
+}

@@ -1,0 +1,222 @@
+package service_test
+
+// End-to-end acceptance of the distributed campaign fabric: a coordinator
+// and two in-process workers driven over real HTTP, one worker killed
+// mid-campaign, and the merged result checked bit-for-bit against a direct
+// single-node fault.Campaign execution. This is the paper's determinism
+// argument made executable: batch b derives all randomness from (seed, b),
+// so reassigning a dead worker's lease must not change a single count.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// distDaemonConfig tunes the coordinator for fast failure detection: short
+// leases, tight heartbeats, one batch per lease so a 5-batch campaign
+// spreads across many grants.
+func distDaemonConfig() service.Config {
+	return service.Config{
+		Workers:             1,
+		CheckpointEveryRuns: 64,
+		Dist: service.DistConfig{
+			Enabled:        true,
+			LeaseBatches:   1,
+			LeaseTTL:       300 * time.Millisecond,
+			MaxAttempts:    8,
+			HeartbeatEvery: 60 * time.Millisecond,
+			PollEvery:      20 * time.Millisecond,
+		},
+	}
+}
+
+// TestE2EDistributedKillWorkerBitIdentical runs every entropy variant on a
+// coordinator with two workers, kills the first worker the moment it is
+// granted a lease, and requires the merged distributed result to equal the
+// single-node library run bit for bit even though one lease expired and was
+// reassigned.
+func TestE2EDistributedKillWorkerBitIdentical(t *testing.T) {
+	for _, entropy := range []string{"prime", "per-round", "per-sbox"} {
+		t.Run(entropy, func(t *testing.T) {
+			_, c := startDaemon(t, distDaemonConfig())
+			ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+			defer cancel()
+
+			st, err := c.Submit(ctx, e2eRequest(e2eRuns, entropy))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Worker A dies abruptly on its first grant: Kill simulates a
+			// crash, so the lease is never reported back and must expire.
+			leasedA := make(chan service.LeaseGrant, 1)
+			var wa *client.Worker
+			wa = client.NewWorker(client.WorkerConfig{
+				Coordinator:  c.BaseURL,
+				Name:         "victim",
+				ChunkBatches: 1,
+				OnLease: func(g service.LeaseGrant) {
+					wa.Kill()
+					select {
+					case leasedA <- g:
+					default:
+					}
+				},
+			})
+			runDone := make(chan error, 2)
+			go func() { runDone <- wa.Run(ctx) }()
+			select {
+			case <-leasedA:
+			case <-ctx.Done():
+				t.Fatal("worker A was never granted a lease")
+			}
+
+			// Worker B joins only after A is dead while holding a lease, so
+			// at least one reassignment is guaranteed.
+			wb := client.NewWorker(client.WorkerConfig{
+				Coordinator:  c.BaseURL,
+				Name:         "survivor",
+				ChunkBatches: 1,
+			})
+			go func() { runDone <- wb.Run(ctx) }()
+
+			final, err := c.Wait(ctx, st.ID, 20*time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if terminal, outcome := client.Done(final); !terminal || outcome != nil {
+				t.Fatalf("job ended %q: %v (%s)", final.State, outcome, final.Error)
+			}
+			if final.Result == nil || final.Result.Campaign == nil {
+				t.Fatal("done job has no campaign result")
+			}
+			want := directResult(t, e2eRuns, entropy)
+			if *final.Result.Campaign != want {
+				t.Fatalf("distributed result diverged after worker kill:\n got  %+v\n want %+v",
+					*final.Result.Campaign, want)
+			}
+
+			// The failure really happened: a lease expired and was
+			// re-granted, both workers registered, no leases survive.
+			m, err := c.Metrics(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m["leases_reassigned_total"] < 1 || m["leases_expired_total"] < 1 {
+				t.Fatalf("no reassignment recorded: %v", m)
+			}
+			if m["workers_joined_total"] != 2 || m["leases_granted_total"] < 6 {
+				t.Fatalf("unexpected fleet counters: %v", m)
+			}
+			workers, err := c.Workers(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(workers) != 2 {
+				t.Fatalf("worker registry %+v", workers)
+			}
+			leases, err := c.Leases(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(leases) != 0 {
+				t.Fatalf("leases survive a finished job: %+v", leases)
+			}
+
+			cancel()
+			for i := 0; i < 2; i++ {
+				select {
+				case <-runDone:
+				case <-time.After(10 * time.Second):
+					t.Fatal("worker did not stop")
+				}
+			}
+		})
+	}
+}
+
+// TestE2EDistributedGracefulWorkerExit drains one worker mid-campaign via
+// context cancellation: its lease is failed back for immediate reassignment
+// (no TTL wait), the worker leaves the registry, and the result still
+// matches the single-node run.
+func TestE2EDistributedGracefulWorkerExit(t *testing.T) {
+	_, c := startDaemon(t, distDaemonConfig())
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	st, err := c.Submit(ctx, e2eRequest(e2eRuns, "prime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	actx, astop := context.WithCancel(ctx)
+	defer astop()
+	leasedA := make(chan struct{}, 1)
+	wa := client.NewWorker(client.WorkerConfig{
+		Coordinator:  c.BaseURL,
+		Name:         "drained",
+		ChunkBatches: 1,
+		OnLease: func(service.LeaseGrant) {
+			astop()
+			select {
+			case leasedA <- struct{}{}:
+			default:
+			}
+		},
+	})
+	runDone := make(chan error, 2)
+	go func() { runDone <- wa.Run(actx) }()
+	select {
+	case <-leasedA:
+	case <-ctx.Done():
+		t.Fatal("worker A was never granted a lease")
+	}
+
+	wb := client.NewWorker(client.WorkerConfig{
+		Coordinator:  c.BaseURL,
+		Name:         "steady",
+		ChunkBatches: 2,
+	})
+	go func() { runDone <- wb.Run(ctx) }()
+
+	final, err := c.Wait(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terminal, outcome := client.Done(final); !terminal || outcome != nil {
+		t.Fatalf("job ended %q: %v (%s)", final.State, outcome, final.Error)
+	}
+	want := directResult(t, e2eRuns, "prime")
+	if *final.Result.Campaign != want {
+		t.Fatalf("result diverged after graceful exit:\n got  %+v\n want %+v",
+			*final.Result.Campaign, want)
+	}
+
+	// A drained worker leaves cleanly: it must end up "left", not lost.
+	workers, err := c.Workers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawLeft bool
+	for _, w := range workers {
+		if w.Name == "drained" && w.State == service.WorkerLeft {
+			sawLeft = true
+		}
+	}
+	if !sawLeft {
+		t.Fatalf("drained worker never left: %+v", workers)
+	}
+
+	cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-runDone:
+		case <-time.After(10 * time.Second):
+			t.Fatal("worker did not stop")
+		}
+	}
+}

@@ -18,11 +18,58 @@ func WriteJSON(w io.Writer, v any) error {
 	return enc.Encode(v)
 }
 
-// writeError emits the uniform error envelope.
-func writeError(w http.ResponseWriter, code int, err error) {
+// Error codes of the /v1 typed error envelope. Every non-2xx v1 response
+// is {"error":{"code","message"}} with one of these codes; the Go client
+// maps them onto its sentinel errors, so callers branch on condition, not
+// on status-code trivia.
+const (
+	CodeInvalidRequest = "invalid_request"
+	CodeNotFound       = "not_found"
+	CodeQueueFull      = "queue_full"
+	CodeDraining       = "draining"
+	CodeConflict       = "conflict"
+	CodeInternal       = "internal"
+)
+
+// ErrorBody is the payload of the /v1 typed error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorEnvelope is the full v1 error response shape.
+type errorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// errWriter renders one error response; the v1 and legacy surfaces share
+// handlers and differ only in this function, so behaviour cannot drift
+// between them.
+type errWriter func(w http.ResponseWriter, status int, code string, err error)
+
+// writeV1Error emits the typed envelope.
+func writeV1Error(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = WriteJSON(w, map[string]string{"error": err.Error()})
+	w.WriteHeader(status)
+	_ = WriteJSON(w, errorEnvelope{Error: ErrorBody{Code: code, Message: err.Error()}})
+}
+
+// errorStatus maps a service error onto its wire status and code. Unknown
+// errors are client mistakes (validation failures) rather than server
+// faults: the service's own failure modes all have sentinels.
+func errorStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrUnknownJob), errors.Is(err, ErrUnknownWorker), errors.Is(err, ErrUnknownLease):
+		return http.StatusNotFound, CodeNotFound
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, CodeQueueFull
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, CodeDraining
+	case errors.Is(err, ErrLeaseConflict):
+		return http.StatusConflict, CodeConflict
+	default:
+		return http.StatusBadRequest, CodeInvalidRequest
+	}
 }
 
 func writeStatus(w http.ResponseWriter, code int, v any) {
@@ -35,46 +82,53 @@ func writeStatus(w http.ResponseWriter, code int, v any) {
 // legitimate payload and the PRESENT-80 cores are well under this.
 const maxRequestBytes = 8 << 20
 
-// Handler returns the service's HTTP API:
+// Handler returns the service's HTTP API. The versioned surface is:
 //
-//	POST   /v1/jobs             submit (JobRequest -> JobStatus, 202)
-//	GET    /v1/jobs             list
-//	GET    /v1/jobs/{id}        status
-//	DELETE /v1/jobs/{id}        cancel
-//	POST   /v1/jobs/{id}/cancel cancel (proxy-friendly alias)
-//	GET    /v1/jobs/{id}/stream NDJSON progress stream
-//	GET    /healthz             liveness
-//	GET    /metrics             Prometheus text (JSON snapshot with Accept: application/json)
+//	POST   /v1/jobs                   submit (JobRequest -> JobStatus, 202)
+//	GET    /v1/jobs                   list
+//	GET    /v1/jobs/{id}              status
+//	DELETE /v1/jobs/{id}              cancel
+//	POST   /v1/jobs/{id}/cancel      cancel (proxy-friendly alias)
+//	GET    /v1/jobs/{id}/stream      NDJSON progress stream
+//	GET    /v1/healthz               liveness
+//	GET    /v1/metrics               Prometheus text (JSON snapshot with Accept: application/json)
+//	GET    /v1/workers               distributed-fabric worker registry
+//	GET    /v1/leases                distributed-fabric lease table
+//	POST   /v1/workers/join          worker registration
+//	POST   /v1/workers/{id}/heartbeat lease renewal
+//	POST   /v1/workers/{id}/leave    clean worker departure
+//	POST   /v1/leases/acquire        pull a lease (204 when none)
+//	POST   /v1/leases/{id}/progress  partial tally + renewal
+//	POST   /v1/leases/{id}/complete  final tally
+//	POST   /v1/leases/{id}/fail      error report, lease requeued
+//
+// Errors on /v1 use the typed envelope {"error":{"code","message"}}. The
+// pre-versioning paths /healthz and /metrics remain as deprecated aliases
+// (flat {"error":"..."} envelope, Deprecation header); see http_legacy.go.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.registerV1(mux)
+	s.registerLegacy(mux)
+	return mux
+}
+
+func (s *Service) registerV1(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/jobs", s.submitHandler(writeV1Error))
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeStatus(w, http.StatusOK, map[string]any{"jobs": s.List()})
 	})
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		st, err := s.Get(r.PathValue("id"))
-		if err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
-		}
-		writeStatus(w, http.StatusOK, st)
-	})
-	cancel := func(w http.ResponseWriter, r *http.Request) {
-		st, err := s.Cancel(r.PathValue("id"))
-		if err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
-		}
-		writeStatus(w, http.StatusOK, st)
-	}
+	mux.HandleFunc("GET /v1/jobs/{id}", s.getHandler(writeV1Error))
+	cancel := s.cancelHandler(writeV1Error)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", cancel)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", cancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeStatus(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.streamHandler(writeV1Error))
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.registerDistV1(mux)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeStatus(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // handleMetrics serves the full registry in Prometheus text exposition
@@ -90,85 +144,107 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.Metrics.WritePrometheus(w)
 }
 
-func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req JobRequest
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
-		return
-	}
-	st, err := s.Submit(req)
-	switch {
-	case err == nil:
+func (s *Service) submitHandler(we errWriter) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			we(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		st, err := s.Submit(req)
+		if err != nil {
+			status, code := errorStatus(err)
+			we(w, status, code, err)
+			return
+		}
 		writeStatus(w, http.StatusAccepted, st)
-	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
-	default:
-		writeError(w, http.StatusBadRequest, err)
 	}
 }
 
-// handleStream serves the NDJSON progress feed: one status snapshot, then
+func (s *Service) getHandler(we errWriter) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Get(r.PathValue("id"))
+		if err != nil {
+			we(w, http.StatusNotFound, CodeNotFound, err)
+			return
+		}
+		writeStatus(w, http.StatusOK, st)
+	}
+}
+
+func (s *Service) cancelHandler(we errWriter) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			we(w, http.StatusNotFound, CodeNotFound, err)
+			return
+		}
+		writeStatus(w, http.StatusOK, st)
+	}
+}
+
+// streamHandler serves the NDJSON progress feed: one status snapshot, then
 // progress events as checkpoints land, then a final snapshot carrying the
 // result. Each line is a complete Event and the connection closes after
 // the terminal line, so `curl -N` and the client package can follow a job
 // in real time.
-func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	ch, off, err := s.Watch(id)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	defer off()
-	s.Metrics.StreamClients.Add(1)
-	defer s.Metrics.StreamClients.Add(-1)
-
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w) // NDJSON: one compact JSON object per line
-
-	emit := func(ev Event) bool {
-		if err := enc.Encode(ev); err != nil {
-			return false
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-		return true
-	}
-
-	st, err := s.Get(id)
-	if err != nil {
-		return
-	}
-	if !emit(Event{Type: "status", Job: &st}) {
-		return
-	}
-	for {
-		select {
-		case ev, ok := <-ch:
-			if !ok {
-				// Terminal: the subscription closed; emit the final
-				// snapshot (it may have raced past a dropped event).
-				if st, err := s.Get(id); err == nil {
-					emit(Event{Type: "result", Job: &st})
-				}
-				return
-			}
-			if ev.Type == "result" {
-				emit(ev)
-				return
-			}
-			if !emit(ev) {
-				return
-			}
-		case <-r.Context().Done():
+func (s *Service) streamHandler(we errWriter) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		ch, off, err := s.Watch(id)
+		if err != nil {
+			we(w, http.StatusNotFound, CodeNotFound, err)
 			return
+		}
+		defer off()
+		s.Metrics.StreamClients.Add(1)
+		defer s.Metrics.StreamClients.Add(-1)
+
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w) // NDJSON: one compact JSON object per line
+
+		emit := func(ev Event) bool {
+			if err := enc.Encode(ev); err != nil {
+				return false
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return true
+		}
+
+		st, err := s.Get(id)
+		if err != nil {
+			return
+		}
+		if !emit(Event{Type: "status", Job: &st}) {
+			return
+		}
+		for {
+			select {
+			case ev, ok := <-ch:
+				if !ok {
+					// Terminal: the subscription closed; emit the final
+					// snapshot (it may have raced past a dropped event).
+					if st, err := s.Get(id); err == nil {
+						emit(Event{Type: "result", Job: &st})
+					}
+					return
+				}
+				if ev.Type == "result" {
+					emit(ev)
+					return
+				}
+				if !emit(ev) {
+					return
+				}
+			case <-r.Context().Done():
+				return
+			}
 		}
 	}
 }

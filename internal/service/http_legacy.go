@@ -1,0 +1,44 @@
+package service
+
+// Legacy unversioned aliases. Pre-versioning deployments probed /healthz,
+// scraped /metrics and scripted against the job endpoints without the
+// typed error envelope; this shim keeps all of that answering, but every
+// response advertises the successor so fleets can migrate: each handler
+// emits `Deprecation: true` plus an RFC 8288 successor-version Link, and
+// errors keep the pre-v1 flat {"error":"message"} envelope. New paths must
+// not be added here — the sconevet v1routes pass rejects unversioned
+// routes anywhere else in the package, which pins this file as the only
+// shim.
+
+import "net/http"
+
+// writeLegacyError emits the pre-v1 flat error envelope.
+func writeLegacyError(w http.ResponseWriter, status int, code string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = WriteJSON(w, map[string]string{"error": err.Error()})
+}
+
+// deprecated wraps a handler with the deprecation headers pointing at the
+// versioned successor path.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+func (s *Service) registerLegacy(mux *http.ServeMux) {
+	mux.HandleFunc("GET /healthz", deprecated("/v1/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", deprecated("/v1/metrics", s.handleMetrics))
+	mux.HandleFunc("POST /jobs", deprecated("/v1/jobs", s.submitHandler(writeLegacyError)))
+	mux.HandleFunc("GET /jobs", deprecated("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeStatus(w, http.StatusOK, map[string]any{"jobs": s.List()})
+	}))
+	mux.HandleFunc("GET /jobs/{id}", deprecated("/v1/jobs/{id}", s.getHandler(writeLegacyError)))
+	cancel := s.cancelHandler(writeLegacyError)
+	mux.HandleFunc("DELETE /jobs/{id}", deprecated("/v1/jobs/{id}", cancel))
+	mux.HandleFunc("POST /jobs/{id}/cancel", deprecated("/v1/jobs/{id}/cancel", cancel))
+	mux.HandleFunc("GET /jobs/{id}/stream", deprecated("/v1/jobs/{id}/stream", s.streamHandler(writeLegacyError)))
+}

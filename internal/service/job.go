@@ -260,6 +260,17 @@ func (c *CampaignResult) Add(r fault.Result) {
 	c.Effective += r.Effective()
 }
 
+// Accumulate folds another wire-form partial into c — the coordinator's
+// batch-order merge of worker lease tallies. Because every count is an
+// integer sum over disjoint batch ranges, merge order cannot change the
+// totals; ordering only matters for the checkpoint cursor.
+func (c *CampaignResult) Accumulate(r CampaignResult) {
+	c.Total += r.Total
+	c.Ineffective += r.Ineffective
+	c.Detected += r.Detected
+	c.Effective += r.Effective
+}
+
 // DFAResult is the wire form of a DFA outcome.
 type DFAResult struct {
 	Succeeded    bool   `json:"succeeded"`

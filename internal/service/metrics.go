@@ -34,11 +34,25 @@ type Metrics struct {
 	JobWaitNS    *obs.Histogram
 	JobRunNS     *obs.Histogram
 	CheckpointNS *obs.Histogram
+
+	// Distributed-fabric instruments (coordinator role; all zero on a
+	// single-node service). LeasesReassigned counts grants of a batch range
+	// that had been granted before — the worker-death / lease-expiry /
+	// worker-error recovery path.
+	WorkersJoined    *obs.Counter
+	Heartbeats       *obs.Counter
+	LeasesGranted    *obs.Counter
+	LeasesCompleted  *obs.Counter
+	LeasesExpired    *obs.Counter
+	LeasesReassigned *obs.Counter
+	Workers          *obs.Gauge
+	LeasesActive     *obs.Gauge
 }
 
 // newMetrics registers the service instruments on reg, including one depth
-// gauge per queue shard.
-func newMetrics(reg *obs.Registry, q *queue) *Metrics {
+// gauge per queue shard. c is the coordinator when the distributed fabric
+// is enabled (nil otherwise; the worker/lease gauges then read zero).
+func newMetrics(reg *obs.Registry, q *queue, c *coordinator) *Metrics {
 	m := &Metrics{
 		reg:           reg,
 		JobsSubmitted: reg.NewCounter("scone_service_jobs_submitted_total", "Jobs accepted by Submit"),
@@ -55,6 +69,17 @@ func newMetrics(reg *obs.Registry, q *queue) *Metrics {
 		JobWaitNS:    reg.NewHistogram("scone_service_job_wait_ns", "Queueing latency from Submit to job start", obs.LatencyBuckets()),
 		JobRunNS:     reg.NewHistogram("scone_service_job_run_ns", "Execution time from job start to terminal state", obs.LatencyBuckets()),
 		CheckpointNS: reg.NewHistogram("scone_service_checkpoint_ns", "Durable job-record write time", obs.ExpBuckets(16_000, 4, 12)),
+
+		WorkersJoined:    reg.NewCounter("scone_service_workers_joined_total", "Workers registered via /v1/workers/join"),
+		Heartbeats:       reg.NewCounter("scone_service_heartbeats_total", "Worker heartbeats received"),
+		LeasesGranted:    reg.NewCounter("scone_service_leases_granted_total", "Batch-range leases granted to workers"),
+		LeasesCompleted:  reg.NewCounter("scone_service_leases_completed_total", "Leases completed and merged"),
+		LeasesExpired:    reg.NewCounter("scone_service_leases_expired_total", "Leases expired by the TTL janitor"),
+		LeasesReassigned: reg.NewCounter("scone_service_leases_reassigned_total", "Re-grants of previously granted batch ranges"),
+		Workers: reg.NewGaugeFunc("scone_service_workers_count", "Registered workers in the active state",
+			c.workerCount),
+		LeasesActive: reg.NewGaugeFunc("scone_service_leases_active_count", "Leases currently granted and unexpired",
+			c.activeLeaseCount),
 	}
 	for i, sh := range q.shards {
 		sh := sh
@@ -87,6 +112,15 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"stream_clients":       m.StreamClients.Value(),
 		"jobs_running":         m.JobsRunning.Value(),
 		"queue_depth":          m.QueueDepth.Value(),
+
+		"workers":                 m.Workers.Value(),
+		"workers_joined_total":    m.WorkersJoined.Value(),
+		"heartbeats_total":        m.Heartbeats.Value(),
+		"leases_active":           m.LeasesActive.Value(),
+		"leases_granted_total":    m.LeasesGranted.Value(),
+		"leases_completed_total":  m.LeasesCompleted.Value(),
+		"leases_expired_total":    m.LeasesExpired.Value(),
+		"leases_reassigned_total": m.LeasesReassigned.Value(),
 	}
 }
 

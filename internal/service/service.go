@@ -40,6 +40,11 @@ type Config struct {
 	// shared registry so service, sim and fault metrics render as one
 	// exposition.
 	Obs *obs.Registry
+	// Dist configures the distributed campaign fabric. When enabled this
+	// service is a coordinator: campaign jobs are split into batch-range
+	// leases pulled by sconed worker processes instead of executing
+	// in-process.
+	Dist DistConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +95,7 @@ type job struct {
 type Service struct {
 	cfg     Config
 	Metrics *Metrics
+	dist    *coordinator // nil unless Config.Dist.Enabled
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -142,7 +148,14 @@ func New(cfg Config) (*Service, error) {
 		queue:   newQueue(cfg.Workers, depth),
 		store:   st,
 	}
-	s.Metrics = newMetrics(reg, s.queue)
+	if cfg.Dist.Enabled {
+		s.dist = newCoordinator(cfg.Dist)
+	}
+	s.Metrics = newMetrics(reg, s.queue, s.dist)
+	if s.dist != nil {
+		s.dist.metrics = s.Metrics
+		go s.dist.janitor(ctx.Done())
+	}
 
 	for _, rec := range recs {
 		j := &job{
@@ -306,7 +319,8 @@ func (s *Service) Drain(ctx context.Context) error {
 	s.draining = true
 	s.queue.closeAll()
 	s.mu.Unlock()
-	s.stop() // interrupt running jobs at their next batch boundary
+	s.dist.setDraining() // workers learn via heartbeat/acquire responses
+	s.stop()             // interrupt running jobs at their next batch boundary
 
 	done := make(chan struct{})
 	go func() {
@@ -441,7 +455,11 @@ func (s *Service) runJob(j *job) {
 	var err error
 	switch j.req.Kind {
 	case KindCampaign:
-		result, err = s.runCampaign(ctx, j)
+		if s.dist != nil {
+			result, err = s.runCampaignDistributed(ctx, j)
+		} else {
+			result, err = s.runCampaign(ctx, j)
+		}
 	case KindDFA, KindSIFA, KindFTA:
 		result, err = s.runAttack(ctx, j)
 	case KindArea:
@@ -533,6 +551,74 @@ func (s *Service) runCampaign(ctx context.Context, j *job) (*JobResult, error) {
 	}
 	cr := acc
 	return &JobResult{Campaign: &cr}, nil
+}
+
+// runCampaignDistributed executes a campaign job through the lease fabric:
+// the batch range is registered with the coordinator, workers pull and
+// execute leases, and this goroutine just follows the merge cursor —
+// checkpointing and publishing progress exactly like the local path, and
+// returning the merged result once the contiguous prefix covers every
+// batch. On drain or cancel the merged prefix is checkpointed so only the
+// remainder is re-leased later; determinism makes the outcome independent
+// of where the cut lands.
+func (s *Service) runCampaignDistributed(ctx context.Context, j *job) (*JobResult, error) {
+	camp, err := BuildCampaign(j.req.Design, j.req.Campaign, s.cfg.SimWorkers)
+	if err != nil {
+		return nil, err
+	}
+	batches := camp.NumBatches()
+
+	s.mu.Lock()
+	var acc CampaignResult
+	start := 0
+	if j.checkpoint != nil {
+		start = j.checkpoint.NextBatch
+		acc = j.checkpoint.Counts
+		j.resumed++
+		s.Metrics.JobsResumed.Inc()
+	}
+	j.progress = &Progress{Done: acc.Total, Total: camp.Runs, Counts: acc}
+	s.mu.Unlock()
+
+	dj := s.dist.register(j.id, j.req, start, batches, acc)
+	defer s.dist.unregister(j.id)
+
+	lastCursor, lastTotal := start, acc.Total
+	for {
+		select {
+		case <-ctx.Done():
+			// Drain or user cancel: persist the merged contiguous prefix;
+			// the caller's requeue/cancel handling proceeds from there.
+			cursor, merged, _, _ := s.dist.snapshot(j.id)
+			s.mu.Lock()
+			j.checkpoint = &Checkpoint{NextBatch: cursor, Counts: merged}
+			s.persistLocked(j)
+			s.mu.Unlock()
+			return nil, ctx.Err()
+		case <-dj.notify:
+			cursor, merged, done, failed := s.dist.snapshot(j.id)
+			if failed != "" {
+				return nil, errors.New(failed)
+			}
+			if cursor != lastCursor {
+				runs := merged.Total - lastTotal
+				lastCursor, lastTotal = cursor, merged.Total
+				s.mu.Lock()
+				j.checkpoint = &Checkpoint{NextBatch: cursor, Counts: merged}
+				j.progress = &Progress{Done: merged.Total, Total: camp.Runs, Counts: merged}
+				s.Metrics.RunsSimulated.Add(int64(runs))
+				s.Metrics.Checkpoints.Inc()
+				s.persistLocked(j)
+				p := *j.progress
+				s.publishLocked(j, Event{Type: "progress", Progress: &p})
+				s.mu.Unlock()
+			}
+			if done {
+				cr := merged
+				return &JobResult{Campaign: &cr}, nil
+			}
+		}
+	}
 }
 
 // runAttack executes the one-shot attack kinds. The drivers are not

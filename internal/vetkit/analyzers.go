@@ -9,7 +9,7 @@ import (
 
 // Analyzers returns the repository's vet passes in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoRand, CachedCompile, CtxExecute, ObsNames}
+	return []*Analyzer{NoRand, CachedCompile, CtxExecute, ObsNames, V1Routes}
 }
 
 // NoRand forbids math/rand outside test files and internal/rng.
@@ -165,6 +165,70 @@ var ObsNames = &Analyzer{
 					return true
 				}
 				checkObsName(p, lit.Pos(), name, wantPkg)
+				return true
+			})
+		}
+	},
+}
+
+// v1RoutesDir is the package whose HTTP surface is versioned, and
+// v1RoutesShim the one file allowed to register unversioned aliases.
+const (
+	v1RoutesDir  = "internal/service/"
+	v1RoutesShim = "http_legacy.go"
+)
+
+// muxRegisterFuncs are the mux methods whose first argument is a route
+// pattern.
+var muxRegisterFuncs = map[string]bool{
+	"HandleFunc": true,
+	"Handle":     true,
+}
+
+// V1Routes keeps the service's HTTP surface versioned: a string-literal
+// route pattern registered in internal/service must live under /v1/.
+// The one sanctioned exception is the legacy-alias shim http_legacy.go,
+// which carries the deprecated unversioned paths (Deprecation header, old
+// flat error envelope); routing anywhere else must go through /v1 so the
+// deprecation story stays enforceable. cmd/ binaries are out of scope —
+// the daemon legitimately mounts "/" and /debug/pprof/.
+var V1Routes = &Analyzer{
+	Name: "v1routes",
+	Doc:  "require /v1/ route patterns in internal/service outside the legacy-alias shim http_legacy.go",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			if f.Test || !strings.HasPrefix(f.Dir(), v1RoutesDir) {
+				continue
+			}
+			if strings.HasSuffix(f.Path, "/"+v1RoutesShim) {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !muxRegisterFuncs[sel.Sel.Name] {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				pattern, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				// Patterns may carry a "METHOD " prefix (net/http 1.22
+				// enhanced routing); the path component follows it.
+				path := pattern
+				if i := strings.IndexByte(pattern, ' '); i >= 0 {
+					path = strings.TrimSpace(pattern[i+1:])
+				}
+				if !strings.HasPrefix(path, "/v1/") {
+					p.Reportf(lit.Pos(), "unversioned route %q in internal/service: version it under /v1/ (legacy aliases belong in %s)", pattern, v1RoutesShim)
+				}
 				return true
 			})
 		}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/service"
+	"repro/internal/service/client"
 	"repro/internal/sim"
 	"repro/internal/spn"
 	"repro/internal/stdcell"
@@ -359,6 +360,64 @@ const (
 
 // NewService starts a job engine; Close (or Drain) releases its workers.
 func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// ---------------------------------------------------------------------------
+// Distributed execution layer
+//
+// A Service with DistConfig.Enabled becomes a coordinator: campaign jobs
+// are split into batch-range leases that CampaignWorker processes pull over
+// the /v1 HTTP API, execute, and report back. Campaign batches derive all
+// randomness from (seed, batch), so a distributed run — including lease
+// expiry and reassignment after a worker dies — merges to a result
+// bit-identical to a single-node execution. See DESIGN.md §11.
+// ---------------------------------------------------------------------------
+
+type (
+	// DistConfig enables and tunes the distributed campaign fabric on a
+	// coordinator Service (lease sizing, TTL, attempt budget).
+	DistConfig = service.DistConfig
+	// WorkerState is a registered worker's lifecycle position.
+	WorkerState = service.WorkerState
+	// LeaseState is a lease's lifecycle position.
+	LeaseState = service.LeaseState
+	// WorkerInfo is the wire view of a registered worker (GET /v1/workers).
+	WorkerInfo = service.WorkerInfo
+	// LeaseInfo is the wire view of a live lease (GET /v1/leases).
+	LeaseInfo = service.LeaseInfo
+	// LeaseGrant is one granted batch range: the campaign request plus
+	// the [FirstBatch, LastBatch) window the worker executes.
+	LeaseGrant = service.LeaseGrant
+	// CampaignWorker is a lease-pulling campaign executor; sconed -worker
+	// is a thin shell around it.
+	CampaignWorker = client.Worker
+	// CampaignWorkerConfig points a CampaignWorker at its coordinator and
+	// tunes chunking and concurrency.
+	CampaignWorkerConfig = client.WorkerConfig
+)
+
+// Worker states.
+const (
+	// WorkerActive is a worker with a fresh heartbeat.
+	WorkerActive = service.WorkerActive
+	// WorkerLost is a worker that went silent; its leases are reassigned.
+	WorkerLost = service.WorkerLost
+	// WorkerLeft is a worker that deregistered cleanly.
+	WorkerLeft = service.WorkerLeft
+)
+
+// Lease states.
+const (
+	// LeasePending is a batch range waiting for a worker.
+	LeasePending = service.LeasePending
+	// LeaseActive is a granted range being executed under a TTL.
+	LeaseActive = service.LeaseActive
+	// LeaseDone is a completed range merged into the job result.
+	LeaseDone = service.LeaseDone
+)
+
+// NewCampaignWorker creates a worker that joins the coordinator named in
+// cfg and executes leases until its Run context is cancelled.
+func NewCampaignWorker(cfg CampaignWorkerConfig) *CampaignWorker { return client.NewWorker(cfg) }
 
 // ---------------------------------------------------------------------------
 // Observability layer
