@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-full bench-smoke fmt fmt-check vet lint sconelint fuzz serve e2e e2e-dist ci
+.PHONY: all build test race bench bench-full bench-smoke fmt fmt-check vet lint sconelint fuzz serve e2e e2e-dist e2e-store ci
 
 all: build test
 
@@ -66,6 +66,16 @@ e2e-dist:
 		-run 'TestCoordinator|TestE2EDistributed|TestDistEndpoints|TestSubmitRetr|TestDaemonWorker|TestWorkersLeasesAndTopFleet' \
 		./internal/service/... ./cmd/sconed/... ./cmd/sconectl/...
 
+# Content-addressed result store under the race detector: resubmitting an
+# identical campaign after a daemon restart must simulate zero batches
+# (every batch a scone_store_hits_total hit) with bit-identical results for
+# all three entropy variants, extended campaigns must splice cached and
+# fresh batches bit-identically, and the distributed coordinator must grant
+# no leases for fully cached work.
+e2e-store:
+	$(GO) test -race -count=1 -run 'TestE2EStore|TestStore|FuzzCampaignKey|FuzzBatchRecord|FuzzLogRecovery' \
+		./internal/service/... ./internal/store/...
+
 # Static countermeasure audit: the synthesised PRESENT-80 three-in-one
 # core must lint clean for every entropy variant, and the unprotected
 # baseline must be flagged.
@@ -79,6 +89,6 @@ sconelint:
 
 # Replay the checked-in fuzz seed corpora (no open-ended fuzzing).
 fuzz:
-	$(GO) test -run=Fuzz ./internal/netlist ./internal/lint
+	$(GO) test -run=Fuzz ./internal/netlist ./internal/lint ./internal/store
 
 ci: fmt-check build lint test race bench-smoke fuzz sconelint

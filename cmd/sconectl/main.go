@@ -11,6 +11,9 @@
 //	sconectl [-server URL] list
 //	sconectl [-server URL] cancel j000000
 //	sconectl [-server URL] watch j000000
+//	sconectl [-server URL] results -cipher present80 -scheme three-in-one \
+//	         -entropy prime -runs 80000 -seed 0x5C09E2021 [-sbox 13 -bit 2]
+//	sconectl [-server URL] runs [job-id]
 //	sconectl [-server URL] metrics
 //	sconectl [-server URL] workers
 //	sconectl [-server URL] leases
@@ -50,7 +53,7 @@ func main() {
 
 func usage(stderr io.Writer, fs *flag.FlagSet) func() {
 	return func() {
-		fmt.Fprintln(stderr, "usage: sconectl [-server URL] <submit|get|list|cancel|watch|metrics|workers|leases|top> [flags]")
+		fmt.Fprintln(stderr, "usage: sconectl [-server URL] <submit|get|list|cancel|watch|results|runs|metrics|workers|leases|top> [flags]")
 		fs.PrintDefaults()
 	}
 }
@@ -87,6 +90,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("usage: sconectl watch <job-id>")
 		}
 		return streamJob(ctx, c, rest[0], stdout)
+	case "results":
+		return cmdResults(ctx, c, rest, stdout, stderr)
+	case "runs":
+		switch len(rest) {
+		case 0:
+			recs, err := c.StoredRuns(ctx)
+			if err != nil {
+				return err
+			}
+			return service.WriteJSON(stdout, map[string]any{"runs": recs})
+		case 1:
+			rec, err := c.StoredRun(ctx, rest[0])
+			if err != nil {
+				return err
+			}
+			return service.WriteJSON(stdout, rec)
+		default:
+			return fmt.Errorf("usage: sconectl runs [job-id]")
+		}
 	case "metrics":
 		m, err := c.Metrics(ctx)
 		if err != nil {
@@ -212,6 +234,51 @@ func topScreen(ctx context.Context, c *client.Client, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%-10s %-10s %-9s %s\n", j.ID, j.Kind, j.State, progress)
 	}
 	return nil
+}
+
+// cmdResults queries the daemon's result store by content address — the
+// same flag vocabulary as submit, but not a single run is simulated
+// server-side. The response reports how much of the campaign is cached and,
+// when every batch is, the complete result.
+func cmdResults(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconectl results", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	design := cliflags.RegisterDesign(fs)
+	runs := fs.Int("runs", 80000, "campaign: simulated encryptions")
+	seed := fs.String("seed", "0x5C09E2021", "campaign seed")
+	key := fs.String("key", "0x0123456789ABCDEF,0x8421", "cipher key as two comma-separated 64-bit words")
+	sbox := fs.Int("sbox", 13, "faulted S-box index")
+	bit := fs.Int("bit", 2, "faulted S-box input bit")
+	model := fs.String("model", "stuck-at-0", "fault model: stuck-at-0, stuck-at-1, bit-flip")
+	branch := fs.String("branch", "actual", "faulted branch: actual, redundant")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	seedV, err := service.ParseU64(*seed)
+	if err != nil {
+		return err
+	}
+	keyV, err := parseKey(*key)
+	if err != nil {
+		return err
+	}
+	req := service.JobRequest{
+		Kind:   service.KindCampaign,
+		Design: design.DesignSpec(),
+		Campaign: &service.CampaignSpec{
+			Runs: *runs,
+			Seed: seedV,
+			Key:  keyV,
+			Faults: []service.FaultSpec{{
+				Branch: *branch, Sbox: *sbox, Bit: *bit, Model: *model,
+			}},
+		},
+	}
+	view, err := c.Results(ctx, req)
+	if err != nil {
+		return err
+	}
+	return service.WriteJSON(stdout, view)
 }
 
 func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {

@@ -183,6 +183,93 @@ func TestBadInvocations(t *testing.T) {
 	}
 }
 
+// TestResultsAndRunsCommands drives the result-store read commands against
+// a store-backed daemon: after one -stream submission, `results` with the
+// same flags answers complete from the cache and `runs` lists the durable
+// provenance record.
+func TestResultsAndRunsCommands(t *testing.T) {
+	svc, err := service.New(service.Config{Workers: 1, CheckpointEveryRuns: 64, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	server := srv.URL
+
+	flags := []string{"-runs", "320", "-seed", "0x5C09E2021", "-sbox", "13", "-bit", "2"}
+	out, err := runCtl(t, server, append([]string{"submit", "-kind", "campaign", "-stream"}, flags...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(strings.NewReader(out)).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err = runCtl(t, server, append([]string{"results"}, flags...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view service.ResultsView
+	if err := json.Unmarshal([]byte(out), &view); err != nil {
+		t.Fatalf("results output %q: %v", out, err)
+	}
+	if !view.Complete || view.CachedBatches != view.Batches || view.Result == nil || view.Result.Total != 320 {
+		t.Fatalf("results view %+v", view)
+	}
+
+	// Different parameters address a different campaign: nothing cached.
+	out, err = runCtl(t, server, "results", "-runs", "320", "-seed", "0x5C09E2021", "-sbox", "7", "-bit", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(out), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Complete || view.CachedBatches != 0 {
+		t.Fatalf("uncached campaign reported %+v", view)
+	}
+
+	out, err = runCtl(t, server, "runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Runs []service.RunRecord `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &listing); err != nil {
+		t.Fatalf("runs output %q: %v", out, err)
+	}
+	if len(listing.Runs) != 1 || listing.Runs[0].ID != st.ID || listing.Runs[0].State != "done" {
+		t.Fatalf("runs listing %+v", listing.Runs)
+	}
+
+	out, err = runCtl(t, server, "runs", st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec service.RunRecord
+	if err := json.Unmarshal([]byte(out), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != st.ID || rec.SimulatedBatches != rec.Batches {
+		t.Fatalf("run record %+v", rec)
+	}
+
+	if _, err := runCtl(t, server, "runs", "j424242"); err == nil {
+		t.Error("runs of unknown ID succeeded")
+	}
+	if _, err := runCtl(t, server, "runs", "a", "b"); err == nil {
+		t.Error("runs accepted two arguments")
+	}
+	if _, err := runCtl(t, server, "results", "-seed", "banana"); err == nil {
+		t.Error("results accepted a malformed seed")
+	}
+}
+
 func TestMetricsCommand(t *testing.T) {
 	server, _ := startServer(t)
 	out, err := runCtl(t, server, "metrics")

@@ -92,6 +92,13 @@ func (r Result) String() string {
 		r.Total, r.Ineffective(), r.Detected(), r.Effective())
 }
 
+// EngineVersion identifies the campaign engine's deterministic result
+// semantics: the (Seed, batch) randomness derivation, the lane width, the
+// outcome classification. It is part of every stored batch's content
+// address, so bumping it when any of those change invalidates all cached
+// results at once instead of silently replaying stale ones.
+const EngineVersion = "scone-campaign/1-lanes64"
+
 // NumBatches returns the number of sim.Lanes-wide batches the campaign is
 // split into. Batch b derives all of its randomness from (Seed, b), so any
 // contiguous batch range can be executed — or re-executed — independently
@@ -99,6 +106,16 @@ func (r Result) String() string {
 // identical to a single uninterrupted Execute.
 func (c *Campaign) NumBatches() int {
 	return (c.Runs + sim.Lanes - 1) / sim.Lanes
+}
+
+// BatchRuns returns the run count of batch b: sim.Lanes for every batch
+// except the campaign's final one, which carries the remainder.
+func (c *Campaign) BatchRuns(b int) int {
+	n := sim.Lanes
+	if rem := c.Runs - b*sim.Lanes; rem < n {
+		n = rem
+	}
+	return n
 }
 
 // Execute runs the campaign. observe, when non-nil, is called once per run
@@ -141,6 +158,17 @@ type batchOut struct {
 // (every completed batch is full, because only the campaign's final batch
 // can be partial and it is always the last to complete).
 func (c *Campaign) ExecuteBatches(ctx context.Context, first, last int, observe func(Run)) (Result, error) {
+	return c.ExecuteBatchesFunc(ctx, first, last, observe, nil)
+}
+
+// ExecuteBatchesFunc is ExecuteBatches with a per-batch hook: onBatch, when
+// non-nil, is called from the calling goroutine once per completed batch, in
+// batch order, with that batch's own Result. It is the result store's feed —
+// a caller can persist each batch tally under its content address while the
+// aggregate Result and observer stream stay exactly those of ExecuteBatches.
+// Like observe, onBatch sees a contiguous prefix of the range on
+// cancellation.
+func (c *Campaign) ExecuteBatchesFunc(ctx context.Context, first, last int, observe func(Run), onBatch func(batch int, res Result)) (Result, error) {
 	if c.Runs <= 0 {
 		return Result{}, fmt.Errorf("fault: campaign needs a positive run count")
 	}
@@ -163,13 +191,6 @@ func (c *Campaign) ExecuteBatches(ctx context.Context, first, last int, observe 
 	}
 
 	inj := NewInjector(c.Faults...)
-	runsIn := func(b int) int {
-		n := sim.Lanes
-		if rem := c.Runs - b*sim.Lanes; rem < n {
-			n = rem
-		}
-		return n
-	}
 
 	batchCh := make(chan int)
 	outCh := make(chan batchOut, workers)
@@ -192,13 +213,13 @@ func (c *Campaign) ExecuteBatches(ctx context.Context, first, last int, observe 
 					out.res.Counts[r.Outcome]++
 				}
 				if observe != nil {
-					out.runs = make([]Run, 0, runsIn(b))
-					c.runBatch(runner, b, runsIn(b), func(r Run) {
+					out.runs = make([]Run, 0, c.BatchRuns(b))
+					c.runBatch(runner, b, c.BatchRuns(b), func(r Run) {
 						out.runs = append(out.runs, r)
 						count(r)
 					})
 				} else {
-					c.runBatch(runner, b, runsIn(b), count)
+					c.runBatch(runner, b, c.BatchRuns(b), count)
 				}
 				if mm != nil {
 					mm.countBatch(time.Since(start).Nanoseconds(), len(c.Faults), out.res)
@@ -253,6 +274,9 @@ func (c *Campaign) ExecuteBatches(ctx context.Context, first, last int, observe 
 			}
 			for _, r := range o.runs {
 				observe(r)
+			}
+			if onBatch != nil {
+				onBatch(next, o.res)
 			}
 			next++
 		}

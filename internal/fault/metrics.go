@@ -18,6 +18,13 @@ type metrics struct {
 	effective   *obs.Counter
 	batchNS     *obs.Histogram
 	reorder     *obs.Gauge
+
+	// Replay counters are fed by CountReplay, never by the engine itself:
+	// scone_fault_runs_total / scone_fault_batches_total count only work
+	// the simulator actually performed, so throughput dashboards dividing
+	// runs by wall time are not inflated by cache hits.
+	runsReplayed    *obs.Counter
+	batchesReplayed *obs.Counter
 }
 
 var met atomic.Pointer[metrics]
@@ -41,7 +48,23 @@ func EnableObservability(reg *obs.Registry) {
 		effective:   reg.NewCounter("scone_fault_effective_total", "Runs releasing an undetected wrong ciphertext"),
 		batchNS:     reg.NewHistogram("scone_fault_batch_ns", "Wall time of one 64-lane batch", obs.ExpBuckets(4_000, 4, 14)),
 		reorder:     reg.NewGauge("scone_fault_reorder_depth_count", "Batches parked in the reorder buffer awaiting in-order delivery"),
+
+		runsReplayed:    reg.NewCounter("scone_fault_runs_replayed_total", "Campaign runs served from the result store without simulation"),
+		batchesReplayed: reg.NewCounter("scone_fault_batches_replayed_total", "Campaign batches served from the result store without simulation"),
 	})
+}
+
+// CountReplay records batches whose results were served from a result store
+// instead of the simulator. The split keeps scone_fault_runs_total an honest
+// simulation-throughput counter: replayed work lands here, simulated work in
+// countBatch, and the two never mix.
+func CountReplay(batches int, res Result) {
+	m := met.Load()
+	if m == nil {
+		return
+	}
+	m.batchesReplayed.Add(int64(batches))
+	m.runsReplayed.Add(int64(res.Total))
 }
 
 // countBatch records one completed batch: its wall time, run outcomes and

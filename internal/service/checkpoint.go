@@ -34,30 +34,30 @@ type jobRecord struct {
 	Submitted  time.Time   `json:"submitted"`
 }
 
-// store persists job records under dir/jobs/<id>.json. A nil store (no
+// jobStore persists job records under dir/jobs/<id>.json. A nil jobStore (no
 // state dir configured) turns every operation into a no-op: the service
 // then runs purely in memory.
-type store struct {
+type jobStore struct {
 	dir string
 }
 
-func openStore(dir string) (*store, error) {
+func openJobStore(dir string) (*jobStore, error) {
 	if dir == "" {
 		return nil, nil
 	}
 	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("service: state dir: %w", err)
 	}
-	return &store{dir: dir}, nil
+	return &jobStore{dir: dir}, nil
 }
 
-func (st *store) path(id string) string {
+func (st *jobStore) path(id string) string {
 	return filepath.Join(st.dir, "jobs", id+".json")
 }
 
 // save writes atomically (temp file + rename) so a kill mid-write can never
 // corrupt a record: the previous checkpoint stays intact.
-func (st *store) save(rec *jobRecord) error {
+func (st *jobStore) save(rec *jobRecord) error {
 	if st == nil {
 		return nil
 	}
@@ -74,7 +74,7 @@ func (st *store) save(rec *jobRecord) error {
 
 // loadAll returns every persisted record sorted by ID (IDs are zero-padded
 // sequence numbers, so this is submission order).
-func (st *store) loadAll() ([]*jobRecord, error) {
+func (st *jobStore) loadAll() ([]*jobRecord, error) {
 	if st == nil {
 		return nil, nil
 	}

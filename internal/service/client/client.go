@@ -288,6 +288,35 @@ func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, erro
 	return st, err
 }
 
+// Results fetches the stored result for the campaign req describes by
+// content address — zero simulation server-side. Only single-fault campaign
+// requests have a query encoding; see service.ResultsQueryValues.
+func (c *Client) Results(ctx context.Context, req service.JobRequest) (service.ResultsView, error) {
+	var view service.ResultsView
+	vals, err := service.ResultsQueryValues(req)
+	if err != nil {
+		return view, err
+	}
+	err = c.do(ctx, http.MethodGet, "/v1/results?"+vals.Encode(), nil, &view)
+	return view, err
+}
+
+// StoredRuns lists the daemon's durable campaign run records.
+func (c *Client) StoredRuns(ctx context.Context) ([]service.RunRecord, error) {
+	var out struct {
+		Runs []service.RunRecord `json:"runs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/runs", nil, &out)
+	return out.Runs, err
+}
+
+// StoredRun fetches one durable run record by job ID.
+func (c *Client) StoredRun(ctx context.Context, id string) (service.RunRecord, error) {
+	var rec service.RunRecord
+	err := c.do(ctx, http.MethodGet, "/v1/runs/"+id, nil, &rec)
+	return rec, err
+}
+
 // Metrics fetches the daemon's legacy JSON counter snapshot.
 func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
 	var out map[string]int64

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/service"
 	"repro/internal/sim"
 )
@@ -272,12 +273,15 @@ func (w *Worker) execute(ctx context.Context, grant service.LeaseGrant) {
 	}
 
 	var acc service.CampaignResult
+	var batchTallies []service.CampaignResult // per-batch, in batch order
 	for b := grant.FirstBatch; b < grant.LastBatch; {
 		end := b + w.cfg.ChunkBatches
 		if end > grant.LastBatch {
 			end = grant.LastBatch
 		}
-		res, execErr := camp.ExecuteBatches(leaseCtx, b, end, nil)
+		res, execErr := camp.ExecuteBatchesFunc(leaseCtx, b, end, nil, func(_ int, r fault.Result) {
+			batchTallies = append(batchTallies, service.NewCampaignResult(r))
+		})
 		acc.Add(res)
 		// Completed batches are always full sim.Lanes wide except the
 		// campaign's final batch, which only completes error-free.
@@ -313,6 +317,12 @@ func (w *Worker) execute(ctx context.Context, grant service.LeaseGrant) {
 			}
 		}
 		b = end
+	}
+	// The per-batch tallies ride only on the completion report: they are
+	// what lets the coordinator store each batch by content address, and a
+	// lease is only cacheable once its whole range completed.
+	if len(batchTallies) == grant.LastBatch-grant.FirstBatch {
+		rep.Batches = batchTallies
 	}
 	if err := w.client.CompleteLease(leaseCtx, grant.LeaseID, rep); err != nil &&
 		!errors.Is(err, ErrConflict) && !errors.Is(err, ErrNotFound) && !w.abrupt.Load() && ctx.Err() == nil {

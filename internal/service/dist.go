@@ -25,7 +25,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // DistConfig enables and tunes the distributed campaign fabric on a
@@ -187,7 +190,12 @@ type LeaseReport struct {
 	WorkerID    string         `json:"worker_id"`
 	DoneBatches int            `json:"done_batches"`
 	Counts      CampaignResult `json:"counts"`
-	Error       string         `json:"error,omitempty"`
+	// Batches carries the per-batch tallies of the lease's range, in batch
+	// order, on completion reports. The coordinator persists them in its
+	// result store under their content addresses; older workers that omit
+	// them merely forgo caching.
+	Batches []CampaignResult `json:"batches,omitempty"`
+	Error   string           `json:"error,omitempty"`
 }
 
 // lease is one batch range of one distributed job.
@@ -217,10 +225,14 @@ type workerEntry struct {
 	lastSeen  time.Time
 }
 
-// completedRange is a merged-but-not-yet-contiguous lease result.
+// completedRange is a merged-but-not-yet-contiguous lease result. Ranges
+// the result store pre-completed at register time carry their replay split;
+// worker-executed ranges have zero replay.
 type completedRange struct {
-	last   int
-	counts CampaignResult
+	last            int
+	counts          CampaignResult
+	replayedRuns    int
+	replayedBatches int
 }
 
 // distJob is the coordinator-side state of one distributed campaign job.
@@ -228,11 +240,19 @@ type distJob struct {
 	id      string
 	req     JobRequest
 	batches int
+	runs    int // campaign total, for per-batch run counts
 
-	cursor    int // merged contiguous batch prefix
-	acc       CampaignResult
-	completed map[int]completedRange // firstBatch -> out-of-order results
-	failed    string
+	// digest addresses the campaign in the result store; useStore gates
+	// every store interaction (false without a store or on address failure).
+	digest   store.Digest
+	useStore bool
+
+	cursor          int // merged contiguous batch prefix
+	acc             CampaignResult
+	replayedRuns    int // runs of the merged prefix served from the store
+	replayedBatches int
+	completed       map[int]completedRange // firstBatch -> out-of-order results
+	failed          string
 
 	// notify wakes the job goroutine (runCampaignDistributed); it is
 	// capacity-1 and sends never block, so the coordinator can signal
@@ -240,12 +260,42 @@ type distJob struct {
 	notify chan struct{}
 }
 
+// foldLocked advances the merge cursor over every contiguous completed
+// range, accumulating counts and the replay split in batch order — the
+// ordered-prefix merge that keeps distributed results bit-identical to a
+// single-node run. Callers hold c.mu.
+func (dj *distJob) foldLocked() (advanced bool) {
+	for {
+		r, ok := dj.completed[dj.cursor]
+		if !ok {
+			return advanced
+		}
+		delete(dj.completed, dj.cursor)
+		dj.acc.Accumulate(r.counts)
+		dj.replayedRuns += r.replayedRuns
+		dj.replayedBatches += r.replayedBatches
+		dj.cursor = r.last
+		advanced = true
+	}
+}
+
+// batchRunsOf returns the run count of batch b in a campaign of runs total
+// runs (fault.Campaign.BatchRuns without the campaign value).
+func batchRunsOf(runs, b int) int {
+	n := sim.Lanes
+	if rem := runs - b*sim.Lanes; rem < n {
+		n = rem
+	}
+	return n
+}
+
 // coordinator owns the worker registry and the lease table. It has its own
 // mutex — never held together with Service.mu — and talks to job
 // goroutines only through non-blocking notify channels.
 type coordinator struct {
 	cfg     DistConfig
-	metrics *Metrics // set by Service.New after newMetrics
+	metrics *Metrics     // set by Service.New after newMetrics
+	results *store.Store // set by Service.New; nil-safe when absent
 
 	mu         sync.Mutex
 	workers    map[string]*workerEntry
@@ -270,38 +320,81 @@ func newCoordinator(cfg DistConfig) *coordinator {
 }
 
 // register creates the lease table for a distributed job, starting from
-// the checkpointed batch cursor. It arms the notify channel once so the
-// job goroutine immediately observes already-done edge cases (e.g. a
-// resume at the final batch).
-func (c *coordinator) register(jobID string, req JobRequest, start, batches int, acc CampaignResult) *distJob {
+// the checkpointed batch cursor. The result store is consulted exactly once
+// per batch: cached batches become pre-completed ranges merged through the
+// same ordered-prefix fold as lease results, and only the uncached gaps are
+// cut into leases — a fully cached resubmission grants zero leases. It arms
+// the notify channel once so the job goroutine immediately observes
+// already-done edge cases (e.g. a fully cached or resumed-at-the-end job).
+func (c *coordinator) register(jobID string, req JobRequest, start, batches int, acc CampaignResult, runs int, digest store.Digest, useStore bool) *distJob {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	dj := &distJob{
 		id:        jobID,
 		req:       req,
 		batches:   batches,
+		runs:      runs,
+		digest:    digest,
+		useStore:  useStore && c.results != nil,
 		cursor:    start,
 		acc:       acc,
 		completed: make(map[int]completedRange),
 		notify:    make(chan struct{}, 1),
 	}
 	c.jobs[jobID] = dj
-	for first := start; first < batches; first += c.cfg.LeaseBatches {
-		last := first + c.cfg.LeaseBatches
-		if last > batches {
-			last = batches
+	var cached []*store.Counts
+	if dj.useStore {
+		cached = make([]*store.Counts, batches-start)
+		for b := start; b < batches; b++ {
+			k := store.BatchKey{Campaign: digest, Batch: b, Runs: batchRunsOf(runs, b)}
+			if cnt, ok := c.results.GetBatch(k); ok {
+				cc := cnt
+				cached[b-start] = &cc
+			}
 		}
-		l := &lease{
-			id:    fmt.Sprintf("l%06d", c.nextLease),
-			jobID: jobID,
-			first: first,
-			last:  last,
-			state: LeasePending,
-		}
-		c.nextLease++
-		c.leases[l.id] = l
-		c.order = append(c.order, l)
 	}
+	for b := start; b < batches; {
+		if cached != nil && cached[b-start] != nil {
+			first := b
+			var r completedRange
+			for b < batches && cached[b-start] != nil {
+				cnt := *cached[b-start]
+				r.counts.Total += cnt.Total
+				r.counts.Ineffective += cnt.Ineffective
+				r.counts.Detected += cnt.Detected
+				r.counts.Effective += cnt.Effective
+				r.replayedRuns += cnt.Total
+				r.replayedBatches++
+				b++
+			}
+			r.last = b
+			dj.completed[first] = r
+			fault.CountReplay(r.replayedBatches, fault.Result{Total: r.replayedRuns})
+			continue
+		}
+		end := b
+		for end < batches && (cached == nil || cached[end-start] == nil) {
+			end++
+		}
+		for first := b; first < end; first += c.cfg.LeaseBatches {
+			last := first + c.cfg.LeaseBatches
+			if last > end {
+				last = end
+			}
+			l := &lease{
+				id:    fmt.Sprintf("l%06d", c.nextLease),
+				jobID: jobID,
+				first: first,
+				last:  last,
+				state: LeasePending,
+			}
+			c.nextLease++
+			c.leases[l.id] = l
+			c.order = append(c.order, l)
+		}
+		b = end
+	}
+	dj.foldLocked()
 	dj.wake()
 	return dj
 }
@@ -332,15 +425,34 @@ func (c *coordinator) dropJobLeasesLocked(jobID string) {
 	c.order = kept
 }
 
+// distProgress is a point-in-time view of a distributed job's merged state,
+// including how the merged prefix split between store replay and worker
+// simulation.
+type distProgress struct {
+	cursor          int
+	acc             CampaignResult
+	replayedRuns    int
+	replayedBatches int
+	done            bool
+	failed          string
+}
+
 // snapshot reads a job's merged state for the job goroutine.
-func (c *coordinator) snapshot(jobID string) (cursor int, acc CampaignResult, done bool, failed string) {
+func (c *coordinator) snapshot(jobID string) distProgress {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	dj, ok := c.jobs[jobID]
 	if !ok {
-		return 0, CampaignResult{}, false, ""
+		return distProgress{}
 	}
-	return dj.cursor, dj.acc, dj.cursor == dj.batches, dj.failed
+	return distProgress{
+		cursor:          dj.cursor,
+		acc:             dj.acc,
+		replayedRuns:    dj.replayedRuns,
+		replayedBatches: dj.replayedBatches,
+		done:            dj.cursor == dj.batches,
+		failed:          dj.failed,
+	}
 }
 
 // wake signals the job goroutine without ever blocking.
@@ -545,19 +657,19 @@ func (c *coordinator) complete(leaseID string, rep LeaseReport) error {
 			break
 		}
 	}
-	dj.completed[l.first] = completedRange{last: l.last, counts: rep.Counts}
-	advanced := false
-	for {
-		r, ok := dj.completed[dj.cursor]
-		if !ok {
-			break
+	// Persist the worker's per-batch tallies under their content addresses
+	// before merging. The length check rejects malformed reports; PutBatch
+	// itself rejects tallies that contradict an existing record, so a buggy
+	// or malicious worker cannot silently poison the cache.
+	if dj.useStore && len(rep.Batches) == l.last-l.first {
+		for i, cb := range rep.Batches {
+			bi := l.first + i
+			k := store.BatchKey{Campaign: dj.digest, Batch: bi, Runs: batchRunsOf(dj.runs, bi)}
+			_ = c.results.PutBatch(k, storeCounts(cb))
 		}
-		delete(dj.completed, dj.cursor)
-		dj.acc.Accumulate(r.counts)
-		dj.cursor = r.last
-		advanced = true
 	}
-	if advanced {
+	dj.completed[l.first] = completedRange{last: l.last, counts: rep.Counts}
+	if dj.foldLocked() {
 		dj.wake()
 	}
 	return nil

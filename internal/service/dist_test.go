@@ -10,6 +10,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/store"
 )
 
 func distReq() JobRequest {
@@ -45,7 +47,7 @@ func acquirePoll(t *testing.T, c *coordinator, workerID string) *LeaseGrant {
 
 func TestCoordinatorGrantOrderAndMerge(t *testing.T) {
 	c := newCoordinator(DistConfig{LeaseBatches: 2, LeaseTTL: time.Hour})
-	dj := c.register("j1", distReq(), 0, 5, CampaignResult{})
+	dj := c.register("j1", distReq(), 0, 5, CampaignResult{}, 320, store.Digest{}, false)
 	select {
 	case <-dj.notify:
 	default:
@@ -80,18 +82,18 @@ func TestCoordinatorGrantOrderAndMerge(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	cursor, acc, done, _ := c.snapshot("j1")
-	if cursor != 0 || acc.Total != 0 || done {
-		t.Fatalf("cursor advanced past a gap: cursor %d acc %+v", cursor, acc)
+	p := c.snapshot("j1")
+	if p.cursor != 0 || p.acc.Total != 0 || p.done {
+		t.Fatalf("cursor advanced past a gap: cursor %d acc %+v", p.cursor, p.acc)
 	}
 	if err := c.complete(g1.LeaseID, LeaseReport{
 		WorkerID: w1.WorkerID, Counts: CampaignResult{Total: 128, Detected: 100},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	cursor, acc, done, _ = c.snapshot("j1")
-	if cursor != 4 || acc.Total != 256 || acc.Detected != 228 || done {
-		t.Fatalf("after folding both ranges: cursor %d acc %+v", cursor, acc)
+	p = c.snapshot("j1")
+	if p.cursor != 4 || p.acc.Total != 256 || p.acc.Detected != 228 || p.done {
+		t.Fatalf("after folding both ranges: cursor %d acc %+v", p.cursor, p.acc)
 	}
 
 	g3 := acquirePoll(t, c, w1.WorkerID)
@@ -103,9 +105,9 @@ func TestCoordinatorGrantOrderAndMerge(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	cursor, acc, done, failed := c.snapshot("j1")
-	if cursor != 5 || !done || failed != "" || acc.Total != 320 || acc.Detected != 292 {
-		t.Fatalf("final snapshot: cursor %d done %v acc %+v", cursor, done, acc)
+	p = c.snapshot("j1")
+	if p.cursor != 5 || !p.done || p.failed != "" || p.acc.Total != 320 || p.acc.Detected != 292 {
+		t.Fatalf("final snapshot: cursor %d done %v acc %+v", p.cursor, p.done, p.acc)
 	}
 	if got := len(c.leasesInfo()); got != 0 {
 		t.Fatalf("%d leases survive a finished job", got)
@@ -122,7 +124,7 @@ func TestCoordinatorGrantOrderAndMerge(t *testing.T) {
 
 func TestCoordinatorHeartbeatRenewsAndDrops(t *testing.T) {
 	c := newCoordinator(DistConfig{LeaseBatches: 8, LeaseTTL: time.Hour})
-	c.register("j1", distReq(), 0, 5, CampaignResult{})
+	c.register("j1", distReq(), 0, 5, CampaignResult{}, 320, store.Digest{}, false)
 	w := c.join(JoinRequest{})
 	g := acquirePoll(t, c, w.WorkerID)
 
@@ -153,7 +155,7 @@ func TestCoordinatorHeartbeatRenewsAndDrops(t *testing.T) {
 func TestCoordinatorExpiryReassignsAndConflicts(t *testing.T) {
 	ttl := 40 * time.Millisecond
 	c := newCoordinator(DistConfig{LeaseBatches: 8, LeaseTTL: ttl})
-	c.register("j1", distReq(), 0, 5, CampaignResult{})
+	c.register("j1", distReq(), 0, 5, CampaignResult{}, 320, store.Digest{}, false)
 	w1 := c.join(JoinRequest{Name: "victim"})
 	w2 := c.join(JoinRequest{Name: "survivor"})
 	g1 := acquirePoll(t, c, w1.WorkerID)
@@ -187,15 +189,15 @@ func TestCoordinatorExpiryReassignsAndConflicts(t *testing.T) {
 	if ls := c.leasesInfo(); ls[0].DoneBatches != 2 {
 		t.Fatalf("progress not recorded: %+v", ls[0])
 	}
-	cursor, acc, _, _ := c.snapshot("j1")
-	if cursor != 0 || acc.Total != 0 {
-		t.Fatalf("stale counts leaked into the merge: cursor %d acc %+v", cursor, acc)
+	p := c.snapshot("j1")
+	if p.cursor != 0 || p.acc.Total != 0 {
+		t.Fatalf("stale counts leaked into the merge: cursor %d acc %+v", p.cursor, p.acc)
 	}
 }
 
 func TestCoordinatorFailureBudgetFailsJob(t *testing.T) {
 	c := newCoordinator(DistConfig{LeaseBatches: 8, LeaseTTL: 40 * time.Millisecond, MaxAttempts: 2})
-	c.register("j1", distReq(), 0, 5, CampaignResult{})
+	c.register("j1", distReq(), 0, 5, CampaignResult{}, 320, store.Digest{}, false)
 	w := c.join(JoinRequest{})
 
 	for attempt := 1; attempt <= 2; attempt++ {
@@ -204,9 +206,9 @@ func TestCoordinatorFailureBudgetFailsJob(t *testing.T) {
 			t.Fatalf("fail attempt %d: %v", attempt, err)
 		}
 	}
-	_, _, done, failed := c.snapshot("j1")
-	if done || failed == "" {
-		t.Fatalf("job not failed after exhausting attempts: done %v failed %q", done, failed)
+	p := c.snapshot("j1")
+	if p.done || p.failed == "" {
+		t.Fatalf("job not failed after exhausting attempts: done %v failed %q", p.done, p.failed)
 	}
 	// A failed job's leases are never granted again.
 	time.Sleep(60 * time.Millisecond)
@@ -224,7 +226,7 @@ func TestCoordinatorFailureBudgetFailsJob(t *testing.T) {
 
 func TestCoordinatorLeaveReleasesUncharged(t *testing.T) {
 	c := newCoordinator(DistConfig{LeaseBatches: 8, LeaseTTL: time.Hour})
-	c.register("j1", distReq(), 0, 5, CampaignResult{})
+	c.register("j1", distReq(), 0, 5, CampaignResult{}, 320, store.Digest{}, false)
 	w1 := c.join(JoinRequest{})
 	w2 := c.join(JoinRequest{})
 	g1 := acquirePoll(t, c, w1.WorkerID)
@@ -256,11 +258,11 @@ func TestCoordinatorLeaveReleasesUncharged(t *testing.T) {
 func TestCoordinatorRegisterFromCheckpoint(t *testing.T) {
 	c := newCoordinator(DistConfig{LeaseBatches: 2, LeaseTTL: time.Hour})
 	acc := CampaignResult{Total: 192, Detected: 180, Ineffective: 12}
-	c.register("j1", distReq(), 3, 5, acc)
+	c.register("j1", distReq(), 3, 5, acc, 320, store.Digest{}, false)
 
-	cursor, got, done, _ := c.snapshot("j1")
-	if cursor != 3 || got != acc || done {
-		t.Fatalf("resume snapshot: cursor %d acc %+v", cursor, got)
+	p := c.snapshot("j1")
+	if p.cursor != 3 || p.acc != acc || p.done {
+		t.Fatalf("resume snapshot: cursor %d acc %+v", p.cursor, p.acc)
 	}
 	ls := c.leasesInfo()
 	if len(ls) != 1 || ls[0].FirstBatch != 3 || ls[0].LastBatch != 5 {
@@ -274,15 +276,15 @@ func TestCoordinatorRegisterFromCheckpoint(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	cursor, got, done, _ = c.snapshot("j1")
-	if cursor != 5 || !done || got.Total != 320 || got.Detected != 300 || got.Ineffective != 20 {
-		t.Fatalf("resumed job final: cursor %d acc %+v", cursor, got)
+	p = c.snapshot("j1")
+	if p.cursor != 5 || !p.done || p.acc.Total != 320 || p.acc.Detected != 300 || p.acc.Ineffective != 20 {
+		t.Fatalf("resumed job final: cursor %d acc %+v", p.cursor, p.acc)
 	}
 }
 
 func TestCoordinatorDrainingAndNilSafety(t *testing.T) {
 	c := newCoordinator(DistConfig{LeaseBatches: 8, LeaseTTL: time.Hour})
-	c.register("j1", distReq(), 0, 5, CampaignResult{})
+	c.register("j1", distReq(), 0, 5, CampaignResult{}, 320, store.Digest{}, false)
 	w := c.join(JoinRequest{})
 
 	c.setDraining()

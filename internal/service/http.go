@@ -90,6 +90,9 @@ const maxRequestBytes = 8 << 20
 //	DELETE /v1/jobs/{id}              cancel
 //	POST   /v1/jobs/{id}/cancel      cancel (proxy-friendly alias)
 //	GET    /v1/jobs/{id}/stream      NDJSON progress stream
+//	GET    /v1/results               stored campaign results by content address (zero simulation)
+//	GET    /v1/runs                  stored campaign run records (provenance)
+//	GET    /v1/runs/{id}             one stored run record
 //	GET    /v1/healthz               liveness
 //	GET    /v1/metrics               Prometheus text (JSON snapshot with Accept: application/json)
 //	GET    /v1/workers               distributed-fabric worker registry
@@ -122,6 +125,18 @@ func (s *Service) registerV1(mux *http.ServeMux) {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", cancel)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", cancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.streamHandler(writeV1Error))
+	mux.HandleFunc("GET /v1/results", s.resultsHandler(writeV1Error))
+	mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		writeStatus(w, http.StatusOK, map[string]any{"runs": s.StoredRuns()})
+	})
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		rec, err := s.StoredRun(r.PathValue("id"))
+		if err != nil {
+			writeV1Error(w, http.StatusNotFound, CodeNotFound, err)
+			return
+		}
+		writeStatus(w, http.StatusOK, rec)
+	})
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.registerDistV1(mux)
@@ -160,6 +175,26 @@ func (s *Service) submitHandler(we errWriter) http.HandlerFunc {
 			return
 		}
 		writeStatus(w, http.StatusAccepted, st)
+	}
+}
+
+// resultsHandler serves stored campaign results by content address. The
+// query vocabulary mirrors `sconectl submit` flags; the response is a
+// ResultsView and never triggers simulation.
+func (s *Service) resultsHandler(we errWriter) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req, err := ParseResultsQuery(r.URL.Query())
+		if err != nil {
+			we(w, http.StatusBadRequest, CodeInvalidRequest, err)
+			return
+		}
+		view, err := s.Results(req)
+		if err != nil {
+			status, code := errorStatus(err)
+			we(w, status, code, err)
+			return
+		}
+		writeStatus(w, http.StatusOK, view)
 	}
 }
 

@@ -25,6 +25,10 @@ type Metrics struct {
 	JobsResumed   *obs.Counter
 	Checkpoints   *obs.Counter
 	RunsSimulated *obs.Counter
+	// RunsReplayed counts campaign runs whose batch results came from the
+	// result store; RunsSimulated counts only freshly simulated runs, so
+	// the two partition a job's progress by where the work happened.
+	RunsReplayed  *obs.Counter
 	StreamClients *obs.Gauge
 	JobsRunning   *obs.Gauge
 	QueueDepth    *obs.Gauge
@@ -62,6 +66,7 @@ func newMetrics(reg *obs.Registry, q *queue, c *coordinator) *Metrics {
 		JobsResumed:   reg.NewCounter("scone_service_jobs_resumed_total", "Campaign executions resumed from a checkpoint"),
 		Checkpoints:   reg.NewCounter("scone_service_checkpoints_total", "Campaign checkpoints persisted"),
 		RunsSimulated: reg.NewCounter("scone_service_runs_simulated_total", "Campaign runs simulated across all jobs"),
+		RunsReplayed:  reg.NewCounter("scone_service_runs_replayed_total", "Campaign runs served from the result store across all jobs"),
 		StreamClients: reg.NewGauge("scone_service_stream_clients_count", "Connected NDJSON stream consumers"),
 		JobsRunning:   reg.NewGauge("scone_service_jobs_running_count", "Jobs currently executing"),
 		QueueDepth: reg.NewGaugeFunc("scone_service_queue_depth_count", "Queued-but-not-started jobs across all shards",
@@ -109,6 +114,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"jobs_resumed_total":   m.JobsResumed.Value(),
 		"checkpoints_total":    m.Checkpoints.Value(),
 		"runs_simulated_total": m.RunsSimulated.Value(),
+		"runs_replayed_total":  m.RunsReplayed.Value(),
 		"stream_clients":       m.StreamClients.Value(),
 		"jobs_running":         m.JobsRunning.Value(),
 		"queue_depth":          m.QueueDepth.Value(),

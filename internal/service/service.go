@@ -4,17 +4,20 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/fault"
 	"repro/internal/lint"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spn"
 	"repro/internal/stdcell"
+	"repro/internal/store"
 )
 
 // Config sizes the service.
@@ -100,12 +103,18 @@ type Service struct {
 	baseCtx context.Context
 	stop    context.CancelFunc
 
+	// results is the content-addressed campaign result store (StateDir/
+	// results.log); nil without a StateDir. Every store method is nil-safe,
+	// so the storeless service runs the same code path with every lookup a
+	// miss.
+	results *store.Store
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string
 	nextID   int
 	queue    *queue
-	store    *store
+	store    *jobStore
 	draining bool
 
 	wg sync.WaitGroup
@@ -115,7 +124,7 @@ type Service struct {
 // starts the worker pool.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	st, err := openStore(cfg.StateDir)
+	st, err := openJobStore(cfg.StateDir)
 	if err != nil {
 		return nil, err
 	}
@@ -148,8 +157,18 @@ func New(cfg Config) (*Service, error) {
 		queue:   newQueue(cfg.Workers, depth),
 		store:   st,
 	}
+	if cfg.StateDir != "" {
+		rs, err := store.Open(filepath.Join(cfg.StateDir, "results.log"))
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		rs.EnableObservability(reg)
+		s.results = rs
+	}
 	if cfg.Dist.Enabled {
 		s.dist = newCoordinator(cfg.Dist)
+		s.dist.results = s.results
 	}
 	s.Metrics = newMetrics(reg, s.queue, s.dist)
 	if s.dist != nil {
@@ -329,7 +348,11 @@ func (s *Service) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		// Workers are quiesced; the result store can close durably. Late
+		// distributed lease reports now get store-closed errors, which the
+		// put-error counter records and the determinism contract absorbs —
+		// the batches are simply re-simulated next time.
+		return s.results.Close()
 	case <-ctx.Done():
 		return fmt.Errorf("service: drain: %w", ctx.Err())
 	}
@@ -493,7 +516,11 @@ func (s *Service) runJob(j *job) {
 // runCampaign executes a campaign job in checkpoint-sized chunks. Each
 // chunk is a contiguous batch range of the seed-deterministic campaign;
 // after every chunk the accumulated counts and the next batch index are
-// persisted and a progress event is published.
+// persisted and a progress event is published. Within a chunk the result
+// store is consulted per batch: cached batches are spliced in without
+// simulation, uncached ones are executed and their tallies stored, and the
+// merge stays bit-identical to an uninterrupted run because both sources
+// carry the identical (seed, batch)-deterministic counts.
 func (s *Service) runCampaign(ctx context.Context, j *job) (*JobResult, error) {
 	d, err := BuildDesign(j.req.Design)
 	if err != nil {
@@ -502,6 +529,15 @@ func (s *Service) runCampaign(ctx context.Context, j *job) (*JobResult, error) {
 	camp, err := buildCampaign(d, j.req.Campaign, s.cfg.SimWorkers)
 	if err != nil {
 		return nil, err
+	}
+
+	// An address failure disables replay for this job, never fails it: the
+	// store is an accelerator, not a dependency.
+	addr, addrErr := campaignAddress(camp)
+	useStore := addrErr == nil && s.results != nil
+	var digest store.Digest
+	if useStore {
+		digest = addr.Digest()
 	}
 
 	batches := camp.NumBatches()
@@ -522,35 +558,106 @@ func (s *Service) runCampaign(ctx context.Context, j *job) (*JobResult, error) {
 	j.progress = &Progress{Done: acc.Total, Total: camp.Runs, Counts: acc}
 	s.mu.Unlock()
 
+	prov := s.beginRunRecord(j, camp, addr, digest, useStore)
 	for b := start; b < batches; {
 		end := b + chunk
 		if end > batches {
 			end = batches
 		}
-		res, execErr := camp.ExecuteBatches(ctx, b, end, nil)
-		acc.Add(res)
-		// Completed batches are always full sim.Lanes wide except the
-		// campaign's final batch, which only completes error-free.
-		completed := b + res.Total/sim.Lanes
-		if execErr == nil {
-			completed = end
-		}
+		delta, execErr := s.executeRange(ctx, camp, digest, useStore, b, end)
+		acc.Accumulate(delta.counts)
+		prov.add(delta.replayedBatches, delta.completed-delta.replayedBatches)
 		s.mu.Lock()
-		j.checkpoint = &Checkpoint{NextBatch: completed, Counts: acc}
+		j.checkpoint = &Checkpoint{NextBatch: b + delta.completed, Counts: acc}
 		j.progress = &Progress{Done: acc.Total, Total: camp.Runs, Counts: acc}
-		s.Metrics.RunsSimulated.Add(int64(res.Total))
+		s.Metrics.RunsSimulated.Add(int64(delta.simulatedRuns))
+		s.Metrics.RunsReplayed.Add(int64(delta.replayedRuns))
 		s.Metrics.Checkpoints.Inc()
 		s.persistLocked(j)
 		p := *j.progress
 		s.publishLocked(j, Event{Type: "progress", Progress: &p})
 		s.mu.Unlock()
+		// Checkpoint cadence doubles as store durability cadence.
+		_ = s.results.Sync()
 		if execErr != nil {
+			prov.finish(execErr, nil)
 			return nil, execErr
 		}
 		b = end
 	}
 	cr := acc
+	prov.finish(nil, &cr)
 	return &JobResult{Campaign: &cr}, nil
+}
+
+// rangeDelta is one executeRange outcome: the merged counts of the range's
+// completed contiguous prefix and how that work split between replay and
+// simulation.
+type rangeDelta struct {
+	counts          CampaignResult
+	completed       int // batches of the contiguous prefix
+	replayedBatches int
+	replayedRuns    int
+	simulatedRuns   int
+}
+
+// executeRange runs the batch range [first, last) with store splicing. The
+// cache is consulted exactly once per batch up front (so the hit/miss
+// instruments measure the replay decision precisely), then the range is
+// walked as alternating cached and uncached segments: cached batches merge
+// their stored counts and count as replays, uncached segments execute with
+// a per-batch hook that stores each fresh tally under its content address.
+// Like ExecuteBatches, the returned delta covers a contiguous prefix of the
+// range on cancellation.
+func (s *Service) executeRange(ctx context.Context, camp *fault.Campaign, digest store.Digest, useStore bool, first, last int) (rangeDelta, error) {
+	var d rangeDelta
+	var cached []*store.Counts
+	if useStore {
+		cached = make([]*store.Counts, last-first)
+		for b := first; b < last; b++ {
+			k := store.BatchKey{Campaign: digest, Batch: b, Runs: camp.BatchRuns(b)}
+			if c, ok := s.results.GetBatch(k); ok {
+				cc := c
+				cached[b-first] = &cc
+			}
+		}
+	}
+	for b := first; b < last; {
+		if cached != nil && cached[b-first] != nil {
+			c := *cached[b-first]
+			accumulateCounts(&d.counts, c)
+			fault.CountReplay(1, fault.Result{Total: c.Total})
+			d.replayedBatches++
+			d.replayedRuns += c.Total
+			d.completed++
+			b++
+			continue
+		}
+		end := b
+		for end < last && (cached == nil || cached[end-first] == nil) {
+			end++
+		}
+		res, execErr := camp.ExecuteBatchesFunc(ctx, b, end, nil, func(bi int, r fault.Result) {
+			if useStore {
+				k := store.BatchKey{Campaign: digest, Batch: bi, Runs: r.Total}
+				_ = s.results.PutBatch(k, faultCounts(r)) // conflicts/failures count in the store's own instruments
+			}
+		})
+		d.counts.Add(res)
+		d.simulatedRuns += res.Total
+		// Completed batches are always full sim.Lanes wide except the
+		// campaign's final batch, which only completes error-free.
+		done := res.Total / sim.Lanes
+		if execErr == nil {
+			done = end - b
+		}
+		d.completed += done
+		if execErr != nil {
+			return d, execErr
+		}
+		b = end
+	}
+	return d, nil
 }
 
 // runCampaignDistributed executes a campaign job through the lease fabric:
@@ -562,11 +669,22 @@ func (s *Service) runCampaign(ctx context.Context, j *job) (*JobResult, error) {
 // remainder is re-leased later; determinism makes the outcome independent
 // of where the cut lands.
 func (s *Service) runCampaignDistributed(ctx context.Context, j *job) (*JobResult, error) {
-	camp, err := BuildCampaign(j.req.Design, j.req.Campaign, s.cfg.SimWorkers)
+	d, err := BuildDesign(j.req.Design)
+	if err != nil {
+		return nil, err
+	}
+	camp, err := buildCampaign(d, j.req.Campaign, s.cfg.SimWorkers)
 	if err != nil {
 		return nil, err
 	}
 	batches := camp.NumBatches()
+
+	addr, addrErr := campaignAddress(camp)
+	useStore := addrErr == nil && s.results != nil
+	var digest store.Digest
+	if useStore {
+		digest = addr.Digest()
+	}
 
 	s.mu.Lock()
 	var acc CampaignResult
@@ -580,41 +698,58 @@ func (s *Service) runCampaignDistributed(ctx context.Context, j *job) (*JobResul
 	j.progress = &Progress{Done: acc.Total, Total: camp.Runs, Counts: acc}
 	s.mu.Unlock()
 
-	dj := s.dist.register(j.id, j.req, start, batches, acc)
+	prov := s.beginRunRecord(j, camp, addr, digest, useStore)
+	dj := s.dist.register(j.id, j.req, start, batches, acc, camp.Runs, digest, useStore)
 	defer s.dist.unregister(j.id)
 
-	lastCursor, lastTotal := start, acc.Total
+	last := distProgress{cursor: start, acc: acc}
+	finish := func(err error, res *CampaignResult) {
+		_ = s.results.Sync()
+		prov.finish(err, res)
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			// Drain or user cancel: persist the merged contiguous prefix;
 			// the caller's requeue/cancel handling proceeds from there.
-			cursor, merged, _, _ := s.dist.snapshot(j.id)
+			p := s.dist.snapshot(j.id)
 			s.mu.Lock()
-			j.checkpoint = &Checkpoint{NextBatch: cursor, Counts: merged}
+			j.checkpoint = &Checkpoint{NextBatch: p.cursor, Counts: p.acc}
 			s.persistLocked(j)
 			s.mu.Unlock()
+			prov.add(p.replayedBatches, (p.cursor-start)-p.replayedBatches)
+			finish(ctx.Err(), nil)
 			return nil, ctx.Err()
 		case <-dj.notify:
-			cursor, merged, done, failed := s.dist.snapshot(j.id)
-			if failed != "" {
-				return nil, errors.New(failed)
+			p := s.dist.snapshot(j.id)
+			if p.failed != "" {
+				prov.add(p.replayedBatches, (p.cursor-start)-p.replayedBatches)
+				finish(errors.New(p.failed), nil)
+				return nil, errors.New(p.failed)
 			}
-			if cursor != lastCursor {
-				runs := merged.Total - lastTotal
-				lastCursor, lastTotal = cursor, merged.Total
+			if p.cursor != last.cursor {
+				// The merged prefix advanced; split the new runs between
+				// replayed (batches the store pre-completed at register
+				// time) and simulated (worker-executed leases).
+				runs := p.acc.Total - last.acc.Total
+				replayed := p.replayedRuns - last.replayedRuns
+				last = p
 				s.mu.Lock()
-				j.checkpoint = &Checkpoint{NextBatch: cursor, Counts: merged}
-				j.progress = &Progress{Done: merged.Total, Total: camp.Runs, Counts: merged}
-				s.Metrics.RunsSimulated.Add(int64(runs))
+				j.checkpoint = &Checkpoint{NextBatch: p.cursor, Counts: p.acc}
+				j.progress = &Progress{Done: p.acc.Total, Total: camp.Runs, Counts: p.acc}
+				s.Metrics.RunsSimulated.Add(int64(runs - replayed))
+				s.Metrics.RunsReplayed.Add(int64(replayed))
 				s.Metrics.Checkpoints.Inc()
 				s.persistLocked(j)
-				p := *j.progress
-				s.publishLocked(j, Event{Type: "progress", Progress: &p})
+				pr := *j.progress
+				s.publishLocked(j, Event{Type: "progress", Progress: &pr})
 				s.mu.Unlock()
+				_ = s.results.Sync()
 			}
-			if done {
-				cr := merged
+			if p.done {
+				cr := p.acc
+				prov.add(p.replayedBatches, (p.cursor-start)-p.replayedBatches)
+				finish(nil, &cr)
 				return &JobResult{Campaign: &cr}, nil
 			}
 		}

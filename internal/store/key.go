@@ -1,0 +1,268 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Digest is a SHA-256 content digest: of a canonical netlist text, or of an
+// encoded CampaignKey.
+type Digest [sha256.Size]byte
+
+// String renders the digest as lowercase hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// ParseDigest parses the hex form produced by String.
+func ParseDigest(s string) (Digest, error) {
+	var d Digest
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return d, fmt.Errorf("store: digest %q: %w", s, err)
+	}
+	if len(b) != len(d) {
+		return d, fmt.Errorf("store: digest %q: want %d bytes, got %d", s, len(d), len(b))
+	}
+	copy(d[:], b)
+	return d, nil
+}
+
+// HashBytes digests a byte slice.
+func HashBytes(b []byte) Digest { return sha256.Sum256(b) }
+
+// FaultPoint is the content-address form of one resolved fault: the concrete
+// net index of the built design plus model and activity window. It
+// deliberately mirrors fault.Fault field for field (without importing it, so
+// the store stays dependency-free below the engine).
+type FaultPoint struct {
+	Net       uint32
+	Model     uint8
+	FromCycle int32
+	ToCycle   int32
+	Lanes     uint64
+}
+
+// CampaignKey is the content address of a campaign's deterministic result
+// stream: everything a batch outcome depends on except the batch index.
+// Two submissions with equal keys produce bit-identical per-batch results,
+// so their batches are interchangeable in the store.
+type CampaignKey struct {
+	// Netlist digests the canonical text serialisation of the built design.
+	Netlist Digest
+	// Engine is the campaign engine's version string (fault.EngineVersion);
+	// it changes whenever simulation semantics or the randomness derivation
+	// change, invalidating every cached batch at once.
+	Engine string
+	// Key is the cipher key, Seed the campaign seed.
+	Key  [2]uint64
+	Seed uint64
+	// Faults are the resolved injection points, in submission order.
+	Faults []FaultPoint
+}
+
+// campaignKeyVersion versions the encoding itself; bump on any layout change.
+const campaignKeyVersion = 1
+
+// maxKeyFaults bounds decoded fault lists, so a corrupt length prefix cannot
+// drive a huge allocation.
+const maxKeyFaults = 1 << 16
+
+// Encode serialises the key canonically. The encoding is reversible (see
+// DecodeCampaignKey) so the address scheme itself is testable: any key must
+// round-trip, and its digest is defined as the hash of exactly these bytes.
+func (k CampaignKey) Encode() []byte {
+	buf := make([]byte, 0, 64+len(k.Engine)+24*len(k.Faults))
+	buf = append(buf, 'K', campaignKeyVersion)
+	buf = append(buf, k.Netlist[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(k.Engine)))
+	buf = append(buf, k.Engine...)
+	buf = binary.LittleEndian.AppendUint64(buf, k.Key[0])
+	buf = binary.LittleEndian.AppendUint64(buf, k.Key[1])
+	buf = binary.LittleEndian.AppendUint64(buf, k.Seed)
+	buf = binary.AppendUvarint(buf, uint64(len(k.Faults)))
+	for _, f := range k.Faults {
+		buf = binary.AppendUvarint(buf, uint64(f.Net))
+		buf = append(buf, f.Model)
+		buf = binary.AppendVarint(buf, int64(f.FromCycle))
+		buf = binary.AppendVarint(buf, int64(f.ToCycle))
+		buf = binary.LittleEndian.AppendUint64(buf, f.Lanes)
+	}
+	return buf
+}
+
+// Digest is the campaign's content address: the hash of the canonical
+// encoding.
+func (k CampaignKey) Digest() Digest { return HashBytes(k.Encode()) }
+
+// DecodeCampaignKey reverses Encode, rejecting malformed and trailing bytes.
+func DecodeCampaignKey(b []byte) (CampaignKey, error) {
+	var k CampaignKey
+	r := reader{buf: b}
+	if r.byte() != 'K' || r.byte() != campaignKeyVersion {
+		return k, fmt.Errorf("store: campaign key: bad magic/version")
+	}
+	r.read(k.Netlist[:])
+	n := r.uvarint()
+	if n > uint64(r.remaining()) {
+		return k, fmt.Errorf("store: campaign key: engine length %d exceeds payload", n)
+	}
+	eng := make([]byte, n)
+	r.read(eng)
+	k.Engine = string(eng)
+	k.Key[0] = r.uint64()
+	k.Key[1] = r.uint64()
+	k.Seed = r.uint64()
+	nf := r.uvarint()
+	if nf > maxKeyFaults {
+		return k, fmt.Errorf("store: campaign key: %d faults exceeds limit", nf)
+	}
+	if nf > 0 {
+		k.Faults = make([]FaultPoint, 0, nf)
+	}
+	for i := uint64(0); i < nf; i++ {
+		var f FaultPoint
+		f.Net = uint32(r.uvarint())
+		f.Model = r.byte()
+		f.FromCycle = int32(r.varint())
+		f.ToCycle = int32(r.varint())
+		f.Lanes = r.uint64()
+		k.Faults = append(k.Faults, f)
+	}
+	if r.err != nil {
+		return k, fmt.Errorf("store: campaign key: %w", r.err)
+	}
+	if r.remaining() != 0 {
+		return k, fmt.Errorf("store: campaign key: %d trailing bytes", r.remaining())
+	}
+	return k, nil
+}
+
+// BatchKey addresses one completed batch of a campaign. Runs is the number of
+// runs in the batch — sim.Lanes for every batch except a campaign's final
+// partial one. Keying on it lets campaigns that differ only in total run
+// count share every full batch: extending a campaign replays the cached
+// prefix and simulates only the new tail.
+type BatchKey struct {
+	Campaign Digest
+	Batch    int
+	Runs     int
+}
+
+// Counts is a batch's outcome tally, mirroring the service's wire result.
+type Counts struct {
+	Total       int `json:"total"`
+	Ineffective int `json:"ineffective"`
+	Detected    int `json:"detected"`
+	Effective   int `json:"effective"`
+}
+
+// encodeBatch serialises one (key, counts) batch record payload.
+func encodeBatch(k BatchKey, c Counts) []byte {
+	buf := make([]byte, 0, 48)
+	buf = append(buf, k.Campaign[:]...)
+	buf = binary.AppendUvarint(buf, uint64(k.Batch))
+	buf = binary.AppendUvarint(buf, uint64(k.Runs))
+	buf = binary.AppendUvarint(buf, uint64(c.Total))
+	buf = binary.AppendUvarint(buf, uint64(c.Ineffective))
+	buf = binary.AppendUvarint(buf, uint64(c.Detected))
+	buf = binary.AppendUvarint(buf, uint64(c.Effective))
+	return buf
+}
+
+// decodeBatch reverses encodeBatch, validating internal consistency so a
+// corrupt-but-CRC-valid record can never poison the index.
+func decodeBatch(b []byte) (BatchKey, Counts, error) {
+	var k BatchKey
+	var c Counts
+	r := reader{buf: b}
+	r.read(k.Campaign[:])
+	k.Batch = int(r.uvarint())
+	k.Runs = int(r.uvarint())
+	c.Total = int(r.uvarint())
+	c.Ineffective = int(r.uvarint())
+	c.Detected = int(r.uvarint())
+	c.Effective = int(r.uvarint())
+	if r.err != nil {
+		return k, c, fmt.Errorf("store: batch record: %w", r.err)
+	}
+	if r.remaining() != 0 {
+		return k, c, fmt.Errorf("store: batch record: %d trailing bytes", r.remaining())
+	}
+	if k.Batch < 0 || k.Runs <= 0 || c.Total != k.Runs ||
+		c.Total != c.Ineffective+c.Detected+c.Effective {
+		return k, c, fmt.Errorf("store: batch record: inconsistent counts")
+	}
+	return k, c, nil
+}
+
+// reader is a tiny cursor over a record payload that latches the first error,
+// so decoders read fields straight-line and check once.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated payload at offset %d", r.off)
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil || r.off >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) read(dst []byte) {
+	if r.err != nil || r.off+len(dst) > len(r.buf) {
+		r.fail()
+		return
+	}
+	copy(dst, r.buf[r.off:])
+	r.off += len(dst)
+}
+
+func (r *reader) uint64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}

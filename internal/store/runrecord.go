@@ -1,0 +1,44 @@
+package store
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// RunRecord is the durable provenance of one campaign submission: what was
+// asked (the raw request), what it resolved to (design and campaign
+// digests, engine version), when it ran, and how the work split between
+// replayed and freshly simulated batches. Records are updated by appending
+// a superseding record under the same ID; the log therefore doubles as a
+// history, while the index exposes the latest state.
+//
+// Request is kept as raw JSON so the store does not depend on the service's
+// wire types; the service layer owns the schema.
+type RunRecord struct {
+	ID      string          `json:"id"`
+	JobID   string          `json:"job_id,omitempty"`
+	Kind    string          `json:"kind,omitempty"`
+	Request json.RawMessage `json:"request,omitempty"`
+
+	Netlist  string `json:"netlist_digest,omitempty"`
+	Campaign string `json:"campaign_digest,omitempty"`
+	Engine   string `json:"engine_version,omitempty"`
+
+	Runs    int `json:"runs,omitempty"`
+	Batches int `json:"batches,omitempty"`
+	// ReplayedBatches and SimulatedBatches split the executed batches by
+	// source; their sum can fall short of Batches on an interrupted run.
+	ReplayedBatches  int `json:"replayed_batches"`
+	SimulatedBatches int `json:"simulated_batches"`
+
+	// State mirrors the job lifecycle: running, done, failed, canceled.
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+
+	Submitted time.Time  `json:"submitted"`
+	Started   time.Time  `json:"started"`
+	Finished  *time.Time `json:"finished,omitempty"`
+
+	// Result is the final merged tally, present once the run completed.
+	Result *Counts `json:"result,omitempty"`
+}

@@ -328,6 +328,27 @@ type (
 	JobEvent = service.Event
 )
 
+// ---------------------------------------------------------------------------
+// Result store
+//
+// A Service with a StateDir keeps a content-addressed, crash-safe store of
+// completed campaign batches and run provenance (internal/store). Campaign
+// executions consult it and replay cached batches instead of re-simulating
+// them — bit-identically, by the determinism contract — and the read paths
+// below answer queries with zero simulation. See DESIGN.md §12.
+// ---------------------------------------------------------------------------
+
+type (
+	// ResultsView is the zero-simulation answer to a stored-results query
+	// (Service.Results, GET /v1/results): how much of the addressed
+	// campaign is cached, and the complete result when all of it is.
+	ResultsView = service.ResultsView
+	// CampaignRunRecord is the durable provenance of one campaign
+	// submission (Service.StoredRuns, GET /v1/runs): request, content
+	// digests, replay/simulation split, timestamps and final counts.
+	CampaignRunRecord = service.RunRecord
+)
+
 // Job kinds.
 const (
 	// JobCampaign runs a fault-classification campaign.
