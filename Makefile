@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-full bench-smoke fmt fmt-check vet lint sconelint fuzz serve e2e e2e-dist e2e-store ci
+.PHONY: all build test race bench bench-full bench-smoke fmt fmt-check vet lint sconelint fuzz serve e2e e2e-dist e2e-store e2e-prove ci
 
 all: build test
 
@@ -76,6 +76,16 @@ e2e-store:
 	$(GO) test -race -count=1 -run 'TestE2EStore|TestStore|FuzzCampaignKey|FuzzBatchRecord|FuzzLogRecovery' \
 		./internal/service/... ./internal/store/...
 
+# Formal prover under the race detector: every single-fault location of
+# the protected PRESENT-80 core proves flag/key-independent, seeded bias
+# fixtures produce dependent verdicts with witnesses, and a daemon drained
+# mid-proof resumes on restart without re-proving a completed
+# (location, model) pair — measured through scone_prove_locations_total.
+e2e-prove:
+	$(GO) test -race -count=1 \
+		-run 'TestE2EProve|TestProve|TestProtectedPresent80Independent' \
+		./internal/service/... ./internal/prove/... ./cmd/sconectl/...
+
 # Static countermeasure audit: the synthesised PRESENT-80 three-in-one
 # core must lint clean for every entropy variant, and the unprotected
 # baseline must be flagged.
@@ -89,6 +99,6 @@ sconelint:
 
 # Replay the checked-in fuzz seed corpora (no open-ended fuzzing).
 fuzz:
-	$(GO) test -run=Fuzz ./internal/netlist ./internal/lint ./internal/store
+	$(GO) test -run=Fuzz ./internal/netlist ./internal/lint ./internal/store ./internal/prove
 
 ci: fmt-check build lint test race bench-smoke fuzz sconelint

@@ -7,6 +7,8 @@
 //	         -seed 0x5C09E2021 -key 0x0123456789ABCDEF,0x8421 \
 //	         -sbox 13 -bit 2 [-stream]
 //	sconectl [-server URL] submit -kind lint -netlist core.nl
+//	sconectl [-server URL] prove -cipher present80 -scheme three-in-one \
+//	         -entropy prime [-models stuck-at-0,bit-flip] [-budget N] [-stream]
 //	sconectl [-server URL] get j000000
 //	sconectl [-server URL] list
 //	sconectl [-server URL] cancel j000000
@@ -53,7 +55,7 @@ func main() {
 
 func usage(stderr io.Writer, fs *flag.FlagSet) func() {
 	return func() {
-		fmt.Fprintln(stderr, "usage: sconectl [-server URL] <submit|get|list|cancel|watch|results|runs|metrics|workers|leases|top> [flags]")
+		fmt.Fprintln(stderr, "usage: sconectl [-server URL] <submit|prove|get|list|cancel|watch|results|runs|metrics|workers|leases|top> [flags]")
 		fs.PrintDefaults()
 	}
 }
@@ -75,6 +77,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	switch cmd {
 	case "submit":
 		return cmdSubmit(ctx, c, rest, stdout, stderr)
+	case "prove":
+		return cmdProve(ctx, c, rest, stdout, stderr)
 	case "get":
 		return oneJobCmd(ctx, rest, stdout, c.Get)
 	case "cancel":
@@ -281,10 +285,59 @@ func cmdResults(ctx context.Context, c *client.Client, args []string, stdout, st
 	return service.WriteJSON(stdout, view)
 }
 
+// cmdProve submits a prove job: the daemon runs the formal independence
+// prover over the design's tagged fault points, checkpointing after every
+// (fault location, model) pair. Progress events land at pair granularity,
+// and a daemon killed mid-run resumes from its last completed pair — watch
+// the resumed job with `sconectl watch` and the resumed counter in `get`.
+func cmdProve(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconectl prove", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	design := cliflags.RegisterDesign(fs)
+	netlistPath := fs.String("netlist", "", "netlist file to upload instead of a synthesised design")
+	models := fs.String("models", "", "comma-separated fault models to prove (default: stuck-at-0,stuck-at-1,bit-flip)")
+	budget := fs.Int("budget", 0, "BDD node budget (0 = prover default)")
+	stream := fs.Bool("stream", false, "follow the job's NDJSON progress stream until it finishes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	req := service.JobRequest{
+		Kind:   service.KindProve,
+		Design: design.DesignSpec(),
+		Prove:  &service.ProveSpec{Budget: *budget},
+	}
+	if *models != "" {
+		for _, m := range strings.Split(*models, ",") {
+			req.Prove.Models = append(req.Prove.Models, strings.TrimSpace(m))
+		}
+	}
+	if *netlistPath != "" {
+		b, err := os.ReadFile(*netlistPath)
+		if err != nil {
+			return err
+		}
+		req.Design = service.DesignSpec{Netlist: string(b)}
+	}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return err
+	}
+	if err := service.WriteJSON(stdout, st); err != nil {
+		return err
+	}
+	if *stream {
+		return streamJob(ctx, c, st.ID, stdout)
+	}
+	return nil
+}
+
 func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sconectl submit", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	kind := fs.String("kind", "campaign", "job kind: campaign, dfa, sifa, fta, area, lint")
+	kind := fs.String("kind", "campaign", "job kind: campaign, dfa, sifa, fta, area, lint, prove")
 	design := cliflags.RegisterDesign(fs)
 	netlistPath := fs.String("netlist", "", "netlist file to upload (area/lint jobs)")
 	runs := fs.Int("runs", 80000, "campaign: simulated encryptions")
@@ -331,8 +384,8 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, std
 		}
 	case service.KindDFA, service.KindSIFA, service.KindFTA:
 		req.Attack = &service.AttackSpec{Key: keyV, Seed: seedV, Sbox: sbox, Bit: bit, Model: ""}
-	case service.KindArea, service.KindLint:
-		// Design-only kinds.
+	case service.KindArea, service.KindLint, service.KindProve:
+		// Design-only kinds; `sconectl prove` exposes the prove knobs.
 	default:
 		return fmt.Errorf("unknown job kind %q", *kind)
 	}

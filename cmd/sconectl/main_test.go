@@ -158,6 +158,71 @@ func TestSubmitNetlistLint(t *testing.T) {
 	}
 }
 
+// TestProveCommand drives `sconectl prove` end to end: a netlist with a
+// seeded conditional bias streams to completion with dependent verdicts
+// and a concrete key-bit witness in the result.
+func TestProveCommand(t *testing.T) {
+	server, _ := startServer(t)
+
+	const fixture = `module sifa_cond_bias
+nets 6
+netname 4 a1
+netname 5 v
+netname 6 flag
+input din 1
+input key 2
+input lambda 3
+output ct 5
+output fault 6
+cell AND2 4 1 2
+cell XOR2 5 3 1 tag=fp.v
+cell XOR2 6 3 4
+endmodule
+`
+	path := filepath.Join(t.TempDir(), "biased.nl")
+	if err := os.WriteFile(path, []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := runCtl(t, server, "prove", "-netlist", path,
+		"-models", "stuck-at-0,stuck-at-1", "-stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	var st service.JobStatus
+	if err := dec.Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != service.KindProve {
+		t.Fatalf("submitted kind %s, want prove", st.Kind)
+	}
+	var lastJob *service.JobStatus
+	for dec.More() {
+		var ev service.Event
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Job != nil {
+			lastJob = ev.Job
+		}
+	}
+	if lastJob == nil || lastJob.State != service.StateDone {
+		t.Fatalf("prove stream ended with job %+v", lastJob)
+	}
+	res := lastJob.Result.Prove
+	if res == nil || res.Dependent != 2 || res.Clean() {
+		t.Fatalf("prove result %+v, want 2 dependent pairs", res)
+	}
+	if !strings.Contains(out, "key bit") {
+		t.Fatalf("prove output carries no witness: %q", out)
+	}
+
+	if _, err := runCtl(t, server, "prove", "-models", "gamma-ray"); err == nil {
+		t.Error("unknown prove model accepted")
+	}
+}
+
 func TestBadInvocations(t *testing.T) {
 	server, _ := startServer(t)
 	if _, err := runCtl(t, server, "frobnicate"); err == nil {

@@ -24,7 +24,7 @@
 // immediate reassignment and leaves the registry.
 //
 // GET /v1/metrics serves the full observability registry — service,
-// simulator and fault-campaign families — in Prometheus text format (legacy
+// simulator, fault-campaign and prover families — in Prometheus text format (legacy
 // JSON with Accept: application/json); the unversioned /metrics and
 // /healthz aliases answer with a Deprecation header. With -pprof the Go
 // runtime profiles are exposed under /debug/pprof/.
@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/prove"
 	"repro/internal/service"
 	"repro/internal/sim"
 )
@@ -112,6 +113,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	reg := obs.NewRegistry()
 	sim.EnableObservability(reg)
 	fault.EnableObservability(reg)
+	prove.EnableObservability(reg)
 
 	svc, err := service.New(service.Config{
 		Workers:             *workers,

@@ -7,6 +7,8 @@
 //	               cmd/sconed (use ExecuteContext/ExecuteBatches)
 //	obsnames       enforce scone_<pkg>_<metric>_<unit> metric names at obs
 //	               registration sites
+//	provebudget    forbid bare bdd.New in internal/lint and internal/prove
+//	               (use bdd.NewWithBudget + bdd.Guarded)
 //	v1routes       require /v1/ route patterns in internal/service outside
 //	               the legacy-alias shim http_legacy.go
 //

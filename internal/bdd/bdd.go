@@ -51,15 +51,30 @@ const (
 // mixed.
 type Manager struct {
 	numVars int
+	budget  int // max live nodes; 0 means unlimited
 	nodes   []nodeData
 	unique  map[uniqueKey]Node
 	cache   map[opKey]Node
 }
 
-// New creates a manager for functions over numVars variables.
+// New creates a manager for functions over numVars variables with no node
+// budget. Analysis code (internal/lint, internal/prove) must use
+// NewWithBudget instead, enforced by the provebudget vet pass: an
+// adversarial or degenerate netlist can otherwise grow the node pool
+// without bound.
 func New(numVars int) *Manager {
+	return NewWithBudget(numVars, 0)
+}
+
+// NewWithBudget creates a manager whose node pool is capped at budget live
+// nodes (0 means unlimited). When an operation would exceed the cap it
+// panics with *BudgetError; run the construction under Guarded to turn the
+// overflow into an ordinary error and report an "unknown" verdict instead
+// of consuming unbounded memory.
+func NewWithBudget(numVars, budget int) *Manager {
 	m := &Manager{
 		numVars: numVars,
+		budget:  budget,
 		unique:  make(map[uniqueKey]Node),
 		cache:   make(map[opKey]Node),
 	}
@@ -77,6 +92,38 @@ func (m *Manager) NumVars() int { return m.numVars }
 // Size returns the total number of live nodes including terminals.
 func (m *Manager) Size() int { return len(m.nodes) }
 
+// Budget returns the node cap the manager was created with (0 = unlimited).
+func (m *Manager) Budget() int { return m.budget }
+
+// BudgetError is the panic value raised when a manager's node budget is
+// exceeded; Guarded converts it into a returned error.
+type BudgetError struct{ Budget int }
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("bdd: node budget of %d exceeded", e.Budget)
+}
+
+// Guarded runs f and converts a node-budget overflow inside it into the
+// returned *BudgetError; any other panic propagates. The manager stays
+// structurally consistent after an overflow, but further operations will
+// overflow again immediately — callers are expected to discard it (or the
+// partial analysis) and report "unknown".
+func Guarded(f func()) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if be, ok := r.(*BudgetError); ok {
+			err = be
+			return
+		}
+		panic(r)
+	}()
+	f()
+	return nil
+}
+
 func (m *Manager) mk(level int32, lo, hi Node) Node {
 	if lo == hi {
 		return lo
@@ -84,6 +131,9 @@ func (m *Manager) mk(level int32, lo, hi Node) Node {
 	key := uniqueKey{level, lo, hi}
 	if n, ok := m.unique[key]; ok {
 		return n
+	}
+	if m.budget > 0 && len(m.nodes) >= m.budget {
+		panic(&BudgetError{Budget: m.budget})
 	}
 	m.nodes = append(m.nodes, nodeData{level: level, lo: lo, hi: hi})
 	n := Node(len(m.nodes) - 1)
@@ -267,6 +317,30 @@ func (m *Manager) Restrict(f Node, i int, value bool) Node {
 	}
 	m.cache[key] = r
 	return r
+}
+
+// Literal is one variable/value pair of a cube.
+type Literal struct {
+	Var   int
+	Value bool
+}
+
+// Cofactor returns f restricted by every literal of the cube — the
+// generalised multi-variable form of Restrict.
+func (m *Manager) Cofactor(f Node, cube ...Literal) Node {
+	for _, l := range cube {
+		f = m.Restrict(f, l.Var, l.Value)
+	}
+	return f
+}
+
+// Exists returns the existential quantification of f over the given
+// variables: OR of the two cofactors, applied per variable.
+func (m *Manager) Exists(f Node, vars ...int) Node {
+	for _, v := range vars {
+		f = m.Or(m.Restrict(f, v, false), m.Restrict(f, v, true))
+	}
+	return f
 }
 
 // Eval evaluates f under the assignment where bit i of input gives variable

@@ -1,0 +1,86 @@
+package bdd_test
+
+// Regression pin for the prover's working-set size: the PRESENT-80 base
+// cone (every output and register D-input of the protected core as a BDD
+// over the primary ports) must stay well inside the default node budget,
+// or proofs silently degrade to unknown verdicts. The file lives in an
+// external test package because the measurement goes through
+// internal/prove, which itself imports internal/bdd.
+
+import (
+	"testing"
+
+	"repro/internal/cipher/present"
+	"repro/internal/core"
+	"repro/internal/prove"
+)
+
+// Exact reduced node counts of the base cones under the analyzer's
+// first-touch variable order. These are deterministic; a drift means the
+// variable order or the core netlist changed, and either can push proof
+// cost past the budget — re-measure before updating.
+const (
+	threeInOnePrimeBaseNodes = 93903
+	acispPrimeBaseNodes      = 92975
+)
+
+func buildBase(tb testing.TB, opts core.Options) *prove.Analyzer {
+	tb.Helper()
+	d := core.MustBuild(present.Spec(), opts)
+	a, err := prove.NewAnalyzer(d.Mod, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return a
+}
+
+func TestPresent80ConeNodesPinned(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+		want int
+	}{
+		{"three-in-one-prime",
+			core.Options{Scheme: core.SchemeThreeInOne, Entropy: core.EntropyPrime},
+			threeInOnePrimeBaseNodes},
+		{"acisp-prime",
+			core.Options{Scheme: core.SchemeACISP, Entropy: core.EntropyPrime},
+			acispPrimeBaseNodes},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := buildBase(t, tc.opts)
+			got, err := a.BaseNodes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("base cone = %d nodes, pinned %d — variable order or netlist changed",
+					got, tc.want)
+			}
+			if budget := prove.DefaultBudget; got > budget/8 {
+				t.Errorf("base cone %d nodes exceeds 1/8 of the default budget %d; proofs will start degrading to unknown", got, budget)
+			}
+		})
+	}
+}
+
+func BenchmarkPresent80BaseCone(b *testing.B) {
+	opts := core.Options{Scheme: core.SchemeThreeInOne, Entropy: core.EntropyPrime}
+	d := core.MustBuild(present.Spec(), opts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := prove.NewAnalyzer(d.Mod, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := a.BaseNodes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != threeInOnePrimeBaseNodes {
+			b.Fatalf("base cone = %d nodes, want %d", n, threeInOnePrimeBaseNodes)
+		}
+	}
+	b.ReportMetric(float64(threeInOnePrimeBaseNodes), "nodes")
+}

@@ -1,0 +1,470 @@
+package bdd
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Class assigns a variable to one side of the counting partition the
+// independence prover works over: Key variables are the secret, Random
+// variables are summed out (the countermeasure's entropy: λ and garbage
+// bits), and Public variables parameterise the count (plaintext, control).
+type Class uint8
+
+// Partition classes.
+const (
+	ClassPublic Class = iota
+	ClassKey
+	ClassRandom
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassPublic:
+		return "public"
+	case ClassKey:
+		return "key"
+	case ClassRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Partition maps every manager variable to its Class and precomputes the
+// suffix sums the counting recursion scales skipped random levels with.
+type Partition struct {
+	classOf []Class
+	// randGE[l] counts the random variables at levels >= l; the extra
+	// trailing entry (always 0) is indexed by the terminal level.
+	randGE []int
+}
+
+// NewPartition builds a partition from a per-variable class slice (index =
+// variable index). The slice is copied.
+func NewPartition(classOf []Class) *Partition {
+	p := &Partition{
+		classOf: append([]Class(nil), classOf...),
+		randGE:  make([]int, len(classOf)+1),
+	}
+	for l := len(classOf) - 1; l >= 0; l-- {
+		p.randGE[l] = p.randGE[l+1]
+		if classOf[l] == ClassRandom {
+			p.randGE[l]++
+		}
+	}
+	return p
+}
+
+// Class returns variable v's class.
+func (p *Partition) Class(v int) Class { return p.classOf[v] }
+
+// NumVars returns the number of variables the partition covers.
+func (p *Partition) NumVars() int { return len(p.classOf) }
+
+// RandomVars returns how many variables are in ClassRandom.
+func (p *Partition) RandomVars() int { return p.randGE[0] }
+
+// cref references a Count node: non-negative values index internal nodes,
+// negative values encode terminal index -(ref+1).
+type cref int32
+
+func termRef(i int) cref      { return cref(-i - 1) }
+func (r cref) terminal() bool { return r < 0 }
+func (r cref) termIndex() int { return int(-r - 1) }
+
+type cntNode struct {
+	level  int32
+	lo, hi cref
+}
+
+// cntTerm is one exact rational terminal n/d. Plain counts use d = 1;
+// conditional counts carry the gcd-reduced fraction, with d = 0 encoding a
+// conditional over an empty (unsatisfiable) condition.
+type cntTerm struct {
+	n, d *big.Int
+}
+
+// Count is a reduced algebraic decision diagram over the partition's
+// non-random variables: for each assignment of the public and key
+// variables, the reached terminal is the exact number of random-variable
+// assignments satisfying the counted function (or, for CondCountRandom,
+// the reduced conditional fraction). Reduction makes key-dependence a
+// syntactic property: the count depends on the key if and only if some
+// internal node tests a ClassKey variable.
+type Count struct {
+	p     *Partition
+	nodes []cntNode
+	terms []cntTerm
+	root  cref
+}
+
+// cntBuilder hash-conses nodes and terminals during one Count
+// construction. Node growth is charged against the owning manager's
+// budget, so a blowing-up count ADD surfaces as the same *BudgetError the
+// BDD operations raise.
+type cntBuilder struct {
+	m      *Manager
+	c      *Count
+	unique map[cntNode]cref
+	tuniq  map[string]cref
+	memo   map[Node]cref     // BDD node -> raw count ADD
+	scale  map[[2]int32]cref // (ref, k) -> ref scaled by 2^k
+	sum    map[[2]cref]cref  // add cache (ordered operands)
+	pair   map[[2]cref]cref  // conditional combine cache
+}
+
+func newCntBuilder(m *Manager, p *Partition) *cntBuilder {
+	return &cntBuilder{
+		m:      m,
+		c:      &Count{p: p},
+		unique: make(map[cntNode]cref),
+		tuniq:  make(map[string]cref),
+		memo:   make(map[Node]cref),
+		scale:  make(map[[2]int32]cref),
+		sum:    make(map[[2]cref]cref),
+		pair:   make(map[[2]cref]cref),
+	}
+}
+
+func (b *cntBuilder) term(n, d *big.Int) cref {
+	key := n.String() + "/" + d.String()
+	if r, ok := b.tuniq[key]; ok {
+		return r
+	}
+	b.c.terms = append(b.c.terms, cntTerm{n: new(big.Int).Set(n), d: new(big.Int).Set(d)})
+	r := termRef(len(b.c.terms) - 1)
+	b.tuniq[key] = r
+	return r
+}
+
+var (
+	bigZero = big.NewInt(0)
+	bigOne  = big.NewInt(1)
+)
+
+func (b *cntBuilder) count(n *big.Int) cref { return b.term(n, bigOne) }
+
+func (b *cntBuilder) mk(level int32, lo, hi cref) cref {
+	if lo == hi {
+		return lo
+	}
+	key := cntNode{level: level, lo: lo, hi: hi}
+	if r, ok := b.unique[key]; ok {
+		return r
+	}
+	if b.m.budget > 0 && len(b.c.nodes) >= b.m.budget {
+		panic(&BudgetError{Budget: b.m.budget})
+	}
+	b.c.nodes = append(b.c.nodes, key)
+	r := cref(len(b.c.nodes) - 1)
+	b.unique[key] = r
+	return r
+}
+
+// scaleBy multiplies every terminal reachable from r by 2^k.
+func (b *cntBuilder) scaleBy(r cref, k int) cref {
+	if k == 0 {
+		return r
+	}
+	key := [2]int32{int32(r), int32(k)}
+	if s, ok := b.scale[key]; ok {
+		return s
+	}
+	var s cref
+	if r.terminal() {
+		t := b.c.terms[r.termIndex()]
+		s = b.term(new(big.Int).Lsh(t.n, uint(k)), t.d)
+	} else {
+		nd := b.c.nodes[r]
+		s = b.mk(nd.level, b.scaleBy(nd.lo, k), b.scaleBy(nd.hi, k))
+	}
+	b.scale[key] = s
+	return s
+}
+
+func (b *cntBuilder) level(r cref) int32 {
+	if r.terminal() {
+		return int32(b.c.p.NumVars())
+	}
+	return b.c.nodes[r].level
+}
+
+func (b *cntBuilder) cofactors(r cref, level int32) (cref, cref) {
+	if !r.terminal() && b.c.nodes[r].level == level {
+		return b.c.nodes[r].lo, b.c.nodes[r].hi
+	}
+	return r, r
+}
+
+// addRefs sums two count ADDs pointwise.
+func (b *cntBuilder) addRefs(x, y cref) cref {
+	if x > y {
+		x, y = y, x
+	}
+	if x.terminal() && y.terminal() {
+		tx, ty := b.c.terms[x.termIndex()], b.c.terms[y.termIndex()]
+		return b.count(new(big.Int).Add(tx.n, ty.n))
+	}
+	key := [2]cref{x, y}
+	if r, ok := b.sum[key]; ok {
+		return r
+	}
+	lvl := b.level(x)
+	if l := b.level(y); l < lvl {
+		lvl = l
+	}
+	x0, x1 := b.cofactors(x, lvl)
+	y0, y1 := b.cofactors(y, lvl)
+	r := b.mk(lvl, b.addRefs(x0, y0), b.addRefs(x1, y1))
+	b.sum[key] = r
+	return r
+}
+
+// build computes the raw count ADD of BDD node f: counts cover the random
+// variables at levels >= level(f); callers scale for the gap to their own
+// level.
+func (b *cntBuilder) build(f Node) cref {
+	if f == False {
+		return b.count(bigZero)
+	}
+	if f == True {
+		return b.count(bigOne)
+	}
+	if r, ok := b.memo[f]; ok {
+		return r
+	}
+	d := b.m.nodes[f]
+	p := b.c.p
+	lo := b.scaleBy(b.build(d.lo), p.randGE[d.level+1]-p.randGE[b.m.nodes[d.lo].level])
+	hi := b.scaleBy(b.build(d.hi), p.randGE[d.level+1]-p.randGE[b.m.nodes[d.hi].level])
+	var r cref
+	if p.classOf[d.level] == ClassRandom {
+		r = b.addRefs(lo, hi)
+	} else {
+		r = b.mk(d.level, lo, hi)
+	}
+	b.memo[f] = r
+	return r
+}
+
+func (b *cntBuilder) finish(f Node) cref {
+	p := b.c.p
+	return b.scaleBy(b.build(f), p.randGE[0]-p.randGE[b.m.nodes[f].level])
+}
+
+// condRefs combines a numerator and denominator count ADD into the ADD of
+// gcd-reduced conditional fractions n/d; an unsatisfiable condition (d = 0)
+// maps to the single distinguished terminal 0/0, so conditionals over empty
+// sample sets compare equal to each other and nothing else.
+func (b *cntBuilder) condRefs(num, den cref) cref {
+	if num.terminal() && den.terminal() {
+		n := b.c.terms[num.termIndex()].n
+		d := b.c.terms[den.termIndex()].n
+		if d.Sign() == 0 {
+			return b.term(bigZero, bigZero)
+		}
+		g := new(big.Int).GCD(nil, nil, n, d)
+		if g.Sign() == 0 {
+			g = bigOne
+		}
+		return b.term(new(big.Int).Div(n, g), new(big.Int).Div(d, g))
+	}
+	key := [2]cref{num, den}
+	if r, ok := b.pair[key]; ok {
+		return r
+	}
+	lvl := b.level(num)
+	if l := b.level(den); l < lvl {
+		lvl = l
+	}
+	n0, n1 := b.cofactors(num, lvl)
+	d0, d1 := b.cofactors(den, lvl)
+	r := b.mk(lvl, b.condRefs(n0, d0), b.condRefs(n1, d1))
+	b.pair[key] = r
+	return r
+}
+
+// CountRandom computes the satisfy-count of f under the partition: a Count
+// giving, for every assignment of the public and key variables, the exact
+// number of ClassRandom assignments on which f is true. Node growth counts
+// against the manager's budget.
+func (m *Manager) CountRandom(f Node, p *Partition) *Count {
+	if p.NumVars() != m.numVars {
+		panic(fmt.Sprintf("bdd: partition over %d vars, manager has %d", p.NumVars(), m.numVars))
+	}
+	b := newCntBuilder(m, p)
+	b.c.root = b.finish(f)
+	return b.c
+}
+
+// CondCountRandom computes the conditional distribution count of num given
+// den: for every public/key assignment, the gcd-reduced fraction
+// (#random: num) / (#random: den). The conditional is key-independent
+// exactly when the resulting Count has no key node, even where the
+// marginal counts themselves vary with the key.
+func (m *Manager) CondCountRandom(num, den Node, p *Partition) *Count {
+	if p.NumVars() != m.numVars {
+		panic(fmt.Sprintf("bdd: partition over %d vars, manager has %d", p.NumVars(), m.numVars))
+	}
+	b := newCntBuilder(m, p)
+	b.c.root = b.condRefs(b.finish(num), b.finish(den))
+	return b.c
+}
+
+// NodeCount returns the number of internal ADD nodes reachable from the
+// root.
+func (c *Count) NodeCount() int {
+	seen := make(map[cref]bool)
+	var walk func(r cref)
+	walk = func(r cref) {
+		if r.terminal() || seen[r] {
+			return
+		}
+		seen[r] = true
+		walk(c.nodes[r].lo)
+		walk(c.nodes[r].hi)
+	}
+	walk(c.root)
+	return len(seen)
+}
+
+// Value evaluates the count under an assignment of the non-random
+// variables, returning the exact numerator and denominator (denominator 1
+// for plain counts, 0/0 for a conditional over an empty condition).
+func (c *Count) Value(assign func(v int) bool) (n, d *big.Int) {
+	r := c.root
+	for !r.terminal() {
+		nd := c.nodes[r]
+		if assign(int(nd.level)) {
+			r = nd.hi
+		} else {
+			r = nd.lo
+		}
+	}
+	t := c.terms[r.termIndex()]
+	return new(big.Int).Set(t.n), new(big.Int).Set(t.d)
+}
+
+// KeyDependent reports whether the count depends on any ClassKey variable:
+// by reduction, exactly when a key-level node is reachable.
+func (c *Count) KeyDependent() bool {
+	seen := make(map[cref]bool)
+	var walk func(r cref) bool
+	walk = func(r cref) bool {
+		if r.terminal() || seen[r] {
+			return false
+		}
+		seen[r] = true
+		nd := c.nodes[r]
+		if c.p.classOf[nd.level] == ClassKey {
+			return true
+		}
+		return walk(nd.lo) || walk(nd.hi)
+	}
+	return walk(c.root)
+}
+
+// CountWitness is a concrete dependence witness: fixing the listed
+// variables (unlisted ones are don't-care), flipping KeyVar moves the count
+// from Lo to Hi.
+type CountWitness struct {
+	KeyVar int
+	Assign []Literal
+	Lo, Hi string
+}
+
+// Witness extracts a dependence witness, or nil when the count is
+// key-independent. The witness pins the path from the root to the topmost
+// key node plus one distinguishing completion below it.
+func (c *Count) Witness() *CountWitness {
+	var path []Literal
+	var found *CountWitness
+	seen := make(map[cref]bool)
+	var walk func(r cref) bool
+	walk = func(r cref) bool {
+		if r.terminal() || found != nil {
+			return false
+		}
+		nd := c.nodes[r]
+		if c.p.classOf[nd.level] == ClassKey {
+			w := &CountWitness{KeyVar: int(nd.level), Assign: append([]Literal(nil), path...)}
+			diff, lo, hi := c.distinguish(nd.lo, nd.hi)
+			w.Assign = append(w.Assign, diff...)
+			w.Lo, w.Hi = c.termString(lo), c.termString(hi)
+			found = w
+			return true
+		}
+		if seen[r] {
+			return false
+		}
+		seen[r] = true
+		path = append(path, Literal{Var: int(nd.level), Value: false})
+		if walk(nd.lo) {
+			return true
+		}
+		path[len(path)-1].Value = true
+		if walk(nd.hi) {
+			return true
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	walk(c.root)
+	return found
+}
+
+// distinguish finds an assignment separating two distinct reduced ADDs —
+// guaranteed to exist by canonicity — and the two terminals reached.
+func (c *Count) distinguish(a, b cref) (lits []Literal, ta, tb cref) {
+	for a != b {
+		if a.terminal() && b.terminal() {
+			return lits, a, b
+		}
+		la, lb := c.refLevel(a), c.refLevel(b)
+		lvl := la
+		if lb < lvl {
+			lvl = lb
+		}
+		a0, a1 := c.refCofactors(a, lvl)
+		b0, b1 := c.refCofactors(b, lvl)
+		if a0 != b0 {
+			lits = append(lits, Literal{Var: int(lvl)})
+			a, b = a0, b0
+		} else {
+			lits = append(lits, Literal{Var: int(lvl), Value: true})
+			a, b = a1, b1
+		}
+	}
+	// Unreachable for distinct reduced operands.
+	return lits, a, b
+}
+
+func (c *Count) refLevel(r cref) int32 {
+	if r.terminal() {
+		return int32(c.p.NumVars())
+	}
+	return c.nodes[r].level
+}
+
+func (c *Count) refCofactors(r cref, level int32) (cref, cref) {
+	if !r.terminal() && c.nodes[r].level == level {
+		return c.nodes[r].lo, c.nodes[r].hi
+	}
+	return r, r
+}
+
+// termString renders a terminal: plain counts as decimals, conditionals as
+// reduced fractions, the empty condition as "none".
+func (c *Count) termString(r cref) string {
+	t := c.terms[r.termIndex()]
+	switch {
+	case t.d.Sign() == 0:
+		return "none"
+	case t.d.Cmp(bigOne) == 0:
+		return t.n.String()
+	default:
+		return t.n.String() + "/" + t.d.String()
+	}
+}

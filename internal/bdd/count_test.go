@@ -1,0 +1,246 @@
+package bdd
+
+import (
+	"errors"
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestBudgetGuarded(t *testing.T) {
+	m := NewWithBudget(8, 8)
+	if m.Budget() != 8 {
+		t.Fatalf("Budget() = %d, want 8", m.Budget())
+	}
+	err := Guarded(func() {
+		f := False
+		for i := 0; i < 8; i++ {
+			f = m.Xor(f, m.Var(i))
+		}
+	})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("8-var parity under budget 8: err = %v, want *BudgetError", err)
+	}
+	if be.Budget != 8 || !strings.Contains(be.Error(), "8") {
+		t.Fatalf("BudgetError = %+v (%q)", be, be.Error())
+	}
+
+	// Unlimited managers never trip.
+	u := New(8)
+	if u.Budget() != 0 {
+		t.Fatalf("New budget = %d, want 0 (unlimited)", u.Budget())
+	}
+	if err := Guarded(func() {
+		f := False
+		for i := 0; i < 8; i++ {
+			f = u.Xor(f, u.Var(i))
+		}
+	}); err != nil {
+		t.Fatalf("unlimited manager: %v", err)
+	}
+}
+
+func TestGuardedRethrowsForeignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Guarded swallowed a non-budget panic")
+		}
+	}()
+	_ = Guarded(func() { panic("unrelated") })
+}
+
+func TestCofactor(t *testing.T) {
+	m := New(4)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Or(m.And(a, b), m.And(m.Not(a), c))
+	if got := m.Cofactor(f, Literal{Var: 0, Value: true}); got != b {
+		t.Fatalf("f|a=1 = %v, want Var(1)", got)
+	}
+	if got := m.Cofactor(f, Literal{Var: 0}, Literal{Var: 2, Value: true}); got != True {
+		t.Fatalf("f|a=0,c=1 = %v, want True", got)
+	}
+	// Cofactor by a sorted cube must agree with chained Restrict.
+	g := m.Xor(f, m.Var(3))
+	lhs := m.Cofactor(g, Literal{Var: 1, Value: true}, Literal{Var: 3})
+	rhs := m.Restrict(m.Restrict(g, 1, true), 3, false)
+	if lhs != rhs {
+		t.Fatal("Cofactor disagrees with chained Restrict")
+	}
+}
+
+func TestExists(t *testing.T) {
+	const n = 4
+	m := New(n)
+	a, b, c, d := m.Var(0), m.Var(1), m.Var(2), m.Var(3)
+	f := m.Or(m.And(a, b), m.And(c, d))
+	// ∃b.f via definition: f|b=0 ∨ f|b=1.
+	want := m.Or(m.Restrict(f, 1, false), m.Restrict(f, 1, true))
+	if got := m.Exists(f, 1); got != want {
+		t.Fatal("Exists(f, b) != f|b=0 ∨ f|b=1")
+	}
+	// Quantifying everything out of a satisfiable function gives True.
+	if got := m.Exists(f, 0, 1, 2, 3); got != True {
+		t.Fatalf("Exists over all vars = %v, want True", got)
+	}
+	if got := m.Exists(False, 0, 1); got != False {
+		t.Fatal("Exists(False) != False")
+	}
+	// Quantified variables leave the support.
+	g := m.Exists(f, 0, 2)
+	for _, v := range m.Support(g) {
+		if v == 0 || v == 2 {
+			t.Fatalf("quantified var %d still in support", v)
+		}
+	}
+}
+
+// brutePartitionCount computes, for each public/key assignment, the number
+// of random assignments satisfying f — the reference for CountRandom.
+func brutePartitionCount(m *Manager, f Node, classOf []Class, fixed uint64) int64 {
+	randVars := []int{}
+	for v, c := range classOf {
+		if c == ClassRandom {
+			randVars = append(randVars, v)
+		}
+	}
+	var cnt int64
+	for r := uint64(0); r < 1<<uint(len(randVars)); r++ {
+		x := fixed
+		for i, v := range randVars {
+			if r>>uint(i)&1 == 1 {
+				x |= 1 << uint(v)
+			}
+		}
+		if m.Eval(f, x) {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func TestCountRandomAgainstBruteForce(t *testing.T) {
+	const n = 6
+	classOf := []Class{ClassPublic, ClassKey, ClassRandom, ClassKey, ClassRandom, ClassPublic}
+	p := NewPartition(classOf)
+	if p.NumVars() != n || p.RandomVars() != 2 {
+		t.Fatalf("partition: %d vars, %d random", p.NumVars(), p.RandomVars())
+	}
+	if p.Class(1) != ClassKey || p.Class(2).String() != "random" {
+		t.Fatal("Class lookup broken")
+	}
+
+	m := New(n)
+	// A deliberately lopsided function mixing all three classes.
+	f := m.Or(
+		m.And(m.Var(0), m.Xor(m.Var(2), m.Var(1))),
+		m.And(m.Var(3), m.And(m.Var(4), m.Var(5))),
+	)
+	c := m.CountRandom(f, p)
+	nonRand := []int{0, 1, 3, 5}
+	for bits := uint64(0); bits < 1<<uint(len(nonRand)); bits++ {
+		var fixed uint64
+		assign := make(map[int]bool)
+		for i, v := range nonRand {
+			if bits>>uint(i)&1 == 1 {
+				fixed |= 1 << uint(v)
+				assign[v] = true
+			}
+		}
+		want := brutePartitionCount(m, f, classOf, fixed)
+		num, den := c.Value(func(v int) bool { return assign[v] })
+		if den.Cmp(big.NewInt(1)) != 0 || num.Int64() != want {
+			t.Fatalf("count at %04b = %s/%s, want %d", bits, num, den, want)
+		}
+	}
+	if !c.KeyDependent() {
+		t.Fatal("count of a key-mixing function reported key-independent")
+	}
+	w := c.Witness()
+	if w == nil {
+		t.Fatal("key-dependent count has no witness")
+	}
+	if classOf[w.KeyVar] != ClassKey {
+		t.Fatalf("witness pivot var %d is %s, not key", w.KeyVar, classOf[w.KeyVar])
+	}
+	if w.Lo == w.Hi {
+		t.Fatalf("witness does not distinguish: lo == hi == %s", w.Lo)
+	}
+	if c.NodeCount() == 0 {
+		t.Fatal("non-constant count ADD has zero nodes")
+	}
+}
+
+func TestCountRandomKeyIndependent(t *testing.T) {
+	classOf := []Class{ClassPublic, ClassKey, ClassRandom}
+	p := NewPartition(classOf)
+	m := New(3)
+	// λ ⊕ key is uniform in λ for either key value: count is constant 1.
+	f := m.Xor(m.Var(2), m.Var(1))
+	c := m.CountRandom(f, p)
+	if c.KeyDependent() {
+		t.Fatal("uniform count reported key-dependent")
+	}
+	if w := c.Witness(); w != nil {
+		t.Fatalf("independent count produced witness %+v", w)
+	}
+	num, den := c.Value(func(int) bool { return false })
+	if num.Int64() != 1 || den.Int64() != 1 {
+		t.Fatalf("count = %s/%s, want 1/1", num, den)
+	}
+}
+
+func TestCondCountRandom(t *testing.T) {
+	// The conditional-bias shape from the prover tests, reduced to raw BDDs:
+	// U = λ⊕din stuck to 0 is ineffective iff λ = din (count 1, uniform);
+	// D = flag fires. P(D|U) depends on the key even though both marginals
+	// are uniform.
+	classOf := []Class{ClassPublic, ClassKey, ClassRandom}
+	p := NewPartition(classOf)
+	m := New(3)
+	din, key, lam := m.Var(0), m.Var(1), m.Var(2)
+	u := m.Xnor(lam, din)            // faulted v == clean v
+	d := m.Xor(lam, m.And(din, key)) // flag under the fault
+	joint := m.CondCountRandom(m.And(u, d), u, p)
+	if !joint.KeyDependent() {
+		t.Fatal("conditional distribution lost the key bias")
+	}
+	w := joint.Witness()
+	if w == nil || w.KeyVar != 1 {
+		t.Fatalf("witness = %+v, want pivot on key var 1", w)
+	}
+
+	// Conditioning on an unsatisfiable event yields the distinguished
+	// "none" terminal for every assignment, never a division by zero.
+	empty := m.CondCountRandom(False, False, p)
+	if empty.KeyDependent() {
+		t.Fatal("0/0 conditional reported key-dependent")
+	}
+	num, den := empty.Value(func(int) bool { return true })
+	if num.Sign() != 0 || den.Sign() != 0 {
+		t.Fatalf("empty conditional = %s/%s, want 0/0", num, den)
+	}
+}
+
+func TestCountBudgetCharged(t *testing.T) {
+	const n = 12
+	m := NewWithBudget(n, 1<<16)
+	classOf := make([]Class, n)
+	for i := range classOf {
+		// No random vars: the count ADD mirrors the BDD shape.
+		classOf[i] = ClassKey
+	}
+	p := NewPartition(classOf)
+	// Build a function comfortably inside the BDD budget...
+	f := False
+	for i := 0; i < n; i++ {
+		f = m.Xor(f, m.Var(i))
+	}
+	// ...then shrink the budget so the count construction itself trips.
+	m.budget = 4
+	err := Guarded(func() { m.CountRandom(f, p) })
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("count under budget 4: err = %v, want *BudgetError", err)
+	}
+}

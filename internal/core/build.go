@@ -257,6 +257,19 @@ func Build(spec *spn.Spec, opts Options) (*Design, error) {
 	m.AddOutput(PortCT, ct)
 	m.AddOutput(PortFault, netlist.Bus{fault})
 
+	// Declare the fault points: tag the driver of every S-box input bit —
+	// the nets the paper's fault models target — with the "fp." prefix
+	// internal/prove and the prove-backed lint rules resolve locations
+	// from. Tags survive the netlist text round-trip, so serialised
+	// designs stay addressable without the Design wrapper.
+	for b := 0; b < d.NumBranches(); b++ {
+		for s, bus := range d.sboxIn[b] {
+			for bit, n := range bus {
+				m.SetTag(n, fmt.Sprintf("fp.%ssbox%02d.b%d", BranchPrefix(Branch(b)), s, bit))
+			}
+		}
+	}
+
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("core: built module invalid: %w", err)
 	}

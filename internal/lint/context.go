@@ -2,6 +2,7 @@ package lint
 
 import (
 	"strings"
+	"sync"
 
 	"repro/internal/bdd"
 	"repro/internal/core"
@@ -28,6 +29,12 @@ type Context struct {
 
 	pairs      []regPair
 	unpairedB1 []int // DFF cell indices with a b1. name but no b0. partner
+
+	// proveOnce guards the shared prover run the three prove-backed rules
+	// read (see rules_prove.go); it is the one lazily-computed member of
+	// the otherwise read-only context.
+	proveOnce sync.Once
+	proveRun  proveAnalysis
 
 	// varIdx maps each net to its BDD variable index. Source nets
 	// (primary inputs, DFF outputs, floating nets) are ordered by a
@@ -226,9 +233,11 @@ func (c *Context) netVar(mgr *bdd.Manager, n netlist.Net) bdd.Node {
 
 // buildBDDs computes a BDD for every net of the module. Source nets —
 // primary inputs, DFF outputs, floating nets — evaluate to varOf(net);
-// combinational cells are folded in topological order. It returns false if
-// the node budget is exceeded. The context's order must be valid.
-func (c *Context) buildBDDs(mgr *bdd.Manager, varOf func(n netlist.Net) bdd.Node) ([]bdd.Node, bool) {
+// combinational cells are folded in topological order. The context's order
+// must be valid. Budget enforcement lives in the manager: callers allocate
+// it with bdd.NewWithBudget(…, bddBudget) and run the fold under
+// bdd.Guarded, skipping the rule when the budget trips.
+func (c *Context) buildBDDs(mgr *bdd.Manager, varOf func(n netlist.Net) bdd.Node) []bdd.Node {
 	m := c.M
 	vals := make([]bdd.Node, m.NumNets()+1)
 	for n := netlist.Net(1); int(n) <= m.NumNets(); n++ {
@@ -265,9 +274,6 @@ func (c *Context) buildBDDs(mgr *bdd.Manager, varOf func(n netlist.Net) bdd.Node
 			continue // DFFs keep their source variable
 		}
 		vals[cell.Out] = v
-		if mgr.Size() > bddBudget {
-			return nil, false
-		}
 	}
-	return vals, true
+	return vals
 }

@@ -265,12 +265,16 @@ func Run(m *netlist.Module, opts Options) (*Report, error) {
 	rep := &Report{Module: m.Name}
 	for i, rule := range rules {
 		r := reporters[i]
+		// Rules run concurrently and some (the prove-backed ones in
+		// particular) iterate in analysis order, so sort each rule's
+		// findings by (net, cell, message): the report and its -json
+		// encoding are byte-identical across runs of the same module.
 		sort.SliceStable(r.diags, func(a, b int) bool {
-			if r.diags[a].Cell != r.diags[b].Cell {
-				return r.diags[a].Cell < r.diags[b].Cell
-			}
 			if r.diags[a].Net != r.diags[b].Net {
 				return r.diags[a].Net < r.diags[b].Net
+			}
+			if r.diags[a].Cell != r.diags[b].Cell {
+				return r.diags[a].Cell < r.diags[b].Cell
 			}
 			return r.diags[a].Message < r.diags[b].Message
 		})

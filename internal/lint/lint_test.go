@@ -47,6 +47,9 @@ func TestSeededViolations(t *testing.T) {
 		{"lambda_cone.nl", "lambda-cone"},
 		{"dual_branch.nl", "dual-branch"},
 		{"detect_coverage.nl", "detect-coverage"},
+		{"ineff_bias.nl", "ineffective-bias"},
+		{"flag_key_bias.nl", "flag-key-independence"},
+		{"sifa_cond_bias.nl", "sifa-independence"},
 	} {
 		t.Run(tc.file, func(t *testing.T) {
 			m := loadFixture(t, tc.file)
@@ -192,6 +195,56 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// TestProveRuleWitnesses pins what the prove-backed rules report on the
+// conditional-bias fixture: the marginal rules stay quiet, and each
+// sifa-independence finding carries the concrete key witness.
+func TestProveRuleWitnesses(t *testing.T) {
+	m := loadFixture(t, "sifa_cond_bias.nl")
+	rep, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := rep.Diagnostics()
+	if len(diags) != 2 {
+		t.Fatalf("findings = %d, want 2 (stuck-at-0 and stuck-at-1)", len(diags))
+	}
+	for _, d := range diags {
+		if d.Rule != "sifa-independence" {
+			t.Errorf("unexpected rule %s: %s", d.Rule, d.Message)
+		}
+		if !strings.Contains(d.Message, "key bit key[0]") {
+			t.Errorf("finding does not name the key witness: %s", d.Message)
+		}
+		if d.NetName != "v" {
+			t.Errorf("finding at net %q, want the tagged net v", d.NetName)
+		}
+	}
+}
+
+// TestReportByteStable runs the linter twice over a module with findings
+// from concurrent rules and requires byte-identical -json output: the
+// report order must not depend on goroutine scheduling.
+func TestReportByteStable(t *testing.T) {
+	d := core.MustBuild(present.Spec(), core.Options{Scheme: core.SchemeACISP, Entropy: core.EntropyPrime})
+	run := func() []byte {
+		rep, err := Run(d.Mod, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if again := run(); !bytes.Equal(first, again) {
+			t.Fatalf("run %d produced different JSON:\nfirst:\n%s\nagain:\n%s", i+2, first, again)
+		}
+	}
+}
+
 func TestRuleSelection(t *testing.T) {
 	m := loadFixture(t, "dead_gate.nl")
 
@@ -212,8 +265,8 @@ func TestRuleSelection(t *testing.T) {
 			t.Fatalf("category selection leaked rule %s", res.Rule)
 		}
 	}
-	if len(rep.Results) != 4 {
-		t.Fatalf("countermeasure category has %d rules, want 4", len(rep.Results))
+	if len(rep.Results) != 7 {
+		t.Fatalf("countermeasure category has %d rules, want 7", len(rep.Results))
 	}
 
 	if _, err := Run(m, Options{Rules: []string{"no-such-rule"}}); err == nil {
@@ -255,7 +308,7 @@ func TestRuleMetadata(t *testing.T) {
 			t.Errorf("rule %s has unknown category %q", r.ID, r.Category)
 		}
 	}
-	if len(seen) != 10 {
-		t.Errorf("registry has %d rules, want 10", len(seen))
+	if len(seen) != 13 {
+		t.Errorf("registry has %d rules, want 13", len(seen))
 	}
 }

@@ -33,9 +33,11 @@ func checkConstNets(c *Context, r *Reporter) {
 		r.Skip("combinational loop: see comb-loop")
 		return
 	}
-	mgr := bdd.New(c.M.NumNets())
-	vals, ok := c.buildBDDs(mgr, func(n netlist.Net) bdd.Node { return c.netVar(mgr, n) })
-	if !ok {
+	mgr := bdd.NewWithBudget(c.M.NumNets(), bddBudget)
+	var vals []bdd.Node
+	if bdd.Guarded(func() {
+		vals = c.buildBDDs(mgr, func(n netlist.Net) bdd.Node { return c.netVar(mgr, n) })
+	}) != nil {
 		r.Skip("BDD node budget exceeded")
 		return
 	}
@@ -102,12 +104,17 @@ func checkDualBranch(c *Context, r *Reporter) {
 		return
 	}
 
-	mgr := bdd.New(m.NumNets())
-	vals, ok := c.buildBDDs(mgr, func(n netlist.Net) bdd.Node { return c.netVar(mgr, n) })
-	if !ok {
+	mgr := bdd.NewWithBudget(m.NumNets(), bddBudget)
+	if bdd.Guarded(func() { dualBranchProof(c, r, mgr, lam, load) }) != nil {
 		r.Skip("BDD node budget exceeded")
-		return
 	}
+}
+
+// dualBranchProof is checkDualBranch's BDD obligation, separated out so the
+// whole proof runs under one bdd.Guarded budget guard.
+func dualBranchProof(c *Context, r *Reporter, mgr *bdd.Manager, lam, load *netlist.Port) {
+	m := c.M
+	vals := c.buildBDDs(mgr, func(n netlist.Net) bdd.Node { return c.netVar(mgr, n) })
 
 	regVar := make(map[int]bool) // BDD variable index -> is a register output
 	for ci := range m.Cells {
@@ -173,16 +180,12 @@ func checkDualBranch(c *Context, r *Reporter) {
 		}
 		subst[m.Cells[p.CellB].Out] = qa
 	}
-	sVals, ok := c.buildBDDs(mgr, func(n netlist.Net) bdd.Node {
+	sVals := c.buildBDDs(mgr, func(n netlist.Net) bdd.Node {
 		if v, ok := subst[n]; ok {
 			return v
 		}
 		return c.netVar(mgr, n)
 	})
-	if !ok {
-		r.Skip("BDD node budget exceeded")
-		return
-	}
 	for _, p := range resolved {
 		want := sVals[m.Cells[p.CellA].In[0]]
 		if p.complemented {

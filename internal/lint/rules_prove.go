@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/prove"
+)
+
+func init() {
+	register(&Rule{
+		ID: "ineffective-bias",
+		Doc: "at every declared fault point the number of randomness assignments making " +
+			"the fault ineffective is proved key-independent — SIFA's correct-ciphertext " +
+			"filter learns nothing",
+		Category: CategoryCountermeasure,
+		Check:    checkProve(prove.CheckIneffectiveBias),
+	})
+	register(&Rule{
+		ID: "flag-key-independence",
+		Doc: "the detection flag's distribution is proved key-independent at every declared " +
+			"fault point — the alarm rate itself is not a side channel",
+		Category: CategoryCountermeasure,
+		Check:    checkProve(prove.CheckFlagIndependence),
+	})
+	register(&Rule{
+		ID: "sifa-independence",
+		Doc: "the outcome distribution conditioned on the fault being ineffective is proved " +
+			"key-independent — exact counting over λ, sound even where both marginals look uniform",
+		Category: CategoryCountermeasure,
+		Check:    checkProve(prove.CheckSIFAIndependence),
+	})
+}
+
+// proveAnalysis is the outcome of the one shared prover run the three
+// prove-backed rules read. Either skip is set (with the reason all three
+// rules report) or res holds the per-(location, model) verdicts.
+type proveAnalysis struct {
+	skip string
+	res  *prove.Result
+}
+
+// proveResults runs the SIFA-independence prover over the module's tagged
+// fault points, once per lint run regardless of how many prove-backed
+// rules are selected.
+func (c *Context) proveResults() *proveAnalysis {
+	c.proveOnce.Do(func() {
+		if c.orderErr != nil {
+			c.proveRun.skip = "combinational loop: see comb-loop"
+			return
+		}
+		if len(prove.TaggedLocations(c.M)) == 0 {
+			c.proveRun.skip = "module declares no fault points (no \"" +
+				prove.TagPrefix + "\" cell tags)"
+			return
+		}
+		res, err := prove.Run(c.M, prove.Options{Budget: bddBudget})
+		if err != nil {
+			c.proveRun.skip = "outside the prover's sequential model: " + err.Error()
+			return
+		}
+		c.proveRun.res = res
+	})
+	return &c.proveRun
+}
+
+// checkProve adapts one prover check into a lint rule: a dependent verdict
+// at any (fault point, fault model) pair is an error carrying the concrete
+// witness, and budget-truncated proofs surface as a single warning rather
+// than silently passing.
+//
+// The conditional check is reported only where both marginal checks hold:
+// when the ineffectiveness or flag count is itself key-dependent, the
+// conditional is inevitably biased too, and the marginal rule already
+// names the root cause.
+func checkProve(ch prove.Check) func(c *Context, r *Reporter) {
+	return func(c *Context, r *Reporter) {
+		pa := c.proveResults()
+		if pa.skip != "" {
+			r.Skip(pa.skip)
+			return
+		}
+		unknown := 0
+		for i := range pa.res.Locations {
+			lr := &pa.res.Locations[i]
+			cr := lr.Checks[ch]
+			switch cr.Verdict {
+			case prove.VerdictDependent:
+				if ch == prove.CheckSIFAIndependence && dominatedSIFA(lr) {
+					continue
+				}
+				msg := fmt.Sprintf("%s under %s at fault point %q: %s",
+					ch, lr.Model, lr.Location.Name, cr.Verdict)
+				if cr.Witness != nil {
+					msg += " — " + cr.Witness.String()
+				}
+				r.Errorf(c.M.Driver(lr.Location.Net), lr.Location.Net, "%s", msg)
+			case prove.VerdictUnknown:
+				unknown++
+			}
+		}
+		if unknown > 0 {
+			r.Warnf(-1, 0, "%d of %d (fault point, model) proofs exceeded the %d-node "+
+				"BDD budget: verdicts unknown, independence NOT proved",
+				unknown, len(pa.res.Locations), pa.res.Budget)
+		}
+	}
+}
+
+// dominatedSIFA reports whether a marginal check already owns the bias at
+// this (location, model) pair.
+func dominatedSIFA(lr *prove.LocationResult) bool {
+	return lr.Checks[prove.CheckIneffectiveBias].Verdict == prove.VerdictDependent ||
+		lr.Checks[prove.CheckFlagIndependence].Verdict == prove.VerdictDependent
+}

@@ -1,0 +1,270 @@
+package prove
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+// fuzzModule decodes a small combinational module from fuzz bytes:
+// public ("din"), key ("key") and randomness ("lambda") input ports, a
+// gate list referencing earlier nets only (so it is always acyclic), a
+// 1-bit ct output, an optional fault output, and one fault location.
+func fuzzModule(data []byte) (*netlist.Module, netlist.Net, fault.Model, bool) {
+	if len(data) < 8 {
+		return nil, 0, 0, false
+	}
+	next := func() byte { b := data[0]; data = data[1:]; return b }
+
+	npub := 1 + int(next())%3
+	nkey := 1 + int(next())%2
+	nrand := int(next()) % 3
+
+	m := netlist.New("fuzz")
+	var nets []netlist.Net
+	nets = append(nets, m.AddInput("din", npub)...)
+	nets = append(nets, m.AddInput("key", nkey)...)
+	if nrand > 0 {
+		nets = append(nets, m.AddInput("lambda", nrand)...)
+	}
+
+	kinds := []netlist.CellKind{
+		netlist.KindBuf, netlist.KindInv, netlist.KindAnd2, netlist.KindOr2,
+		netlist.KindNand2, netlist.KindNor2, netlist.KindXor2, netlist.KindXnor2,
+		netlist.KindMux2,
+	}
+	ncells := int(next()) % 13
+	for i := 0; i < ncells && len(data) >= 4; i++ {
+		kind := kinds[int(next())%len(kinds)]
+		in := make([]netlist.Net, kind.Arity())
+		for j := range in {
+			in[j] = nets[int(next())%len(nets)]
+		}
+		out := m.NewNet("g")
+		m.AddCell(kind, out, in...)
+		nets = append(nets, out)
+	}
+	if len(data) < 4 {
+		return nil, 0, 0, false
+	}
+	ct := nets[int(next())%len(nets)]
+	m.AddOutput("ct", netlist.Bus{ct})
+	if fb := next(); fb%2 == 1 {
+		m.AddOutput("fault", netlist.Bus{nets[int(fb/2)%len(nets)]})
+	}
+	loc := nets[int(next())%len(nets)]
+	model := fault.Model(int(next()) % 3)
+	return m, loc, model, true
+}
+
+// bruteForce enumerates all input assignments, replays the analyzer's
+// event definitions bit by bit, and decides key-dependence of the three
+// counts by direct comparison across key values.
+func bruteForce(t *testing.T, m *netlist.Module, loc netlist.Net, model fault.Model) [NumChecks]Verdict {
+	t.Helper()
+	order, err := m.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pubNets, keyNets, randNets []netlist.Net
+	for i := range m.Inputs {
+		p := &m.Inputs[i]
+		switch p.Name {
+		case "key":
+			keyNets = append(keyNets, p.Bits...)
+		case "lambda":
+			randNets = append(randNets, p.Bits...)
+		default:
+			pubNets = append(pubNets, p.Bits...)
+		}
+	}
+	flagSet := make(map[netlist.Net]bool)
+	var flagBits, obsBits []netlist.Net
+	if fp := m.FindOutput("fault"); fp != nil {
+		flagBits = fp.Bits
+		for _, n := range fp.Bits {
+			flagSet[n] = true
+		}
+	}
+	for i := range m.Outputs {
+		for _, n := range m.Outputs[i].Bits {
+			if !flagSet[n] {
+				obsBits = append(obsBits, n)
+			}
+		}
+	}
+
+	eval := func(assign map[netlist.Net]bool, faulted bool) []bool {
+		vals := make([]bool, m.NumNets()+1)
+		apply := func(n netlist.Net) {
+			if !faulted || n != loc {
+				return
+			}
+			switch model {
+			case fault.StuckAt0:
+				vals[n] = false
+			case fault.StuckAt1:
+				vals[n] = true
+			default:
+				vals[n] = !vals[n]
+			}
+		}
+		for n, v := range assign {
+			vals[n] = v
+			apply(n)
+		}
+		for _, ci := range order {
+			c := &m.Cells[ci]
+			in := c.Inputs()
+			var v bool
+			switch c.Kind {
+			case netlist.KindConst0:
+			case netlist.KindConst1:
+				v = true
+			case netlist.KindBuf:
+				v = vals[in[0]]
+			case netlist.KindInv:
+				v = !vals[in[0]]
+			case netlist.KindAnd2:
+				v = vals[in[0]] && vals[in[1]]
+			case netlist.KindOr2:
+				v = vals[in[0]] || vals[in[1]]
+			case netlist.KindNand2:
+				v = !(vals[in[0]] && vals[in[1]])
+			case netlist.KindNor2:
+				v = !(vals[in[0]] || vals[in[1]])
+			case netlist.KindXor2:
+				v = vals[in[0]] != vals[in[1]]
+			case netlist.KindXnor2:
+				v = vals[in[0]] == vals[in[1]]
+			case netlist.KindMux2:
+				if vals[in[2]] {
+					v = vals[in[1]]
+				} else {
+					v = vals[in[0]]
+				}
+			}
+			vals[c.Out] = v
+			apply(c.Out)
+		}
+		return vals
+	}
+
+	type frac struct{ n, d int }
+	// counts[pub][key] = (cU, cD, cUD)
+	nPub, nKey, nRand := len(pubNets), len(keyNets), len(randNets)
+	depIneff, depFlag, depSIFA := false, false, false
+	for pub := 0; pub < 1<<nPub; pub++ {
+		var refU, refD int
+		var refC frac
+		for key := 0; key < 1<<nKey; key++ {
+			cU, cD, cUD := 0, 0, 0
+			for rnd := 0; rnd < 1<<nRand; rnd++ {
+				assign := make(map[netlist.Net]bool)
+				for i, n := range pubNets {
+					assign[n] = pub>>i&1 == 1
+				}
+				for i, n := range keyNets {
+					assign[n] = key>>i&1 == 1
+				}
+				for i, n := range randNets {
+					assign[n] = rnd>>i&1 == 1
+				}
+				clean := eval(assign, false)
+				fv := eval(assign, true)
+				u := true
+				for _, n := range obsBits {
+					u = u && clean[n] == fv[n]
+				}
+				d := false
+				for _, n := range flagBits {
+					d = d || fv[n]
+				}
+				if u {
+					cU++
+				}
+				if d {
+					cD++
+				}
+				if u && d {
+					cUD++
+				}
+			}
+			cond := frac{0, 0}
+			if cU > 0 {
+				g := gcd(cUD, cU)
+				cond = frac{cUD / g, cU / g}
+			}
+			if key == 0 {
+				refU, refD, refC = cU, cD, cond
+				continue
+			}
+			if cU != refU {
+				depIneff = true
+			}
+			if cD != refD {
+				depFlag = true
+			}
+			if cond != refC {
+				depSIFA = true
+			}
+		}
+	}
+	verdict := func(dep bool) Verdict {
+		if dep {
+			return VerdictDependent
+		}
+		return VerdictIndependent
+	}
+	return [NumChecks]Verdict{verdict(depIneff), verdict(depFlag), verdict(depSIFA)}
+}
+
+func gcd(a, b int) int {
+	if a == 0 && b == 0 {
+		return 1
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// FuzzProveIndependence cross-checks the BDD prover against brute-force
+// truth-table enumeration on random small netlists: the verdict of every
+// check must agree exactly.
+func FuzzProveIndependence(f *testing.F) {
+	f.Add([]byte{2, 1, 1, 5, 2, 0, 3, 6, 1, 4, 8, 0, 2, 4, 3, 9, 7, 0})
+	f.Add([]byte{0, 0, 2, 3, 6, 1, 2, 6, 3, 0, 2, 5, 1, 4, 5, 3, 1, 2})
+	f.Add([]byte{1, 1, 0, 8, 4, 2, 1, 8, 0, 3, 7, 1, 2, 5, 6, 0, 4, 1})
+	f.Add([]byte{2, 0, 1, 12, 8, 1, 2, 3, 2, 4, 5, 6, 6, 7, 8, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, loc, model, ok := fuzzModule(data)
+		if !ok {
+			t.Skip()
+		}
+		a, err := NewAnalyzer(m, 0)
+		if err != nil {
+			t.Skip() // outside the analysis model
+		}
+		lr, err := a.Prove(Location{Net: loc, Name: m.NetName(loc)}, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(t, m, loc, model)
+		for c := Check(0); c < NumChecks; c++ {
+			got := lr.Checks[c].Verdict
+			if got == VerdictUnknown {
+				t.Fatalf("check %s ran out of budget on a %d-input module", c, len(m.Inputs))
+			}
+			if got != want[c] {
+				t.Fatalf("check %s: prover says %s, brute force says %s\nmodule %s, fault %s at %s",
+					c, got, want[c], m.Name, model, m.NetName(loc))
+			}
+		}
+	})
+}

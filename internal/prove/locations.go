@@ -1,0 +1,52 @@
+package prove
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// TagPrefix marks a cell as an injectable fault point: core.Build tags the
+// driver of every S-box input bit — the nets the paper's fault models
+// target — with "fp.<branch>.sbox<NN>.b<bit>", and netlists round-trip the
+// tag through the text format, so serialised designs keep their fault
+// points addressable.
+const TagPrefix = "fp."
+
+// TaggedLocations returns the module's declared fault points: the output
+// nets of every cell whose tag starts with TagPrefix, in cell order.
+func TaggedLocations(m *netlist.Module) []Location {
+	var locs []Location
+	for ci := range m.Cells {
+		c := &m.Cells[ci]
+		if !strings.HasPrefix(c.Tag, TagPrefix) {
+			continue
+		}
+		locs = append(locs, Location{
+			Net:  c.Out,
+			Name: NetName(m, c.Out),
+			Tag:  c.Tag,
+		})
+	}
+	return locs
+}
+
+// NetName names a net for reports: the module's debug name when present,
+// then the "port[bit]" form for port bits (text-serialised modules often
+// carry no debug names), then "net<id>".
+func NetName(m *netlist.Module, n netlist.Net) string {
+	if name := m.NetName(n); name != "" {
+		return name
+	}
+	for _, ports := range [][]netlist.Port{m.Inputs, m.Outputs} {
+		for i := range ports {
+			for bit, pn := range ports[i].Bits {
+				if pn == n {
+					return fmt.Sprintf("%s[%d]", ports[i].Name, bit)
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("net%d", n)
+}

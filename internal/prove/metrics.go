@@ -1,0 +1,47 @@
+package prove
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// metrics is the prover's instrument set, swapped in atomically by
+// EnableObservability following the fault engine's pattern: one pointer
+// load per proved location while observability is disabled.
+type metrics struct {
+	locations  *obs.Counter
+	peakNodes  *obs.Gauge
+	locationNS *obs.Histogram
+}
+
+var met atomic.Pointer[metrics]
+
+// EnableObservability registers the prover's metrics on reg and starts
+// recording into them. Passing nil reverts to the free no-op default.
+func EnableObservability(reg *obs.Registry) {
+	if reg == nil {
+		met.Store(nil)
+		return
+	}
+	met.Store(&metrics{
+		locations: reg.NewCounter("scone_prove_locations_total",
+			"Fault locations proved (one per location x model pair)"),
+		peakNodes: reg.NewGauge("scone_prove_bdd_peak_nodes_count",
+			"Peak live BDD nodes across prover analyses"),
+		locationNS: reg.NewHistogram("scone_prove_location_ns",
+			"Wall time proving one fault location", obs.ExpBuckets(100_000, 4, 14)),
+	})
+}
+
+// countLocation records one proved (location, model) pair.
+func (m *metrics) countLocation(ns int64, peak int) {
+	if m == nil {
+		return
+	}
+	m.locations.Inc()
+	m.locationNS.Observe(ns)
+	if int64(peak) > m.peakNodes.Value() {
+		m.peakNodes.Set(int64(peak))
+	}
+}

@@ -1,0 +1,259 @@
+package prove
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cipher/present"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+func buildPresent(t *testing.T, opts core.Options) *core.Design {
+	t.Helper()
+	return core.MustBuild(present.Spec(), opts)
+}
+
+// TestProtectedPresent80Independent is the paper's behavioural guarantee,
+// proved instead of sampled: for the protected cores, at every declared
+// fault location and under every fault model, all three independence
+// checks hold over all 2^n inputs.
+func TestProtectedPresent80Independent(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"three-in-one-prime", core.Options{Scheme: core.SchemeThreeInOne, Entropy: core.EntropyPrime}},
+		{"three-in-one-per-round", core.Options{Scheme: core.SchemeThreeInOne, Entropy: core.EntropyPerRound}},
+		{"three-in-one-per-sbox", core.Options{Scheme: core.SchemeThreeInOne, Entropy: core.EntropyPerSbox}},
+		{"acisp-prime", core.Options{Scheme: core.SchemeACISP, Entropy: core.EntropyPrime}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := buildPresent(t, tc.opts)
+			res, err := Run(d.Mod, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLocs := 2 * present.Spec().NumSboxes() * present.Spec().SboxBits
+			if got := len(res.Locations); got != wantLocs*len(Models()) {
+				t.Fatalf("proved %d (location, model) pairs, want %d", got, wantLocs*len(Models()))
+			}
+			for _, lr := range res.Locations {
+				for _, cr := range lr.Checks {
+					if cr.Verdict != VerdictIndependent {
+						t.Errorf("%s at %s (%s): %s, want proved-independent (witness: %v)",
+							cr.Check, lr.Location.Name, lr.Model, cr.Verdict, cr.Witness)
+					}
+				}
+			}
+			if !res.Clean() {
+				t.Fatalf("protected core not clean: %d dependent, %d unknown", res.Dependent, res.Unknown)
+			}
+			if res.Proved != len(res.Locations) {
+				t.Fatalf("proved aggregate %d != %d locations", res.Proved, len(res.Locations))
+			}
+		})
+	}
+}
+
+// TestNaiveDupDependent pins the differential statement: without λ
+// randomisation, stuck-at faults at the S-box inputs bias the ineffective
+// event by key material, and the prover names a concrete witness.
+func TestNaiveDupDependent(t *testing.T) {
+	d := buildPresent(t, core.Options{Scheme: core.SchemeNaiveDup})
+	a, err := NewAnalyzer(d.Mod, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := a.Locations()
+	if len(locs) == 0 {
+		t.Fatal("no tagged fault points on the naive-dup core")
+	}
+	for _, loc := range locs {
+		for _, model := range []fault.Model{fault.StuckAt0, fault.StuckAt1} {
+			lr, err := a.Prove(loc, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cr := lr.Checks[CheckIneffectiveBias]
+			if cr.Verdict != VerdictDependent {
+				t.Fatalf("%s at %s (%s): %s, want dependent", cr.Check, loc.Name, model, cr.Verdict)
+			}
+			if cr.Witness == nil {
+				t.Fatalf("dependent verdict at %s without witness", loc.Name)
+			}
+			if !strings.HasPrefix(cr.Witness.Key, "key") {
+				t.Fatalf("witness key variable %q is not a key net", cr.Witness.Key)
+			}
+		}
+		// A transient flip is always effective or detected regardless of
+		// the key: the flip never leaves data unchanged.
+		lr, err := a.Prove(loc, fault.BitFlip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := lr.Checks[CheckIneffectiveBias].Verdict; v != VerdictIndependent {
+			t.Fatalf("bit-flip ineffective-bias at %s: %s, want proved-independent", loc.Name, v)
+		}
+	}
+}
+
+// TestUnprotectedDependent: the bare core has no detection and no
+// randomness, so stuck-at ineffectiveness is a direct key predicate.
+func TestUnprotectedDependent(t *testing.T) {
+	d := buildPresent(t, core.Options{Scheme: core.SchemeUnprotected})
+	res, err := Run(d.Mod, Options{Models: []fault.Model{fault.StuckAt0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dependent == 0 {
+		t.Fatal("unprotected core proved independent — the prover lost the SIFA bias")
+	}
+	for _, lr := range res.Locations {
+		if lr.Checks[CheckIneffectiveBias].Verdict != VerdictDependent {
+			t.Fatalf("ineffective-bias at %s: %s, want dependent",
+				lr.Location.Name, lr.Checks[CheckIneffectiveBias].Verdict)
+		}
+		// No real detection flag (constant 0): its distribution is
+		// trivially key-independent.
+		if lr.Checks[CheckFlagIndependence].Verdict != VerdictIndependent {
+			t.Fatalf("flag-key-independence at %s: %s, want proved-independent",
+				lr.Location.Name, lr.Checks[CheckFlagIndependence].Verdict)
+		}
+	}
+}
+
+// comb builds the three-gate conditional-bias module used across the
+// fixture tests: din/key public/key inputs, λ randomness, an encoded data
+// wire and a blinded key-dependent flag.
+func combFixture(t *testing.T) (*netlist.Module, netlist.Net) {
+	t.Helper()
+	m := netlist.New("sifa_cond_bias")
+	din := m.AddInput("din", 1)
+	key := m.AddInput("key", 1)
+	lam := m.AddInput("lambda", 1)
+	a1 := m.And(din[0], key[0])
+	v := m.Xor(lam[0], din[0])
+	flag := m.Xor(lam[0], a1)
+	m.AddOutput("ct", netlist.Bus{v})
+	m.AddOutput("fault", netlist.Bus{flag})
+	m.SetTag(v, "fp.v")
+	return m, v
+}
+
+// TestConditionalBias exercises the check the tentpole exists for: both
+// marginals (ineffectiveness count, detection count) are uniform thanks to
+// λ, yet the joint distribution is key-biased — only the conditional
+// check catches it.
+func TestConditionalBias(t *testing.T) {
+	m, v := combFixture(t)
+	a, err := NewAnalyzer(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := a.Locations()
+	if len(locs) != 1 || locs[0].Net != v {
+		t.Fatalf("tagged locations = %+v, want the fp.v net", locs)
+	}
+	for _, tc := range []struct {
+		model fault.Model
+		want  [NumChecks]Verdict
+	}{
+		{fault.StuckAt0, [NumChecks]Verdict{VerdictIndependent, VerdictIndependent, VerdictDependent}},
+		{fault.StuckAt1, [NumChecks]Verdict{VerdictIndependent, VerdictIndependent, VerdictDependent}},
+		{fault.BitFlip, [NumChecks]Verdict{VerdictIndependent, VerdictIndependent, VerdictIndependent}},
+	} {
+		lr, err := a.Prove(locs[0], tc.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := Check(0); c < NumChecks; c++ {
+			if lr.Checks[c].Verdict != tc.want[c] {
+				t.Errorf("%s under %s: %s, want %s", c, tc.model, lr.Checks[c].Verdict, tc.want[c])
+			}
+		}
+		if w := lr.Checks[CheckSIFAIndependence].Witness; tc.want[CheckSIFAIndependence] == VerdictDependent {
+			if w == nil {
+				t.Fatalf("dependent conditional under %s without witness", tc.model)
+			}
+			if w.Key != "key[0]" {
+				t.Errorf("witness key = %q, want key[0]", w.Key)
+			}
+		}
+	}
+}
+
+// TestBudgetUnknown: an absurdly small budget must degrade to unknown
+// verdicts — never an error, never unbounded growth.
+func TestBudgetUnknown(t *testing.T) {
+	d := buildPresent(t, core.Options{Scheme: core.SchemeThreeInOne, Entropy: core.EntropyPrime})
+	a, err := NewAnalyzer(d.Mod, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := a.Prove(a.Locations()[0], fault.StuckAt0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range lr.Checks {
+		if cr.Verdict != VerdictUnknown {
+			t.Fatalf("check %s under budget 64: %s, want unknown", cr.Check, cr.Verdict)
+		}
+	}
+	if lr.Verdict() != VerdictUnknown {
+		t.Fatalf("aggregate verdict %s, want unknown", lr.Verdict())
+	}
+}
+
+// TestSequentialModelErrors: modules outside the model are rejected with
+// a diagnosable error rather than a wrong proof.
+func TestSequentialModelErrors(t *testing.T) {
+	m := netlist.New("no_load")
+	din := m.AddInput("din", 1)
+	q := m.DFF(din[0])
+	m.AddOutput("ct", netlist.Bus{q})
+	if _, err := NewAnalyzer(m, 0); err == nil || !strings.Contains(err.Error(), "load") {
+		t.Fatalf("sequential module without load: err = %v, want load-port error", err)
+	}
+
+	// A register whose load value depends on another register cannot be
+	// grounded by the load cycle.
+	m2 := netlist.New("uninit_reg")
+	loadB := m2.AddInput("load", 1)
+	d0 := m2.NewNet("q1_loop")
+	q1 := m2.DFF(d0)
+	m2.AddCell(netlist.KindBuf, d0, q1)
+	_ = loadB
+	m2.AddOutput("ct", netlist.Bus{q1})
+	a, err := NewAnalyzer(m2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged := m2.SetTag(d0, "fp.x")
+	if !tagged {
+		t.Fatal("SetTag failed")
+	}
+	if _, err := a.Prove(a.Locations()[0], fault.StuckAt0); err == nil ||
+		!strings.Contains(err.Error(), "not initialised") {
+		t.Fatalf("uninitialised register: err = %v, want initialisation error", err)
+	}
+}
+
+// TestVerdictStrings pins the report vocabulary the issue specifies.
+func TestVerdictStrings(t *testing.T) {
+	if s := VerdictIndependent.String(); s != "proved-independent" {
+		t.Errorf("VerdictIndependent = %q", s)
+	}
+	if s := VerdictDependent.String(); s != "dependent" {
+		t.Errorf("VerdictDependent = %q", s)
+	}
+	if s := VerdictUnknown.String(); s != "unknown (node budget)" {
+		t.Errorf("VerdictUnknown = %q", s)
+	}
+	for c := Check(0); c < NumChecks; c++ {
+		if strings.Contains(c.RuleID(), "Check(") {
+			t.Errorf("check %d has no rule ID", c)
+		}
+	}
+}

@@ -14,10 +14,22 @@ import (
 // campaign batch b draws all randomness from (seed, b), the pair
 // (NextBatch, Counts) is sufficient to resume: re-running batches
 // [NextBatch, NumBatches) and adding the counts reproduces an
-// uninterrupted run bit for bit.
+// uninterrupted run bit for bit. Prove jobs checkpoint through the Prove
+// field instead; the two are never set together.
 type Checkpoint struct {
-	NextBatch int            `json:"next_batch"`
-	Counts    CampaignResult `json:"counts"`
+	NextBatch int              `json:"next_batch"`
+	Counts    CampaignResult   `json:"counts"`
+	Prove     *ProveCheckpoint `json:"prove,omitempty"`
+}
+
+// ProveCheckpoint is the durable mid-flight state of a prove job. Proofs
+// are deterministic per (location, model) pair and the service walks the
+// pairs in a fixed order (locations outer, models inner), so the completed
+// prefix — the pairs in Done — plus the next pair index is sufficient to
+// resume without re-proving anything.
+type ProveCheckpoint struct {
+	NextPair int             `json:"next_pair"`
+	Done     []ProveLocation `json:"done"`
 }
 
 // jobRecord is the on-disk form of a job: the full request (jobs are

@@ -1,0 +1,153 @@
+package service_test
+
+// End-to-end acceptance of the prove job kind: a daemon drained mid-proof
+// must come back as queued with a per-(location, model) checkpoint, and a
+// restart on the same state directory must finish the job by proving only
+// the remaining pairs — never re-proving a completed one. The re-prove
+// count is measured directly: the restarted process carries a fresh
+// registry with the prover's instruments attached, so its
+// scone_prove_locations_total is exactly the number of pairs that process
+// proved itself.
+
+import (
+	"bytes"
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/prove"
+	"repro/internal/service"
+)
+
+// proveLocationsCounted reads scone_prove_locations_total out of a
+// registry's Prometheus exposition.
+func proveLocationsCounted(t *testing.T, reg *obs.Registry) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "scone_prove_locations_total") {
+			continue
+		}
+		f := strings.Fields(line)
+		n, err := strconv.Atoi(f[len(f)-1])
+		if err != nil {
+			t.Fatalf("bad metric line %q", line)
+		}
+		return n
+	}
+	return 0
+}
+
+func TestE2EProveDrainAndResume(t *testing.T) {
+	stateDir := t.TempDir()
+	cfg := service.Config{Workers: 1, StateDir: stateDir}
+	req := service.JobRequest{
+		Kind:   service.KindProve,
+		Design: service.DesignSpec{Cipher: "present80", Scheme: "three-in-one", Entropy: "prime"},
+	}
+
+	svc1, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the first per-pair checkpoints, then drain mid-proof.
+	deadline := time.Now().Add(2 * time.Minute)
+	var total int
+	for {
+		cur, err := svc1.Get(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State.Terminal() {
+			t.Fatalf("job finished before drain: %s (%s)", cur.State, cur.Error)
+		}
+		if cur.Progress != nil && cur.Progress.Done >= 2 {
+			total = cur.Progress.Total
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no prove checkpoint observed before deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	if err := svc1.Drain(drainCtx); err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	cancel()
+
+	mid, err := svc1.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.State != service.StateQueued {
+		t.Fatalf("after drain the job is %s, want %s", mid.State, service.StateQueued)
+	}
+	if mid.Progress == nil || mid.Progress.Done == 0 || mid.Progress.Done >= total {
+		t.Fatalf("after drain progress = %+v, want partial of %d", mid.Progress, total)
+	}
+	doneAtDrain := mid.Progress.Done
+
+	// Restart with the prover's instruments on a fresh registry: the
+	// location counter then measures exactly the pairs the new process
+	// proves itself, so "resume skips completed pairs" is an equality.
+	reg := obs.NewRegistry()
+	prove.EnableObservability(reg)
+	defer prove.EnableObservability(nil)
+	cfg2 := cfg
+	cfg2.Obs = reg
+	svc2, err := service.New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+
+	var final service.JobStatus
+	for time.Now().Before(deadline) {
+		final, err = svc2.Get(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State.Terminal() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if final.State != service.StateDone {
+		t.Fatalf("resumed job finished %s (%s)", final.State, final.Error)
+	}
+	if final.Resumed < 1 {
+		t.Errorf("resumed job has Resumed = %d, want >= 1", final.Resumed)
+	}
+	if got := svc2.Metrics.Snapshot()["jobs_resumed_total"]; got < 1 {
+		t.Errorf("jobs_resumed_total = %d, want >= 1", got)
+	}
+
+	res := final.Result.Prove
+	if res == nil {
+		t.Fatal("no prove result on terminal status")
+	}
+	if len(res.Locations) != total {
+		t.Errorf("result carries %d pairs, want %d", len(res.Locations), total)
+	}
+	if res.Proved != total || !res.Clean() {
+		t.Errorf("protected PRESENT-80 must prove clean: proved %d / dependent %d / unknown %d of %d",
+			res.Proved, res.Dependent, res.Unknown, total)
+	}
+	if proved := proveLocationsCounted(t, reg); proved != total-doneAtDrain {
+		t.Errorf("restarted process proved %d pairs, want exactly the %d remaining (%d total - %d checkpointed)",
+			proved, total-doneAtDrain, total, doneAtDrain)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/lint"
+	"repro/internal/prove"
 )
 
 // Kind enumerates the job types the service executes. Together they make
@@ -37,11 +38,12 @@ const (
 	KindFTA      Kind = "fta"
 	KindArea     Kind = "area"
 	KindLint     Kind = "lint"
+	KindProve    Kind = "prove"
 )
 
 // Kinds lists the supported job kinds in a stable order.
 func Kinds() []Kind {
-	return []Kind{KindCampaign, KindDFA, KindSIFA, KindFTA, KindArea, KindLint}
+	return []Kind{KindCampaign, KindDFA, KindSIFA, KindFTA, KindArea, KindLint, KindProve}
 }
 
 // U64 is a uint64 that travels as a hex string ("0x1f"). JSON numbers lose
@@ -157,6 +159,17 @@ type LintSpec struct {
 	MaxPerRule int      `json:"max_per_rule,omitempty"`
 }
 
+// ProveSpec parameterises a prove job. Zero values take the prover's
+// defaults: all three fault models per location, prove.DefaultBudget nodes.
+type ProveSpec struct {
+	// Models restricts the fault models proved per location
+	// ("stuck-at-0", "stuck-at-1", "bit-flip"); empty means all three.
+	Models []string `json:"models,omitempty"`
+	// Budget caps the BDD manager's live node count; 0 means the
+	// prover default. Exceeding it yields unknown verdicts, not failure.
+	Budget int `json:"budget,omitempty"`
+}
+
 // JobRequest is the submission payload.
 type JobRequest struct {
 	Kind     Kind          `json:"kind"`
@@ -164,6 +177,7 @@ type JobRequest struct {
 	Campaign *CampaignSpec `json:"campaign,omitempty"`
 	Attack   *AttackSpec   `json:"attack,omitempty"`
 	Lint     *LintSpec     `json:"lint,omitempty"`
+	Prove    *ProveSpec    `json:"prove,omitempty"`
 }
 
 // Validate rejects malformed requests before they reach the queue, so a
@@ -201,10 +215,21 @@ func (r *JobRequest) Validate() error {
 		}
 	case KindArea, KindLint:
 		// Design-only kinds.
+	case KindProve:
+		if p := r.Prove; p != nil {
+			for i, m := range p.Models {
+				if _, err := parseModel(m); err != nil {
+					return fmt.Errorf("prove model %d: %w", i, err)
+				}
+			}
+			if p.Budget < 0 {
+				return fmt.Errorf("prove needs a non-negative node budget (got %d)", p.Budget)
+			}
+		}
 	default:
 		return fmt.Errorf("unknown job kind %q", r.Kind)
 	}
-	if r.Design.Netlist != "" && r.Kind != KindArea && r.Kind != KindLint {
+	if r.Design.Netlist != "" && r.Kind != KindArea && r.Kind != KindLint && r.Kind != KindProve {
 		return fmt.Errorf("%s jobs need a synthesised design, not an inline netlist", r.Kind)
 	}
 	if r.Design.Netlist == "" {
@@ -307,6 +332,81 @@ type AreaResult struct {
 	ByKind        map[string]float64 `json:"by_kind,omitempty"`
 }
 
+// ProveCheck is the wire form of one independence check's outcome at one
+// (fault location, model) pair.
+type ProveCheck struct {
+	Check   string `json:"check"`
+	Verdict string `json:"verdict"`
+	Witness string `json:"witness,omitempty"`
+}
+
+// ProveLocation is the wire form of prove.LocationResult: one fault
+// location under one fault model, with the three checks' verdicts. It is
+// also the checkpoint unit of a prove job — Nodes rides along so a resumed
+// job reconstructs the peak node count without re-proving.
+type ProveLocation struct {
+	Name    string       `json:"name"`
+	Tag     string       `json:"tag,omitempty"`
+	Model   string       `json:"model"`
+	Verdict string       `json:"verdict"`
+	Nodes   int          `json:"nodes"`
+	Checks  []ProveCheck `json:"checks"`
+}
+
+// NewProveLocation converts an engine location result to the wire form.
+func NewProveLocation(lr prove.LocationResult) ProveLocation {
+	pl := ProveLocation{
+		Name:    lr.Location.Name,
+		Tag:     lr.Location.Tag,
+		Model:   lr.Model.String(),
+		Verdict: lr.Verdict().String(),
+		Nodes:   lr.Nodes,
+		Checks:  make([]ProveCheck, 0, len(lr.Checks)),
+	}
+	for i := range lr.Checks {
+		cr := &lr.Checks[i]
+		pc := ProveCheck{Check: cr.Check.String(), Verdict: cr.Verdict.String()}
+		if cr.Witness != nil {
+			pc.Witness = cr.Witness.String()
+		}
+		pl.Checks = append(pl.Checks, pc)
+	}
+	return pl
+}
+
+// ProveResult is the wire form of a full prover run.
+type ProveResult struct {
+	Module    string `json:"module"`
+	Budget    int    `json:"budget"`
+	Proved    int    `json:"proved"`
+	Dependent int    `json:"dependent"`
+	Unknown   int    `json:"unknown"`
+	// PeakNodes is the largest per-pair live BDD node count of the run.
+	PeakNodes int             `json:"peak_nodes"`
+	Locations []ProveLocation `json:"locations"`
+}
+
+// Clean reports whether every (location, model) pair proved independent.
+func (p *ProveResult) Clean() bool { return p.Dependent == 0 && p.Unknown == 0 }
+
+// Accumulate folds one wire-form pair into the aggregate — the same
+// checkpoint arithmetic for fresh proofs and for pairs replayed from a
+// resumed job's checkpoint.
+func (p *ProveResult) Accumulate(l ProveLocation) {
+	p.Locations = append(p.Locations, l)
+	switch l.Verdict {
+	case prove.VerdictIndependent.String():
+		p.Proved++
+	case prove.VerdictDependent.String():
+		p.Dependent++
+	default:
+		p.Unknown++
+	}
+	if l.Nodes > p.PeakNodes {
+		p.PeakNodes = l.Nodes
+	}
+}
+
 // JobResult is the kind-discriminated result payload; exactly one field is
 // set on a done job.
 type JobResult struct {
@@ -316,6 +416,7 @@ type JobResult struct {
 	FTA      *FTAResult      `json:"fta,omitempty"`
 	Area     *AreaResult     `json:"area,omitempty"`
 	Lint     *lint.Report    `json:"lint,omitempty"`
+	Prove    *ProveResult    `json:"prove,omitempty"`
 }
 
 // Progress is a point-in-time view of a running campaign job, published at

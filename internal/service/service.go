@@ -14,6 +14,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/lint"
 	"repro/internal/obs"
+	"repro/internal/prove"
 	"repro/internal/sim"
 	"repro/internal/spn"
 	"repro/internal/stdcell"
@@ -489,6 +490,8 @@ func (s *Service) runJob(j *job) {
 		result, err = runArea(j.req)
 	case KindLint:
 		result, err = runLint(j.req)
+	case KindProve:
+		result, err = s.runProve(ctx, j)
 	default:
 		err = fmt.Errorf("unknown job kind %q", j.req.Kind)
 	}
@@ -882,6 +885,83 @@ func runArea(req JobRequest) (*JobResult, error) {
 		CellCount:     rep.CellCount,
 		ByKind:        byKind,
 	}}, nil
+}
+
+// runProve executes a prove job one (fault location, model) pair at a
+// time. Proofs are deterministic and independent per pair, and the pairs
+// are walked in a fixed order (locations outer, models inner), so every
+// pair boundary is a checkpoint: the completed pairs and the next index
+// are persisted after each proof, and a drained or killed job resumes by
+// replaying the checkpointed pairs into the aggregate and proving only
+// the remainder — never re-proving a completed pair.
+func (s *Service) runProve(ctx context.Context, j *job) (*JobResult, error) {
+	m, err := ResolveModule(j.req.Design)
+	if err != nil {
+		return nil, err
+	}
+	budget := 0
+	models := prove.Models()
+	if p := j.req.Prove; p != nil {
+		budget = p.Budget
+		if len(p.Models) > 0 {
+			models = make([]fault.Model, 0, len(p.Models))
+			for _, name := range p.Models {
+				fm, err := parseModel(name)
+				if err != nil {
+					return nil, err
+				}
+				models = append(models, fm)
+			}
+		}
+	}
+	a, err := prove.NewAnalyzer(m, budget)
+	if err != nil {
+		return nil, err
+	}
+	locs := a.Locations()
+	if len(locs) == 0 {
+		return nil, fmt.Errorf("module %s declares no fault points (no %q cell tags)", m.Name, prove.TagPrefix)
+	}
+	total := len(locs) * len(models)
+
+	res := &ProveResult{Module: m.Name, Budget: a.Budget()}
+	s.mu.Lock()
+	start := 0
+	if j.checkpoint != nil && j.checkpoint.Prove != nil {
+		cp := j.checkpoint.Prove
+		start = cp.NextPair
+		for _, l := range cp.Done {
+			res.Accumulate(l)
+		}
+		j.resumed++
+		s.Metrics.JobsResumed.Inc()
+	}
+	j.progress = &Progress{Done: start, Total: total}
+	s.mu.Unlock()
+
+	for pair := start; pair < total; pair++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		lr, err := a.Prove(locs[pair/len(models)], models[pair%len(models)])
+		if err != nil {
+			return nil, err
+		}
+		res.Accumulate(NewProveLocation(lr))
+		// The checkpoint owns its own copy of the completed pairs: the
+		// result keeps growing while the persisted record must stay a
+		// frozen snapshot of this boundary.
+		done := append([]ProveLocation(nil), res.Locations...)
+		s.mu.Lock()
+		j.checkpoint = &Checkpoint{Prove: &ProveCheckpoint{NextPair: pair + 1, Done: done}}
+		j.progress = &Progress{Done: pair + 1, Total: total}
+		s.Metrics.Checkpoints.Inc()
+		s.persistLocked(j)
+		p := *j.progress
+		s.publishLocked(j, Event{Type: "progress", Progress: &p})
+		s.mu.Unlock()
+	}
+	return &JobResult{Prove: res}, nil
 }
 
 // runLint audits a design (or uploaded netlist) with the static

@@ -9,7 +9,7 @@ import (
 
 // Analyzers returns the repository's vet passes in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoRand, CachedCompile, CtxExecute, ObsNames, V1Routes}
+	return []*Analyzer{NoRand, CachedCompile, CtxExecute, ObsNames, ProveBudget, V1Routes}
 }
 
 // NoRand forbids math/rand outside test files and internal/rng.
@@ -165,6 +165,60 @@ var ObsNames = &Analyzer{
 					return true
 				}
 				checkObsName(p, lit.Pos(), name, wantPkg)
+				return true
+			})
+		}
+	},
+}
+
+// bddImportPath is the BDD package ProveBudget guards, and
+// proveBudgetDirs the analysis packages where unbounded managers are
+// forbidden. Synthesis and experiment code may still size managers freely:
+// only the analyses that run inside lint rules and service jobs must
+// degrade to a skip/unknown verdict instead of growing without bound.
+const bddImportPath = "repro/internal/bdd"
+
+var proveBudgetDirs = []string{"internal/lint/", "internal/prove/"}
+
+// ProveBudget forbids bare bdd.New calls in internal/lint and
+// internal/prove. Both packages run BDD analyses on untrusted netlists
+// where node growth is the failure mode; bdd.NewWithBudget plus
+// bdd.Guarded turns a blow-up into a reported skip or an unknown verdict,
+// while a bare bdd.New silently removes the ceiling.
+var ProveBudget = &Analyzer{
+	Name: "provebudget",
+	Doc:  "forbid bare bdd.New in internal/lint and internal/prove (use bdd.NewWithBudget + bdd.Guarded)",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			scoped := false
+			for _, dir := range proveBudgetDirs {
+				if strings.HasPrefix(f.Dir(), dir) {
+					scoped = true
+					break
+				}
+			}
+			if !scoped {
+				continue
+			}
+			local := importName(f.AST, bddImportPath)
+			if local == "" || local == "_" || local == "." {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "New" {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == local && id.Obj == nil {
+					p.Reportf(call.Pos(), "bare bdd.New in analysis code has no node ceiling: use bdd.NewWithBudget and run under bdd.Guarded")
+				}
 				return true
 			})
 		}

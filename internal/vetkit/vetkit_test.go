@@ -191,6 +191,63 @@ func t(reg interface{ NewCounter(name, help string) any }) {
 	}
 }
 
+func TestProveBudget(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/lint/bad.go": `package lint
+
+import "repro/internal/bdd"
+
+func f() { _ = bdd.New(8) }
+`,
+		"internal/prove/bad.go": `package prove
+
+import b "repro/internal/bdd"
+
+func f() { _ = b.New(8) }
+`,
+		"internal/prove/ok.go": `package prove
+
+import "repro/internal/bdd"
+
+func g() { _ = bdd.NewWithBudget(8, 1024) }
+`,
+		"internal/prove/shadow.go": `package prove
+
+func h() {
+	bdd := struct{ New func(int) int }{}
+	bdd.New(8)
+}
+`,
+		"internal/prove/ok_test.go": `package prove
+
+import "repro/internal/bdd"
+
+func t() { _ = bdd.New(8) }
+`,
+		"internal/synth/ok.go": `package synth
+
+import "repro/internal/bdd"
+
+func g() { _ = bdd.New(8) }
+`,
+	})
+	diags, err := Run(root, []*Analyzer{ProveBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Pos.Filename != "internal/lint/bad.go" && d.Pos.Filename != "internal/prove/bad.go" {
+			t.Errorf("finding in wrong file: %s", d.String())
+		}
+		if !strings.Contains(d.Message, "NewWithBudget") {
+			t.Errorf("message should point at NewWithBudget: %s", d.String())
+		}
+	}
+}
+
 func TestV1Routes(t *testing.T) {
 	root := writeTree(t, map[string]string{
 		"internal/service/http.go": `package service

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/prove"
 	"repro/internal/rng"
 	"repro/internal/service"
 	"repro/internal/service/client"
@@ -304,6 +305,47 @@ func Nangate45() *CellLibrary { return stdcell.Nangate45() }
 func Area(lib *CellLibrary, d *Design) AreaReport { return lib.Area(d.Mod) }
 
 // ---------------------------------------------------------------------------
+// Formal verification layer
+//
+// The BDD-based independence prover (internal/prove): where sconelint
+// proves the countermeasure's structural obligations and fault campaigns
+// sample its behavioural ones, Prove decides the three SIFA-independence
+// obligations exactly — by model counting over the randomness variables —
+// at every tagged fault point of a design. See DESIGN.md §13.
+// ---------------------------------------------------------------------------
+
+type (
+	// ProveOptions configures a prover run (node budget, fault models,
+	// fault locations).
+	ProveOptions = prove.Options
+	// ProveResult is a full prover run over one module: per-pair verdicts
+	// plus proved/dependent/unknown aggregates.
+	ProveResult = prove.Result
+	// ProveLocationResult is one (fault location, model) pair's outcome.
+	ProveLocationResult = prove.LocationResult
+	// ProveVerdict is the outcome of one independence check.
+	ProveVerdict = prove.Verdict
+	// ProveWitness is a concrete key-dependence certificate: an input
+	// assignment under which flipping one key bit changes a count.
+	ProveWitness = prove.Witness
+)
+
+// Prove verdicts.
+const (
+	// ProvedIndependent: proved key-independent over all inputs.
+	ProvedIndependent = prove.VerdictIndependent
+	// ProveUnknown: the BDD node budget was exceeded before a proof.
+	ProveUnknown = prove.VerdictUnknown
+	// ProveDependent: key-dependent, with a concrete witness.
+	ProveDependent = prove.VerdictDependent
+)
+
+// Prove runs the independence prover over every tagged fault point of a
+// built design. A nil-field ProveOptions proves all three fault models
+// under the default node budget.
+func Prove(d *Design, opts ProveOptions) (*ProveResult, error) { return prove.Run(d.Mod, opts) }
+
+// ---------------------------------------------------------------------------
 // Service layer
 //
 // The sconed daemon's embeddable job engine; see cmd/sconed and
@@ -363,6 +405,8 @@ const (
 	JobArea = service.KindArea
 	// JobLint runs the static countermeasure audit.
 	JobLint = service.KindLint
+	// JobProve runs the formal independence prover.
+	JobProve = service.KindProve
 )
 
 // Job states.
@@ -466,14 +510,16 @@ type (
 // NewRegistry creates an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
 
-// EnableObservability registers the simulator and fault-engine instrument
-// families on reg, so campaign internals (cache hits, evals, batch
-// latency, reorder depth) surface in reg's Prometheus exposition. Pass
-// nil to detach them again — the hot paths then cost nothing. Service
+// EnableObservability registers the simulator, fault-engine and prover
+// instrument families on reg, so campaign internals (cache hits, evals,
+// batch latency, reorder depth) and proof progress (locations proved, peak
+// BDD nodes, per-location latency) surface in reg's Prometheus exposition.
+// Pass nil to detach them again — the hot paths then cost nothing. Service
 // instances attach through ServiceConfig.Obs instead.
 func EnableObservability(reg *Registry) {
 	sim.EnableObservability(reg)
 	fault.EnableObservability(reg)
+	prove.EnableObservability(reg)
 }
 
 // ---------------------------------------------------------------------------
