@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-full bench-smoke fmt fmt-check vet lint sconelint fuzz serve e2e e2e-dist e2e-store e2e-prove ci
+.PHONY: all build test race bench bench-full bench-smoke fmt fmt-check vet lint sconelint fuzz serve e2e e2e-dist e2e-store e2e-prove e2e-multifault ci
 
 all: build test
 
@@ -15,9 +15,10 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Campaign benchmark suite: PRESENT-80 across all three entropy variants,
-# written to BENCH_PR4.json (runs/sec, ns/eval, allocs). CI uploads the
-# report as an artifact so the perf trajectory is tracked per commit.
+# Campaign benchmark suite: PRESENT-80 across all three entropy variants
+# plus the k=2 multi-fault plan sweep, written to BENCH_PR8.json
+# (runs/sec, ns/eval, allocs). CI uploads the report as an artifact so the
+# perf trajectory is tracked per commit.
 bench:
 	$(GO) run ./cmd/sconebench -short
 
@@ -86,6 +87,17 @@ e2e-prove:
 		-run 'TestE2EProve|TestProve|TestProtectedPresent80Independent' \
 		./internal/service/... ./internal/prove/... ./cmd/sconectl/...
 
+# Multi-fault planning subsystem under the race detector: the multifault
+# job kind must produce bit-identical sweep results in-process, through
+# the distributed lease fabric and replayed from the result store (both
+# kfault and persistent modes), and a daemon drained mid-sweep must
+# resume at the recorded placement index with a stitched result equal to
+# an uninterrupted run.
+e2e-multifault:
+	$(GO) test -race -count=1 \
+		-run 'TestE2EMultiFault|TestMultiFault' \
+		./internal/service/... ./internal/plan/...
+
 # Static countermeasure audit: the synthesised PRESENT-80 three-in-one
 # core must lint clean for every entropy variant, and the unprotected
 # baseline must be flagged.
@@ -99,6 +111,6 @@ sconelint:
 
 # Replay the checked-in fuzz seed corpora (no open-ended fuzzing).
 fuzz:
-	$(GO) test -run=Fuzz ./internal/netlist ./internal/lint ./internal/store ./internal/prove
+	$(GO) test -run=Fuzz ./internal/netlist ./internal/lint ./internal/store ./internal/prove ./internal/plan
 
 ci: fmt-check build lint test race bench-smoke fuzz sconelint

@@ -1,20 +1,22 @@
 // Command sconebench runs the PRESENT-80 fault-campaign benchmark suite
 // across the paper's three λ-entropy variants and writes a machine-readable
 // report. It is the perf-trajectory anchor for the observability work: the
-// numbers in BENCH_PR4.json are produced with the obs registry enabled, so
+// numbers in BENCH_PR8.json are produced with the obs registry enabled, so
 // instrument overhead is part of what is measured.
 //
 // Usage:
 //
 //	sconebench [-runs 16384] [-seed 0x5C09E2021] [-workers N]
-//	           [-short] [-o BENCH_PR4.json]
+//	           [-short] [-o BENCH_PR8.json]
 //
 // For each entropy variant (prime, per-round, per-sbox) the suite runs one
 // three-in-one campaign — stuck-at-0 on S-box 13 bit 2 in the last round,
 // the Figure 4 fault — and reports runs/sec, ns per simulator eval and heap
 // allocations per run. The eval count comes from the simulator's own
 // scone_sim_evals_total counter, so the benchmark doubles as an end-to-end
-// check of the metrics plumbing.
+// check of the metrics plumbing. A final multi-fault row times a k=2 plan
+// sweep over one S-box column — the planning layer's per-placement overhead
+// on top of the raw campaign engine.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/spn"
@@ -76,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 0x5C09E2021, "campaign seed")
 	workers := fs.Int("workers", 0, "worker goroutines per campaign (0 = GOMAXPROCS)")
 	short := fs.Bool("short", false, "shrink the suite for CI (2048 runs per variant)")
-	out := fs.String("o", "BENCH_PR4.json", "report path (\"-\" writes the JSON to stdout)")
+	out := fs.String("o", "BENCH_PR8.json", "report path (\"-\" writes the JSON to stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	reg := obs.NewRegistry()
 	sim.EnableObservability(reg)
 	fault.EnableObservability(reg)
+	plan.EnableObservability(reg)
 	evals := reg.NewCounter("scone_sim_evals_total", "simulator eval calls")
 
 	variants := []string{"prime", "per-round", "per-sbox"}
@@ -113,6 +117,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	mf, err := benchMultiFault(*runs, *seed, *workers)
+	if err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Fprintf(stdout, "%-10s %10.0f runs/s  %4d placements  (%s)\n",
+			"multifault", mf.RunsPerSec, mf.Placements,
+			time.Duration(mf.ElapsedNS).Round(time.Millisecond))
+	}
+
 	doc := map[string]any{
 		"bench":      "present80-campaign-suite",
 		"spec":       "present80",
@@ -122,6 +136,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"go":         runtime.Version(),
 		"gomaxprocs": runtime.GOMAXPROCS(0),
 		"variants":   reports,
+		"multifault": mf,
 	}
 	if *out == "-" {
 		return service.WriteJSON(stdout, doc)
@@ -139,6 +154,69 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "wrote %s\n", *out)
 	return nil
+}
+
+// multiFaultReport is the k=2 plan-sweep measurement: every pair of fault
+// points in one S-box column, each pair its own campaign, outcome tallies
+// folded so the row doubles as a determinism pin like the variant rows.
+type multiFaultReport struct {
+	K           int                    `json:"k"`
+	Sites       int                    `json:"sites"`
+	Placements  int                    `json:"placements"`
+	RunsPerPair int                    `json:"runs_per_pair"`
+	Totals      service.CampaignResult `json:"totals"`
+	ElapsedNS   int64                  `json:"elapsed_ns"`
+	RunsPerSec  float64                `json:"runs_per_sec"`
+}
+
+// benchMultiFault times the planning layer end to end: plan.New over the
+// benchmark S-box column, then one campaign per tuple through the same
+// engine the variant rows use. runs is split across the placements so the
+// row's total simulation work matches one variant row.
+func benchMultiFault(runs int, seed uint64, workers int) (multiFaultReport, error) {
+	d, err := service.BuildDesign(service.DesignSpec{
+		Cipher:  "present80",
+		Scheme:  "three-in-one",
+		Entropy: "prime",
+	})
+	if err != nil {
+		return multiFaultReport{}, err
+	}
+	p, err := plan.New(d, plan.Request{K: 2, Sboxes: []int{benchSbox}})
+	if err != nil {
+		return multiFaultReport{}, err
+	}
+	perPair := runs / len(p.Tuples)
+	if perPair < sim.Lanes {
+		perPair = sim.Lanes
+	}
+	var total service.CampaignResult
+	start := time.Now()
+	for _, tuple := range p.Tuples {
+		camp := fault.Campaign{
+			Design:  d,
+			Key:     benchKey,
+			Faults:  p.Faults(tuple, fault.StuckAt0, d.LastRoundCycle()),
+			Runs:    perPair,
+			Seed:    seed,
+			Workers: workers,
+		}
+		res, err := camp.Execute(nil)
+		if err != nil {
+			return multiFaultReport{}, err
+		}
+		total.Add(res)
+	}
+	elapsed := time.Since(start)
+	return multiFaultReport{
+		K:           p.K,
+		Sites:       len(p.Sites),
+		Placements:  len(p.Tuples),
+		RunsPerPair: perPair,
+		Totals:      total,
+		ElapsedNS:   elapsed.Nanoseconds(),
+		RunsPerSec:  float64(perPair*len(p.Tuples)) / elapsed.Seconds(),
+	}, nil
 }
 
 // benchVariant builds the three-in-one PRESENT-80 design with the given

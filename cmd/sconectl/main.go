@@ -7,8 +7,12 @@
 //	         -seed 0x5C09E2021 -key 0x0123456789ABCDEF,0x8421 \
 //	         -sbox 13 -bit 2 [-stream]
 //	sconectl [-server URL] submit -kind lint -netlist core.nl
+//	sconectl [-server URL] submit -kind multifault -mode kfault -k 2 \
+//	         -sboxes 13 -runs 4096 [-prune] [-max-tuples N] [-stream]
 //	sconectl [-server URL] prove -cipher present80 -scheme three-in-one \
 //	         -entropy prime [-models stuck-at-0,bit-flip] [-budget N] [-stream]
+//	sconectl plan -cipher present80 -scheme three-in-one -mode kfault \
+//	         -k 2 [-sboxes 13,14] [-max-tuples N]
 //	sconectl [-server URL] get j000000
 //	sconectl [-server URL] list
 //	sconectl [-server URL] cancel j000000
@@ -39,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/cliflags"
+	"repro/internal/plan"
 	"repro/internal/service"
 	"repro/internal/service/client"
 )
@@ -55,7 +60,7 @@ func main() {
 
 func usage(stderr io.Writer, fs *flag.FlagSet) func() {
 	return func() {
-		fmt.Fprintln(stderr, "usage: sconectl [-server URL] <submit|prove|get|list|cancel|watch|results|runs|metrics|workers|leases|top> [flags]")
+		fmt.Fprintln(stderr, "usage: sconectl [-server URL] <submit|prove|plan|get|list|cancel|watch|results|runs|metrics|workers|leases|top> [flags]")
 		fs.PrintDefaults()
 	}
 }
@@ -79,6 +84,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return cmdSubmit(ctx, c, rest, stdout, stderr)
 	case "prove":
 		return cmdProve(ctx, c, rest, stdout, stderr)
+	case "plan":
+		return cmdPlan(rest, stdout, stderr)
 	case "get":
 		return oneJobCmd(ctx, rest, stdout, c.Get)
 	case "cancel":
@@ -337,7 +344,7 @@ func cmdProve(ctx context.Context, c *client.Client, args []string, stdout, stde
 func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sconectl submit", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	kind := fs.String("kind", "campaign", "job kind: campaign, dfa, sifa, fta, area, lint, prove")
+	kind := fs.String("kind", "campaign", "job kind: campaign, multifault, dfa, sifa, fta, area, lint, prove")
 	design := cliflags.RegisterDesign(fs)
 	netlistPath := fs.String("netlist", "", "netlist file to upload (area/lint jobs)")
 	runs := fs.Int("runs", 80000, "campaign: simulated encryptions")
@@ -347,6 +354,11 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, std
 	bit := fs.Int("bit", 2, "faulted S-box input bit")
 	model := fs.String("model", "stuck-at-0", "fault model: stuck-at-0, stuck-at-1, bit-flip")
 	branch := fs.String("branch", "actual", "faulted branch: actual, redundant")
+	mode := fs.String("mode", "kfault", "multifault: plan mode, kfault or persistent")
+	arity := fs.Int("k", 2, "multifault kfault: simultaneous fault locations per tuple")
+	sboxes := fs.String("sboxes", "", "multifault: comma-separated S-box indices (kfault: site columns; persistent: table entries)")
+	prune := fs.Bool("prune", false, "multifault kfault: skip tuples containing an empirically inert site")
+	maxTuples := fs.Int("max-tuples", 0, "multifault: truncate the plan after this many placements (0 = no cap)")
 	stream := fs.Bool("stream", false, "follow the job's NDJSON progress stream until it finishes")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -382,6 +394,22 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, std
 				Branch: *branch, Sbox: *sbox, Bit: *bit, Model: *model,
 			}},
 		}
+	case service.KindMultiFault:
+		idx, err := parseInts(*sboxes)
+		if err != nil {
+			return err
+		}
+		req.MultiFault = &service.MultiFaultSpec{
+			Mode:         *mode,
+			K:            *arity,
+			Model:        *model,
+			RunsPerTuple: *runs,
+			Seed:         seedV,
+			Key:          keyV,
+			Sboxes:       idx,
+			Prune:        *prune,
+			MaxTuples:    *maxTuples,
+		}
 	case service.KindDFA, service.KindSIFA, service.KindFTA:
 		req.Attack = &service.AttackSpec{Key: keyV, Seed: seedV, Sbox: sbox, Bit: bit, Model: ""}
 	case service.KindArea, service.KindLint, service.KindProve:
@@ -401,6 +429,88 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, std
 		return streamJob(ctx, c, st.ID, stdout)
 	}
 	return nil
+}
+
+// cmdPlan sizes a multi-fault sweep locally, without a daemon: it
+// synthesises the selected design, enumerates exactly the plan the
+// multifault job kind would execute and prints the sizing summary as JSON —
+// the cheap way to judge C(n, k) before paying for simulation.
+func cmdPlan(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconectl plan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	design := cliflags.RegisterDesign(fs)
+	mode := fs.String("mode", "kfault", "plan mode: kfault, persistent")
+	arity := fs.Int("k", 2, "kfault: simultaneous fault locations per tuple")
+	sboxes := fs.String("sboxes", "", "comma-separated S-box indices (kfault: site columns; persistent: table entries)")
+	maxTuples := fs.Int("max-tuples", 0, "truncate the plan after this many placements (0 = no cap)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	idx, err := parseInts(*sboxes)
+	if err != nil {
+		return err
+	}
+	d, err := design.Build()
+	if err != nil {
+		return err
+	}
+	switch *mode {
+	case "kfault":
+		p, err := plan.New(d, plan.Request{K: *arity, Sboxes: idx, MaxTuples: *maxTuples})
+		if err != nil {
+			return err
+		}
+		sites := make([]string, len(p.Sites))
+		for i, s := range p.Sites {
+			sites[i] = s.String()
+		}
+		return service.WriteJSON(stdout, map[string]any{
+			"mode":      "kfault",
+			"k":         p.K,
+			"sites":     sites,
+			"planned":   len(p.Tuples),
+			"truncated": p.Truncated,
+			"total":     plan.NumTuples(len(p.Sites), p.K),
+		})
+	case "persistent":
+		cs, truncated, err := plan.PersistentPlan(d.Spec.SboxBits, idx, *maxTuples)
+		if err != nil {
+			return err
+		}
+		size := 1 << d.Spec.SboxBits
+		entries := len(idx)
+		if entries == 0 {
+			entries = size
+		}
+		return service.WriteJSON(stdout, map[string]any{
+			"mode":      "persistent",
+			"sbox_bits": d.Spec.SboxBits,
+			"planned":   len(cs),
+			"truncated": truncated,
+			"total":     entries * (size - 1),
+		})
+	default:
+		return fmt.Errorf("unknown plan mode %q", *mode)
+	}
+}
+
+// parseInts parses a comma-separated integer list; empty means none.
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil {
+			return nil, fmt.Errorf("bad integer %q in list", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // parseKey parses "lo,hi" 64-bit words (hex or decimal).

@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/prove"
 	"repro/internal/service"
 	"repro/internal/sim"
@@ -114,6 +115,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	sim.EnableObservability(reg)
 	fault.EnableObservability(reg)
 	prove.EnableObservability(reg)
+	plan.EnableObservability(reg)
 
 	svc, err := service.New(service.Config{
 		Workers:             *workers,

@@ -20,16 +20,20 @@ var facadeSymbols = []string{
 	"Scheme", "Entropy", "Options", "Design", "Runner", "LambdaFunc",
 	"Branch", "SoftwareCM",
 	"SchemeUnprotected", "SchemeNaiveDup", "SchemeACISP", "SchemeThreeInOne",
+	"SchemeCorrect",
 	"EntropyPrime", "EntropyPerRound", "EntropyPerSbox",
-	"BranchActual", "BranchRedundant",
+	"BranchActual", "BranchRedundant", "BranchRedundant2",
 	"EngineANF", "EngineBDD",
 	"Build", "MustBuild", "NewRunner", "LambdaConst",
 	// Simulation layer.
 	"SimLanes",
 	// Fault-injection layer.
 	"Model", "Fault", "Campaign", "CampaignResult", "Run", "Net", "Injector",
-	"StuckAt0", "StuckAt1", "BitFlip",
+	"StuckAt0", "StuckAt1", "BitFlip", "PersistentFault",
 	"FaultAt", "NewInjector", "BoundCampaign", "NewCampaign",
+	// Multi-fault planning layer.
+	"FaultPlan", "PlanRequest", "PlanSite", "SboxCorruption",
+	"Plan", "PlanSites", "PersistentCorruptions",
 	// Attack layer.
 	"AttackTarget", "AttackResult", "DFAConfig", "SIFAConfig", "SIFAResult",
 	"IFAConfig", "IFAResult", "SFAConfig", "FTAConfig", "FTAResult",
@@ -40,8 +44,10 @@ var facadeSymbols = []string{
 	"ServiceConfig", "Service", "JobRequest", "JobStatus", "JobKind",
 	"JobState", "JobEvent",
 	"JobCampaign", "JobDFA", "JobSIFA", "JobFTA", "JobArea", "JobLint",
+	"JobProve", "JobMultiFault",
+	"DesignSpec", "MultiFaultSpec", "MultiFaultResult", "TupleResult", "U64",
 	"JobQueued", "JobRunning", "JobDone", "JobFailed", "JobCanceled",
-	"NewService",
+	"NewService", "MultiFault",
 	// Distributed execution layer.
 	"DistConfig", "WorkerState", "LeaseState", "WorkerInfo", "LeaseInfo",
 	"LeaseGrant", "CampaignWorker", "CampaignWorkerConfig",
@@ -138,6 +144,27 @@ func TestFacadeMethodsDocumented(t *testing.T) {
 				t.Errorf("exported method %s has no doc comment", fd.Name.Name)
 			}
 		}
+	}
+}
+
+// The in-process multifault sweep: plans, executes every placement and
+// aggregates, with nil-context rejection up front.
+func TestFacadeMultiFault(t *testing.T) {
+	//lint:ignore SA1012 nil-context rejection is exactly what is under test
+	if _, err := MultiFault(nil, DesignSpec{}, MultiFaultSpec{}); err == nil {
+		t.Error("nil context accepted")
+	}
+	res, err := MultiFault(context.Background(),
+		DesignSpec{Cipher: "present80", Scheme: "three-in-one", Entropy: "prime"},
+		MultiFaultSpec{
+			K: 2, Sboxes: []int{13}, MaxTuples: 3, RunsPerTuple: 128,
+			Seed: 7, Key: [2]U64{0x0123456789ABCDEF, 0x8421},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Planned != 3 || res.Executed != 3 || !res.Truncated || res.Totals.Total != 3*128 {
+		t.Fatalf("sweep result %+v", res)
 	}
 }
 

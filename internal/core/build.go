@@ -48,11 +48,11 @@ type Design struct {
 	LambdaWidth int
 
 	// sboxIn[b][s] is the encoded bus feeding S-box s of branch b.
-	sboxIn [2][]netlist.Bus
+	sboxIn [3][]netlist.Bus
 	// stateReg[b] is the state register Q bus of branch b.
-	stateReg [2]netlist.Bus
+	stateReg [3]netlist.Bus
 	// branchCells[b] is the half-open cell-index range of branch b.
-	branchCells [2][2]int
+	branchCells [3][2]int
 
 	probesValid bool
 }
@@ -62,10 +62,13 @@ type Design struct {
 // recover stage. Coverage campaigns report escapes per region.
 type Region int
 
-// Structural regions of a duplicated design.
+// Structural regions of a duplicated design. The region of branch b is
+// Region(b), so the branch regions stay contiguous and the shared
+// compare-and-recover stage comes after the last possible branch.
 const (
 	RegionActual Region = iota
 	RegionRedundant
+	RegionRedundant2
 	RegionCompare
 )
 
@@ -76,6 +79,8 @@ func (r Region) String() string {
 		return "actual-computation"
 	case RegionRedundant:
 		return "redundant-computation"
+	case RegionRedundant2:
+		return "second-redundant-computation"
 	default:
 		return "compare-and-recover"
 	}
@@ -113,12 +118,17 @@ func (d *Design) CellRegion(ci int) Region {
 // addressable; false after an optimised build.
 func (d *Design) ProbesValid() bool { return d.probesValid }
 
-// NumBranches returns 1 for the unprotected scheme, 2 otherwise.
+// NumBranches returns 1 for the unprotected scheme, 3 for the correcting
+// (majority-of-three) scheme and 2 otherwise.
 func (d *Design) NumBranches() int {
-	if d.Opts.Scheme.Duplicated() {
+	switch {
+	case d.Opts.Scheme.Correcting():
+		return 3
+	case d.Opts.Scheme.Duplicated():
 		return 2
+	default:
+		return 1
 	}
-	return 1
 }
 
 // SboxInputBus returns the encoded bus feeding S-box s of branch b; fault
@@ -213,17 +223,21 @@ func Build(spec *spn.Spec, opts Options) (*Design, error) {
 		lam = m.AddInput(PortLambda, d.LambdaWidth)
 	}
 
+	// The correcting scheme has no garbage input: on disagreement it
+	// releases the majority vote instead of an infective recovery value.
 	var garbage netlist.Bus
-	if opts.Scheme.Duplicated() {
+	if opts.Scheme.Duplicated() && !opts.Scheme.Correcting() {
 		garbage = m.AddInput(PortGarbage, spec.BlockBits)
 	}
 
 	// Branch λ assignment: the paper's first amendment fixes the
-	// redundant branch to the complement of the actual branch's λ.
+	// redundant branch to the complement of the actual branch's λ. The
+	// correcting scheme keeps that λ-diversity between its first two
+	// branches (λ, ¬λ) and closes the vote with a third branch on λ.
 	lamA := lam
 	var lamB netlist.Bus
 	switch opts.Scheme {
-	case SchemeThreeInOne:
+	case SchemeThreeInOne, SchemeCorrect:
 		lamB = m.NotBus(lam)
 	case SchemeACISP:
 		lamB = lam
@@ -236,19 +250,42 @@ func Build(spec *spn.Spec, opts Options) (*Design, error) {
 	var ct netlist.Bus
 	var fault netlist.Net
 	if opts.Scheme.Duplicated() {
+		// The redundant computations must survive synthesis: mark them
+		// Keep so equivalence-driven optimisation cannot merge them
+		// into the actual branch.
 		mark := len(m.Cells)
 		d.branchCells[1][0] = mark
 		ctB := d.buildBranch(m, BranchRedundant, sm, pt, key, load, lamB)
 		d.branchCells[1][1] = len(m.Cells)
-		// The redundant computation must survive synthesis: mark it
-		// Keep so equivalence-driven optimisation cannot merge it
-		// into the actual branch.
 		for ci := mark; ci < len(m.Cells); ci++ {
 			m.Cells[ci].Keep = true
 		}
-		diff := m.XorBus(ctA, ctB)
-		fault = m.OrReduce(diff)
-		ct = m.MuxBus(ctA, garbage, fault)
+		if opts.Scheme.Correcting() {
+			mark = len(m.Cells)
+			d.branchCells[2][0] = mark
+			ctC := d.buildBranch(m, BranchRedundant2, sm, pt, key, load, lamA)
+			d.branchCells[2][1] = len(m.Cells)
+			for ci := mark; ci < len(m.Cells); ci++ {
+				m.Cells[ci].Keep = true
+			}
+			// Bitwise majority of the three decoded results; the fault
+			// flag reports any pairwise disagreement (a≠b ∨ a≠c covers
+			// b≠c too), preserving detection telemetry next to the
+			// corrected output.
+			ct = make(netlist.Bus, len(ctA))
+			for i := range ct {
+				ab := m.And(ctA[i], ctB[i])
+				ac := m.And(ctA[i], ctC[i])
+				bc := m.And(ctB[i], ctC[i])
+				ct[i] = m.Or(ab, m.Or(ac, bc))
+			}
+			diff := m.XorBus(ctA, ctB).Concat(m.XorBus(ctA, ctC))
+			fault = m.OrReduce(diff)
+		} else {
+			diff := m.XorBus(ctA, ctB)
+			fault = m.OrReduce(diff)
+			ct = m.MuxBus(ctA, garbage, fault)
+		}
 	} else {
 		fault = m.Const0()
 		ct = ctA
@@ -276,9 +313,9 @@ func Build(spec *spn.Spec, opts Options) (*Design, error) {
 	if opts.Optimize {
 		d.Mod = synth.Optimize(m, synth.DefaultOptOptions())
 		d.probesValid = false
-		d.sboxIn = [2][]netlist.Bus{}
-		d.stateReg = [2]netlist.Bus{}
-		d.branchCells = [2][2]int{}
+		d.sboxIn = [3][]netlist.Bus{}
+		d.stateReg = [3]netlist.Bus{}
+		d.branchCells = [3][2]int{}
 	}
 	return d, nil
 }

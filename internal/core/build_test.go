@@ -97,6 +97,16 @@ func TestThreeInOnePerSboxMatchesReference(t *testing.T) {
 	checkDesign(t, d, 4)
 }
 
+func TestCorrectMajorityMatchesReference(t *testing.T) {
+	d := MustBuild(present.Spec(), Options{Scheme: SchemeCorrect, Entropy: EntropyPrime, Engine: synth.EngineANF})
+	checkDesign(t, d, 4)
+}
+
+func TestCorrectMajorityPerRoundMatchesReference(t *testing.T) {
+	d := MustBuild(present.Spec(), Options{Scheme: SchemeCorrect, Entropy: EntropyPerRound, Engine: synth.EngineANF})
+	checkDesign(t, d, 3)
+}
+
 func TestThreeInOneSeparateSboxMatchesReference(t *testing.T) {
 	d := MustBuild(present.Spec(), Options{
 		Scheme: SchemeThreeInOne, Entropy: EntropyPrime,

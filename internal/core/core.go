@@ -35,6 +35,16 @@ const (
 	// (n+1)-bit S-boxes. Protects DFA (including identical faults),
 	// SIFA and FTA.
 	SchemeThreeInOne
+	// SchemeCorrect is the fault-*correction* baseline the multi-fault
+	// evaluation compares the paper's detect-only schemes against:
+	// majority-of-three with λ-diverse branches (λ, ¬λ, λ). Instead of
+	// releasing garbage on a mismatch it releases the bitwise majority
+	// of the three decoded results, so a single faulted branch — or two
+	// branches hit by the *same* fault, whose λ-complementary encodings
+	// turn it into complementary errors — still yields the correct
+	// ciphertext. The fault output reports any disagreement, so detection
+	// telemetry survives alongside correction.
+	SchemeCorrect
 )
 
 // String names the scheme as used in reports.
@@ -48,6 +58,8 @@ func (s Scheme) String() string {
 		return "acisp20-randomized-dup"
 	case SchemeThreeInOne:
 		return "three-in-one"
+	case SchemeCorrect:
+		return "correct-majority"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
@@ -57,7 +69,13 @@ func (s Scheme) String() string {
 func (s Scheme) Duplicated() bool { return s != SchemeUnprotected }
 
 // Randomized reports whether the scheme consumes encoding randomness λ.
-func (s Scheme) Randomized() bool { return s == SchemeACISP || s == SchemeThreeInOne }
+func (s Scheme) Randomized() bool {
+	return s == SchemeACISP || s == SchemeThreeInOne || s == SchemeCorrect
+}
+
+// Correcting reports whether the scheme recovers from detected faults by
+// majority voting instead of releasing garbage.
+func (s Scheme) Correcting() bool { return s == SchemeCorrect }
 
 // Entropy selects how much randomness the countermeasure consumes, the
 // paper's three variations (Section III, "Additional Features", second
@@ -91,19 +109,26 @@ func (e Entropy) String() string {
 	}
 }
 
-// Branch identifies one of the two computations of a duplicated scheme.
+// Branch identifies one of the computations of a duplicated scheme.
 type Branch int
 
-// The two computations.
+// The computations: every duplicated scheme has an actual and a redundant
+// branch; the correcting scheme adds a second redundant branch for its
+// majority vote.
 const (
-	BranchActual    Branch = 0
-	BranchRedundant Branch = 1
+	BranchActual     Branch = 0
+	BranchRedundant  Branch = 1
+	BranchRedundant2 Branch = 2
 )
 
 // String names the branch.
 func (b Branch) String() string {
-	if b == BranchActual {
+	switch b {
+	case BranchActual:
 		return "actual"
+	case BranchRedundant2:
+		return "redundant2"
+	default:
+		return "redundant"
 	}
-	return "redundant"
 }

@@ -80,7 +80,9 @@ func (r *Runner) EncryptBatch(pts []uint64, key spn.KeyState, garbage []uint64, 
 	if d.Spec.KeyBits > 64 {
 		s.SetInputBroadcast("key_hi", key[1]&bits.Mask(d.Spec.KeyBits-64))
 	}
-	if d.Opts.Scheme.Duplicated() {
+	if d.Opts.Scheme.Duplicated() && !d.Opts.Scheme.Correcting() {
+		// The correcting scheme has no garbage port: it releases the
+		// majority vote instead of a recovery value.
 		if garbage == nil {
 			garbage = make([]uint64, len(pts))
 		}

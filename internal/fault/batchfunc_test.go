@@ -78,7 +78,30 @@ func TestEngineVersionEncodesLaneWidth(t *testing.T) {
 	if sim.Lanes != 64 {
 		t.Fatalf("sim.Lanes changed to %d: bump fault.EngineVersion (%q) and update this test", sim.Lanes, EngineVersion)
 	}
-	if EngineVersion != "scone-campaign/1-lanes64" {
+	if EngineVersion != "scone-campaign/2-lanes64" {
 		t.Fatalf("EngineVersion %q drifted without updating this pin", EngineVersion)
+	}
+	if EngineVersionLegacy != "scone-campaign/1-lanes64" {
+		t.Fatalf("EngineVersionLegacy %q drifted: pre-v2 store digests would be orphaned", EngineVersionLegacy)
+	}
+}
+
+func TestEngineIDKeepsLegacyDigestsValid(t *testing.T) {
+	// Campaigns expressible under engine v1 — transient faults on
+	// non-correcting schemes — must keep addressing stored results under the
+	// legacy version string, or every pre-existing cache entry goes stale.
+	d := buildDesign(t, core.SchemeThreeInOne)
+	legacy := Campaign{Design: d, Runs: 1}
+	if got := legacy.EngineID(); got != EngineVersionLegacy {
+		t.Fatalf("transient campaign EngineID = %q, want legacy %q", got, EngineVersionLegacy)
+	}
+	persistent := Campaign{Design: d, Runs: 1, Persistent: &PersistentFault{Entry: 0, Mask: 1}}
+	if got := persistent.EngineID(); got != EngineVersion {
+		t.Fatalf("persistent campaign EngineID = %q, want %q", got, EngineVersion)
+	}
+	dc := buildDesign(t, core.SchemeCorrect)
+	correcting := Campaign{Design: dc, Runs: 1}
+	if got := correcting.EngineID(); got != EngineVersion {
+		t.Fatalf("correcting campaign EngineID = %q, want %q", got, EngineVersion)
 	}
 }

@@ -28,6 +28,11 @@ const (
 	// OutcomeEffective: a *wrong* ciphertext was released without
 	// detection — the dangerous case that enables DFA.
 	OutcomeEffective
+	// OutcomeCorrected: the countermeasure sensed a disagreement and
+	// still released the *correct* ciphertext — only correcting
+	// (majority-vote) designs produce this outcome; on detect-only
+	// designs a sensed fault always classifies as OutcomeDetected.
+	OutcomeCorrected
 	outcomeCount
 )
 
@@ -40,6 +45,8 @@ func (o Outcome) String() string {
 		return "detected"
 	case OutcomeEffective:
 		return "effective"
+	case OutcomeCorrected:
+		return "corrected"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -59,8 +66,11 @@ type Run struct {
 }
 
 // Campaign describes a fault-simulation campaign over one design: the same
-// fault location and model across many runs with fresh plaintexts and λ,
-// exactly the protocol of the paper's Section IV-A.
+// fault set across many runs with fresh plaintexts and λ, exactly the
+// protocol of the paper's Section IV-A. Faults may name any number of
+// injection points — multi-point tuples run exactly like single faults —
+// and Persistent, when set, additionally corrupts the cipher's S-box table
+// for the whole campaign.
 type Campaign struct {
 	Design *core.Design
 	Key    spn.KeyState
@@ -69,6 +79,16 @@ type Campaign struct {
 	Seed   uint64
 	// Workers sets the goroutine count (default: GOMAXPROCS).
 	Workers int
+	// Persistent, when non-nil, corrupts one S-box table entry before
+	// the campaign starts: every branch of every run computes with the
+	// corrupted table, so the corruption survives across encryptions (the
+	// PFA fault model). Classification still compares against the clean
+	// reference cipher.
+	Persistent *PersistentFault
+
+	// persistentDesign memoises the corrupted rebuild across chunked
+	// ExecuteBatches calls of one job.
+	persistentDesign *core.Design
 }
 
 // Result aggregates campaign outcomes.
@@ -86,10 +106,17 @@ func (r Result) Detected() int { return r.Counts[OutcomeDetected] }
 // Effective returns the number of undetected wrong outputs.
 func (r Result) Effective() int { return r.Counts[OutcomeEffective] }
 
+// Corrected returns the number of sensed-and-recovered runs.
+func (r Result) Corrected() int { return r.Counts[OutcomeCorrected] }
+
 // String summarises the result.
 func (r Result) String() string {
-	return fmt.Sprintf("%d runs: %d ineffective, %d detected, %d effective (escaped)",
+	s := fmt.Sprintf("%d runs: %d ineffective, %d detected, %d effective (escaped)",
 		r.Total, r.Ineffective(), r.Detected(), r.Effective())
+	if c := r.Corrected(); c > 0 {
+		s += fmt.Sprintf(", %d corrected", c)
+	}
+	return s
 }
 
 // EngineVersion identifies the campaign engine's deterministic result
@@ -97,7 +124,27 @@ func (r Result) String() string {
 // outcome classification. It is part of every stored batch's content
 // address, so bumping it when any of those change invalidates all cached
 // results at once instead of silently replaying stale ones.
-const EngineVersion = "scone-campaign/1-lanes64"
+//
+// Version 2 adds the persistent-fault model and the corrected outcome
+// class. Campaigns that cannot exercise either — no persistent fault and a
+// non-correcting design — classify bit-identically to version 1, so their
+// content addresses keep the legacy engine string (see EngineID) and every
+// pre-existing cached batch stays valid.
+const EngineVersion = "scone-campaign/2-lanes64"
+
+// EngineVersionLegacy is version 1's identifier, still emitted for
+// campaigns whose results are bit-identical under both versions.
+const EngineVersionLegacy = "scone-campaign/1-lanes64"
+
+// EngineID returns the engine string that addresses this campaign's stored
+// batches: the legacy identifier when the campaign's semantics predate
+// version 2 (keeping old digests valid), the current one otherwise.
+func (c *Campaign) EngineID() string {
+	if c.Persistent == nil && !c.Design.Opts.Scheme.Correcting() {
+		return EngineVersionLegacy
+	}
+	return EngineVersion
+}
 
 // NumBatches returns the number of sim.Lanes-wide batches the campaign is
 // split into. Batch b derives all of its randomness from (Seed, b), so any
@@ -175,7 +222,11 @@ func (c *Campaign) ExecuteBatchesFunc(ctx context.Context, first, last int, obse
 	if batches := c.NumBatches(); first < 0 || last > batches || first > last {
 		return Result{}, fmt.Errorf("fault: batch range [%d,%d) outside the campaign's %d batches", first, last, batches)
 	}
-	compiled, err := sim.CompileCached(c.Design.Mod)
+	simD, err := c.simDesign()
+	if err != nil {
+		return Result{}, err
+	}
+	compiled, err := sim.CompileCached(simD.Mod)
 	if err != nil {
 		return Result{}, err
 	}
@@ -199,7 +250,7 @@ func (c *Campaign) ExecuteBatchesFunc(ctx context.Context, first, last int, obse
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runner := core.NewRunnerFrom(c.Design, compiled)
+			runner := core.NewRunnerFrom(simD, compiled)
 			runner.S.SetInjector(inj)
 			for b := range batchCh {
 				var start time.Time
@@ -331,13 +382,20 @@ func (c *Campaign) runBatch(runner *core.Runner, batch, n int, emit func(Run)) {
 	}
 
 	res := runner.EncryptBatch(pts, c.Key, garbage, lf)
+	correcting := d.Opts.Scheme.Correcting()
 	for i := 0; i < n; i++ {
+		// The reference is always the clean cipher — under a persistent
+		// fault the simulated design computes with the corrupted table
+		// while classification compares against what the device should
+		// have produced.
 		ref := d.Spec.Encrypt(pts[i], c.Key)
 		r := Run{PT: pts[i], CT: res.CT[i], RefCT: ref}
 		if lambda0 != nil {
 			r.Lambda0 = lambda0[i]
 		}
 		switch {
+		case res.Fault[i] && correcting && res.CT[i] == ref:
+			r.Outcome = OutcomeCorrected
 		case res.Fault[i]:
 			r.Outcome = OutcomeDetected
 		case res.CT[i] == ref:

@@ -16,6 +16,7 @@ type metrics struct {
 	detected    *obs.Counter
 	ineffective *obs.Counter
 	effective   *obs.Counter
+	corrected   *obs.Counter
 	batchNS     *obs.Histogram
 	reorder     *obs.Gauge
 
@@ -46,6 +47,7 @@ func EnableObservability(reg *obs.Registry) {
 		detected:    reg.NewCounter("scone_fault_detected_total", "Runs where the comparator fired and garbage was released"),
 		ineffective: reg.NewCounter("scone_fault_ineffective_total", "Runs where the fault did not change the released output"),
 		effective:   reg.NewCounter("scone_fault_effective_total", "Runs releasing an undetected wrong ciphertext"),
+		corrected:   reg.NewCounter("scone_fault_corrected_total", "Runs where the majority vote sensed and recovered a fault"),
 		batchNS:     reg.NewHistogram("scone_fault_batch_ns", "Wall time of one 64-lane batch", obs.ExpBuckets(4_000, 4, 14)),
 		reorder:     reg.NewGauge("scone_fault_reorder_depth_count", "Batches parked in the reorder buffer awaiting in-order delivery"),
 
@@ -80,6 +82,7 @@ func (m *metrics) countBatch(ns int64, faults int, res Result) {
 	m.ineffective.Add(int64(res.Counts[OutcomeIneffective]))
 	m.detected.Add(int64(res.Counts[OutcomeDetected]))
 	m.effective.Add(int64(res.Counts[OutcomeEffective]))
+	m.corrected.Add(int64(res.Counts[OutcomeCorrected]))
 }
 
 // setReorderDepth mirrors the reorder buffer's occupancy.

@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCorrectingSchemeFaultFree(t *testing.T) {
+	d := buildDesign(t, core.SchemeCorrect)
+	camp := Campaign{Design: d, Key: campKey, Runs: 200, Seed: 21}
+	res, err := camp.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ineffective() != 200 {
+		t.Fatalf("fault-free correcting campaign misclassified: %s", res)
+	}
+}
+
+func TestCorrectingSchemeRecoversSingleFault(t *testing.T) {
+	d := buildDesign(t, core.SchemeCorrect)
+	net := d.SboxInputNet(core.BranchActual, 13, 2)
+	camp := Campaign{
+		Design: d, Key: campKey, Runs: 512, Seed: 22,
+		Faults: []Fault{At(net, StuckAt0, d.LastRoundCycle())},
+	}
+	res, err := camp.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single faulted branch is outvoted 2:1, so the released ciphertext is
+	// always correct: runs are either ineffective (the stuck-at hit a 0) or
+	// corrected, never detected-with-garbage and never effective.
+	if res.Effective() != 0 || res.Detected() != 0 {
+		t.Fatalf("single-branch fault escaped the majority vote: %s", res)
+	}
+	if res.Corrected() == 0 || res.Ineffective() == 0 {
+		t.Fatalf("unexpected outcome split: %s", res)
+	}
+}
+
+// TestIdenticalFaultPairAcrossSchemes drives the multi-fault adversary the
+// evaluation is built around — the *same* stuck-at on the corresponding net
+// of two branches — across the scheme ladder. Naive duplication is blind to
+// it (both copies err identically), while λ-diversity turns the identical
+// physical fault into different logical errors: three-in-one detects it and
+// the majority-vote baseline corrects it.
+func TestIdenticalFaultPairAcrossSchemes(t *testing.T) {
+	run := func(scheme core.Scheme) Result {
+		t.Helper()
+		d := buildDesign(t, scheme)
+		faults := []Fault{
+			At(d.SboxInputNet(core.BranchActual, 13, 2), StuckAt0, d.LastRoundCycle()),
+			At(d.SboxInputNet(core.BranchRedundant, 13, 2), StuckAt0, d.LastRoundCycle()),
+		}
+		camp := Campaign{Design: d, Key: campKey, Runs: 512, Seed: 23, Faults: faults}
+		res, err := camp.Execute(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	naive := run(core.SchemeNaiveDup)
+	if naive.Effective() == 0 || naive.Detected() != 0 {
+		t.Fatalf("identical fault pair must bypass naive duplication undetected: %s", naive)
+	}
+	three := run(core.SchemeThreeInOne)
+	if three.Effective() != 0 || three.Detected() == 0 {
+		t.Fatalf("three-in-one must detect the identical fault pair: %s", three)
+	}
+	correct := run(core.SchemeCorrect)
+	if correct.Effective() != 0 || correct.Detected() != 0 {
+		t.Fatalf("correct-majority must not release garbage for the pair: %s", correct)
+	}
+	if correct.Corrected() == 0 {
+		t.Fatalf("correct-majority recovered nothing: %s", correct)
+	}
+}
+
+func TestPersistentFaultBypassesDetectionAndCorrection(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.SchemeNaiveDup, core.SchemeThreeInOne, core.SchemeCorrect} {
+		d := buildDesign(t, scheme)
+		camp := Campaign{
+			Design: d, Key: campKey, Runs: 256, Seed: 24,
+			Persistent: &PersistentFault{Entry: 0xC, Mask: 0x5},
+		}
+		res, err := camp.Execute(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every branch computes over the same corrupted table, so they all
+		// agree on the wrong ciphertext: nothing fires, nothing corrects.
+		if res.Detected() != 0 || res.Corrected() != 0 {
+			t.Fatalf("%v: persistent fault must not trip the comparator: %s", scheme, res)
+		}
+		if res.Effective() == 0 {
+			t.Fatalf("%v: persistent fault produced no wrong ciphertexts: %s", scheme, res)
+		}
+	}
+}
+
+func TestPersistentFaultDeterministicAcrossWorkers(t *testing.T) {
+	d := buildDesign(t, core.SchemeThreeInOne)
+	run := func(workers int) Result {
+		camp := Campaign{
+			Design: d, Key: campKey, Runs: 300, Seed: 25, Workers: workers,
+			Persistent: &PersistentFault{Entry: 3, Mask: 0x8},
+		}
+		res, err := camp.Execute(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if r1, r4 := run(1), run(4); r1 != r4 {
+		t.Fatalf("persistent campaign not deterministic across workers: %v vs %v", r1, r4)
+	}
+}
+
+func TestPersistentFaultValidation(t *testing.T) {
+	d := buildDesign(t, core.SchemeNaiveDup)
+	cases := []struct {
+		name string
+		camp Campaign
+	}{
+		{"entry out of range", Campaign{Design: d, Key: campKey, Runs: 64,
+			Persistent: &PersistentFault{Entry: 16, Mask: 1}}},
+		{"zero mask", Campaign{Design: d, Key: campKey, Runs: 64,
+			Persistent: &PersistentFault{Entry: 0, Mask: 0}}},
+		{"mask too wide", Campaign{Design: d, Key: campKey, Runs: 64,
+			Persistent: &PersistentFault{Entry: 0, Mask: 0x10}}},
+		{"mixed with transient", Campaign{Design: d, Key: campKey, Runs: 64,
+			Persistent: &PersistentFault{Entry: 0, Mask: 1},
+			Faults:     []Fault{At(d.SboxInputNet(core.BranchActual, 0, 0), StuckAt0, d.LastRoundCycle())}}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.camp.Execute(nil); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package plan
+
+import (
+	"math/bits"
+	"sort"
+	"testing"
+)
+
+// FuzzCombinationsPruned cross-checks the planner's adaptively pruned
+// enumeration against brute force: for arbitrary small (n, k) and an
+// arbitrary inert-site mask, the tuples that survive PruneIndex must be
+// exactly the size-k subsets avoiding every inert site, in lexicographic
+// order — and pruning must never renumber, so the survivors are a
+// subsequence of the full enumeration. This is the resume-safety contract:
+// an inert oracle that improves between a checkpoint and its resume changes
+// which tuples run, never which index names which tuple.
+func FuzzCombinationsPruned(f *testing.F) {
+	f.Add(uint8(8), uint8(2), uint16(0b101), uint8(0))
+	f.Add(uint8(12), uint8(3), uint16(0), uint8(0))
+	f.Add(uint8(5), uint8(5), uint16(0b11111), uint8(0))
+	f.Add(uint8(1), uint8(1), uint16(0), uint8(1))
+	f.Add(uint8(10), uint8(2), uint16(0xFFFF), uint8(7))
+	f.Fuzz(func(t *testing.T, nRaw, kRaw uint8, inertMask uint16, maxRaw uint8) {
+		n := int(nRaw % 13) // keep 2^n brute force cheap
+		k := int(kRaw%13) + 1
+		max := int(maxRaw)
+		inert := func(site int) bool { return inertMask&(1<<site) != 0 }
+
+		tuples, truncated := Combinations(n, k, max)
+		if k > n {
+			if tuples != nil || truncated {
+				t.Fatalf("k=%d > n=%d must yield nothing, got %d tuples", k, n, len(tuples))
+			}
+			return
+		}
+		if want := NumTuples(n, k); !truncated && len(tuples) != want {
+			t.Fatalf("C(%d,%d): got %d tuples, want %d", n, k, len(tuples), want)
+		}
+		if truncated && (max <= 0 || len(tuples) != max) {
+			t.Fatalf("truncated enumeration returned %d tuples with max=%d", len(tuples), max)
+		}
+
+		// Shape and order of the full enumeration.
+		for i, tup := range tuples {
+			if len(tup) != k {
+				t.Fatalf("tuple %d has arity %d", i, len(tup))
+			}
+			for j := 0; j < k; j++ {
+				if tup[j] < 0 || tup[j] >= n || (j > 0 && tup[j] <= tup[j-1]) {
+					t.Fatalf("tuple %d not strictly increasing in range: %v", i, tup)
+				}
+			}
+			if i > 0 && !lexLess(tuples[i-1], tup) {
+				t.Fatalf("enumeration not lexicographic at %d: %v then %v", i, tuples[i-1], tup)
+			}
+		}
+
+		// Pruned survivors vs independent brute force over bitmasks.
+		var got [][]int
+		for _, tup := range tuples {
+			if PruneIndex(tup, inert) < 0 {
+				got = append(got, tup)
+			}
+		}
+		var want [][]int
+		for mask := 0; mask < 1<<n; mask++ {
+			if bits.OnesCount(uint(mask)) != k || uint16(mask)&inertMask != 0 {
+				continue
+			}
+			var tup []int
+			for s := 0; s < n; s++ {
+				if mask&(1<<s) != 0 {
+					tup = append(tup, s)
+				}
+			}
+			want = append(want, tup)
+		}
+		sort.Slice(want, func(i, j int) bool { return lexLess(want[i], want[j]) })
+		if truncated {
+			// A truncated plan's survivors are a prefix of the full answer.
+			if len(got) > len(want) {
+				t.Fatalf("truncated plan has %d survivors, full answer only %d", len(got), len(want))
+			}
+			want = want[:len(got)]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("pruned enumeration kept %d tuples, brute force says %d (n=%d k=%d inert=%b)",
+				len(got), len(want), n, k, inertMask)
+		}
+		for i := range want {
+			if !equalTuple(got[i], want[i]) {
+				t.Fatalf("survivor %d = %v, brute force says %v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if i >= len(b) || a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			return true
+		}
+	}
+	return len(a) < len(b)
+}
+
+func equalTuple(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

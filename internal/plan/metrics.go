@@ -1,0 +1,43 @@
+package plan
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// metrics is the planner's instrument set, swapped in atomically by
+// EnableObservability like the fault engine's.
+type metrics struct {
+	tuples *obs.Counter
+	pruned *obs.Counter
+}
+
+var met atomic.Pointer[metrics]
+
+// EnableObservability registers the planner's metrics on reg and starts
+// recording into them. Passing nil reverts to the free no-op default.
+func EnableObservability(reg *obs.Registry) {
+	if reg == nil {
+		met.Store(nil)
+		return
+	}
+	met.Store(&metrics{
+		tuples: reg.NewCounter("scone_plan_tuples_total", "Fault tuples enumerated into campaign plans"),
+		pruned: reg.NewCounter("scone_plan_pruned_total", "Planned tuples skipped because a member site is known inert"),
+	})
+}
+
+func (m *metrics) countTuples(n int) {
+	if m == nil {
+		return
+	}
+	m.tuples.Add(int64(n))
+}
+
+func (m *metrics) countPruned(n int) {
+	if m == nil {
+		return
+	}
+	m.pruned.Add(int64(n))
+}

@@ -15,11 +15,13 @@ import (
 // (NextBatch, Counts) is sufficient to resume: re-running batches
 // [NextBatch, NumBatches) and adding the counts reproduces an
 // uninterrupted run bit for bit. Prove jobs checkpoint through the Prove
-// field instead; the two are never set together.
+// field and multifault jobs through the MultiFault field instead; at most
+// one of the three shapes is ever populated.
 type Checkpoint struct {
-	NextBatch int              `json:"next_batch"`
-	Counts    CampaignResult   `json:"counts"`
-	Prove     *ProveCheckpoint `json:"prove,omitempty"`
+	NextBatch  int                   `json:"next_batch"`
+	Counts     CampaignResult        `json:"counts"`
+	Prove      *ProveCheckpoint      `json:"prove,omitempty"`
+	MultiFault *MultiFaultCheckpoint `json:"multifault,omitempty"`
 }
 
 // ProveCheckpoint is the durable mid-flight state of a prove job. Proofs
@@ -30,6 +32,17 @@ type Checkpoint struct {
 type ProveCheckpoint struct {
 	NextPair int             `json:"next_pair"`
 	Done     []ProveLocation `json:"done"`
+}
+
+// MultiFaultCheckpoint is the durable mid-flight state of a multifault job.
+// The plan's placement enumeration is deterministic and pruning is an
+// execution-time skip (never a renumbering), so the completed placements in
+// Done plus the next plan index resume the sweep exactly: every placement
+// campaign is itself seed-deterministic, and a placement interrupted
+// mid-campaign simply re-executes from its cached batches.
+type MultiFaultCheckpoint struct {
+	NextTuple int           `json:"next_tuple"`
+	Done      []TupleResult `json:"done"`
 }
 
 // jobRecord is the on-disk form of a job: the full request (jobs are

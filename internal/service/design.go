@@ -40,6 +40,8 @@ func ParseDesign(ds DesignSpec) (*spn.Spec, core.Options, error) {
 		opts.Scheme = core.SchemeACISP
 	case "", "three-in-one":
 		opts.Scheme = core.SchemeThreeInOne
+	case "correct", "correct-majority":
+		opts.Scheme = core.SchemeCorrect
 	default:
 		return nil, core.Options{}, fmt.Errorf("unknown scheme %q", ds.Scheme)
 	}
@@ -108,6 +110,8 @@ func parseBranch(s string) (core.Branch, error) {
 		return core.BranchActual, nil
 	case "redundant":
 		return core.BranchRedundant, nil
+	case "redundant2":
+		return core.BranchRedundant2, nil
 	default:
 		return 0, fmt.Errorf("unknown branch %q", s)
 	}
@@ -140,8 +144,8 @@ func resolveFaults(d *core.Design, specs []FaultSpec) ([]fault.Fault, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fault %d: %w", i, err)
 		}
-		if branch == core.BranchRedundant && d.NumBranches() < 2 {
-			return nil, fmt.Errorf("fault %d: design %s has no redundant branch", i, d.Mod.Name)
+		if int(branch) >= d.NumBranches() {
+			return nil, fmt.Errorf("fault %d: design %s has no branch %q", i, d.Mod.Name, branch)
 		}
 		if fs.Sbox >= d.Spec.NumSboxes() || fs.Bit >= d.Spec.SboxBits {
 			return nil, fmt.Errorf("fault %d: S-box %d bit %d out of range for %s", i, fs.Sbox, fs.Bit, d.Spec.Name)
@@ -185,12 +189,20 @@ func buildCampaign(d *core.Design, cs *CampaignSpec, defaultWorkers int) (*fault
 	if workers <= 0 {
 		workers = defaultWorkers
 	}
-	return &fault.Campaign{
+	camp := &fault.Campaign{
 		Design:  d,
 		Key:     spn.KeyState{uint64(cs.Key[0]), uint64(cs.Key[1])},
 		Faults:  faults,
 		Runs:    cs.Runs,
 		Seed:    uint64(cs.Seed),
 		Workers: workers,
-	}, nil
+	}
+	if cs.Persistent != nil {
+		p := fault.PersistentFault{Entry: cs.Persistent.Entry, Mask: uint64(cs.Persistent.Mask)}
+		if err := p.Validate(d); err != nil {
+			return nil, err
+		}
+		camp.Persistent = &p
+	}
+	return camp, nil
 }

@@ -363,6 +363,7 @@ func (c *coordinator) register(jobID string, req JobRequest, start, batches int,
 				r.counts.Ineffective += cnt.Ineffective
 				r.counts.Detected += cnt.Detected
 				r.counts.Effective += cnt.Effective
+				r.counts.Corrected += cnt.Corrected
 				r.replayedRuns += cnt.Total
 				r.replayedBatches++
 				b++

@@ -32,18 +32,19 @@ type Kind string
 
 // Supported job kinds.
 const (
-	KindCampaign Kind = "campaign"
-	KindDFA      Kind = "dfa"
-	KindSIFA     Kind = "sifa"
-	KindFTA      Kind = "fta"
-	KindArea     Kind = "area"
-	KindLint     Kind = "lint"
-	KindProve    Kind = "prove"
+	KindCampaign   Kind = "campaign"
+	KindDFA        Kind = "dfa"
+	KindSIFA       Kind = "sifa"
+	KindFTA        Kind = "fta"
+	KindArea       Kind = "area"
+	KindLint       Kind = "lint"
+	KindProve      Kind = "prove"
+	KindMultiFault Kind = "multifault"
 )
 
 // Kinds lists the supported job kinds in a stable order.
 func Kinds() []Kind {
-	return []Kind{KindCampaign, KindDFA, KindSIFA, KindFTA, KindArea, KindLint, KindProve}
+	return []Kind{KindCampaign, KindDFA, KindSIFA, KindFTA, KindArea, KindLint, KindProve, KindMultiFault}
 }
 
 // U64 is a uint64 that travels as a hex string ("0x1f"). JSON numbers lose
@@ -117,14 +118,60 @@ type FaultSpec struct {
 	Cycle *int `json:"cycle,omitempty"`
 }
 
+// PersistentSpec is the wire form of fault.PersistentFault: one S-box table
+// entry XOR-corrupted once, before the campaign's first encryption.
+type PersistentSpec struct {
+	Entry int `json:"entry"`
+	Mask  U64 `json:"mask"`
+}
+
 // CampaignSpec parameterises a campaign job.
 type CampaignSpec struct {
 	Runs   int         `json:"runs"`
 	Seed   U64         `json:"seed"`
 	Key    [2]U64      `json:"key"`
 	Faults []FaultSpec `json:"faults"`
+	// Persistent, when set, corrupts the S-box table for the whole
+	// campaign (the PFA model). A persistent campaign carries no transient
+	// faults.
+	Persistent *PersistentSpec `json:"persistent,omitempty"`
 	// Workers bounds the goroutines of this campaign's simulation; 0
 	// uses the service default.
+	Workers int `json:"workers,omitempty"`
+}
+
+// MultiFaultSpec parameterises a multifault job: a planned sweep over many
+// adversary placements of one design, each placement executed as its own
+// seed-deterministic campaign. Mode "kfault" sweeps every K-tuple of fault
+// sites (optionally cone- and S-box-restricted, adaptively pruned); mode
+// "persistent" sweeps S-box table corruptions.
+type MultiFaultSpec struct {
+	// Mode is "kfault" (default) or "persistent".
+	Mode string `json:"mode,omitempty"`
+	// K is the tuple arity for kfault mode; 0 means 2.
+	K int `json:"k,omitempty"`
+	// Model is the transient fault model for kfault mode ("stuck-at-0"
+	// default, "stuck-at-1", "bit-flip").
+	Model string `json:"model,omitempty"`
+	// Cycle is the active cycle for kfault tuples; nil means the last
+	// round.
+	Cycle *int `json:"cycle,omitempty"`
+	// RunsPerTuple is the campaign size of each placement.
+	RunsPerTuple int    `json:"runs_per_tuple"`
+	Seed         U64    `json:"seed"`
+	Key          [2]U64 `json:"key"`
+	// Sboxes restricts candidate sites (kfault) or corrupted table rows
+	// (persistent) — the lever that keeps C(n, K) campaigns tractable.
+	Sboxes []int `json:"sboxes,omitempty"`
+	// Cone, when set, keeps only kfault sites inside the forward cone of
+	// the named location.
+	Cone *FaultSpec `json:"cone,omitempty"`
+	// Prune skips kfault tuples containing a site whose singleton campaign
+	// is already known ineffective (prover verdicts or cached tallies).
+	Prune bool `json:"prune,omitempty"`
+	// MaxTuples truncates the plan; 0 means no cap.
+	MaxTuples int `json:"max_tuples,omitempty"`
+	// Workers bounds each placement campaign's goroutines.
 	Workers int `json:"workers,omitempty"`
 }
 
@@ -172,12 +219,13 @@ type ProveSpec struct {
 
 // JobRequest is the submission payload.
 type JobRequest struct {
-	Kind     Kind          `json:"kind"`
-	Design   DesignSpec    `json:"design"`
-	Campaign *CampaignSpec `json:"campaign,omitempty"`
-	Attack   *AttackSpec   `json:"attack,omitempty"`
-	Lint     *LintSpec     `json:"lint,omitempty"`
-	Prove    *ProveSpec    `json:"prove,omitempty"`
+	Kind       Kind            `json:"kind"`
+	Design     DesignSpec      `json:"design"`
+	Campaign   *CampaignSpec   `json:"campaign,omitempty"`
+	Attack     *AttackSpec     `json:"attack,omitempty"`
+	Lint       *LintSpec       `json:"lint,omitempty"`
+	Prove      *ProveSpec      `json:"prove,omitempty"`
+	MultiFault *MultiFaultSpec `json:"multifault,omitempty"`
 }
 
 // Validate rejects malformed requests before they reach the queue, so a
@@ -191,6 +239,15 @@ func (r *JobRequest) Validate() error {
 		}
 		if c.Runs <= 0 {
 			return fmt.Errorf("campaign needs a positive run count (got %d)", c.Runs)
+		}
+		if c.Persistent != nil {
+			if len(c.Faults) > 0 {
+				return fmt.Errorf("a persistent campaign cannot also inject transient faults")
+			}
+			if c.Persistent.Entry < 0 || c.Persistent.Mask == 0 {
+				return fmt.Errorf("persistent fault needs a non-negative entry and non-zero mask")
+			}
+			break
 		}
 		if len(c.Faults) == 0 {
 			return fmt.Errorf("campaign needs at least one fault")
@@ -212,6 +269,45 @@ func (r *JobRequest) Validate() error {
 		}
 		if _, err := parseModel(r.Attack.Model); err != nil {
 			return err
+		}
+	case KindMultiFault:
+		m := r.MultiFault
+		if m == nil {
+			return fmt.Errorf("multifault job needs a multifault spec")
+		}
+		switch m.Mode {
+		case "", "kfault":
+			if m.K < 0 {
+				return fmt.Errorf("multifault needs a non-negative tuple arity (got %d)", m.K)
+			}
+			if _, err := parseModel(m.Model); err != nil {
+				return err
+			}
+			if m.Cone != nil {
+				if _, err := parseBranch(m.Cone.Branch); err != nil {
+					return fmt.Errorf("cone: %w", err)
+				}
+				if m.Cone.Sbox < 0 || m.Cone.Bit < 0 {
+					return fmt.Errorf("cone: negative S-box coordinates")
+				}
+			}
+		case "persistent":
+			if m.Cone != nil || m.Prune {
+				return fmt.Errorf("cone restriction and pruning apply to kfault mode only")
+			}
+		default:
+			return fmt.Errorf("unknown multifault mode %q", m.Mode)
+		}
+		if m.RunsPerTuple <= 0 {
+			return fmt.Errorf("multifault needs a positive runs_per_tuple (got %d)", m.RunsPerTuple)
+		}
+		if m.MaxTuples < 0 {
+			return fmt.Errorf("multifault needs a non-negative max_tuples (got %d)", m.MaxTuples)
+		}
+		for i, s := range m.Sboxes {
+			if s < 0 {
+				return fmt.Errorf("sbox filter %d: negative index", i)
+			}
 		}
 	case KindArea, KindLint:
 		// Design-only kinds.
@@ -265,6 +361,10 @@ type CampaignResult struct {
 	Ineffective int `json:"ineffective"`
 	Detected    int `json:"detected"`
 	Effective   int `json:"effective"`
+	// Corrected is non-zero only for correcting (majority-vote) designs:
+	// runs where a fault was sensed and the correct ciphertext still
+	// released.
+	Corrected int `json:"corrected,omitempty"`
 }
 
 // NewCampaignResult converts an engine result to the wire form.
@@ -274,6 +374,7 @@ func NewCampaignResult(r fault.Result) CampaignResult {
 		Ineffective: r.Ineffective(),
 		Detected:    r.Detected(),
 		Effective:   r.Effective(),
+		Corrected:   r.Corrected(),
 	}
 }
 
@@ -283,6 +384,7 @@ func (c *CampaignResult) Add(r fault.Result) {
 	c.Ineffective += r.Ineffective()
 	c.Detected += r.Detected()
 	c.Effective += r.Effective()
+	c.Corrected += r.Corrected()
 }
 
 // Accumulate folds another wire-form partial into c — the coordinator's
@@ -294,6 +396,7 @@ func (c *CampaignResult) Accumulate(r CampaignResult) {
 	c.Ineffective += r.Ineffective
 	c.Detected += r.Detected
 	c.Effective += r.Effective
+	c.Corrected += r.Corrected
 }
 
 // DFAResult is the wire form of a DFA outcome.
@@ -407,16 +510,79 @@ func (p *ProveResult) Accumulate(l ProveLocation) {
 	}
 }
 
+// TupleResult is the outcome of one multifault placement: one tuple's (or
+// corruption's) campaign tally, or the record that pruning skipped it. It is
+// the checkpoint unit of a multifault job, exactly as ProveLocation is for
+// prove jobs.
+type TupleResult struct {
+	// Index is the placement's position in the plan's deterministic
+	// enumeration — stable across resumes whether or not pruning improves.
+	Index int `json:"index"`
+	// Sites names the tuple's member locations (kfault mode).
+	Sites []string `json:"sites,omitempty"`
+	// Entry/Mask identify the corruption (persistent mode).
+	Entry int `json:"entry,omitempty"`
+	Mask  U64 `json:"mask,omitempty"`
+	// Pruned marks a placement skipped because a member site is known
+	// inert; Counts is then zero.
+	Pruned bool `json:"pruned,omitempty"`
+	// Counts is the placement campaign's tally.
+	Counts CampaignResult `json:"counts"`
+}
+
+// MultiFaultResult is the wire form of a full multifault sweep.
+type MultiFaultResult struct {
+	Mode string `json:"mode"`
+	K    int    `json:"k,omitempty"`
+	// Sites lists the plan's candidate locations (kfault mode), the
+	// namespace TupleResult.Sites draws from.
+	Sites []string `json:"sites,omitempty"`
+	// Planned is the plan length; Truncated whether max_tuples cut it.
+	Planned   int  `json:"planned"`
+	Truncated bool `json:"truncated,omitempty"`
+	// Executed and Pruned partition the placements.
+	Executed int `json:"executed"`
+	Pruned   int `json:"pruned"`
+	// Escapes counts placements with at least one effective run — the
+	// adversary placements that defeat the design.
+	Escapes int `json:"escapes"`
+	// Corrects counts placements where every sensed fault was recovered
+	// (corrected > 0 and effective == 0).
+	Corrects int `json:"corrects"`
+	// Totals sums every placement campaign.
+	Totals CampaignResult `json:"totals"`
+	// Tuples holds the per-placement outcomes in plan order.
+	Tuples []TupleResult `json:"tuples"`
+}
+
+// Accumulate folds one placement outcome into the aggregate — shared by
+// fresh executions and checkpoint replays, like ProveResult.Accumulate.
+func (m *MultiFaultResult) Accumulate(t TupleResult) {
+	m.Tuples = append(m.Tuples, t)
+	if t.Pruned {
+		m.Pruned++
+		return
+	}
+	m.Executed++
+	m.Totals.Accumulate(t.Counts)
+	if t.Counts.Effective > 0 {
+		m.Escapes++
+	} else if t.Counts.Corrected > 0 {
+		m.Corrects++
+	}
+}
+
 // JobResult is the kind-discriminated result payload; exactly one field is
 // set on a done job.
 type JobResult struct {
-	Campaign *CampaignResult `json:"campaign,omitempty"`
-	DFA      *DFAResult      `json:"dfa,omitempty"`
-	SIFA     *SIFAResult     `json:"sifa,omitempty"`
-	FTA      *FTAResult      `json:"fta,omitempty"`
-	Area     *AreaResult     `json:"area,omitempty"`
-	Lint     *lint.Report    `json:"lint,omitempty"`
-	Prove    *ProveResult    `json:"prove,omitempty"`
+	Campaign   *CampaignResult   `json:"campaign,omitempty"`
+	DFA        *DFAResult        `json:"dfa,omitempty"`
+	SIFA       *SIFAResult       `json:"sifa,omitempty"`
+	FTA        *FTAResult        `json:"fta,omitempty"`
+	Area       *AreaResult       `json:"area,omitempty"`
+	Lint       *lint.Report      `json:"lint,omitempty"`
+	Prove      *ProveResult      `json:"prove,omitempty"`
+	MultiFault *MultiFaultResult `json:"multifault,omitempty"`
 }
 
 // Progress is a point-in-time view of a running campaign job, published at

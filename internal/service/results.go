@@ -47,7 +47,7 @@ func campaignAddress(camp *fault.Campaign) (store.CampaignKey, error) {
 	}
 	k := store.CampaignKey{
 		Netlist: store.HashBytes(buf.Bytes()),
-		Engine:  fault.EngineVersion,
+		Engine:  camp.EngineID(),
 		Key:     [2]uint64{camp.Key[0], camp.Key[1]},
 		Seed:    camp.Seed,
 		Faults:  make([]store.FaultPoint, len(camp.Faults)),
@@ -61,6 +61,9 @@ func campaignAddress(camp *fault.Campaign) (store.CampaignKey, error) {
 			Lanes:     f.Lanes,
 		}
 	}
+	if p := camp.Persistent; p != nil {
+		k.Persistent = &store.PersistentPoint{Entry: uint32(p.Entry), Mask: p.Mask}
+	}
 	return k, nil
 }
 
@@ -71,6 +74,7 @@ func storeCounts(c CampaignResult) store.Counts {
 		Ineffective: c.Ineffective,
 		Detected:    c.Detected,
 		Effective:   c.Effective,
+		Corrected:   c.Corrected,
 	}
 }
 
@@ -81,6 +85,7 @@ func faultCounts(r fault.Result) store.Counts {
 		Ineffective: r.Ineffective(),
 		Detected:    r.Detected(),
 		Effective:   r.Effective(),
+		Corrected:   r.Corrected(),
 	}
 }
 
@@ -90,6 +95,7 @@ func accumulateCounts(acc *CampaignResult, c store.Counts) {
 	acc.Ineffective += c.Ineffective
 	acc.Detected += c.Detected
 	acc.Effective += c.Effective
+	acc.Corrected += c.Corrected
 }
 
 // ResultsView is the zero-simulation answer to "what does the store already

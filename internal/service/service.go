@@ -492,6 +492,8 @@ func (s *Service) runJob(j *job) {
 		result, err = runLint(j.req)
 	case KindProve:
 		result, err = s.runProve(ctx, j)
+	case KindMultiFault:
+		result, err = s.runMultiFault(ctx, j)
 	default:
 		err = fmt.Errorf("unknown job kind %q", j.req.Kind)
 	}

@@ -1,0 +1,58 @@
+package store
+
+import "testing"
+
+// TestCampaignKeyDigestCompat pins the content address of a representative
+// transient-only campaign key to the digest the pre-multifault encoding
+// produced (computed with the encoding as of engine v1). The persistent-fault
+// and corrected-count extensions are optional tails, so every digest minted
+// before they existed must keep addressing the same stored batches; if this
+// digest moves, the whole result store silently goes cold.
+func TestCampaignKeyDigestCompat(t *testing.T) {
+	const golden = "7ca69781fe8f25c89baca8fd532f69526a88baf0b775ba4e1d9b428f020b7fd2"
+	k := testKey(7)
+	if got := k.Digest().String(); got != golden {
+		t.Fatalf("transient-only CampaignKey digest drifted:\n got %s\nwant %s\npre-existing store entries would be orphaned", got, golden)
+	}
+
+	// The tail must actually participate in the address when present.
+	p := persistentKey(7)
+	if p.Digest() == k.Digest() {
+		t.Fatal("persistent tail did not change the digest")
+	}
+	p2 := persistentKey(7)
+	p2.Persistent.Mask ^= 1
+	if p2.Digest() == p.Digest() {
+		t.Fatal("persistent mask change did not change the digest")
+	}
+
+	// Round-trip with the tail present.
+	got, err := DecodeCampaignKey(p.Encode())
+	if err != nil {
+		t.Fatalf("decode persistent key: %v", err)
+	}
+	if got.Persistent == nil || *got.Persistent != *p.Persistent {
+		t.Fatalf("persistent tail did not round-trip: %+v", got.Persistent)
+	}
+
+	// Batch records: the corrected count is an optional tail, appended only
+	// when non-zero, so v1 records re-encode byte-identically...
+	bk := BatchKey{Campaign: k.Digest(), Batch: 2, Runs: 64}
+	v1 := encodeBatch(bk, Counts{Total: 64, Ineffective: 60, Detected: 4})
+	k2, c2, err := decodeBatch(v1)
+	if err != nil {
+		t.Fatalf("decode v1 batch record: %v", err)
+	}
+	if string(encodeBatch(k2, c2)) != string(v1) {
+		t.Fatal("v1 batch record did not re-encode byte-identically")
+	}
+	// ...while records carrying corrections round-trip with the count intact.
+	cc := Counts{Total: 64, Ineffective: 50, Detected: 8, Effective: 1, Corrected: 5}
+	_, got2, err := decodeBatch(encodeBatch(bk, cc))
+	if err != nil {
+		t.Fatalf("decode corrected batch record: %v", err)
+	}
+	if got2 != cc {
+		t.Fatalf("corrected counts did not round-trip: %+v", got2)
+	}
+}

@@ -14,6 +14,7 @@ import (
 func FuzzCampaignKeyCodec(f *testing.F) {
 	f.Add(testKey(7).Encode())
 	f.Add(CampaignKey{Engine: "e"}.Encode())
+	f.Add(persistentKey(7).Encode())
 	f.Add([]byte{'K', campaignKeyVersion})
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -43,6 +43,14 @@ type FaultPoint struct {
 	Lanes     uint64
 }
 
+// PersistentPoint is the content-address form of a persistent S-box
+// corruption (fault.PersistentFault): the table entry and XOR mask applied
+// once before the campaign's first encryption.
+type PersistentPoint struct {
+	Entry uint32
+	Mask  uint64
+}
+
 // CampaignKey is the content address of a campaign's deterministic result
 // stream: everything a batch outcome depends on except the batch index.
 // Two submissions with equal keys produce bit-identical per-batch results,
@@ -50,15 +58,19 @@ type FaultPoint struct {
 type CampaignKey struct {
 	// Netlist digests the canonical text serialisation of the built design.
 	Netlist Digest
-	// Engine is the campaign engine's version string (fault.EngineVersion);
-	// it changes whenever simulation semantics or the randomness derivation
-	// change, invalidating every cached batch at once.
+	// Engine is the campaign engine's version string (fault.Campaign's
+	// EngineID); it changes whenever simulation semantics or the randomness
+	// derivation change, invalidating every cached batch at once.
 	Engine string
 	// Key is the cipher key, Seed the campaign seed.
 	Key  [2]uint64
 	Seed uint64
 	// Faults are the resolved injection points, in submission order.
 	Faults []FaultPoint
+	// Persistent, when set, is the campaign's persistent S-box corruption.
+	// It is encoded as an optional tail so every pre-existing transient-only
+	// key keeps its exact byte encoding — and therefore its digest.
+	Persistent *PersistentPoint
 }
 
 // campaignKeyVersion versions the encoding itself; bump on any layout change.
@@ -87,6 +99,13 @@ func (k CampaignKey) Encode() []byte {
 		buf = binary.AppendVarint(buf, int64(f.FromCycle))
 		buf = binary.AppendVarint(buf, int64(f.ToCycle))
 		buf = binary.LittleEndian.AppendUint64(buf, f.Lanes)
+	}
+	if k.Persistent != nil {
+		// Optional tail: absent for transient-only keys so their digests
+		// are byte-for-byte what encoding version 1 always produced.
+		buf = append(buf, 'P')
+		buf = binary.AppendUvarint(buf, uint64(k.Persistent.Entry))
+		buf = binary.AppendUvarint(buf, k.Persistent.Mask)
 	}
 	return buf
 }
@@ -129,6 +148,15 @@ func DecodeCampaignKey(b []byte) (CampaignKey, error) {
 		f.Lanes = r.uint64()
 		k.Faults = append(k.Faults, f)
 	}
+	if r.err == nil && r.remaining() > 0 {
+		if r.byte() != 'P' {
+			return k, fmt.Errorf("store: campaign key: bad optional tail marker")
+		}
+		var p PersistentPoint
+		p.Entry = uint32(r.uvarint())
+		p.Mask = r.uvarint()
+		k.Persistent = &p
+	}
 	if r.err != nil {
 		return k, fmt.Errorf("store: campaign key: %w", r.err)
 	}
@@ -155,6 +183,11 @@ type Counts struct {
 	Ineffective int `json:"ineffective"`
 	Detected    int `json:"detected"`
 	Effective   int `json:"effective"`
+	// Corrected counts runs recovered by a correcting scheme's majority
+	// vote. It is encoded as an optional tail (only when non-zero) so every
+	// record written before the field existed decodes — and re-encodes —
+	// unchanged.
+	Corrected int `json:"corrected,omitempty"`
 }
 
 // encodeBatch serialises one (key, counts) batch record payload.
@@ -167,6 +200,9 @@ func encodeBatch(k BatchKey, c Counts) []byte {
 	buf = binary.AppendUvarint(buf, uint64(c.Ineffective))
 	buf = binary.AppendUvarint(buf, uint64(c.Detected))
 	buf = binary.AppendUvarint(buf, uint64(c.Effective))
+	if c.Corrected != 0 {
+		buf = binary.AppendUvarint(buf, uint64(c.Corrected))
+	}
 	return buf
 }
 
@@ -183,14 +219,17 @@ func decodeBatch(b []byte) (BatchKey, Counts, error) {
 	c.Ineffective = int(r.uvarint())
 	c.Detected = int(r.uvarint())
 	c.Effective = int(r.uvarint())
+	if r.err == nil && r.remaining() > 0 {
+		c.Corrected = int(r.uvarint())
+	}
 	if r.err != nil {
 		return k, c, fmt.Errorf("store: batch record: %w", r.err)
 	}
 	if r.remaining() != 0 {
 		return k, c, fmt.Errorf("store: batch record: %d trailing bytes", r.remaining())
 	}
-	if k.Batch < 0 || k.Runs <= 0 || c.Total != k.Runs ||
-		c.Total != c.Ineffective+c.Detected+c.Effective {
+	if k.Batch < 0 || k.Runs <= 0 || c.Total != k.Runs || c.Corrected < 0 ||
+		c.Total != c.Ineffective+c.Detected+c.Effective+c.Corrected {
 		return k, c, fmt.Errorf("store: batch record: inconsistent counts")
 	}
 	return k, c, nil

@@ -266,7 +266,7 @@ func (s *Store) PutBatch(k BatchKey, c Counts) error {
 	if s == nil {
 		return nil
 	}
-	if c.Total != k.Runs || c.Total != c.Ineffective+c.Detected+c.Effective {
+	if c.Total != k.Runs || c.Total != c.Ineffective+c.Detected+c.Effective+c.Corrected {
 		s.putErrs.Inc()
 		return fmt.Errorf("store: inconsistent counts for batch %d", k.Batch)
 	}

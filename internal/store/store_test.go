@@ -28,6 +28,13 @@ func batchCounts(runs, det int) Counts {
 	return Counts{Total: runs, Ineffective: runs - det, Detected: det}
 }
 
+func persistentKey(seed uint64) CampaignKey {
+	k := testKey(seed)
+	k.Faults = nil
+	k.Persistent = &PersistentPoint{Entry: 11, Mask: 0x4}
+	return k
+}
+
 func TestCampaignKeyRoundTrip(t *testing.T) {
 	keys := []CampaignKey{
 		testKey(7),

@@ -3,6 +3,7 @@ package scone
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"repro/internal/attack"
 	"repro/internal/cipher/gift"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/prove"
 	"repro/internal/rng"
 	"repro/internal/service"
@@ -87,6 +89,11 @@ const (
 	SchemeACISP = core.SchemeACISP
 	// SchemeThreeInOne is the paper's merged three-in-one countermeasure.
 	SchemeThreeInOne = core.SchemeThreeInOne
+	// SchemeCorrect is the fault-correction baseline: λ-diverse triple
+	// redundancy with a per-bit majority vote, so a single faulted branch
+	// is corrected (the right ciphertext still releases) rather than
+	// merely detected.
+	SchemeCorrect = core.SchemeCorrect
 )
 
 // Entropy variants.
@@ -105,6 +112,9 @@ const (
 	BranchActual = core.BranchActual
 	// BranchRedundant is the duplicated check computation.
 	BranchRedundant = core.BranchRedundant
+	// BranchRedundant2 is the second redundant computation of the
+	// correcting (majority-vote) scheme.
+	BranchRedundant2 = core.BranchRedundant2
 )
 
 // Synthesis engines.
@@ -164,6 +174,9 @@ type (
 	// Injector applies faults during simulation; install it with
 	// Runner.S.SetInjector.
 	Injector = fault.Injector
+	// PersistentFault corrupts one S-box table entry for a whole campaign
+	// (the persistent-fault model, PFA): set Campaign.Persistent to apply.
+	PersistentFault = fault.PersistentFault
 )
 
 // FaultModel enumerates stuck-at-0/1 and bit-flip.
@@ -228,6 +241,45 @@ func NewCampaign(ctx context.Context, d *Design, key KeyState, runs int, seed ui
 // non-nil, sees every classified run in deterministic seed order.
 func (c *BoundCampaign) Run(observe func(Run)) (CampaignResult, error) {
 	return c.ExecuteContext(c.ctx, observe)
+}
+
+// ---------------------------------------------------------------------------
+// Multi-fault planning layer
+//
+// A plan enumerates the adversary placements of a multi-fault sweep over a
+// built design: every k-tuple of declared fault points (lexicographic, so
+// sweeps checkpoint and resume by tuple index, with adaptive pruning of
+// tuples containing known-inert sites), or every persistent S-box table
+// corruption. See DESIGN.md §14.
+// ---------------------------------------------------------------------------
+
+type (
+	// FaultPlan is a generated k-fault campaign plan: the candidate sites
+	// and the tuple enumeration over them.
+	FaultPlan = plan.Plan
+	// PlanRequest configures k-fault plan generation (arity, S-box and
+	// cone filters, truncation).
+	PlanRequest = plan.Request
+	// PlanSite is one candidate injection location with its parsed
+	// (branch, S-box, bit) provenance.
+	PlanSite = plan.Site
+	// SboxCorruption is one persistent-fault plan entry: an S-box table
+	// entry and the XOR mask applied to it.
+	SboxCorruption = plan.Corruption
+)
+
+// Plan generates the k-fault plan for a built design.
+func Plan(d *Design, req PlanRequest) (*FaultPlan, error) { return plan.New(d, req) }
+
+// PlanSites lists a built design's declared fault points in the stable
+// order plans, prover reports and lint findings share.
+func PlanSites(d *Design) []PlanSite { return plan.Sites(d) }
+
+// PersistentCorruptions enumerates the persistent-fault (PFA) plan for an
+// S-box of the given bit width: every (entry, non-zero XOR mask) pair,
+// optionally restricted to the listed entries and truncated after max.
+func PersistentCorruptions(sboxBits int, entries []int, max int) ([]SboxCorruption, bool, error) {
+	return plan.PersistentPlan(sboxBits, entries, max)
 }
 
 // ---------------------------------------------------------------------------
@@ -368,6 +420,21 @@ type (
 	JobState = service.State
 	// JobEvent is one entry of a job's progress stream.
 	JobEvent = service.Event
+	// DesignSpec names the design a job operates on in the wire
+	// vocabulary (cipher/scheme/entropy/engine or an inline netlist).
+	DesignSpec = service.DesignSpec
+	// U64 is the wire form of a 64-bit word (hex-string JSON encoding);
+	// job specs carry seeds and keys as U64.
+	U64 = service.U64
+	// MultiFaultSpec parameterises a multifault job: a planned sweep over
+	// many adversary placements, each executed as its own
+	// seed-deterministic campaign.
+	MultiFaultSpec = service.MultiFaultSpec
+	// MultiFaultResult is a finished multifault sweep: per-placement
+	// tallies plus escape/correction aggregates.
+	MultiFaultResult = service.MultiFaultResult
+	// TupleResult is one multifault placement's outcome.
+	TupleResult = service.TupleResult
 )
 
 // ---------------------------------------------------------------------------
@@ -407,6 +474,8 @@ const (
 	JobLint = service.KindLint
 	// JobProve runs the formal independence prover.
 	JobProve = service.KindProve
+	// JobMultiFault runs a planned multi-fault or persistent-fault sweep.
+	JobMultiFault = service.KindMultiFault
 )
 
 // Job states.
@@ -425,6 +494,50 @@ const (
 
 // NewService starts a job engine; Close (or Drain) releases its workers.
 func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// MultiFault executes a multifault sweep in-process: an ephemeral
+// single-worker Service runs the request to completion and returns the
+// result. Long-running sweeps that need durable checkpoints, resume or the
+// distributed lease fabric should instead submit a JobMultiFault request to
+// a Service the caller configures and keeps.
+func MultiFault(ctx context.Context, design DesignSpec, spec MultiFaultSpec) (*MultiFaultResult, error) {
+	if ctx == nil {
+		return nil, errors.New("scone: nil context in MultiFault")
+	}
+	svc, err := service.New(service.Config{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	st, err := svc.Submit(service.JobRequest{Kind: service.KindMultiFault, Design: design, MultiFault: &spec})
+	if err != nil {
+		return nil, err
+	}
+	ch, off, err := svc.Watch(st.ID)
+	if err != nil {
+		return nil, err
+	}
+	defer off()
+	for {
+		select {
+		case <-ctx.Done():
+			_, _ = svc.Cancel(st.ID)
+			return nil, ctx.Err()
+		case _, ok := <-ch:
+			if ok {
+				continue // progress event; only the stream close matters here
+			}
+			final, err := svc.Get(st.ID)
+			if err != nil {
+				return nil, err
+			}
+			if final.State != service.StateDone || final.Result == nil || final.Result.MultiFault == nil {
+				return nil, fmt.Errorf("scone: multifault sweep ended %s: %s", final.State, final.Error)
+			}
+			return final.Result.MultiFault, nil
+		}
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Distributed execution layer
@@ -510,16 +623,18 @@ type (
 // NewRegistry creates an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
 
-// EnableObservability registers the simulator, fault-engine and prover
-// instrument families on reg, so campaign internals (cache hits, evals,
-// batch latency, reorder depth) and proof progress (locations proved, peak
-// BDD nodes, per-location latency) surface in reg's Prometheus exposition.
-// Pass nil to detach them again — the hot paths then cost nothing. Service
-// instances attach through ServiceConfig.Obs instead.
+// EnableObservability registers the simulator, fault-engine, prover and
+// planner instrument families on reg, so campaign internals (cache hits,
+// evals, batch latency, reorder depth), proof progress (locations proved,
+// peak BDD nodes, per-location latency) and plan sizing (tuples enumerated,
+// tuples pruned) surface in reg's Prometheus exposition. Pass nil to detach
+// them again — the hot paths then cost nothing. Service instances attach
+// through ServiceConfig.Obs instead.
 func EnableObservability(reg *Registry) {
 	sim.EnableObservability(reg)
 	fault.EnableObservability(reg)
 	prove.EnableObservability(reg)
+	plan.EnableObservability(reg)
 }
 
 // ---------------------------------------------------------------------------
