@@ -16,7 +16,8 @@ race:
 	$(GO) test -race ./...
 
 # Campaign benchmark suite: PRESENT-80 across all three entropy variants
-# plus the k=2 multi-fault plan sweep, written to BENCH_PR8.json
+# plus the k=2 multi-fault plan sweep and the engine-configuration scaling
+# matrix (lane widths x workers x batch sizes), written to BENCH_PR9.json
 # (runs/sec, ns/eval, allocs). CI uploads the report as an artifact so the
 # perf trajectory is tracked per commit.
 bench:

@@ -7,6 +7,7 @@ package scone
 // tools run the full 80k-run campaigns).
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/cipher/present"
@@ -246,6 +247,51 @@ func BenchmarkFaultCampaignThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(2048, "sim-runs/op")
+}
+
+// TestCampaignAllocsPerRun pins the campaign hot path's allocation budget.
+// The fresh-λ-per-cycle variants used to cost 0.8 allocs per run (per-batch
+// generators and λ slices); the per-worker scratch engine must keep every
+// entropy variant at effectively zero.
+func TestCampaignAllocsPerRun(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		entropy core.Entropy
+	}{
+		{"prime", core.EntropyPrime},
+		{"per-round", core.EntropyPerRound},
+		{"per-sbox", core.EntropyPerSbox},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := core.MustBuild(present.Spec(), core.Options{
+				Scheme: core.SchemeThreeInOne, Entropy: tc.entropy, Engine: synth.EngineANF,
+			})
+			net := d.SboxInputNet(core.BranchActual, 13, 2)
+			const runs = 2048
+			execute := func(seed uint64) {
+				camp := fault.Campaign{
+					Design: d, Key: benchKey,
+					Faults: []fault.Fault{fault.At(net, fault.StuckAt0, d.LastRoundCycle())},
+					Runs:   runs, Seed: seed,
+					Engine: fault.EngineConfig{LaneWords: 1, Parallelism: 1},
+				}
+				if _, err := camp.Execute(nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			execute(1) // warm the compile cache
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			execute(2)
+			runtime.ReadMemStats(&after)
+			perRun := float64(after.Mallocs-before.Mallocs) / runs
+			t.Logf("%s: %.3f allocs/run", tc.name, perRun)
+			if perRun > 0.3 {
+				t.Errorf("allocs/run = %.3f, want <= 0.3", perRun)
+			}
+		})
+	}
 }
 
 func BenchmarkTRNGCorrectedBit(b *testing.B) {

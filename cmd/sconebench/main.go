@@ -1,13 +1,22 @@
-// Command sconebench runs the PRESENT-80 fault-campaign benchmark suite
-// across the paper's three λ-entropy variants and writes a machine-readable
-// report. It is the perf-trajectory anchor for the observability work: the
-// numbers in BENCH_PR8.json are produced with the obs registry enabled, so
-// instrument overhead is part of what is measured.
+// Command sconebench runs the PRESENT-80 fault-campaign scaling suite and
+// writes a machine-readable report. It is the perf-trajectory anchor for
+// the engine-configuration work: a scaling matrix sweeps lane widths ×
+// worker parallelism × dispatch batch sizes over one campaign, proves every
+// cell computes bit-identical tallies, and selects the fastest
+// configuration; the per-variant and multi-fault rows then run at that
+// configuration. The numbers in BENCH_PR9.json are produced with the obs
+// registry enabled, so instrument overhead is part of what is measured.
 //
 // Usage:
 //
-//	sconebench [-runs 16384] [-seed 0x5C09E2021] [-workers N]
-//	           [-short] [-o BENCH_PR8.json]
+//	sconebench [-runs 16384] [-seed 0x5C09E2021] [-short]
+//	           [-lanes W] [-parallel N] [-batch-runs R]
+//	           [-o BENCH_PR9.json]
+//
+// The scaling matrix always runs in full. The engine flags, when set
+// explicitly, pin the configuration of the variant and multi-fault rows
+// instead of the matrix winner — for comparing a chosen configuration
+// against the best one.
 //
 // For each entropy variant (prime, per-round, per-sbox) the suite runs one
 // three-in-one campaign — stuck-at-0 on S-box 13 bit 2 in the last round,
@@ -27,6 +36,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -56,6 +66,30 @@ func main() {
 	}
 }
 
+// scalingCell is one scaling-matrix measurement: the prime-variant campaign
+// under one engine configuration.
+type scalingCell struct {
+	LaneWords   int     `json:"lane_words"`
+	Parallelism int     `json:"parallelism"`
+	BatchRuns   int     `json:"batch_runs"`
+	ElapsedNS   int64   `json:"elapsed_ns"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+}
+
+// scalingReport is the matrix plus its verdict: every cell's tallies were
+// bit-identical (Campaign pins them), Best won, and Speedup is Best over
+// the legacy single-word single-worker one-group cell.
+type scalingReport struct {
+	Matrix []scalingCell `json:"matrix"`
+	// Campaign pins the outcome tallies shared by every matrix cell: the
+	// suite fails if any configuration diverges, so the report doubles as
+	// a determinism proof.
+	Campaign service.CampaignResult `json:"campaign"`
+	Baseline scalingCell            `json:"baseline"`
+	Best     scalingCell            `json:"best"`
+	Speedup  float64                `json:"speedup"`
+}
+
 // variantReport is one entropy variant's measurement.
 type variantReport struct {
 	Entropy string `json:"entropy"`
@@ -72,14 +106,32 @@ type variantReport struct {
 	BytesPerRun  float64 `json:"bytes_per_run"`
 }
 
+// matrixDims returns the swept engine-configuration axes: every supported
+// lane width, deduplicated worker counts up to the machine's cores, and
+// three dispatch granularities.
+func matrixDims() (widths, parallels, batchRuns []int) {
+	widths = []int{1, 2, 4}
+	for _, p := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		seen := false
+		for _, q := range parallels {
+			seen = seen || q == p
+		}
+		if !seen && p >= 1 {
+			parallels = append(parallels, p)
+		}
+	}
+	batchRuns = []int{sim.Lanes, 1024, 4096}
+	return widths, parallels, batchRuns
+}
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sconebench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	runs := fs.Int("runs", 16384, "simulated encryptions per variant")
+	runs := fs.Int("runs", 16384, "simulated encryptions per variant and matrix cell")
 	seed := fs.Uint64("seed", 0x5C09E2021, "campaign seed")
-	workers := fs.Int("workers", 0, "worker goroutines per campaign (0 = GOMAXPROCS)")
 	short := fs.Bool("short", false, "shrink the suite for CI (2048 runs per variant)")
-	out := fs.String("o", "BENCH_PR8.json", "report path (\"-\" writes the JSON to stdout)")
+	out := fs.String("o", "BENCH_PR9.json", "report path (\"-\" writes the JSON to stdout)")
+	engine := cliflags.RegisterEngine(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +144,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *runs <= 0 {
 		return fmt.Errorf("-runs must be positive (got %d)", *runs)
 	}
+	engineCfg, err := engine.Config()
+	if err != nil {
+		return err
+	}
+	enginePinned := false
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "lanes", "parallel", "batch-runs":
+			enginePinned = true
+		}
+	})
 
 	// The suite benchmarks the instrumented path: evals are read back from
 	// the simulator's own counter (registration is idempotent, so this
@@ -102,10 +165,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 	plan.EnableObservability(reg)
 	evals := reg.NewCounter("scone_sim_evals_total", "simulator eval calls")
 
+	scaling, err := benchScaling(*runs, *seed)
+	if err != nil {
+		return err
+	}
+	if *out != "-" {
+		for _, cell := range scaling.Matrix {
+			fmt.Fprintf(stdout, "scale w=%d p=%d b=%-5d %10.0f runs/s  (%s)\n",
+				cell.LaneWords, cell.Parallelism, cell.BatchRuns, cell.RunsPerSec,
+				time.Duration(cell.ElapsedNS).Round(time.Millisecond))
+		}
+		fmt.Fprintf(stdout, "best  w=%d p=%d b=%-5d %10.0f runs/s  %.2fx over legacy\n",
+			scaling.Best.LaneWords, scaling.Best.Parallelism, scaling.Best.BatchRuns,
+			scaling.Best.RunsPerSec, scaling.Speedup)
+	}
+
+	// The variant and multi-fault rows run at the matrix winner unless an
+	// engine flag pinned the configuration explicitly.
+	if !enginePinned {
+		engineCfg = fault.EngineConfig{
+			LaneWords:   scaling.Best.LaneWords,
+			Parallelism: scaling.Best.Parallelism,
+			BatchRuns:   scaling.Best.BatchRuns,
+		}
+	}
+
 	variants := []string{"prime", "per-round", "per-sbox"}
 	reports := make([]variantReport, 0, len(variants))
 	for _, entropy := range variants {
-		rep, err := benchVariant(entropy, *runs, *seed, *workers, evals)
+		rep, err := benchVariant(entropy, *runs, *seed, engineCfg, evals)
 		if err != nil {
 			return err
 		}
@@ -116,8 +204,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 				time.Duration(rep.ElapsedNS).Round(time.Millisecond))
 		}
 	}
+	if reports[0].Campaign != scaling.Campaign {
+		return fmt.Errorf("prime variant tallies %+v diverge from scaling matrix %+v",
+			reports[0].Campaign, scaling.Campaign)
+	}
 
-	mf, err := benchMultiFault(*runs, *seed, *workers)
+	mf, err := benchMultiFault(*runs, *seed, engineCfg)
 	if err != nil {
 		return err
 	}
@@ -128,13 +220,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	doc := map[string]any{
-		"bench":      "present80-campaign-suite",
+		"bench":      "present80-scaling-suite",
 		"spec":       "present80",
 		"scheme":     "three-in-one",
 		"runs":       *runs,
 		"seed":       service.U64(*seed),
 		"go":         runtime.Version(),
 		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"engine": map[string]any{
+			"lane_words":  engineCfg.LaneWords,
+			"parallelism": engineCfg.Parallelism,
+			"batch_runs":  engineCfg.BatchRuns,
+			"pinned":      enginePinned,
+		},
+		"scaling":    scaling,
 		"variants":   reports,
 		"multifault": mf,
 	}
@@ -156,6 +255,78 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// benchCampaign builds the Figure 4 prime-variant campaign under the given
+// engine configuration.
+func benchCampaign(d *core.Design, runs int, seed uint64, cfg fault.EngineConfig) fault.Campaign {
+	net := d.SboxInputNet(core.BranchActual, benchSbox, benchBit)
+	return fault.Campaign{
+		Design: d,
+		Key:    benchKey,
+		Faults: []fault.Fault{fault.At(net, fault.StuckAt0, d.LastRoundCycle())},
+		Runs:   runs,
+		Seed:   seed,
+		Engine: cfg,
+	}
+}
+
+// benchScaling sweeps the engine-configuration matrix over one campaign and
+// verifies every cell computes bit-identical tallies. The baseline cell is
+// the legacy configuration (width 1, one worker, one lane group per
+// dispatch); the best cell wins on runs/sec.
+func benchScaling(runs int, seed uint64) (scalingReport, error) {
+	d, err := service.BuildDesign(service.DesignSpec{
+		Cipher:  "present80",
+		Scheme:  "three-in-one",
+		Entropy: "prime",
+	})
+	if err != nil {
+		return scalingReport{}, err
+	}
+	widths, parallels, batchRuns := matrixDims()
+	var rep scalingReport
+	for _, w := range widths {
+		for _, p := range parallels {
+			for _, br := range batchRuns {
+				camp := benchCampaign(d, runs, seed, fault.EngineConfig{
+					LaneWords: w, Parallelism: p, BatchRuns: br,
+				})
+				start := time.Now()
+				res, err := camp.Execute(nil)
+				elapsed := time.Since(start)
+				if err != nil {
+					return scalingReport{}, err
+				}
+				tallies := service.NewCampaignResult(res)
+				if len(rep.Matrix) == 0 {
+					rep.Campaign = tallies
+				} else if tallies != rep.Campaign {
+					return scalingReport{}, fmt.Errorf(
+						"w=%d p=%d b=%d tallies %+v diverge from %+v",
+						w, p, br, tallies, rep.Campaign)
+				}
+				cell := scalingCell{
+					LaneWords:   w,
+					Parallelism: p,
+					BatchRuns:   br,
+					ElapsedNS:   elapsed.Nanoseconds(),
+					RunsPerSec:  float64(runs) / elapsed.Seconds(),
+				}
+				rep.Matrix = append(rep.Matrix, cell)
+				if cell.LaneWords == 1 && cell.Parallelism == 1 && cell.BatchRuns == sim.Lanes {
+					rep.Baseline = cell
+				}
+				if cell.RunsPerSec > rep.Best.RunsPerSec {
+					rep.Best = cell
+				}
+			}
+		}
+	}
+	if rep.Baseline.RunsPerSec > 0 {
+		rep.Speedup = rep.Best.RunsPerSec / rep.Baseline.RunsPerSec
+	}
+	return rep, nil
+}
+
 // multiFaultReport is the k=2 plan-sweep measurement: every pair of fault
 // points in one S-box column, each pair its own campaign, outcome tallies
 // folded so the row doubles as a determinism pin like the variant rows.
@@ -173,7 +344,7 @@ type multiFaultReport struct {
 // benchmark S-box column, then one campaign per tuple through the same
 // engine the variant rows use. runs is split across the placements so the
 // row's total simulation work matches one variant row.
-func benchMultiFault(runs int, seed uint64, workers int) (multiFaultReport, error) {
+func benchMultiFault(runs int, seed uint64, cfg fault.EngineConfig) (multiFaultReport, error) {
 	d, err := service.BuildDesign(service.DesignSpec{
 		Cipher:  "present80",
 		Scheme:  "three-in-one",
@@ -194,12 +365,12 @@ func benchMultiFault(runs int, seed uint64, workers int) (multiFaultReport, erro
 	start := time.Now()
 	for _, tuple := range p.Tuples {
 		camp := fault.Campaign{
-			Design:  d,
-			Key:     benchKey,
-			Faults:  p.Faults(tuple, fault.StuckAt0, d.LastRoundCycle()),
-			Runs:    perPair,
-			Seed:    seed,
-			Workers: workers,
+			Design: d,
+			Key:    benchKey,
+			Faults: p.Faults(tuple, fault.StuckAt0, d.LastRoundCycle()),
+			Runs:   perPair,
+			Seed:   seed,
+			Engine: cfg,
 		}
 		res, err := camp.Execute(nil)
 		if err != nil {
@@ -220,8 +391,9 @@ func benchMultiFault(runs int, seed uint64, workers int) (multiFaultReport, erro
 }
 
 // benchVariant builds the three-in-one PRESENT-80 design with the given
-// entropy mode and times one campaign over it.
-func benchVariant(entropy string, runs int, seed uint64, workers int, evals *obs.Counter) (variantReport, error) {
+// entropy mode and times one campaign over it under the selected engine
+// configuration.
+func benchVariant(entropy string, runs int, seed uint64, cfg fault.EngineConfig, evals *obs.Counter) (variantReport, error) {
 	d, err := service.BuildDesign(service.DesignSpec{
 		Cipher:  "present80",
 		Scheme:  "three-in-one",
@@ -230,15 +402,7 @@ func benchVariant(entropy string, runs int, seed uint64, workers int, evals *obs
 	if err != nil {
 		return variantReport{}, err
 	}
-	net := d.SboxInputNet(core.BranchActual, benchSbox, benchBit)
-	camp := fault.Campaign{
-		Design:  d,
-		Key:     benchKey,
-		Faults:  []fault.Fault{fault.At(net, fault.StuckAt0, d.LastRoundCycle())},
-		Runs:    runs,
-		Seed:    seed,
-		Workers: workers,
-	}
+	camp := benchCampaign(d, runs, seed, cfg)
 
 	var before, after runtime.MemStats
 	runtime.GC()

@@ -11,10 +11,10 @@ import (
 	"repro/internal/service"
 )
 
-// The suite must produce a parseable report with one measurement per
-// entropy variant, and the tallies must be the seed-determined ones.
+// The suite must produce a parseable report with the scaling matrix, one
+// measurement per entropy variant, and the seed-determined tallies.
 func TestBenchWritesReport(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "BENCH_PR4.json")
+	path := filepath.Join(t.TempDir(), "BENCH_PR9.json")
 	var out, errb bytes.Buffer
 	if err := run([]string{"-runs", "192", "-o", path}, &out, &errb); err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
@@ -28,9 +28,22 @@ func TestBenchWritesReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	var doc struct {
-		Bench    string      `json:"bench"`
-		Runs     int         `json:"runs"`
-		Seed     service.U64 `json:"seed"`
+		Bench  string      `json:"bench"`
+		Runs   int         `json:"runs"`
+		Seed   service.U64 `json:"seed"`
+		Engine struct {
+			LaneWords   int  `json:"lane_words"`
+			Parallelism int  `json:"parallelism"`
+			Pinned      bool `json:"pinned"`
+		} `json:"engine"`
+		Scaling struct {
+			Matrix []struct {
+				LaneWords  int     `json:"lane_words"`
+				RunsPerSec float64 `json:"runs_per_sec"`
+			} `json:"matrix"`
+			Campaign service.CampaignResult `json:"campaign"`
+			Speedup  float64                `json:"speedup"`
+		} `json:"scaling"`
 		Variants []struct {
 			Entropy    string                 `json:"entropy"`
 			Campaign   service.CampaignResult `json:"campaign"`
@@ -42,9 +55,27 @@ func TestBenchWritesReport(t *testing.T) {
 	if err := json.Unmarshal(b, &doc); err != nil {
 		t.Fatalf("report is not valid JSON: %v\n%s", err, b)
 	}
-	if doc.Bench != "present80-campaign-suite" || doc.Runs != 192 || doc.Seed != 0x5C09E2021 {
+	if doc.Bench != "present80-scaling-suite" || doc.Runs != 192 || doc.Seed != 0x5C09E2021 {
 		t.Fatalf("envelope %+v", doc)
 	}
+	if doc.Engine.Pinned || doc.Engine.LaneWords == 0 {
+		t.Fatalf("engine section %+v: want unpinned matrix winner", doc.Engine)
+	}
+
+	// Three lane widths at minimum one parallelism and three batch sizes.
+	widths, parallels, batchRuns := matrixDims()
+	if want := len(widths) * len(parallels) * len(batchRuns); len(doc.Scaling.Matrix) != want {
+		t.Fatalf("scaling matrix has %d cells, want %d", len(doc.Scaling.Matrix), want)
+	}
+	if doc.Scaling.Campaign.Total != 192 || doc.Scaling.Speedup <= 0 {
+		t.Fatalf("scaling verdict %+v", doc.Scaling)
+	}
+	for i, cell := range doc.Scaling.Matrix {
+		if cell.RunsPerSec <= 0 {
+			t.Errorf("matrix cell %d has no throughput: %+v", i, cell)
+		}
+	}
+
 	if len(doc.Variants) != 3 {
 		t.Fatalf("expected 3 entropy variants, got %d", len(doc.Variants))
 	}
@@ -59,6 +90,34 @@ func TestBenchWritesReport(t *testing.T) {
 		if v.RunsPerSec <= 0 || v.Evals <= 0 || v.NSPerEval <= 0 {
 			t.Errorf("variant %s has empty measurements: %+v", v.Entropy, v)
 		}
+	}
+	// The prime variant re-ran the matrix campaign at the winning
+	// configuration; its tallies must match the matrix pin.
+	if doc.Variants[0].Campaign != doc.Scaling.Campaign {
+		t.Errorf("prime tallies %+v diverge from scaling matrix %+v",
+			doc.Variants[0].Campaign, doc.Scaling.Campaign)
+	}
+}
+
+// Explicit engine flags pin the variant rows' configuration instead of the
+// matrix winner.
+func TestBenchEngineFlagsPin(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-runs", "64", "-lanes", "2", "-parallel", "1", "-o", "-"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	var doc struct {
+		Engine struct {
+			LaneWords   int  `json:"lane_words"`
+			Parallelism int  `json:"parallelism"`
+			Pinned      bool `json:"pinned"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("stdout is not pure JSON: %v\n%s", err, out.String())
+	}
+	if !doc.Engine.Pinned || doc.Engine.LaneWords != 2 || doc.Engine.Parallelism != 1 {
+		t.Fatalf("engine section %+v, want pinned w=2 p=1", doc.Engine)
 	}
 }
 
@@ -84,5 +143,8 @@ func TestBenchRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}, &out, &errb); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-lanes", "3"}, &out, &errb); err == nil {
+		t.Fatal("invalid lane width accepted")
 	}
 }

@@ -26,7 +26,7 @@ var facadeSymbols = []string{
 	"EngineANF", "EngineBDD",
 	"Build", "MustBuild", "NewRunner", "LambdaConst",
 	// Simulation layer.
-	"SimLanes",
+	"BatchLanes", "SimLanes", "EngineConfig", "DefaultEngineConfig",
 	// Fault-injection layer.
 	"Model", "Fault", "Campaign", "CampaignResult", "Run", "Net", "Injector",
 	"StuckAt0", "StuckAt1", "BitFlip", "PersistentFault",
@@ -198,6 +198,26 @@ func TestFacadeNewCampaign(t *testing.T) {
 	}
 	if res.Total != 192 || res.Ineffective()+res.Detected()+res.Effective() != 192 {
 		t.Fatalf("campaign result %+v", res)
+	}
+
+	// The engine configuration is validated and never changes results.
+	cw, err := NewCampaign(context.Background(), d, key, 192, 0x5C09E2021, flt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.WithEngine(EngineConfig{LaneWords: 3}); err == nil {
+		t.Error("invalid engine configuration accepted")
+	}
+	cw, err = cw.WithEngine(EngineConfig{LaneWords: 4, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resW, err := cw.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resW != res {
+		t.Fatalf("wide engine result %+v differs from %+v", resW, res)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())

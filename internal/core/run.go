@@ -8,18 +8,27 @@ import (
 	"repro/internal/spn"
 )
 
-// Runner drives a Design through the simulator, one batch of up to
-// sim.Lanes encryptions at a time. It owns a Simulator; installing a fault
-// injector on the Simulator (Runner.Sim) makes every subsequent batch run
-// under that fault.
-type Runner struct {
+// EngineRunner drives a Design through a width-W simulation engine, one
+// batch of up to S.LaneCount() encryptions at a time. It owns the engine;
+// installing a fault injector on it (EngineRunner.S) makes every subsequent
+// batch run under that fault. Width is an execution detail: a wide runner
+// computes bit-identical per-lane results to the classic 64-lane Runner.
+type EngineRunner[W sim.Word] struct {
 	D *Design
-	S *sim.Simulator
+	S *sim.Engine[W]
 	// CycleHook, when set, is called after every clock cycle of an
 	// EncryptBatch with the cycle index just executed; the side-channel
 	// probe uses it to sample switching activity.
 	CycleHook func(cycle int)
+
+	// Reusable read-out buffers for EncryptBatchReuse.
+	ctBuf, faultBuf []uint64
+	faultBits       []bool
 }
+
+// Runner is the classic 64-lane runner; all pre-width-configuration call
+// sites use this instantiation.
+type Runner = EngineRunner[sim.Word1]
 
 // NewRunner compiles the design (through the process-wide compile cache)
 // and creates a simulator for it.
@@ -28,16 +37,25 @@ func NewRunner(d *Design) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{D: d, S: c.NewSimulator()}, nil
+	return NewRunnerFrom(d, c), nil
 }
 
-// NewRunnerFrom creates another runner over an already compiled design —
-// campaigns that parallelise across goroutines use one Runner each.
+// NewRunnerFrom creates another 64-lane runner over an already compiled
+// design — campaigns that parallelise across goroutines use one Runner
+// each.
 func NewRunnerFrom(d *Design, c *sim.Compiled) *Runner {
+	return NewWideRunnerFrom[sim.Word1](d, c)
+}
+
+// NewWideRunnerFrom creates a width-W runner over an already compiled
+// design. It is the low-level constructor behind the campaign executor's
+// engine configuration; callers outside the core/fault stack select width
+// through fault.EngineConfig, which validates it first.
+func NewWideRunnerFrom[W sim.Word](d *Design, c *sim.Compiled) *EngineRunner[W] {
 	if c.Mod != d.Mod {
 		panic("core: compiled module does not match design")
 	}
-	return &Runner{D: d, S: c.NewSimulator()}
+	return &EngineRunner[W]{D: d, S: sim.NewEngine[W](c)}
 }
 
 // LambdaFunc supplies the per-cycle lambda port values: it returns one
@@ -62,16 +80,28 @@ type BatchResult struct {
 	Fault []bool
 }
 
-// EncryptBatch runs len(pts) parallel encryptions (at most sim.Lanes) under
-// one key. garbage supplies the per-lane recovery outputs for duplicated
-// schemes (ignored otherwise; may be nil). lambda supplies encoding bits
-// for randomised schemes (ignored otherwise; may be nil).
-func (r *Runner) EncryptBatch(pts []uint64, key spn.KeyState, garbage []uint64, lambda LambdaFunc) BatchResult {
-	if len(pts) == 0 || len(pts) > sim.Lanes {
-		panic(fmt.Sprintf("core: batch size %d out of range 1..%d", len(pts), sim.Lanes))
+// EncryptBatch runs len(pts) parallel encryptions (at most S.LaneCount())
+// under one key. garbage supplies the per-lane recovery outputs for
+// duplicated schemes (ignored otherwise; may be nil). lambda supplies
+// encoding bits for randomised schemes (ignored otherwise; may be nil).
+func (r *EngineRunner[W]) EncryptBatch(pts []uint64, key spn.KeyState, garbage []uint64, lambda LambdaFunc) BatchResult {
+	res := r.EncryptBatchReuse(pts, key, garbage, lambda)
+	return BatchResult{
+		CT:    append([]uint64(nil), res.CT...),
+		Fault: append([]bool(nil), res.Fault...),
 	}
+}
+
+// EncryptBatchReuse is EncryptBatch backed by the runner's internal
+// buffers: the returned slices are only valid until the next call. It is
+// the allocation-free path the campaign workers run on.
+func (r *EngineRunner[W]) EncryptBatchReuse(pts []uint64, key spn.KeyState, garbage []uint64, lambda LambdaFunc) BatchResult {
 	d := r.D
 	s := r.S
+	lanes := s.LaneCount()
+	if len(pts) == 0 || len(pts) > lanes {
+		panic(fmt.Sprintf("core: batch size %d out of range 1..%d", len(pts), lanes))
+	}
 	s.Reset()
 
 	s.SetInput("pt", pts)
@@ -117,19 +147,24 @@ func (r *Runner) EncryptBatch(pts []uint64, key spn.KeyState, garbage []uint64, 
 	// Combinational read-out of the final registers.
 	s.Eval()
 
-	cts := s.Output("ct")[:len(pts)]
-	faultsRaw := s.Output("fault")
-	res := BatchResult{CT: append([]uint64(nil), cts...), Fault: make([]bool, len(pts))}
-	for i := range res.Fault {
-		res.Fault[i] = faultsRaw[i]&1 == 1
+	if cap(r.ctBuf) < lanes {
+		r.ctBuf = make([]uint64, lanes)
+		r.faultBuf = make([]uint64, lanes)
+		r.faultBits = make([]bool, lanes)
 	}
-	return res
+	cts := s.OutputInto("ct", r.ctBuf[:lanes])[:len(pts)]
+	faultsRaw := s.OutputInto("fault", r.faultBuf[:lanes])
+	flags := r.faultBits[:len(pts)]
+	for i := range flags {
+		flags[i] = faultsRaw[i]&1 == 1
+	}
+	return BatchResult{CT: cts, Fault: flags}
 }
 
 // EncryptOne is a single-run convenience wrapper. lambdaBits supplies the
 // per-cycle λ value (only the low LambdaWidth bits are used); pass nil for
 // non-randomised schemes or all-zero λ.
-func (r *Runner) EncryptOne(pt uint64, key spn.KeyState, garbage uint64, lambda LambdaFunc) (ct uint64, fault bool) {
+func (r *EngineRunner[W]) EncryptOne(pt uint64, key spn.KeyState, garbage uint64, lambda LambdaFunc) (ct uint64, fault bool) {
 	res := r.EncryptBatch([]uint64{pt}, key, []uint64{garbage}, lambda)
 	return res.CT[0], res.Fault[0]
 }

@@ -3,12 +3,10 @@ package fault
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/spn"
 )
@@ -78,7 +76,18 @@ type Campaign struct {
 	Runs   int
 	Seed   uint64
 	// Workers sets the goroutine count (default: GOMAXPROCS).
+	//
+	// Deprecated: set Engine.Parallelism, which takes precedence when
+	// non-zero. Workers remains as the fallback so existing callers keep
+	// their behaviour.
 	Workers int
+	// Engine configures the execution engine: lane width, parallelism and
+	// dispatch granularity. The zero value is the legacy configuration
+	// (single-word passes, GOMAXPROCS workers, one lane group per
+	// dispatch). Execution configuration is pure policy — results, golden
+	// digests and stored content addresses are identical across all valid
+	// configurations.
+	Engine EngineConfig
 	// Persistent, when non-nil, corrupts one S-box table entry before
 	// the campaign starts: every branch of every run computes with the
 	// corrupted table, so the corruption survives across encryptions (the
@@ -222,6 +231,10 @@ func (c *Campaign) ExecuteBatchesFunc(ctx context.Context, first, last int, obse
 	if batches := c.NumBatches(); first < 0 || last > batches || first > last {
 		return Result{}, fmt.Errorf("fault: batch range [%d,%d) outside the campaign's %d batches", first, last, batches)
 	}
+	cfg, err := c.Engine.resolve(c.Workers)
+	if err != nil {
+		return Result{}, err
+	}
 	simD, err := c.simDesign()
 	if err != nil {
 		return Result{}, err
@@ -233,58 +246,65 @@ func (c *Campaign) ExecuteBatchesFunc(ctx context.Context, first, last int, obse
 	if first == last {
 		return Result{}, nil
 	}
-	workers := c.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if n := last - first; workers > n {
-		workers = n
+	numShards := (last - first + cfg.shardBatches - 1) / cfg.shardBatches
+	workers := cfg.workers
+	if workers > numShards {
+		workers = numShards
 	}
 
 	inj := NewInjector(c.Faults...)
+	met.Load().setLaneWords(cfg.laneWords)
 
-	batchCh := make(chan int)
-	outCh := make(chan batchOut, workers)
+	shardCh := make(chan [2]int)
+	outCh := make(chan batchOut, workers*cfg.laneWords)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runner := core.NewRunnerFrom(simD, compiled)
-			runner.S.SetInjector(inj)
-			for b := range batchCh {
-				var start time.Time
-				mm := met.Load()
-				if mm != nil {
-					start = time.Now()
+			gr := c.newGroupRunner(cfg.laneWords, simD, compiled, inj)
+			outs := make([]batchOut, cfg.laneWords)
+			for sh := range shardCh {
+				// Walk the shard one lane group at a time: up to
+				// laneWords consecutive batches per simulator pass.
+				for b := sh[0]; b < sh[1]; b += cfg.laneWords {
+					g := cfg.laneWords
+					if b+g > sh[1] {
+						g = sh[1] - b
+					}
+					var start time.Time
+					mm := met.Load()
+					if mm != nil {
+						start = time.Now()
+					}
+					for j := 0; j < g; j++ {
+						outs[j] = batchOut{batch: b + j}
+					}
+					gr.runGroup(b, g, outs[:g], observe != nil)
+					if mm != nil {
+						ns := time.Since(start).Nanoseconds() / int64(g)
+						for j := 0; j < g; j++ {
+							mm.countBatch(ns, len(c.Faults), outs[j].res)
+						}
+					}
+					for j := 0; j < g; j++ {
+						outCh <- outs[j]
+					}
 				}
-				out := batchOut{batch: b}
-				count := func(r Run) {
-					out.res.Total++
-					out.res.Counts[r.Outcome]++
-				}
-				if observe != nil {
-					out.runs = make([]Run, 0, c.BatchRuns(b))
-					c.runBatch(runner, b, c.BatchRuns(b), func(r Run) {
-						out.runs = append(out.runs, r)
-						count(r)
-					})
-				} else {
-					c.runBatch(runner, b, c.BatchRuns(b), count)
-				}
-				if mm != nil {
-					mm.countBatch(time.Since(start).Nanoseconds(), len(c.Faults), out.res)
-				}
-				outCh <- out
 			}
 		}()
 	}
-	// The feeder stops dispatching once ctx is done; batches already
+	// The feeder hands each worker a contiguous shard of whole lane
+	// groups and stops dispatching once ctx is done; shards already
 	// handed to a worker run to completion, so the completed set is a
 	// contiguous prefix of the range.
 	go func() {
-		defer close(batchCh)
-		for b := first; b < last; b++ {
+		defer close(shardCh)
+		for lo := first; lo < last; lo += cfg.shardBatches {
+			hi := lo + cfg.shardBatches
+			if hi > last {
+				hi = last
+			}
 			// Checking Err first makes an already-cancelled context
 			// deterministic: select alone picks randomly when both the
 			// send and Done are ready.
@@ -292,7 +312,8 @@ func (c *Campaign) ExecuteBatchesFunc(ctx context.Context, first, last int, obse
 				return
 			}
 			select {
-			case batchCh <- b:
+			case shardCh <- [2]int{lo, hi}:
+				met.Load().countShard()
 			case <-ctx.Done():
 				return
 			}
@@ -337,72 +358,4 @@ func (c *Campaign) ExecuteBatchesFunc(ctx context.Context, first, last int, obse
 		return res, ctx.Err()
 	}
 	return res, nil
-}
-
-// runBatch executes one 64-lane batch, handing each finished Run to emit in
-// lane order. Each batch derives its randomness from (seed, batch index),
-// so results are independent of scheduling.
-func (c *Campaign) runBatch(runner *core.Runner, batch, n int, emit func(Run)) {
-	d := c.Design
-	gen := rng.NewXoshiro(c.Seed ^ (uint64(batch)+1)*0x9E3779B97F4A7C15)
-	pts := make([]uint64, n)
-	garbage := make([]uint64, n)
-	for i := range pts {
-		pts[i] = gen.Uint64()
-		garbage[i] = gen.Uint64()
-	}
-
-	var lf core.LambdaFunc
-	var lambda0 []uint64
-	if d.LambdaWidth > 0 {
-		if d.Opts.Entropy == core.EntropyPrime {
-			vals := make([]uint64, n)
-			for i := range vals {
-				vals[i] = gen.Bits(d.LambdaWidth)
-			}
-			lambda0 = vals
-			lf = core.LambdaConst(vals)
-		} else {
-			// Fresh λ per cycle, deterministic in the cycle index:
-			// pre-draw cycle 0 so it can be recorded.
-			perCycle := make(map[int][]uint64)
-			lf = func(cyc int) []uint64 {
-				if v, ok := perCycle[cyc]; ok {
-					return v
-				}
-				vals := make([]uint64, n)
-				for i := range vals {
-					vals[i] = gen.Bits(d.LambdaWidth)
-				}
-				perCycle[cyc] = vals
-				return vals
-			}
-			lambda0 = lf(0)
-		}
-	}
-
-	res := runner.EncryptBatch(pts, c.Key, garbage, lf)
-	correcting := d.Opts.Scheme.Correcting()
-	for i := 0; i < n; i++ {
-		// The reference is always the clean cipher — under a persistent
-		// fault the simulated design computes with the corrupted table
-		// while classification compares against what the device should
-		// have produced.
-		ref := d.Spec.Encrypt(pts[i], c.Key)
-		r := Run{PT: pts[i], CT: res.CT[i], RefCT: ref}
-		if lambda0 != nil {
-			r.Lambda0 = lambda0[i]
-		}
-		switch {
-		case res.Fault[i] && correcting && res.CT[i] == ref:
-			r.Outcome = OutcomeCorrected
-		case res.Fault[i]:
-			r.Outcome = OutcomeDetected
-		case res.CT[i] == ref:
-			r.Outcome = OutcomeIneffective
-		default:
-			r.Outcome = OutcomeEffective
-		}
-		emit(r)
-	}
 }

@@ -30,18 +30,23 @@ type Xoshiro struct {
 // guarantees a non-zero state.
 func NewXoshiro(seed uint64) *Xoshiro {
 	x := &Xoshiro{}
+	x.Reseed(seed)
+	return x
+}
+
+// Reseed re-initialises the generator in place, exactly as NewXoshiro seeds
+// a fresh one: the subsequent output stream is identical. Campaign workers
+// reuse one generator per lane group to keep the batch hot path
+// allocation-free.
+func (x *Xoshiro) Reseed(seed uint64) {
 	sm := seed
-	next := func() uint64 {
+	for i := range x.s {
 		sm += 0x9E3779B97F4A7C15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-		return z ^ (z >> 31)
+		x.s[i] = z ^ (z >> 31)
 	}
-	for i := range x.s {
-		x.s[i] = next()
-	}
-	return x
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

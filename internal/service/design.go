@@ -163,12 +163,24 @@ func resolveFaults(d *core.Design, specs []FaultSpec) ([]fault.Fault, error) {
 	return faults, nil
 }
 
+// EngineDefaults carries a host's execution-policy defaults — the values a
+// campaign spec falls back to when its own Workers/LaneWords fields are
+// zero. The service fills it from Config, the distributed worker from its
+// WorkerConfig; either way it never influences results or content
+// addresses, only how fast the machine computes them.
+type EngineDefaults struct {
+	// Workers is the fallback simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+	// LaneWords is the fallback engine word width (0 = 1).
+	LaneWords int
+}
+
 // BuildCampaign synthesises the design and assembles the engine campaign
 // for a validated campaign request. Coordinator and workers both build
 // through here, so a lease grant's (Design, Campaign) pair reconstructs the
 // exact campaign the submitting client described — the determinism
 // contract's precondition.
-func BuildCampaign(ds DesignSpec, cs *CampaignSpec, defaultWorkers int) (*fault.Campaign, error) {
+func BuildCampaign(ds DesignSpec, cs *CampaignSpec, def EngineDefaults) (*fault.Campaign, error) {
 	if cs == nil {
 		return nil, fmt.Errorf("campaign job needs a campaign spec")
 	}
@@ -176,26 +188,22 @@ func BuildCampaign(ds DesignSpec, cs *CampaignSpec, defaultWorkers int) (*fault.
 	if err != nil {
 		return nil, err
 	}
-	return buildCampaign(d, cs, defaultWorkers)
+	return buildCampaign(d, cs, def)
 }
 
 // buildCampaign assembles the engine campaign for a validated request.
-func buildCampaign(d *core.Design, cs *CampaignSpec, defaultWorkers int) (*fault.Campaign, error) {
+func buildCampaign(d *core.Design, cs *CampaignSpec, def EngineDefaults) (*fault.Campaign, error) {
 	faults, err := resolveFaults(d, cs.Faults)
 	if err != nil {
 		return nil, err
 	}
-	workers := cs.Workers
-	if workers <= 0 {
-		workers = defaultWorkers
-	}
 	camp := &fault.Campaign{
-		Design:  d,
-		Key:     spn.KeyState{uint64(cs.Key[0]), uint64(cs.Key[1])},
-		Faults:  faults,
-		Runs:    cs.Runs,
-		Seed:    uint64(cs.Seed),
-		Workers: workers,
+		Design: d,
+		Key:    spn.KeyState{uint64(cs.Key[0]), uint64(cs.Key[1])},
+		Faults: faults,
+		Runs:   cs.Runs,
+		Seed:   uint64(cs.Seed),
+		Engine: cs.engineConfig(def),
 	}
 	if cs.Persistent != nil {
 		p := fault.PersistentFault{Entry: cs.Persistent.Entry, Mask: uint64(cs.Persistent.Mask)}

@@ -234,7 +234,7 @@ func (s *Service) inertSites(ctx context.Context, jobID string, sites []plan.Sit
 // splicing — executeRange over the whole batch range, the same merge the
 // campaign job kind uses.
 func (s *Service) runPlacement(ctx context.Context, d *core.Design, cs *CampaignSpec) (CampaignResult, error) {
-	camp, err := buildCampaign(d, cs, s.cfg.SimWorkers)
+	camp, err := buildCampaign(d, cs, s.cfg.engineDefaults())
 	if err != nil {
 		return CampaignResult{}, err
 	}
@@ -261,7 +261,7 @@ func (s *Service) runPlacement(ctx context.Context, d *core.Design, cs *Campaign
 // job's checkpoint grain: an interrupted placement re-registers on resume
 // and its finished batches splice back in from the store.
 func (s *Service) runPlacementDistributed(ctx context.Context, id string, ds DesignSpec, d *core.Design, cs *CampaignSpec) (CampaignResult, error) {
-	camp, err := buildCampaign(d, cs, s.cfg.SimWorkers)
+	camp, err := buildCampaign(d, cs, s.cfg.engineDefaults())
 	if err != nil {
 		return CampaignResult{}, err
 	}

@@ -127,7 +127,7 @@ func (s *Service) Results(req JobRequest) (ResultsView, error) {
 	if err := req.Validate(); err != nil {
 		return ResultsView{}, fmt.Errorf("invalid request: %w", err)
 	}
-	camp, err := BuildCampaign(req.Design, req.Campaign, s.cfg.SimWorkers)
+	camp, err := BuildCampaign(req.Design, req.Campaign, s.cfg.engineDefaults())
 	if err != nil {
 		return ResultsView{}, err
 	}

@@ -147,7 +147,7 @@ func directCampaignResult(t *testing.T, runs int, entropy string) CampaignResult
 	if err != nil {
 		t.Fatal(err)
 	}
-	camp, err := buildCampaign(d, req.Campaign, 0)
+	camp, err := buildCampaign(d, req.Campaign, EngineDefaults{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -165,8 +165,13 @@ func lower(m *netlist.Module, order, dffs []int) *program {
 }
 
 // evalRange executes fast-stream instructions [lo, hi) against the value
-// slots: one opcode dispatch per run, then a tight specialised loop.
-func (p *program) evalRange(v []uint64, lo, hi int) {
+// slots: one opcode dispatch per run, then a tight specialised loop. It is
+// generic over the lane-word width; each instantiation's inner loops
+// operate on fixed-size [W]uint64 arrays, which the compiler unrolls (and,
+// for W > 1, can auto-vectorize into 128/256-bit SIMD ops). Wider words
+// amortise the per-instruction dispatch and operand-index loads over W
+// times the lanes — the engine's main single-core throughput lever.
+func evalRange[W Word](p *program, v []W, lo, hi int) {
 	for _, r := range p.runs {
 		if int(r.lo) >= hi {
 			return
@@ -187,37 +192,76 @@ func (p *program) evalRange(v []uint64, lo, hi int) {
 		switch netlist.CellKind(r.op) {
 		case netlist.KindInv:
 			for i, o := range out {
-				v[o] = ^v[in0[i]]
+				x := v[in0[i]]
+				var d W
+				for k := 0; k < len(d); k++ {
+					d[k] = ^x[k]
+				}
+				v[o] = d
 			}
 		case netlist.KindAnd2:
 			for i, o := range out {
-				v[o] = v[in0[i]] & v[in1[i]]
+				x, y := v[in0[i]], v[in1[i]]
+				var d W
+				for k := 0; k < len(d); k++ {
+					d[k] = x[k] & y[k]
+				}
+				v[o] = d
 			}
 		case netlist.KindOr2:
 			for i, o := range out {
-				v[o] = v[in0[i]] | v[in1[i]]
+				x, y := v[in0[i]], v[in1[i]]
+				var d W
+				for k := 0; k < len(d); k++ {
+					d[k] = x[k] | y[k]
+				}
+				v[o] = d
 			}
 		case netlist.KindNand2:
 			for i, o := range out {
-				v[o] = ^(v[in0[i]] & v[in1[i]])
+				x, y := v[in0[i]], v[in1[i]]
+				var d W
+				for k := 0; k < len(d); k++ {
+					d[k] = ^(x[k] & y[k])
+				}
+				v[o] = d
 			}
 		case netlist.KindNor2:
 			for i, o := range out {
-				v[o] = ^(v[in0[i]] | v[in1[i]])
+				x, y := v[in0[i]], v[in1[i]]
+				var d W
+				for k := 0; k < len(d); k++ {
+					d[k] = ^(x[k] | y[k])
+				}
+				v[o] = d
 			}
 		case netlist.KindXor2:
 			for i, o := range out {
-				v[o] = v[in0[i]] ^ v[in1[i]]
+				x, y := v[in0[i]], v[in1[i]]
+				var d W
+				for k := 0; k < len(d); k++ {
+					d[k] = x[k] ^ y[k]
+				}
+				v[o] = d
 			}
 		case netlist.KindXnor2:
 			for i, o := range out {
-				v[o] = ^(v[in0[i]] ^ v[in1[i]])
+				x, y := v[in0[i]], v[in1[i]]
+				var d W
+				for k := 0; k < len(d); k++ {
+					d[k] = ^(x[k] ^ y[k])
+				}
+				v[o] = d
 			}
 		case netlist.KindMux2:
 			in2 := p.rIn2[a:b]
 			for i, o := range out {
-				sel := v[in2[i]]
-				v[o] = (v[in0[i]] &^ sel) | (v[in1[i]] & sel)
+				x, y, s := v[in0[i]], v[in1[i]], v[in2[i]]
+				var d W
+				for k := 0; k < len(d); k++ {
+					d[k] = (x[k] &^ s[k]) | (y[k] & s[k])
+				}
+				v[o] = d
 			}
 		}
 	}

@@ -140,7 +140,7 @@ func TestCompiledMatchesReferenceSequential(t *testing.T) {
 			ref.SetInputLaneWords("x", words)
 			for cyc := 0; cyc < 6; cyc++ {
 				fast.Step()
-				ref.stepReference()
+				stepReference(ref)
 				compareAllNets(t, m, fast, ref, "sequential")
 			}
 			_ = ii
@@ -157,12 +157,13 @@ func referenceSimulator(c *Compiled) *Simulator {
 }
 
 // stepReference is Step with EvalReference as the combinational pass — the
-// pre-rewrite cycle semantics, for differential testing.
-func (s *Simulator) stepReference() {
+// pre-rewrite cycle semantics, for differential testing. (A plain function:
+// methods cannot be added to the instantiated generic Simulator.)
+func stepReference(s *Simulator) {
 	s.EvalReference()
 	p := s.c.prog
 	if cap(s.dffTmp) < len(p.dffInFull) {
-		s.dffTmp = make([]uint64, len(p.dffInFull))
+		s.dffTmp = make([]Word1, len(p.dffInFull))
 	}
 	tmp := s.dffTmp[:len(p.dffInFull)]
 	for i, idx := range p.dffInFull {
@@ -171,7 +172,7 @@ func (s *Simulator) stepReference() {
 	for i, o := range p.dffOut {
 		out := tmp[i]
 		if s.hasFault != nil && s.hasFault[o] {
-			out = s.injector.Apply(s.cycle, netlist.Net(o), out)
+			out[0] = s.injector.Apply(s.cycle, netlist.Net(o), out[0])
 		}
 		s.values[o] = out
 	}

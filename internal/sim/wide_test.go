@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// widths instantiates f for every supported word width so the wide-engine
+// tests cover Word1, Word2 and Word4 with one body.
+func widths(t *testing.T, run func(t *testing.T, laneWords int, eval func(c *Compiled, vals []uint64, faulted bool) []uint64)) {
+	t.Helper()
+	t.Run("w1", func(t *testing.T) {
+		run(t, 1, func(c *Compiled, vals []uint64, faulted bool) []uint64 {
+			s := NewEngine[Word1](c)
+			if faulted {
+				s.SetInjector(testFlip{})
+			}
+			s.SetInput("x", vals)
+			s.Eval()
+			return s.Output("y")
+		})
+	})
+	t.Run("w2", func(t *testing.T) {
+		run(t, 2, func(c *Compiled, vals []uint64, faulted bool) []uint64 {
+			s := NewEngine[Word2](c)
+			if faulted {
+				s.SetInjector(testFlip{})
+			}
+			s.SetInput("x", vals)
+			s.Eval()
+			return s.Output("y")
+		})
+	})
+	t.Run("w4", func(t *testing.T) {
+		run(t, 4, func(c *Compiled, vals []uint64, faulted bool) []uint64 {
+			s := NewEngine[Word4](c)
+			if faulted {
+				s.SetInjector(testFlip{})
+			}
+			s.SetInput("x", vals)
+			s.Eval()
+			return s.Output("y")
+		})
+	})
+}
+
+// testFlip inverts every addressed net on cycle 0 (combinational evals run
+// at the engine's current cycle).
+type testFlip struct{}
+
+func (testFlip) Nets() []netlist.Net { return nil }
+func (testFlip) Apply(c int, n netlist.Net, v uint64) uint64 {
+	return ^v
+}
+
+func TestWideEngineLaneGeometry(t *testing.T) {
+	c := MustCompile(buildGateModule())
+	if w := NewEngine[Word1](c); w.LaneWords() != 1 || w.LaneCount() != 64 {
+		t.Errorf("Word1 geometry = (%d, %d), want (1, 64)", w.LaneWords(), w.LaneCount())
+	}
+	if w := NewEngine[Word2](c); w.LaneWords() != 2 || w.LaneCount() != 128 {
+		t.Errorf("Word2 geometry = (%d, %d), want (2, 128)", w.LaneWords(), w.LaneCount())
+	}
+	if w := NewEngine[Word4](c); w.LaneWords() != 4 || w.LaneCount() != 256 {
+		t.Errorf("Word4 geometry = (%d, %d), want (4, 256)", w.LaneWords(), w.LaneCount())
+	}
+}
+
+func TestValidLaneWords(t *testing.T) {
+	for w := -1; w <= 8; w++ {
+		want := w == 1 || w == 2 || w == 4
+		if got := ValidLaneWords(w); got != want {
+			t.Errorf("ValidLaneWords(%d) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+// TestWideEngineLaneRoundTrip drives every lane of every width with a
+// distinct value and reads it back through a 4-bit inverter, proving
+// SetInput/Output address the full W×64 lane space.
+func TestWideEngineLaneRoundTrip(t *testing.T) {
+	m := netlist.New("inv4")
+	in := m.AddInput("x", 4)
+	m.AddOutput("y", m.NotBus(in))
+	c := MustCompile(m)
+
+	widths(t, func(t *testing.T, laneWords int, eval func(*Compiled, []uint64, bool) []uint64) {
+		lanes := laneWords * Lanes
+		vals := make([]uint64, lanes)
+		for i := range vals {
+			vals[i] = uint64(i) & 0xF
+		}
+		out := eval(c, vals, false)
+		if len(out) != lanes {
+			t.Fatalf("Output length = %d, want %d", len(out), lanes)
+		}
+		for i, v := range vals {
+			if want := ^v & 0xF; out[i] != want {
+				t.Fatalf("lane %d: y = %#x, want %#x", i, out[i], want)
+			}
+		}
+	})
+}
+
+// TestWideEngineMatchesSimulator runs the full gate-kind module on each
+// width and requires per-lane agreement with the classic 64-lane Simulator,
+// with and without an injector installed — the injector must apply to every
+// 64-lane word of a wide value.
+func TestWideEngineMatchesSimulator(t *testing.T) {
+	m := netlist.New("mix")
+	in := m.AddInput("x", 4)
+	a, b, cc, d := in[0], in[1], in[2], in[3]
+	n1 := m.Xor(m.And(a, b), m.Or(cc, d))
+	n2 := m.Mux(n1, m.Nand(a, cc), b)
+	m.AddOutput("y", netlist.Bus{n2, m.Xnor(n1, d), m.Nor(a, n2)})
+	c := MustCompile(m)
+
+	for _, faulted := range []bool{false, true} {
+		name := "clean"
+		if faulted {
+			name = "faulted"
+		}
+		t.Run(name, func(t *testing.T) {
+			// Reference: the classic engine over each 64-lane slice.
+			ref := func(vals []uint64) []uint64 {
+				out := make([]uint64, 0, len(vals))
+				for off := 0; off < len(vals); off += Lanes {
+					s := c.NewSimulator()
+					if faulted {
+						s.SetInjector(testFlip{})
+					}
+					s.SetInput("x", vals[off:off+Lanes])
+					s.Eval()
+					out = append(out, s.Output("y")...)
+				}
+				return out
+			}
+			widths(t, func(t *testing.T, laneWords int, eval func(*Compiled, []uint64, bool) []uint64) {
+				lanes := laneWords * Lanes
+				vals := make([]uint64, lanes)
+				for i := range vals {
+					vals[i] = uint64(i*2654435761) & 0xF
+				}
+				want := ref(vals)
+				got := eval(c, vals, faulted)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("lane %d: y = %#x, want %#x", i, got[i], want[i])
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestWideEngineSequentialParity steps a shift register on a width-4 engine
+// and checks OutputLane against the narrow engine cycle by cycle, covering
+// the DFF path and per-word injector application during Step.
+func TestWideEngineSequentialParity(t *testing.T) {
+	m := netlist.New("shift2")
+	in := m.AddInput("d", 1)
+	q1 := m.NewNet("q1")
+	q2 := m.NewNet("q2")
+	m.AddCell(netlist.KindDFF, q2, q1)
+	m.AddCell(netlist.KindDFF, q1, in[0])
+	m.AddOutput("q", netlist.Bus{q2})
+	c := MustCompile(m)
+
+	narrow := c.NewSimulator()
+	wide := NewEngine[Word4](c)
+	inj := flipInjector{net: q1, cycle: 1}
+	narrow.SetInjector(inj)
+	wide.SetInjector(inj)
+
+	lanes := wide.LaneCount()
+	pattern := make([]uint64, lanes)
+	for i := range pattern {
+		pattern[i] = uint64(i) & 1
+	}
+	for cyc := 0; cyc < 5; cyc++ {
+		narrow.SetInput("d", pattern[:Lanes])
+		wide.SetInput("d", pattern)
+		narrow.Step()
+		wide.Step()
+		for lane := 0; lane < lanes; lane++ {
+			want := narrow.OutputLane("q", lane%Lanes)
+			if got := wide.OutputLane("q", lane); got != want {
+				t.Fatalf("cycle %d lane %d: q = %d, want %d", cyc, lane, got, want)
+			}
+		}
+	}
+	if narrow.Cycle() != wide.Cycle() {
+		t.Errorf("cycle counters diverged: %d vs %d", narrow.Cycle(), wide.Cycle())
+	}
+}
+
+// TestOutputIntoReusesBuffer pins the allocation contract of the campaign
+// hot path: OutputInto must fill the caller's buffer and return it.
+func TestOutputIntoReusesBuffer(t *testing.T) {
+	m := netlist.New("buf1")
+	in := m.AddInput("x", 1)
+	m.AddOutput("y", netlist.Bus{m.Buf(in[0])})
+	c := MustCompile(m)
+	s := NewEngine[Word2](c)
+	vals := make([]uint64, s.LaneCount())
+	for i := range vals {
+		vals[i] = uint64(i) & 1
+	}
+	s.SetInput("x", vals)
+	s.Eval()
+	buf := make([]uint64, s.LaneCount())
+	out := s.OutputInto("y", buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("OutputInto did not fill the provided buffer")
+	}
+	for i, v := range vals {
+		if out[i] != v {
+			t.Fatalf("lane %d: y = %d, want %d", i, out[i], v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short buffer")
+		}
+	}()
+	s.OutputInto("y", make([]uint64, s.LaneCount()-1))
+}

@@ -142,13 +142,36 @@ func LambdaConst(vals []uint64) LambdaFunc { return core.LambdaConst(vals) }
 // Simulation layer
 //
 // The simulator is mostly an implementation detail behind Runner and
-// Campaign; the facade exposes its one load-bearing constant.
+// Campaign; the facade exposes its logical batch size and the engine
+// configuration selecting how wide and how parallel that batch executes.
 // ---------------------------------------------------------------------------
 
-// SimLanes is the simulator's lane width: every Eval simulates this many
-// independent runs bit-parallel in one pass, and campaigns are batched in
-// SimLanes-sized groups.
-const SimLanes = sim.Lanes
+// BatchLanes is the campaign's logical batch size: batch randomness,
+// checkpoints, lease ranges and stored results are all addressed in
+// BatchLanes-run units, regardless of the engine configuration executing
+// them (an EngineConfig with LaneWords W evaluates W such batches per
+// simulator pass).
+const BatchLanes = sim.Lanes
+
+// SimLanes is the simulator's logical lane width.
+//
+// Deprecated: use BatchLanes. The name predates configurable engine widths;
+// it is kept as an alias because the constant still describes the logical
+// 64-run batch, not the physical pass width EngineConfig selects.
+const SimLanes = BatchLanes
+
+// EngineConfig is the campaign engine's execution configuration: simulator
+// word width (LaneWords — one pass evaluates LaneWords×64 lanes), worker
+// parallelism, and dispatch granularity. It is pure execution policy: every
+// configuration computes bit-identical results and leaves content-addressed
+// stored batches valid. Set it on Campaign.Engine (or through
+// BoundCampaign.WithEngine).
+type EngineConfig = fault.EngineConfig
+
+// DefaultEngineConfig returns the explicit form of the zero-value engine
+// configuration: width 1, GOMAXPROCS parallelism, one lane group per
+// dispatch.
+func DefaultEngineConfig() EngineConfig { return fault.DefaultEngineConfig() }
 
 // ---------------------------------------------------------------------------
 // Fault-injection layer
@@ -235,6 +258,23 @@ func NewCampaign(ctx context.Context, d *Design, key KeyState, runs int, seed ui
 		Campaign: Campaign{Design: d, Key: key, Faults: faults, Runs: runs, Seed: seed},
 		ctx:      ctx,
 	}, nil
+}
+
+// WithEngine installs a validated execution configuration on the campaign
+// and returns it, so construction chains:
+//
+//	camp, err := scone.NewCampaign(ctx, d, key, runs, seed, faults...)
+//	...
+//	camp, err = camp.WithEngine(scone.EngineConfig{LaneWords: 4})
+//
+// The configuration never changes results — only how fast the machine
+// computes them.
+func (c *BoundCampaign) WithEngine(cfg EngineConfig) (*BoundCampaign, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c.Engine = cfg
+	return c, nil
 }
 
 // Run executes the campaign under the bound context. observe, when
