@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-full bench-smoke fmt fmt-check vet lint sconelint fuzz serve e2e e2e-dist e2e-store e2e-prove e2e-multifault ci
+.PHONY: all build test race bench bench-full bench-smoke fmt fmt-check vet lint sconelint fuzz serve e2e e2e-dist e2e-store e2e-prove e2e-multifault e2e-leakage ci
 
 all: build test
 
@@ -17,7 +17,7 @@ race:
 
 # Campaign benchmark suite: PRESENT-80 across all three entropy variants
 # plus the k=2 multi-fault plan sweep and the engine-configuration scaling
-# matrix (lane widths x workers x batch sizes), written to BENCH_PR9.json
+# matrix (lane widths x workers x batch sizes), written to BENCH_PR10.json
 # (runs/sec, ns/eval, allocs). CI uploads the report as an artifact so the
 # perf trajectory is tracked per commit.
 bench:
@@ -98,6 +98,17 @@ e2e-multifault:
 	$(GO) test -race -count=1 \
 		-run 'TestE2EMultiFault|TestMultiFault' \
 		./internal/service/... ./internal/plan/...
+
+# Leakage evaluation under the race detector: the TVLA evaluator's
+# determinism and resume bit-identity, the masked-vs-unmasked verdict
+# separation, and a daemon drained mid-evaluation must resume on restart
+# completing exactly the remaining trace batches — measured through
+# scone_leakage_batches_total — with t-statistics bit-identical to an
+# uninterrupted run.
+e2e-leakage:
+	$(GO) test -race -count=1 \
+		-run 'TestE2ELeakage|TestLeakage|TestFacadeLeakage|TestTTest' \
+		./internal/service/... ./internal/leakage/... ./internal/stats/... .
 
 # Static countermeasure audit: the synthesised PRESENT-80 three-in-one
 # core must lint clean for every entropy variant, and the unprotected

@@ -275,16 +275,5 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 // schemeName maps a core.Scheme back onto the shared wire vocabulary.
 func schemeName(s core.Scheme) string {
-	switch s {
-	case core.SchemeUnprotected:
-		return "unprotected"
-	case core.SchemeNaiveDup:
-		return "naive"
-	case core.SchemeACISP:
-		return "acisp"
-	case core.SchemeThreeInOne:
-		return "three-in-one"
-	default:
-		return s.String()
-	}
+	return core.SchemeWire(s)
 }

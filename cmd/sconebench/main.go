@@ -4,14 +4,14 @@
 // worker parallelism × dispatch batch sizes over one campaign, proves every
 // cell computes bit-identical tallies, and selects the fastest
 // configuration; the per-variant and multi-fault rows then run at that
-// configuration. The numbers in BENCH_PR9.json are produced with the obs
+// configuration. The numbers in BENCH_PR10.json are produced with the obs
 // registry enabled, so instrument overhead is part of what is measured.
 //
 // Usage:
 //
 //	sconebench [-runs 16384] [-seed 0x5C09E2021] [-short]
 //	           [-lanes W] [-parallel N] [-batch-runs R]
-//	           [-o BENCH_PR9.json]
+//	           [-o BENCH_PR10.json]
 //
 // The scaling matrix always runs in full. The engine flags, when set
 // explicitly, pin the configuration of the variant and multi-fault rows
@@ -39,8 +39,10 @@ import (
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/leakage"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/power"
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/spn"
@@ -130,7 +132,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	runs := fs.Int("runs", 16384, "simulated encryptions per variant and matrix cell")
 	seed := fs.Uint64("seed", 0x5C09E2021, "campaign seed")
 	short := fs.Bool("short", false, "shrink the suite for CI (2048 runs per variant)")
-	out := fs.String("o", "BENCH_PR9.json", "report path (\"-\" writes the JSON to stdout)")
+	out := fs.String("o", "BENCH_PR10.json", "report path (\"-\" writes the JSON to stdout)")
 	engine := cliflags.RegisterEngine(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -163,6 +165,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	sim.EnableObservability(reg)
 	fault.EnableObservability(reg)
 	plan.EnableObservability(reg)
+	leakage.EnableObservability(reg)
 	evals := reg.NewCounter("scone_sim_evals_total", "simulator eval calls")
 
 	scaling, err := benchScaling(*runs, *seed)
@@ -219,10 +222,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 			time.Duration(mf.ElapsedNS).Round(time.Millisecond))
 	}
 
+	// The leakage rows time the TVLA evaluator over the unmasked and masked
+	// cores; the verdicts double as a correctness pin (the unmasked core
+	// must leak, the masked one must not). The floor keeps the t-test
+	// populated enough for a stable verdict at tiny -runs.
+	pairs := *runs / 8
+	if pairs < 128 {
+		pairs = 128
+	}
+	leaks := make([]leakageReport, 0, 2)
+	for _, scheme := range []core.Scheme{core.SchemeThreeInOne, core.SchemeMaskedDup} {
+		rep, err := benchLeakage(scheme, pairs, *seed)
+		if err != nil {
+			return err
+		}
+		leaks = append(leaks, rep)
+		if *out != "-" {
+			fmt.Fprintf(stdout, "leak %-12s %10.0f traces/s  max|t|=%6.1f leaks=%-5v  (%s)\n",
+				rep.Scheme, rep.TracesPerSec, rep.MaxAbsT, rep.Leaks,
+				time.Duration(rep.ElapsedNS).Round(time.Millisecond))
+		}
+	}
+	if !leaks[0].Leaks || leaks[1].Leaks {
+		return fmt.Errorf("leakage verdicts inverted: %+v", leaks)
+	}
+
 	doc := map[string]any{
 		"bench":      "present80-scaling-suite",
 		"spec":       "present80",
-		"scheme":     "three-in-one",
+		"scheme":     core.SchemeWire(core.SchemeThreeInOne),
 		"runs":       *runs,
 		"seed":       service.U64(*seed),
 		"go":         runtime.Version(),
@@ -236,6 +264,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"scaling":    scaling,
 		"variants":   reports,
 		"multifault": mf,
+		"leakage":    leaks,
 	}
 	if *out == "-" {
 		return service.WriteJSON(stdout, doc)
@@ -276,7 +305,7 @@ func benchCampaign(d *core.Design, runs int, seed uint64, cfg fault.EngineConfig
 func benchScaling(runs int, seed uint64) (scalingReport, error) {
 	d, err := service.BuildDesign(service.DesignSpec{
 		Cipher:  "present80",
-		Scheme:  "three-in-one",
+		Scheme:  core.SchemeWire(core.SchemeThreeInOne),
 		Entropy: "prime",
 	})
 	if err != nil {
@@ -347,7 +376,7 @@ type multiFaultReport struct {
 func benchMultiFault(runs int, seed uint64, cfg fault.EngineConfig) (multiFaultReport, error) {
 	d, err := service.BuildDesign(service.DesignSpec{
 		Cipher:  "present80",
-		Scheme:  "three-in-one",
+		Scheme:  core.SchemeWire(core.SchemeThreeInOne),
 		Entropy: "prime",
 	})
 	if err != nil {
@@ -396,7 +425,7 @@ func benchMultiFault(runs int, seed uint64, cfg fault.EngineConfig) (multiFaultR
 func benchVariant(entropy string, runs int, seed uint64, cfg fault.EngineConfig, evals *obs.Counter) (variantReport, error) {
 	d, err := service.BuildDesign(service.DesignSpec{
 		Cipher:  "present80",
-		Scheme:  "three-in-one",
+		Scheme:  core.SchemeWire(core.SchemeThreeInOne),
 		Entropy: entropy,
 	})
 	if err != nil {
@@ -430,4 +459,56 @@ func benchVariant(entropy string, runs int, seed uint64, cfg fault.EngineConfig,
 		rep.NSPerEval = float64(elapsed.Nanoseconds()) / float64(evalCount)
 	}
 	return rep, nil
+}
+
+// leakageReport is one TVLA evaluator measurement: the fixed-vs-random
+// sweep over one scheme, with the verdict pinned so a perf run doubles as
+// a first-order leakage check.
+type leakageReport struct {
+	Scheme       string  `json:"scheme"`
+	Model        string  `json:"model"`
+	Pairs        int     `json:"pairs"`
+	MaxAbsT      float64 `json:"max_abs_t"`
+	Leaks        bool    `json:"leaks"`
+	ElapsedNS    int64   `json:"elapsed_ns"`
+	TracesPerSec float64 `json:"traces_per_sec"`
+}
+
+// benchLeakage times the trace-collection plus t-test pipeline end to end
+// over the given scheme under the Hamming-distance model.
+func benchLeakage(scheme core.Scheme, pairs int, seed uint64) (leakageReport, error) {
+	d, err := service.BuildDesign(service.DesignSpec{
+		Cipher:  "present80",
+		Scheme:  core.SchemeWire(scheme),
+		Entropy: "prime",
+	})
+	if err != nil {
+		return leakageReport{}, err
+	}
+	ev, err := leakage.New(leakage.Config{
+		Design:  d,
+		Key:     benchKey,
+		Model:   power.HammingDistance,
+		Pairs:   pairs,
+		Seed:    seed,
+		FixedPT: 0x0123456789ABCDEF,
+	})
+	if err != nil {
+		return leakageReport{}, err
+	}
+	start := time.Now()
+	for !ev.Done() {
+		ev.Step()
+	}
+	elapsed := time.Since(start)
+	res := ev.Result()
+	return leakageReport{
+		Scheme:       core.SchemeWire(scheme),
+		Model:        res.Model,
+		Pairs:        res.Pairs,
+		MaxAbsT:      res.MaxAbsT,
+		Leaks:        res.Leaks,
+		ElapsedNS:    elapsed.Nanoseconds(),
+		TracesPerSec: float64(res.Fixed+res.Random+res.Discarded) / elapsed.Seconds(),
+	}, nil
 }

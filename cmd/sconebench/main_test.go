@@ -14,7 +14,7 @@ import (
 // The suite must produce a parseable report with the scaling matrix, one
 // measurement per entropy variant, and the seed-determined tallies.
 func TestBenchWritesReport(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "BENCH_PR9.json")
+	path := filepath.Join(t.TempDir(), "BENCH_PR10.json")
 	var out, errb bytes.Buffer
 	if err := run([]string{"-runs", "192", "-o", path}, &out, &errb); err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
@@ -51,6 +51,13 @@ func TestBenchWritesReport(t *testing.T) {
 			Evals      int64                  `json:"evals"`
 			NSPerEval  float64                `json:"ns_per_eval"`
 		} `json:"variants"`
+		Leakage []struct {
+			Scheme       string  `json:"scheme"`
+			Pairs        int     `json:"pairs"`
+			MaxAbsT      float64 `json:"max_abs_t"`
+			Leaks        bool    `json:"leaks"`
+			TracesPerSec float64 `json:"traces_per_sec"`
+		} `json:"leakage"`
 	}
 	if err := json.Unmarshal(b, &doc); err != nil {
 		t.Fatalf("report is not valid JSON: %v\n%s", err, b)
@@ -96,6 +103,22 @@ func TestBenchWritesReport(t *testing.T) {
 	if doc.Variants[0].Campaign != doc.Scaling.Campaign {
 		t.Errorf("prime tallies %+v diverge from scaling matrix %+v",
 			doc.Variants[0].Campaign, doc.Scaling.Campaign)
+	}
+
+	// The leakage rows pin the TVLA verdicts: unmasked leaks, masked holds.
+	if len(doc.Leakage) != 2 {
+		t.Fatalf("expected 2 leakage rows, got %d", len(doc.Leakage))
+	}
+	if doc.Leakage[0].Scheme != "three-in-one" || !doc.Leakage[0].Leaks {
+		t.Errorf("unmasked leakage row %+v, want a leaking three-in-one", doc.Leakage[0])
+	}
+	if doc.Leakage[1].Scheme != "masked" || doc.Leakage[1].Leaks {
+		t.Errorf("masked leakage row %+v, want a passing masked core", doc.Leakage[1])
+	}
+	for _, row := range doc.Leakage {
+		if row.Pairs < 128 || row.TracesPerSec <= 0 {
+			t.Errorf("leakage row has empty measurements: %+v", row)
+		}
 	}
 }
 

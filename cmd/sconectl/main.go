@@ -11,6 +11,9 @@
 //	         -sboxes 13 -runs 4096 [-prune] [-max-tuples N] [-stream]
 //	sconectl [-server URL] prove -cipher present80 -scheme three-in-one \
 //	         -entropy prime [-models stuck-at-0,bit-flip] [-budget N] [-stream]
+//	sconectl [-server URL] leakage -cipher present80 -scheme masked \
+//	         -pairs 2048 [-power-model hd|hw] [-fixed-pt 0x...] \
+//	         [-fault -sbox 13 -bit 2 -model stuck-at-0] [-stream]
 //	sconectl plan -cipher present80 -scheme three-in-one -mode kfault \
 //	         -k 2 [-sboxes 13,14] [-max-tuples N]
 //	sconectl [-server URL] get j000000
@@ -60,7 +63,7 @@ func main() {
 
 func usage(stderr io.Writer, fs *flag.FlagSet) func() {
 	return func() {
-		fmt.Fprintln(stderr, "usage: sconectl [-server URL] <submit|prove|plan|get|list|cancel|watch|results|runs|metrics|workers|leases|top> [flags]")
+		fmt.Fprintln(stderr, "usage: sconectl [-server URL] <submit|prove|leakage|plan|get|list|cancel|watch|results|runs|metrics|workers|leases|top> [flags]")
 		fs.PrintDefaults()
 	}
 }
@@ -84,6 +87,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return cmdSubmit(ctx, c, rest, stdout, stderr)
 	case "prove":
 		return cmdProve(ctx, c, rest, stdout, stderr)
+	case "leakage":
+		return cmdLeakage(ctx, c, rest, stdout, stderr)
 	case "plan":
 		return cmdPlan(rest, stdout, stderr)
 	case "get":
@@ -341,10 +346,77 @@ func cmdProve(ctx context.Context, c *client.Client, args []string, stdout, stde
 	return nil
 }
 
+// cmdLeakage submits a leakage job: the daemon runs a fixed-vs-random
+// TVLA evaluation of the design, checkpointing after every trace batch.
+// Progress events land at pair granularity, and a daemon killed
+// mid-evaluation resumes by simulating exactly the remaining batches —
+// the final t-statistics are bit-identical to an uninterrupted run.
+func cmdLeakage(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sconectl leakage", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	design := cliflags.RegisterDesign(fs)
+	pairs := fs.Int("pairs", 2048, "fixed/random trace pairs to collect")
+	seed := fs.String("seed", "0x5C09E2021", "evaluation seed")
+	key := fs.String("key", "0x0123456789ABCDEF,0x8421", "cipher key as two comma-separated 64-bit words")
+	powerModel := fs.String("power-model", "hd", "power model: hd (Hamming distance), hw (Hamming weight)")
+	fixedPT := fs.String("fixed-pt", "0x0123456789ABCDEF", "the fixed class's plaintext")
+	withFault := fs.Bool("fault", false, "inject a fault into every run and keep only SIFA-usable traces")
+	sbox := fs.Int("sbox", 13, "faulted S-box index (with -fault)")
+	bit := fs.Int("bit", 2, "faulted S-box input bit (with -fault)")
+	model := fs.String("model", "stuck-at-0", "fault model (with -fault): stuck-at-0, stuck-at-1, bit-flip")
+	branch := fs.String("branch", "actual", "faulted branch (with -fault): actual, redundant")
+	stream := fs.Bool("stream", false, "follow the job's NDJSON progress stream until it finishes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	seedV, err := service.ParseU64(*seed)
+	if err != nil {
+		return err
+	}
+	keyV, err := parseKey(*key)
+	if err != nil {
+		return err
+	}
+	ptV, err := service.ParseU64(*fixedPT)
+	if err != nil {
+		return err
+	}
+	req := service.JobRequest{
+		Kind:   service.KindLeakage,
+		Design: design.DesignSpec(),
+		Leakage: &service.LeakageSpec{
+			Pairs:   *pairs,
+			Seed:    seedV,
+			Key:     keyV,
+			Model:   *powerModel,
+			FixedPT: ptV,
+		},
+	}
+	if *withFault {
+		req.Leakage.Faults = []service.FaultSpec{{
+			Branch: *branch, Sbox: *sbox, Bit: *bit, Model: *model,
+		}}
+	}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return err
+	}
+	if err := service.WriteJSON(stdout, st); err != nil {
+		return err
+	}
+	if *stream {
+		return streamJob(ctx, c, st.ID, stdout)
+	}
+	return nil
+}
+
 func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sconectl submit", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	kind := fs.String("kind", "campaign", "job kind: campaign, multifault, dfa, sifa, fta, area, lint, prove")
+	kind := fs.String("kind", "campaign", "job kind: campaign, multifault, dfa, sifa, fta, area, lint, prove, leakage")
 	design := cliflags.RegisterDesign(fs)
 	engine := cliflags.RegisterEngine(fs)
 	netlistPath := fs.String("netlist", "", "netlist file to upload (area/lint jobs)")
@@ -360,6 +432,10 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, std
 	sboxes := fs.String("sboxes", "", "multifault: comma-separated S-box indices (kfault: site columns; persistent: table entries)")
 	prune := fs.Bool("prune", false, "multifault kfault: skip tuples containing an empirically inert site")
 	maxTuples := fs.Int("max-tuples", 0, "multifault: truncate the plan after this many placements (0 = no cap)")
+	pairs := fs.Int("pairs", 2048, "leakage: fixed/random trace pairs")
+	powerModel := fs.String("power-model", "hd", "leakage: power model, hd or hw")
+	fixedPT := fs.String("fixed-pt", "0x0123456789ABCDEF", "leakage: the fixed class's plaintext")
+	withFault := fs.Bool("fault", false, "leakage: inject the -branch/-sbox/-bit/-model fault and keep only SIFA-usable traces")
 	stream := fs.Bool("stream", false, "follow the job's NDJSON progress stream until it finishes")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -420,6 +496,23 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string, stdout, std
 		}
 	case service.KindDFA, service.KindSIFA, service.KindFTA:
 		req.Attack = &service.AttackSpec{Key: keyV, Seed: seedV, Sbox: sbox, Bit: bit, Model: ""}
+	case service.KindLeakage:
+		ptV, err := service.ParseU64(*fixedPT)
+		if err != nil {
+			return err
+		}
+		req.Leakage = &service.LeakageSpec{
+			Pairs:   *pairs,
+			Seed:    seedV,
+			Key:     keyV,
+			Model:   *powerModel,
+			FixedPT: ptV,
+		}
+		if *withFault {
+			req.Leakage.Faults = []service.FaultSpec{{
+				Branch: *branch, Sbox: *sbox, Bit: *bit, Model: *model,
+			}}
+		}
 	case service.KindArea, service.KindLint, service.KindProve:
 		// Design-only kinds; `sconectl prove` exposes the prove knobs.
 	default:

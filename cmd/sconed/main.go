@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/leakage"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/prove"
@@ -122,6 +123,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fault.EnableObservability(reg)
 	prove.EnableObservability(reg)
 	plan.EnableObservability(reg)
+	leakage.EnableObservability(reg)
 
 	svc, err := service.New(service.Config{
 		Workers:             *workers,

@@ -53,7 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sconelint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	cipher := fs.String("cipher", "present80", "cipher to synthesise when no files are given: present80 or gift64")
-	scheme := fs.String("scheme", "three-in-one", "unprotected, naive, acisp, three-in-one")
+	scheme := fs.String("scheme", "three-in-one", "countermeasure scheme: "+core.SchemeVocabulary())
 	entropy := fs.String("entropy", "prime", "prime, per-round, per-sbox")
 	engine := fs.String("engine", "anf", "S-box synthesis engine: anf or bdd")
 	rules := fs.String("rules", "", "comma-separated rule IDs or categories to run (default: all)")
@@ -148,18 +148,11 @@ func buildModule(cipher, scheme, entropy, engine string) (*netlist.Module, error
 	}
 
 	var opts core.Options
-	switch scheme {
-	case "unprotected":
-		opts.Scheme = core.SchemeUnprotected
-	case "naive":
-		opts.Scheme = core.SchemeNaiveDup
-	case "acisp":
-		opts.Scheme = core.SchemeACISP
-	case "three-in-one":
-		opts.Scheme = core.SchemeThreeInOne
-	default:
-		return nil, fmt.Errorf("unknown scheme %q", scheme)
+	sch, err := core.ParseScheme(scheme)
+	if err != nil {
+		return nil, err
 	}
+	opts.Scheme = sch
 	switch entropy {
 	case "prime":
 		opts.Entropy = core.EntropyPrime

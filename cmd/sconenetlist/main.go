@@ -35,7 +35,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sconenetlist", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	cipher := fs.String("cipher", "present80", "cipher: present80 or gift64")
-	scheme := fs.String("scheme", "three-in-one", "unprotected, naive, acisp, three-in-one")
+	scheme := fs.String("scheme", "three-in-one", "countermeasure scheme: "+core.SchemeVocabulary())
 	entropy := fs.String("entropy", "prime", "prime, per-round, per-sbox")
 	engine := fs.String("engine", "anf", "S-box synthesis engine: anf or bdd")
 	optimize := fs.Bool("optimize", false, "run the synthesis optimiser")
@@ -56,18 +56,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	opts := core.Options{Optimize: *optimize, SeparateSbox: *separate}
-	switch *scheme {
-	case "unprotected":
-		opts.Scheme = core.SchemeUnprotected
-	case "naive":
-		opts.Scheme = core.SchemeNaiveDup
-	case "acisp":
-		opts.Scheme = core.SchemeACISP
-	case "three-in-one":
-		opts.Scheme = core.SchemeThreeInOne
-	default:
-		return fmt.Errorf("unknown scheme %q", *scheme)
+	sch, err := core.ParseScheme(*scheme)
+	if err != nil {
+		return err
 	}
+	opts.Scheme = sch
 	switch *entropy {
 	case "prime":
 		opts.Entropy = core.EntropyPrime

@@ -37,7 +37,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sconetrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	scheme := fs.String("scheme", "three-in-one", "unprotected, naive, acisp, three-in-one")
+	scheme := fs.String("scheme", "three-in-one", "countermeasure scheme: "+core.SchemeVocabulary())
 	doFault := fs.Bool("fault", false, "inject a stuck-at-0 during the last round")
 	sbox := fs.Int("sbox", 13, "targeted S-box index")
 	bit := fs.Int("bit", 2, "targeted S-box input bit")
@@ -47,18 +47,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	var sch core.Scheme
-	switch *scheme {
-	case "unprotected":
-		sch = core.SchemeUnprotected
-	case "naive":
-		sch = core.SchemeNaiveDup
-	case "acisp":
-		sch = core.SchemeACISP
-	case "three-in-one":
-		sch = core.SchemeThreeInOne
-	default:
-		return fmt.Errorf("unknown scheme %q", *scheme)
+	sch, err := core.ParseScheme(*scheme)
+	if err != nil {
+		return err
 	}
 
 	d := core.MustBuild(present.Spec(), core.Options{

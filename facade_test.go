@@ -20,13 +20,14 @@ var facadeSymbols = []string{
 	"Scheme", "Entropy", "Options", "Design", "Runner", "LambdaFunc",
 	"Branch", "SoftwareCM",
 	"SchemeUnprotected", "SchemeNaiveDup", "SchemeACISP", "SchemeThreeInOne",
-	"SchemeCorrect",
+	"SchemeCorrect", "SchemeMaskedDup",
+	"SchemeInfo", "Schemes", "ParseScheme", "SchemeWire",
 	"EntropyPrime", "EntropyPerRound", "EntropyPerSbox",
 	"BranchActual", "BranchRedundant", "BranchRedundant2",
 	"EngineANF", "EngineBDD",
 	"Build", "MustBuild", "NewRunner", "LambdaConst",
 	// Simulation layer.
-	"BatchLanes", "SimLanes", "EngineConfig", "DefaultEngineConfig",
+	"BatchLanes", "EngineConfig", "DefaultEngineConfig",
 	// Fault-injection layer.
 	"Model", "Fault", "Campaign", "CampaignResult", "Run", "Net", "Injector",
 	"StuckAt0", "StuckAt1", "BitFlip", "PersistentFault",
@@ -44,10 +45,11 @@ var facadeSymbols = []string{
 	"ServiceConfig", "Service", "JobRequest", "JobStatus", "JobKind",
 	"JobState", "JobEvent",
 	"JobCampaign", "JobDFA", "JobSIFA", "JobFTA", "JobArea", "JobLint",
-	"JobProve", "JobMultiFault",
+	"JobProve", "JobMultiFault", "JobLeakage",
 	"DesignSpec", "MultiFaultSpec", "MultiFaultResult", "TupleResult", "U64",
+	"LeakageSpec", "LeakageResult",
 	"JobQueued", "JobRunning", "JobDone", "JobFailed", "JobCanceled",
-	"NewService", "MultiFault",
+	"NewService", "MultiFault", "Leakage",
 	// Distributed execution layer.
 	"DistConfig", "WorkerState", "LeaseState", "WorkerInfo", "LeaseInfo",
 	"LeaseGrant", "CampaignWorker", "CampaignWorkerConfig",
@@ -165,6 +167,30 @@ func TestFacadeMultiFault(t *testing.T) {
 	}
 	if res.Planned != 3 || res.Executed != 3 || !res.Truncated || res.Totals.Total != 3*128 {
 		t.Fatalf("sweep result %+v", res)
+	}
+}
+
+// The in-process TVLA evaluation: collects traces, scores the t-test and
+// returns the verdict, with nil-context rejection up front.
+func TestFacadeLeakage(t *testing.T) {
+	//lint:ignore SA1012 nil-context rejection is exactly what is under test
+	if _, err := Leakage(nil, DesignSpec{}, LeakageSpec{}); err == nil {
+		t.Error("nil context accepted")
+	}
+	res, err := Leakage(context.Background(),
+		DesignSpec{Cipher: "present80", Scheme: "three-in-one", Entropy: "prime"},
+		LeakageSpec{
+			Pairs: 192, Seed: 0x17, Key: [2]U64{0x0123456789ABCDEF, 0x8421},
+			FixedPT: 0x0123456789ABCDEF,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fixed != 192 || res.Random != 192 || res.Discarded != 0 {
+		t.Fatalf("trace counts %+v", res)
+	}
+	if !res.Leaks {
+		t.Fatalf("unmasked three-in-one passed TVLA (max |t| = %.1f)", res.MaxAbsT)
 	}
 }
 

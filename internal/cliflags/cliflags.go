@@ -39,15 +39,15 @@ type Design struct {
 //
 //	-spec     cipher spec (present80, gift64, scone64); -cipher is a
 //	          legacy alias bound to the same value
-//	-scheme   countermeasure scheme (unprotected, naive, acisp,
-//	          three-in-one, correct)
+//	-scheme   countermeasure scheme (core.SchemeVocabulary: unprotected,
+//	          naive, acisp, three-in-one, correct, masked)
 //	-entropy  entropy variant (prime, per-round, per-sbox)
 //	-engine   S-box synthesis engine (anf, bdd)
 func RegisterDesign(fs *flag.FlagSet) *Design {
 	d := &Design{}
 	fs.StringVar(&d.Spec, "spec", DefaultSpec, "cipher spec: present80, gift64, scone64")
 	fs.StringVar(&d.Spec, "cipher", DefaultSpec, "alias for -spec")
-	fs.StringVar(&d.Scheme, "scheme", DefaultScheme, "countermeasure scheme: unprotected, naive, acisp, three-in-one, correct")
+	fs.StringVar(&d.Scheme, "scheme", DefaultScheme, "countermeasure scheme: "+core.SchemeVocabulary())
 	fs.StringVar(&d.Entropy, "entropy", DefaultEntropy, "entropy variant: prime, per-round, per-sbox")
 	fs.StringVar(&d.Engine, "engine", DefaultEngine, "S-box synthesis engine: anf, bdd")
 	return d

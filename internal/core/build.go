@@ -47,6 +47,12 @@ type Design struct {
 	// scheme is not randomised).
 	LambdaWidth int
 
+	// MaskPoolWidth is the width of each mask_rand_* refresh-pool input
+	// port of a masked design — one bit per distinct merged-table ANF
+	// monomial gadget of the shared masked S-box (0 when the scheme is
+	// not masked).
+	MaskPoolWidth int
+
 	// sboxIn[b][s] is the encoded bus feeding S-box s of branch b.
 	sboxIn [3][]netlist.Bus
 	// stateReg[b] is the state register Q bus of branch b.
@@ -187,6 +193,11 @@ func Build(spec *spn.Spec, opts Options) (*Design, error) {
 	if spec.KeySchedNet == nil {
 		return nil, fmt.Errorf("core: spec %s has no netlist key schedule", spec.Name)
 	}
+	if opts.Scheme.Masked() {
+		if err := validateMaskedOptions(spec, opts); err != nil {
+			return nil, err
+		}
+	}
 
 	d := &Design{
 		Spec:        spec,
@@ -230,6 +241,29 @@ func Build(spec *spn.Spec, opts Options) (*Design, error) {
 		garbage = m.AddInput(PortGarbage, spec.BlockBits)
 	}
 
+	// Masked scheme: plan the shared DOM S-box once, then declare the
+	// mask ports (two parity-alternating sets plus the λ-share mask).
+	var mp *maskedPorts
+	var msb *netlist.Module
+	if opts.Scheme.Masked() {
+		plan := planMaskedSbox(synth.FromSbox(spec.Sbox, spec.SboxBits).Merged())
+		if len(plan.gadgets) > 64 {
+			return nil, fmt.Errorf("core: scheme %s needs a %d-bit refresh pool; ports are capped at 64 bits",
+				opts.Scheme, len(plan.gadgets))
+		}
+		d.MaskPoolWidth = len(plan.gadgets)
+		msb = buildMaskedSboxModule(fmt.Sprintf("sbox%db_masked_dom", spec.SboxBits), plan)
+		mp = &maskedPorts{
+			stateEven: m.AddInput(PortMaskStateEven, spec.BlockBits),
+			stateOdd:  m.AddInput(PortMaskStateOdd, spec.BlockBits),
+		}
+		if d.MaskPoolWidth > 0 {
+			mp.randEven = m.AddInput(PortMaskRandEven, d.MaskPoolWidth)
+			mp.randOdd = m.AddInput(PortMaskRandOdd, d.MaskPoolWidth)
+		}
+		mp.lamMask = m.AddInput(PortMaskLambda, 1)[0]
+	}
+
 	// Branch λ assignment: the paper's first amendment fixes the
 	// redundant branch to the complement of the actual branch's λ. The
 	// correcting scheme keeps that λ-diversity between its first two
@@ -237,14 +271,24 @@ func Build(spec *spn.Spec, opts Options) (*Design, error) {
 	lamA := lam
 	var lamB netlist.Bus
 	switch opts.Scheme {
-	case SchemeThreeInOne, SchemeCorrect:
+	case SchemeThreeInOne, SchemeCorrect, SchemeMaskedDup:
 		lamB = m.NotBus(lam)
 	case SchemeACISP:
 		lamB = lam
 	}
 
+	// branchCT builds one computation with the scheme's datapath flavour;
+	// everything around the branches (compare stage, ports, tags) is
+	// shared between the masked and unmasked constructions.
+	branchCT := func(b Branch, lamBr netlist.Bus) netlist.Bus {
+		if opts.Scheme.Masked() {
+			return d.buildMaskedBranch(m, b, sm, msb, pt, key, load, lamBr[0], mp)
+		}
+		return d.buildBranch(m, b, sm, pt, key, load, lamBr)
+	}
+
 	d.branchCells[0][0] = len(m.Cells)
-	ctA := d.buildBranch(m, BranchActual, sm, pt, key, load, lamA)
+	ctA := branchCT(BranchActual, lamA)
 	d.branchCells[0][1] = len(m.Cells)
 
 	var ct netlist.Bus
@@ -255,7 +299,7 @@ func Build(spec *spn.Spec, opts Options) (*Design, error) {
 		// into the actual branch.
 		mark := len(m.Cells)
 		d.branchCells[1][0] = mark
-		ctB := d.buildBranch(m, BranchRedundant, sm, pt, key, load, lamB)
+		ctB := branchCT(BranchRedundant, lamB)
 		d.branchCells[1][1] = len(m.Cells)
 		for ci := mark; ci < len(m.Cells); ci++ {
 			m.Cells[ci].Keep = true
@@ -263,7 +307,7 @@ func Build(spec *spn.Spec, opts Options) (*Design, error) {
 		if opts.Scheme.Correcting() {
 			mark = len(m.Cells)
 			d.branchCells[2][0] = mark
-			ctC := d.buildBranch(m, BranchRedundant2, sm, pt, key, load, lamA)
+			ctC := branchCT(BranchRedundant2, lamA)
 			d.branchCells[2][1] = len(m.Cells)
 			for ci := mark; ci < len(m.Cells); ci++ {
 				m.Cells[ci].Keep = true

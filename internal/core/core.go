@@ -45,6 +45,16 @@ const (
 	// ciphertext. The fault output reports any disagreement, so detection
 	// telemetry survives alongside correction.
 	SchemeCorrect
+	// SchemeMaskedDup is the three-in-one countermeasure over a
+	// first-order Boolean-masked datapath: state and λ travel as share
+	// pairs (share 1 is a per-encryption mask re-established every round,
+	// so it never needs a register), S-boxes are domain-oriented-masking
+	// AND/XOR gadget networks over the merged table, and the shares are
+	// recombined only behind a last-cycle gate at the detect/output
+	// boundary. Fault-detection behaviour is identical to three-in-one;
+	// the masking removes the first-order power leakage the leakage job
+	// kind measures.
+	SchemeMaskedDup
 )
 
 // String names the scheme as used in reports.
@@ -60,6 +70,8 @@ func (s Scheme) String() string {
 		return "three-in-one"
 	case SchemeCorrect:
 		return "correct-majority"
+	case SchemeMaskedDup:
+		return "masked-dup"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
@@ -70,12 +82,16 @@ func (s Scheme) Duplicated() bool { return s != SchemeUnprotected }
 
 // Randomized reports whether the scheme consumes encoding randomness λ.
 func (s Scheme) Randomized() bool {
-	return s == SchemeACISP || s == SchemeThreeInOne || s == SchemeCorrect
+	return s == SchemeACISP || s == SchemeThreeInOne || s == SchemeCorrect || s == SchemeMaskedDup
 }
 
 // Correcting reports whether the scheme recovers from detected faults by
 // majority voting instead of releasing garbage.
 func (s Scheme) Correcting() bool { return s == SchemeCorrect }
+
+// Masked reports whether the scheme carries the datapath as first-order
+// Boolean share pairs and consumes the mask_* ports.
+func (s Scheme) Masked() bool { return s == SchemeMaskedDup }
 
 // Entropy selects how much randomness the countermeasure consumes, the
 // paper's three variations (Section III, "Additional Features", second

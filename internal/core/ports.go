@@ -20,6 +20,26 @@ const (
 	// PortGarbage is the infective-output garbage input of the duplicated
 	// schemes.
 	PortGarbage = "garbage"
+	// PortMaskStateEven / PortMaskStateOdd are the per-encryption state
+	// mask inputs of the masked scheme. The datapath alternates between
+	// the two sets by round parity, so the mask of every register and
+	// every gadget changes between consecutive cycles — the property that
+	// keeps Hamming-distance leakage first-order flat without a mask
+	// register or per-cycle randomness.
+	PortMaskStateEven = "mask_state_even"
+	PortMaskStateOdd  = "mask_state_odd"
+	// PortMaskRandEven / PortMaskRandOdd are the parity-alternating
+	// refresh pools feeding the masked S-box AND gadgets (one bit per
+	// distinct ANF monomial of the merged table).
+	PortMaskRandEven = "mask_rand_even"
+	PortMaskRandOdd  = "mask_rand_odd"
+	// PortMaskLambda is the 1-bit mask of the λ share pair; the lambda
+	// port of a masked design carries λ ⊕ mask_lambda.
+	PortMaskLambda = "mask_lambda"
+	// PortMaskPrefix is the common prefix of every mask input port;
+	// analyses that class inputs (the prover, the linter) treat all
+	// mask_* ports as uniform randomness.
+	PortMaskPrefix = "mask_"
 	// PortCT is the ciphertext output port.
 	PortCT = "ct"
 	// PortFault is the 1-bit error-flag output driven by the comparator.

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SchemeInfo is one row of the scheme registry: the single source of truth
+// for a scheme's wire vocabulary and capability flags. Every surface that
+// used to switch on scheme strings (CLI flags, the service wire schema,
+// the linter driver, the facade) resolves through this table instead, so
+// adding a scheme is one registration here plus its builder.
+type SchemeInfo struct {
+	Scheme Scheme
+	// Name is the display name (Scheme.String()), used in reports and
+	// module names.
+	Name string
+	// Wire is the canonical token of the shared CLI/wire vocabulary
+	// (-scheme flags, DesignSpec.Scheme).
+	Wire string
+	// Aliases are additional accepted wire tokens (historical long forms).
+	Aliases []string
+	// Default marks the scheme an empty wire token resolves to.
+	Default bool
+
+	// Capability flags. Duplicated schemes carry a redundant computation
+	// (and, unless they correct, a garbage port); schemes that use
+	// randomness consume λ encoding bits; correcting schemes release a
+	// majority vote instead of garbage; masked schemes additionally carry
+	// the state as first-order Boolean share pairs and consume mask ports.
+	Duplicated     bool
+	UsesRandomness bool
+	Corrects       bool
+	Masked         bool
+
+	// Help is a one-line description for CLI usage text.
+	Help string
+}
+
+// schemeTable lists every scheme in capability order. The capability flags
+// are derived from the Scheme methods at init so the registry can never
+// disagree with them (the sync test asserts the rest of the vocabulary).
+var schemeTable = []SchemeInfo{
+	{Scheme: SchemeUnprotected, Wire: "unprotected",
+		Help: "bare cipher core, no countermeasure"},
+	{Scheme: SchemeNaiveDup, Wire: "naive", Aliases: []string{"naive-duplication"},
+		Help: "duplicate-and-compare without randomisation"},
+	{Scheme: SchemeACISP, Wire: "acisp", Aliases: []string{"acisp20-randomized-dup"},
+		Help: "ACISP'20 randomised duplication (shared λ)"},
+	{Scheme: SchemeThreeInOne, Wire: "three-in-one", Default: true,
+		Help: "the paper's countermeasure (λ / ¬λ, merged S-boxes)"},
+	{Scheme: SchemeCorrect, Wire: "correct", Aliases: []string{"correct-majority"},
+		Help: "majority-of-three fault correction with λ-diverse branches"},
+	{Scheme: SchemeMaskedDup, Wire: "masked", Aliases: []string{"masked-dup"},
+		Help: "three-in-one with a first-order Boolean-masked datapath"},
+}
+
+func init() {
+	for i := range schemeTable {
+		e := &schemeTable[i]
+		e.Name = e.Scheme.String()
+		e.Duplicated = e.Scheme.Duplicated()
+		e.UsesRandomness = e.Scheme.Randomized()
+		e.Corrects = e.Scheme.Correcting()
+		e.Masked = e.Scheme.Masked()
+	}
+}
+
+// Schemes returns the registry rows in stable (capability) order.
+func Schemes() []SchemeInfo {
+	out := make([]SchemeInfo, len(schemeTable))
+	copy(out, schemeTable)
+	return out
+}
+
+// SchemeOf returns the registry row of one scheme.
+func SchemeOf(s Scheme) (SchemeInfo, bool) {
+	for _, e := range schemeTable {
+		if e.Scheme == s {
+			return e, true
+		}
+	}
+	return SchemeInfo{}, false
+}
+
+// ParseScheme resolves a wire token (canonical, alias, or empty for the
+// default scheme) to its Scheme. The error lists the accepted vocabulary.
+func ParseScheme(token string) (Scheme, error) {
+	for _, e := range schemeTable {
+		if e.Default && token == "" {
+			return e.Scheme, nil
+		}
+		if token == e.Wire {
+			return e.Scheme, nil
+		}
+		for _, a := range e.Aliases {
+			if token == a {
+				return e.Scheme, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want one of %s)", token, SchemeVocabulary())
+}
+
+// SchemeWire returns the canonical wire token of a scheme (its registry
+// Wire field), or the display name for unregistered values.
+func SchemeWire(s Scheme) string {
+	if e, ok := SchemeOf(s); ok {
+		return e.Wire
+	}
+	return s.String()
+}
+
+// SchemeVocabulary renders the canonical wire tokens as a comma-separated
+// list, in registry order — the string CLI help texts embed.
+func SchemeVocabulary() string {
+	toks := make([]string, len(schemeTable))
+	for i, e := range schemeTable {
+		toks[i] = e.Wire
+	}
+	return strings.Join(toks, ", ")
+}

@@ -21,9 +21,33 @@ type EngineRunner[W sim.Word] struct {
 	// probe uses it to sample switching activity.
 	CycleHook func(cycle int)
 
+	// Masks supplies the per-lane mask port values of a masked design,
+	// held constant for every batch until replaced. nil leaves all mask
+	// ports at zero — the masked datapath degenerates to the unmasked
+	// three-in-one values, which the functional tests rely on. Ignored
+	// for unmasked schemes.
+	Masks *MaskSet
+
 	// Reusable read-out buffers for EncryptBatchReuse.
 	ctBuf, faultBuf []uint64
 	faultBits       []bool
+	ptBuf, lamBuf   []uint64
+}
+
+// MaskSet holds one batch worth of per-lane mask draws for a masked design
+// (each slice indexed by lane; each value uses the port's low bits). The
+// runner pre-masks the plaintext with StateOdd — the load cycle writes the
+// registers round 1 reads, and round 1 runs at odd parity — and offsets the
+// lambda port by Lambda, so callers supply the *logical* pt and λ.
+type MaskSet struct {
+	// StateEven / StateOdd are the two parity-alternating state mask sets
+	// (BlockBits wide).
+	StateEven, StateOdd []uint64
+	// RandEven / RandOdd are the parity-alternating S-box refresh pools
+	// (Design.MaskPoolWidth wide; ignored when that width is 0).
+	RandEven, RandOdd []uint64
+	// Lambda is the 1-bit mask of the λ share pair.
+	Lambda []uint64
 }
 
 // Runner is the classic 64-lane runner; all pre-width-configuration call
@@ -104,7 +128,38 @@ func (r *EngineRunner[W]) EncryptBatchReuse(pts []uint64, key spn.KeyState, garb
 	}
 	s.Reset()
 
-	s.SetInput("pt", pts)
+	masked := d.Opts.Scheme.Masked()
+	ptPort := pts
+	if masked {
+		if r.Masks != nil {
+			ms := r.Masks
+			if cap(r.ptBuf) < lanes {
+				r.ptBuf = make([]uint64, lanes)
+				r.lamBuf = make([]uint64, lanes)
+			}
+			ptm := r.ptBuf[:len(pts)]
+			for i := range ptm {
+				ptm[i] = pts[i] ^ ms.StateOdd[i]
+			}
+			ptPort = ptm
+			s.SetInput(PortMaskStateEven, ms.StateEven)
+			s.SetInput(PortMaskStateOdd, ms.StateOdd)
+			if d.MaskPoolWidth > 0 {
+				s.SetInput(PortMaskRandEven, ms.RandEven)
+				s.SetInput(PortMaskRandOdd, ms.RandOdd)
+			}
+			s.SetInput(PortMaskLambda, ms.Lambda)
+		} else {
+			s.SetInputBroadcast(PortMaskStateEven, 0)
+			s.SetInputBroadcast(PortMaskStateOdd, 0)
+			if d.MaskPoolWidth > 0 {
+				s.SetInputBroadcast(PortMaskRandEven, 0)
+				s.SetInputBroadcast(PortMaskRandOdd, 0)
+			}
+			s.SetInputBroadcast(PortMaskLambda, 0)
+		}
+	}
+	s.SetInput("pt", ptPort)
 	keyLo := key[0] & bits.Mask(min(64, d.Spec.KeyBits))
 	s.SetInputBroadcast("key_lo", keyLo)
 	if d.Spec.KeyBits > 64 {
@@ -123,7 +178,17 @@ func (r *EngineRunner[W]) EncryptBatchReuse(pts []uint64, key spn.KeyState, garb
 		if d.LambdaWidth == 0 || lambda == nil {
 			return
 		}
-		s.SetInput("lambda", lambda(c))
+		vals := lambda(c)
+		if masked && r.Masks != nil {
+			// The lambda port of a masked design carries the λ share
+			// λ ⊕ mask_lambda.
+			lb := r.lamBuf[:len(vals)]
+			for i := range lb {
+				lb[i] = vals[i] ^ (r.Masks.Lambda[i] & 1)
+			}
+			vals = lb
+		}
+		s.SetInput("lambda", vals)
 	}
 
 	// Load cycle.

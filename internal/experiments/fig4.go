@@ -62,12 +62,12 @@ func runFig4Panel(cfg Config, d *core.Design) (Fig4Panel, error) {
 	spec := d.Spec
 	net := d.SboxInputNet(core.BranchActual, Fig4SboxIndex, Fig4FaultBit)
 	camp := fault.Campaign{
-		Design:  d,
-		Key:     cfg.Key,
-		Faults:  []fault.Fault{fault.At(net, fault.StuckAt0, d.LastRoundCycle())},
-		Runs:    cfg.runs(),
-		Seed:    cfg.Seed,
-		Workers: cfg.Workers,
+		Design: d,
+		Key:    cfg.Key,
+		Faults: []fault.Fault{fault.At(net, fault.StuckAt0, d.LastRoundCycle())},
+		Runs:   cfg.runs(),
+		Seed:   cfg.Seed,
+		Engine: fault.EngineConfig{Parallelism: cfg.Workers},
 	}
 	hist := stats.NewHistogram(1 << uint(spec.SboxBits))
 	res, err := camp.Execute(func(r fault.Run) {

@@ -68,12 +68,12 @@ func runFig5Panel(cfg Config, d *core.Design) (Fig5Panel, error) {
 		fault.At(d.SboxInputNet(core.BranchRedundant, Fig5SboxIndex, Fig5FaultBit), fault.StuckAt0, cyc),
 	}
 	camp := fault.Campaign{
-		Design:  d,
-		Key:     cfg.Key,
-		Faults:  faults,
-		Runs:    cfg.runs(),
-		Seed:    cfg.Seed,
-		Workers: cfg.Workers,
+		Design: d,
+		Key:    cfg.Key,
+		Faults: faults,
+		Runs:   cfg.runs(),
+		Seed:   cfg.Seed,
+		Engine: fault.EngineConfig{Parallelism: cfg.Workers},
 	}
 	released := stats.NewHistogram(1 << uint(spec.SboxBits))
 	ineffective := stats.NewHistogram(1 << uint(spec.SboxBits))

@@ -15,7 +15,7 @@ func TestExecuteBatchesFuncPerBatchResults(t *testing.T) {
 	d := buildDesign(t, core.SchemeNaiveDup)
 	net := d.SboxInputNet(core.BranchActual, 13, 2)
 	camp := Campaign{
-		Design: d, Key: campKey, Runs: 300, Seed: 9, Workers: 4,
+		Design: d, Key: campKey, Runs: 300, Seed: 9, Engine: EngineConfig{Parallelism: 4},
 		Faults: []Fault{At(net, StuckAt0, d.LastRoundCycle())},
 	}
 	type got struct {

@@ -75,12 +75,6 @@ type Campaign struct {
 	Faults []Fault
 	Runs   int
 	Seed   uint64
-	// Workers sets the goroutine count (default: GOMAXPROCS).
-	//
-	// Deprecated: set Engine.Parallelism, which takes precedence when
-	// non-zero. Workers remains as the fallback so existing callers keep
-	// their behaviour.
-	Workers int
 	// Engine configures the execution engine: lane width, parallelism and
 	// dispatch granularity. The zero value is the legacy configuration
 	// (single-word passes, GOMAXPROCS workers, one lane group per
@@ -231,7 +225,7 @@ func (c *Campaign) ExecuteBatchesFunc(ctx context.Context, first, last int, obse
 	if batches := c.NumBatches(); first < 0 || last > batches || first > last {
 		return Result{}, fmt.Errorf("fault: batch range [%d,%d) outside the campaign's %d batches", first, last, batches)
 	}
-	cfg, err := c.Engine.resolve(c.Workers)
+	cfg, err := c.Engine.resolve()
 	if err != nil {
 		return Result{}, err
 	}

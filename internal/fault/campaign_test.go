@@ -60,7 +60,7 @@ func TestCampaignDeterminism(t *testing.T) {
 	net := d.SboxInputNet(core.BranchActual, 5, 1)
 	run := func(workers int) ([]Run, Result) {
 		camp := Campaign{
-			Design: d, Key: campKey, Runs: 300, Seed: 77, Workers: workers,
+			Design: d, Key: campKey, Runs: 300, Seed: 77, Engine: EngineConfig{Parallelism: workers},
 			Faults: []Fault{At(net, StuckAt0, d.LastRoundCycle())},
 		}
 		var runs []Run
@@ -97,6 +97,52 @@ func TestCampaignObserverSeesEveryRun(t *testing.T) {
 	}
 	if count != 130 || res.Total != 130 {
 		t.Fatalf("observer saw %d runs, result total %d", count, res.Total)
+	}
+}
+
+// The masked duplicated core runs under the campaign engine like any
+// other scheme: clean runs decode to the reference ciphertext through
+// fresh per-run masks, single-branch faults never escape, and outcomes
+// are invariant under the worker count (mask draws are per-batch, not
+// per-goroutine).
+func TestCampaignMaskedDup(t *testing.T) {
+	d := buildDesign(t, core.SchemeMaskedDup)
+
+	clean := Campaign{Design: d, Key: campKey, Runs: 200, Seed: 9}
+	res, err := clean.Execute(func(r Run) {
+		if r.CT != r.RefCT {
+			t.Fatalf("masked clean run decodes wrong: %+v", r)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ineffective() != 200 {
+		t.Fatalf("fault-free masked campaign misclassified: %s", res)
+	}
+
+	net := d.SboxInputNet(core.BranchActual, 13, 2)
+	run := func(workers int) Result {
+		camp := Campaign{
+			Design: d, Key: campKey, Runs: 512, Seed: 10,
+			Engine: EngineConfig{Parallelism: workers},
+			Faults: []Fault{At(net, StuckAt1, d.LastRoundCycle())},
+		}
+		res, err := camp.Execute(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res1 := run(1)
+	if res1.Effective() != 0 {
+		t.Fatalf("single-branch fault escaped the masked core: %s", res1)
+	}
+	if res1.Detected() == 0 {
+		t.Fatalf("stuck-at on the masked core never detected: %s", res1)
+	}
+	if res4 := run(4); res4 != res1 {
+		t.Fatalf("masked campaign differs across worker counts: %v vs %v", res1, res4)
 	}
 }
 

@@ -14,12 +14,12 @@ func contextCampaign(t *testing.T, workers int) *Campaign {
 	d := goldenDesign(t, core.SchemeThreeInOne)
 	net := d.SboxInputNet(core.BranchActual, 13, 2)
 	return &Campaign{
-		Design:  d,
-		Key:     goldenKey,
-		Faults:  []Fault{At(net, StuckAt0, d.LastRoundCycle())},
-		Runs:    700,
-		Seed:    0x5C09E2021,
-		Workers: workers,
+		Design: d,
+		Key:    goldenKey,
+		Faults: []Fault{At(net, StuckAt0, d.LastRoundCycle())},
+		Runs:   700,
+		Seed:   0x5C09E2021,
+		Engine: EngineConfig{Parallelism: workers},
 	}
 }
 

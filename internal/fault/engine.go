@@ -29,8 +29,8 @@ type EngineConfig struct {
 	// 0 means 1; valid widths are 1, 2 and 4.
 	LaneWords int
 	// Parallelism bounds the worker goroutines sharding the batch range
-	// (0 = the deprecated Campaign.Workers, then GOMAXPROCS). Workers
-	// own contiguous shards, so scheduling never reorders results.
+	// (0 = GOMAXPROCS). Workers own contiguous shards, so scheduling
+	// never reorders results.
 	Parallelism int
 	// BatchRuns is the number of runs dispatched to a worker at a time,
 	// rounded up to whole lane groups (LaneWords×64 runs); 0 means one
@@ -78,18 +78,14 @@ type resolvedEngine struct {
 	shardBatches int // 64-run batches per dispatched shard (multiple of laneWords)
 }
 
-// resolve validates the configuration and applies defaults, folding in the
-// deprecated Campaign.Workers field as the parallelism fallback.
-func (c EngineConfig) resolve(legacyWorkers int) (resolvedEngine, error) {
+// resolve validates the configuration and applies defaults.
+func (c EngineConfig) resolve() (resolvedEngine, error) {
 	if err := c.Validate(); err != nil {
 		return resolvedEngine{}, err
 	}
 	r := resolvedEngine{laneWords: c.LaneWords, workers: c.Parallelism}
 	if r.laneWords == 0 {
 		r.laneWords = 1
-	}
-	if r.workers == 0 {
-		r.workers = legacyWorkers
 	}
 	if r.workers <= 0 {
 		r.workers = runtime.GOMAXPROCS(0)
@@ -153,6 +149,11 @@ type wideRunner[W sim.Word] struct {
 	lambda0   []uint64
 	lamCycles [][]uint64
 	lamFilled []bool
+	// masks backs the masked schemes' per-lane mask port draws. The draws
+	// are appended AFTER the unmasked stream (pt/garbage interleaved, then
+	// λ), so unmasked schemes' draw streams — and therefore every stored
+	// campaign digest — are unchanged by the masked variant's existence.
+	masks *core.MaskSet
 }
 
 func newWideRunner[W sim.Word](c *Campaign, simD *core.Design, compiled *sim.Compiled, inj *Injector) *wideRunner[W] {
@@ -175,6 +176,17 @@ func newWideRunner[W sim.Word](c *Campaign, simD *core.Design, compiled *sim.Com
 			wr.lamCycles[i] = back[i*lanes : (i+1)*lanes]
 		}
 		wr.lamFilled = make([]bool, cycles)
+	}
+	if c.Design.Opts.Scheme.Masked() {
+		wr.masks = &core.MaskSet{
+			StateEven: make([]uint64, lanes),
+			StateOdd:  make([]uint64, lanes),
+			Lambda:    make([]uint64, lanes),
+		}
+		if c.Design.MaskPoolWidth > 0 {
+			wr.masks.RandEven = make([]uint64, lanes)
+			wr.masks.RandOdd = make([]uint64, lanes)
+		}
 	}
 	return wr
 }
@@ -240,6 +252,30 @@ func (wr *wideRunner[W]) runGroup(first, g int, outs []batchOut, retain bool) {
 			}
 			lambda0 = lf(0)
 		}
+	}
+
+	if wr.masks != nil {
+		// Masked schemes extend each batch's draw stream with the mask
+		// port values, per lane in fixed order: state-even, state-odd,
+		// refresh-pool-even, refresh-pool-odd, λ-mask. Masked implies
+		// EntropyPrime, so the eager λ draw above has already consumed its
+		// part of the stream.
+		ms := wr.masks
+		for j := 0; j < g; j++ {
+			base := j * sim.Lanes
+			n := c.BatchRuns(first + j)
+			gen := wr.gens[j]
+			for i := 0; i < n; i++ {
+				ms.StateEven[base+i] = gen.Bits(d.Spec.BlockBits)
+				ms.StateOdd[base+i] = gen.Bits(d.Spec.BlockBits)
+				if d.MaskPoolWidth > 0 {
+					ms.RandEven[base+i] = gen.Bits(d.MaskPoolWidth)
+					ms.RandOdd[base+i] = gen.Bits(d.MaskPoolWidth)
+				}
+				ms.Lambda[base+i] = gen.Bits(1)
+			}
+		}
+		wr.r.Masks = ms
 	}
 
 	res := wr.r.EncryptBatchReuse(wr.pts[:total], c.Key, wr.garbage[:total], lf)

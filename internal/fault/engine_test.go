@@ -50,7 +50,7 @@ func TestEngineConfigLanes(t *testing.T) {
 }
 
 func TestEngineConfigResolveDefaults(t *testing.T) {
-	r, err := EngineConfig{}.resolve(0)
+	r, err := EngineConfig{}.resolve()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,17 +64,8 @@ func TestEngineConfigResolveDefaults(t *testing.T) {
 		t.Errorf("shardBatches = %d, want 1", r.shardBatches)
 	}
 
-	// The deprecated Campaign.Workers field is the parallelism fallback.
-	r, err = EngineConfig{}.resolve(3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if r.workers != 3 {
-		t.Errorf("workers = %d, want legacy fallback 3", r.workers)
-	}
-
-	// Explicit parallelism beats the legacy field.
-	r, err = EngineConfig{Parallelism: 5}.resolve(3)
+	// Explicit parallelism is honoured.
+	r, err = EngineConfig{Parallelism: 5}.resolve()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +74,7 @@ func TestEngineConfigResolveDefaults(t *testing.T) {
 	}
 
 	// BatchRuns rounds up to whole lane groups.
-	r, err = EngineConfig{LaneWords: 4, BatchRuns: 300}.resolve(1)
+	r, err = EngineConfig{LaneWords: 4, BatchRuns: 300}.resolve()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +82,7 @@ func TestEngineConfigResolveDefaults(t *testing.T) {
 		t.Errorf("shardBatches = %d, want 8 (300 runs -> 2 groups of 4 batches)", r.shardBatches)
 	}
 
-	if _, err := (EngineConfig{LaneWords: 3}).resolve(0); err == nil {
+	if _, err := (EngineConfig{LaneWords: 3}).resolve(); err == nil {
 		t.Error("resolve accepted lane width 3")
 	}
 }

@@ -71,12 +71,12 @@ func TestGoldenCampaignResults(t *testing.T) {
 			d := goldenDesign(t, tc.scheme)
 			net := d.SboxInputNet(core.BranchActual, 13, 2)
 			camp := Campaign{
-				Design:  d,
-				Key:     goldenKey,
-				Faults:  []Fault{At(net, StuckAt0, d.LastRoundCycle())},
-				Runs:    1000,
-				Seed:    0x5C09E2021,
-				Workers: 3,
+				Design: d,
+				Key:    goldenKey,
+				Faults: []Fault{At(net, StuckAt0, d.LastRoundCycle())},
+				Runs:   1000,
+				Seed:   0x5C09E2021,
+				Engine: EngineConfig{Parallelism: 3},
 			}
 			res, digest := hashRuns(t, &camp)
 			if res.Total != 1000 {
@@ -102,12 +102,12 @@ func TestCampaignWorkerCountInvariance(t *testing.T) {
 	var refDigest uint64
 	for i, workers := range []int{1, 2, 5, 16} {
 		camp := Campaign{
-			Design:  d,
-			Key:     goldenKey,
-			Faults:  []Fault{At(net, BitFlip, d.LastRoundCycle())},
-			Runs:    700,
-			Seed:    99,
-			Workers: workers,
+			Design: d,
+			Key:    goldenKey,
+			Faults: []Fault{At(net, BitFlip, d.LastRoundCycle())},
+			Runs:   700,
+			Seed:   99,
+			Engine: EngineConfig{Parallelism: workers},
 		}
 		res, digest := hashRuns(t, &camp)
 		if i == 0 {

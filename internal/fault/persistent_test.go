@@ -105,7 +105,7 @@ func TestPersistentFaultDeterministicAcrossWorkers(t *testing.T) {
 	d := buildDesign(t, core.SchemeThreeInOne)
 	run := func(workers int) Result {
 		camp := Campaign{
-			Design: d, Key: campKey, Runs: 300, Seed: 25, Workers: workers,
+			Design: d, Key: campKey, Runs: 300, Seed: 25, Engine: EngineConfig{Parallelism: workers},
 			Persistent: &PersistentFault{Entry: 3, Mask: 0x8},
 		}
 		res, err := camp.Execute(nil)

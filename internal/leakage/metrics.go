@@ -1,0 +1,65 @@
+package leakage
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metrics is the evaluator's instrument set, swapped in atomically by
+// EnableObservability following the fault engine's pattern: one pointer
+// load per batch while observability is disabled.
+type metrics struct {
+	batches   *obs.Counter
+	traces    *obs.Counter
+	discarded *obs.Counter
+	batchNS   *obs.Histogram
+}
+
+var met atomic.Pointer[metrics]
+
+// EnableObservability registers the leakage evaluator's metrics on reg
+// and starts recording into them. Passing nil reverts to the free no-op
+// default.
+func EnableObservability(reg *obs.Registry) {
+	if reg == nil {
+		met.Store(nil)
+		return
+	}
+	met.Store(&metrics{
+		batches: reg.NewCounter("scone_leakage_batches_total",
+			"Leakage evaluation batches simulated"),
+		traces: reg.NewCounter("scone_leakage_traces_total",
+			"Power traces accumulated into t-tests"),
+		discarded: reg.NewCounter("scone_leakage_discarded_total",
+			"Traces discarded by SIFA-style ineffective-run filtering"),
+		batchNS: reg.NewHistogram("scone_leakage_batch_ns",
+			"Wall time of one leakage batch (simulate + probe + accumulate)",
+			obs.ExpBuckets(100_000, 4, 12)),
+	})
+}
+
+// batchSpan times one batch without allocating when disabled.
+type batchSpan struct {
+	m     *metrics
+	start time.Time
+}
+
+func startBatch() batchSpan {
+	m := met.Load()
+	if m == nil {
+		return batchSpan{}
+	}
+	return batchSpan{m: m, start: time.Now()}
+}
+
+func (s batchSpan) end(kept, discarded int) {
+	if s.m == nil {
+		return
+	}
+	s.m.batches.Inc()
+	s.m.traces.Add(int64(kept))
+	s.m.discarded.Add(int64(discarded))
+	s.m.batchNS.Observe(time.Since(s.start).Nanoseconds())
+}

@@ -11,7 +11,8 @@
 // encoding bit λ itself is visible to a power adversary (complemented
 // wires flip the weight of the whole state), so the side-channel
 // protection of λ must come from a dedicated SCA countermeasure layered on
-// top, exactly as the paper (and its ACISP 2020 predecessor) presume.
+// top — either externally, as the paper presumes, or with the masked
+// scheme variant (core.SchemeMaskedDup) the leakage service jobs measure.
 package power
 
 import (
@@ -43,12 +44,29 @@ func (m Model) String() string {
 	return "hamming-weight"
 }
 
-// Probe attaches to a Runner and records one sample per cycle per lane.
-type Probe struct {
-	r     *core.Runner
+// ParseModel resolves a wire token ("hd", "hamming-distance", "hw",
+// "hamming-weight", or "" for the HD default) to its Model.
+func ParseModel(token string) (Model, bool) {
+	switch token {
+	case "", "hd", "hamming-distance":
+		return HammingDistance, true
+	case "hw", "hamming-weight":
+		return HammingWeight, true
+	}
+	return 0, false
+}
+
+// EngineProbe attaches to a width-W EngineRunner and records one sample per
+// cycle per lane. Width is an execution detail: per-lane traces are
+// bit-identical across widths, because each lane's sample only reduces that
+// lane's own net values.
+type EngineProbe[W sim.Word] struct {
+	r     *core.EngineRunner[W]
 	model Model
 	nets  int
-	prev  []uint64
+	lanes int
+	// prev[g*(nets+1)+n] is net n's previous-cycle word of lane group g.
+	prev []uint64
 	// include restricts sampling to a subset of nets (nil = all) — a
 	// localized EM probe rather than a global power measurement.
 	include []bool
@@ -56,26 +74,38 @@ type Probe struct {
 	traces [][]float64
 }
 
-// Attach installs the probe on the runner's cycle hook. Only one probe can
-// be attached to a runner at a time.
+// Probe is the classic 64-lane probe; all pre-width-configuration call
+// sites use this instantiation.
+type Probe = EngineProbe[sim.Word1]
+
+// Attach installs a probe on a classic 64-lane runner's cycle hook. Only
+// one probe can be attached to a runner at a time.
 func Attach(r *core.Runner, model Model) *Probe {
-	p := &Probe{
+	return AttachEngine[sim.Word1](r, model)
+}
+
+// AttachEngine installs a probe on a width-W runner's cycle hook.
+func AttachEngine[W sim.Word](r *core.EngineRunner[W], model Model) *EngineProbe[W] {
+	lanes := r.S.LaneCount()
+	nets := r.D.Mod.NumNets()
+	p := &EngineProbe[W]{
 		r:     r,
 		model: model,
-		nets:  r.D.Mod.NumNets(),
-		prev:  make([]uint64, r.D.Mod.NumNets()+1),
+		nets:  nets,
+		lanes: lanes,
+		prev:  make([]uint64, (lanes/64)*(nets+1)),
 	}
 	r.CycleHook = p.sample
 	return p
 }
 
 // Detach removes the probe from the runner.
-func (p *Probe) Detach() { p.r.CycleHook = nil }
+func (p *EngineProbe[W]) Detach() { p.r.CycleHook = nil }
 
 // Restrict limits the probe to the given nets, modelling a localized EM
 // probe over one part of the die (e.g. one of the two computations).
 // Passing nil restores the global view.
-func (p *Probe) Restrict(nets []netlist.Net) {
+func (p *EngineProbe[W]) Restrict(nets []netlist.Net) {
 	if nets == nil {
 		p.include = nil
 		return
@@ -90,8 +120,8 @@ func (p *Probe) Restrict(nets []netlist.Net) {
 
 // BeginBatch resets the per-batch trace buffers; call before each
 // EncryptBatch whose traces should be captured.
-func (p *Probe) BeginBatch() {
-	p.traces = make([][]float64, sim.Lanes)
+func (p *EngineProbe[W]) BeginBatch() {
+	p.traces = make([][]float64, p.lanes)
 	for i := range p.prev {
 		p.prev[i] = 0
 	}
@@ -99,32 +129,37 @@ func (p *Probe) BeginBatch() {
 
 // Traces returns the recorded traces of the last batch: traces[lane][t] is
 // the leakage sample of that lane at cycle t.
-func (p *Probe) Traces() [][]float64 { return p.traces }
+func (p *EngineProbe[W]) Traces() [][]float64 { return p.traces }
 
 // sample is the cycle hook: it reduces the simulator's net values into one
 // leakage sample per lane.
-func (p *Probe) sample(cycle int) {
-	var perLane [sim.Lanes]float64
+func (p *EngineProbe[W]) sample(cycle int) {
 	s := p.r.S
-	for n := 1; n <= p.nets; n++ {
-		if p.include != nil && !p.include[n] {
-			continue
-		}
-		w := s.NetWord(netlist.Net(n))
-		var contrib uint64
-		if p.model == HammingDistance {
-			contrib = w ^ p.prev[n]
-			p.prev[n] = w
-		} else {
-			contrib = w
-		}
-		for contrib != 0 {
-			lane := mathbits.TrailingZeros64(contrib)
-			perLane[lane]++
-			contrib &= contrib - 1
+	groups := p.lanes / 64
+	perLane := make([]float64, p.lanes)
+	for g := 0; g < groups; g++ {
+		prev := p.prev[g*(p.nets+1) : (g+1)*(p.nets+1)]
+		base := g * 64
+		for n := 1; n <= p.nets; n++ {
+			if p.include != nil && !p.include[n] {
+				continue
+			}
+			w := s.NetWordGroup(netlist.Net(n), g)
+			var contrib uint64
+			if p.model == HammingDistance {
+				contrib = w ^ prev[n]
+				prev[n] = w
+			} else {
+				contrib = w
+			}
+			for contrib != 0 {
+				lane := mathbits.TrailingZeros64(contrib)
+				perLane[base+lane]++
+				contrib &= contrib - 1
+			}
 		}
 	}
-	for lane := 0; lane < sim.Lanes; lane++ {
+	for lane := 0; lane < p.lanes; lane++ {
 		p.traces[lane] = append(p.traces[lane], perLane[lane])
 	}
 }

@@ -162,10 +162,10 @@ func (a *Analyzer) computeVarOrder() {
 
 // computePartition classifies every BDD variable by the input port its net
 // belongs to: key material ("key", "key_lo", "key_hi", ...) is ClassKey;
-// the countermeasure's entropy ("lambda", "garbage") is ClassRandom,
-// summed out by the counting; everything else — plaintext, control,
-// register state (eliminated by substitution before any count) — is
-// ClassPublic.
+// the countermeasure's entropy ("lambda", "garbage") and the masked
+// scheme's mask ports ("mask_*") are ClassRandom, summed out by the
+// counting; everything else — plaintext, control, register state
+// (eliminated by substitution before any count) — is ClassPublic.
 func (a *Analyzer) computePartition() {
 	classOf := make([]bdd.Class, len(a.varNet))
 	for i := range a.m.Inputs {
@@ -174,7 +174,9 @@ func (a *Analyzer) computePartition() {
 		switch {
 		case strings.HasPrefix(p.Name, "key"):
 			cls = bdd.ClassKey
-		case strings.HasPrefix(p.Name, core.PortLambda), strings.HasPrefix(p.Name, core.PortGarbage):
+		case strings.HasPrefix(p.Name, core.PortLambda),
+			strings.HasPrefix(p.Name, core.PortGarbage),
+			strings.HasPrefix(p.Name, core.PortMaskPrefix):
 			cls = bdd.ClassRandom
 		default:
 			continue

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // Checkpoint is the durable mid-flight state of a campaign job. Because
@@ -15,13 +17,15 @@ import (
 // (NextBatch, Counts) is sufficient to resume: re-running batches
 // [NextBatch, NumBatches) and adding the counts reproduces an
 // uninterrupted run bit for bit. Prove jobs checkpoint through the Prove
-// field and multifault jobs through the MultiFault field instead; at most
-// one of the three shapes is ever populated.
+// field, multifault jobs through the MultiFault field and leakage jobs
+// through the Leakage field instead; at most one of the four shapes is
+// ever populated.
 type Checkpoint struct {
 	NextBatch  int                   `json:"next_batch"`
 	Counts     CampaignResult        `json:"counts"`
 	Prove      *ProveCheckpoint      `json:"prove,omitempty"`
 	MultiFault *MultiFaultCheckpoint `json:"multifault,omitempty"`
+	Leakage    *LeakageCheckpoint    `json:"leakage,omitempty"`
 }
 
 // ProveCheckpoint is the durable mid-flight state of a prove job. Proofs
@@ -43,6 +47,17 @@ type ProveCheckpoint struct {
 type MultiFaultCheckpoint struct {
 	NextTuple int           `json:"next_tuple"`
 	Done      []TupleResult `json:"done"`
+}
+
+// LeakageCheckpoint is the durable mid-flight state of a leakage job.
+// Trace batch b draws all randomness from (seed, b), so the next batch
+// index plus the streaming t-test accumulator (whose float64 fields
+// round-trip JSON bit-exactly) resume the evaluation bit-identically —
+// the resumed job simulates exactly the remaining batches.
+type LeakageCheckpoint struct {
+	NextBatch int              `json:"next_batch"`
+	Discarded int              `json:"discarded"`
+	TTest     stats.TTestState `json:"ttest"`
 }
 
 // jobRecord is the on-disk form of a job: the full request (jobs are

@@ -9,7 +9,9 @@ import (
 	"repro/internal/cipher/scone64"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/leakage"
 	"repro/internal/netlist"
+	"repro/internal/power"
 	"repro/internal/spn"
 	"repro/internal/synth"
 )
@@ -31,20 +33,11 @@ func ParseDesign(ds DesignSpec) (*spn.Spec, core.Options, error) {
 	}
 
 	var opts core.Options
-	switch ds.Scheme {
-	case "unprotected":
-		opts.Scheme = core.SchemeUnprotected
-	case "naive":
-		opts.Scheme = core.SchemeNaiveDup
-	case "acisp":
-		opts.Scheme = core.SchemeACISP
-	case "", "three-in-one":
-		opts.Scheme = core.SchemeThreeInOne
-	case "correct", "correct-majority":
-		opts.Scheme = core.SchemeCorrect
-	default:
-		return nil, core.Options{}, fmt.Errorf("unknown scheme %q", ds.Scheme)
+	scheme, err := core.ParseScheme(ds.Scheme)
+	if err != nil {
+		return nil, core.Options{}, err
 	}
+	opts.Scheme = scheme
 	switch ds.Entropy {
 	case "", "prime":
 		opts.Entropy = core.EntropyPrime
@@ -161,6 +154,36 @@ func resolveFaults(d *core.Design, specs []FaultSpec) ([]fault.Fault, error) {
 		faults = append(faults, fault.At(net, model, cycle))
 	}
 	return faults, nil
+}
+
+// buildLeakage synthesises the design and assembles the evaluator for a
+// validated leakage request.
+func buildLeakage(req JobRequest) (*leakage.Evaluator, error) {
+	ls := req.Leakage
+	if ls == nil {
+		return nil, fmt.Errorf("leakage job needs a leakage spec")
+	}
+	d, err := BuildDesign(req.Design)
+	if err != nil {
+		return nil, err
+	}
+	model, ok := power.ParseModel(ls.Model)
+	if !ok {
+		return nil, fmt.Errorf("unknown power model %q", ls.Model)
+	}
+	faults, err := resolveFaults(d, ls.Faults)
+	if err != nil {
+		return nil, err
+	}
+	return leakage.New(leakage.Config{
+		Design:  d,
+		Key:     spn.KeyState{uint64(ls.Key[0]), uint64(ls.Key[1])},
+		Model:   model,
+		Pairs:   ls.Pairs,
+		Seed:    uint64(ls.Seed),
+		FixedPT: uint64(ls.FixedPT),
+		Faults:  faults,
+	})
 }
 
 // EngineDefaults carries a host's execution-policy defaults — the values a

@@ -1,0 +1,196 @@
+package service_test
+
+// End-to-end acceptance of the leakage job kind: a daemon drained
+// mid-evaluation must come back as queued with a trace-batch checkpoint,
+// and a restart on the same state directory must finish the job by
+// simulating exactly the remaining batches — with t-statistics
+// bit-identical to an uninterrupted evaluation. The re-simulation count
+// is measured directly: the restarted process carries a fresh registry
+// with the evaluator's instruments attached, so its
+// scone_leakage_batches_total is exactly the number of batches that
+// process simulated itself.
+
+import (
+	"bytes"
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/leakage"
+	"repro/internal/obs"
+	"repro/internal/power"
+	"repro/internal/service"
+	"repro/internal/spn"
+)
+
+// leakageBatchesCounted reads scone_leakage_batches_total out of a
+// registry's Prometheus exposition.
+func leakageBatchesCounted(t *testing.T, reg *obs.Registry) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "scone_leakage_batches_total") {
+			continue
+		}
+		f := strings.Fields(line)
+		n, err := strconv.Atoi(f[len(f)-1])
+		if err != nil {
+			t.Fatalf("bad metric line %q", line)
+		}
+		return n
+	}
+	return 0
+}
+
+func TestE2ELeakageDrainAndResume(t *testing.T) {
+	stateDir := t.TempDir()
+	cfg := service.Config{Workers: 1, StateDir: stateDir}
+	const pairs = 32 * leakage.PairsPerBatch
+	spec := service.LeakageSpec{
+		Pairs:   pairs,
+		Seed:    0x5C09E2021,
+		Key:     [2]service.U64{0x0123456789ABCDEF, 0x8421},
+		Model:   "hd",
+		FixedPT: 0x0123456789ABCDEF,
+	}
+	req := service.JobRequest{
+		Kind:    service.KindLeakage,
+		Design:  service.DesignSpec{Cipher: "present80", Scheme: "masked", Entropy: "prime"},
+		Leakage: &spec,
+	}
+
+	svc1, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the first trace-batch checkpoints, then drain mid-run.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		cur, err := svc1.Get(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State.Terminal() {
+			t.Fatalf("job finished before drain: %s (%s)", cur.State, cur.Error)
+		}
+		if cur.Progress != nil && cur.Progress.Done >= 2*leakage.PairsPerBatch {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no leakage checkpoint observed before deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	if err := svc1.Drain(drainCtx); err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	cancel()
+
+	mid, err := svc1.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.State != service.StateQueued {
+		t.Fatalf("after drain the job is %s, want %s", mid.State, service.StateQueued)
+	}
+	if mid.Progress == nil || mid.Progress.Done == 0 || mid.Progress.Done >= pairs {
+		t.Fatalf("after drain progress = %+v, want partial of %d", mid.Progress, pairs)
+	}
+	batchesAtDrain := mid.Progress.Done / leakage.PairsPerBatch
+
+	// Restart with the evaluator's instruments on a fresh registry: the
+	// batch counter then measures exactly the batches the new process
+	// simulates itself, so "resume completes exactly the remaining
+	// batches" is an equality.
+	reg := obs.NewRegistry()
+	leakage.EnableObservability(reg)
+	defer leakage.EnableObservability(nil)
+	cfg2 := cfg
+	cfg2.Obs = reg
+	svc2, err := service.New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+
+	var final service.JobStatus
+	for time.Now().Before(deadline) {
+		final, err = svc2.Get(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State.Terminal() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if final.State != service.StateDone {
+		t.Fatalf("resumed job finished %s (%s)", final.State, final.Error)
+	}
+	if final.Resumed < 1 {
+		t.Errorf("resumed job has Resumed = %d, want >= 1", final.Resumed)
+	}
+
+	totalBatches := (pairs + leakage.PairsPerBatch - 1) / leakage.PairsPerBatch
+	if got, want := leakageBatchesCounted(t, reg), totalBatches-batchesAtDrain; got != want {
+		t.Errorf("restarted process simulated %d batches, want exactly the %d remaining (%d total - %d checkpointed)",
+			got, want, totalBatches, batchesAtDrain)
+	}
+
+	res := final.Result.Leakage
+	if res == nil {
+		t.Fatal("no leakage result on terminal status")
+	}
+	if res.Fixed != pairs || res.Random != pairs || res.Discarded != 0 {
+		t.Fatalf("trace counts %+v, want %d per class", res, pairs)
+	}
+	if res.Leaks {
+		t.Errorf("masked core failed first-order TVLA (max |t| = %.2f)", res.MaxAbsT)
+	}
+
+	// Bit-identity: the drained-and-resumed job's statistics must equal an
+	// uninterrupted in-process evaluation of the same request.
+	d, err := service.BuildDesign(req.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := leakage.New(leakage.Config{
+		Design:  d,
+		Key:     spn.KeyState{uint64(spec.Key[0]), uint64(spec.Key[1])},
+		Model:   power.HammingDistance,
+		Pairs:   spec.Pairs,
+		Seed:    uint64(spec.Seed),
+		FixedPT: uint64(spec.FixedPT),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !ev.Done() {
+		ev.Step()
+	}
+	want := ev.Result()
+	if res.MaxAbsT != want.MaxAbsT {
+		t.Errorf("resumed max |t| = %v, uninterrupted = %v", res.MaxAbsT, want.MaxAbsT)
+	}
+	if len(res.TValues) != len(want.TValues) {
+		t.Fatalf("resumed trace has %d cycles, uninterrupted %d", len(res.TValues), len(want.TValues))
+	}
+	for i := range want.TValues {
+		if res.TValues[i] != want.TValues[i] {
+			t.Errorf("t[%d] = %v after resume, %v uninterrupted", i, res.TValues[i], want.TValues[i])
+			break
+		}
+	}
+}

@@ -21,7 +21,9 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/leakage"
 	"repro/internal/lint"
+	"repro/internal/power"
 	"repro/internal/prove"
 )
 
@@ -40,11 +42,12 @@ const (
 	KindLint       Kind = "lint"
 	KindProve      Kind = "prove"
 	KindMultiFault Kind = "multifault"
+	KindLeakage    Kind = "leakage"
 )
 
 // Kinds lists the supported job kinds in a stable order.
 func Kinds() []Kind {
-	return []Kind{KindCampaign, KindDFA, KindSIFA, KindFTA, KindArea, KindLint, KindProve, KindMultiFault}
+	return []Kind{KindCampaign, KindDFA, KindSIFA, KindFTA, KindArea, KindLint, KindProve, KindMultiFault, KindLeakage}
 }
 
 // U64 is a uint64 that travels as a hex string ("0x1f"). JSON numbers lose
@@ -201,6 +204,28 @@ type MultiFaultSpec struct {
 	Workers int `json:"workers,omitempty"`
 }
 
+// LeakageSpec parameterises a leakage job: a fixed-vs-random TVLA
+// evaluation (Welch's t-test per clock cycle over power traces) of the
+// job's design, optionally under injected faults with SIFA-style
+// ineffective-run filtering. Batch b of an evaluation derives all
+// randomness from (seed, b) — the campaign determinism contract — so the
+// job checkpoints at trace-batch boundaries and resumes bit-identically.
+type LeakageSpec struct {
+	// Pairs is the number of fixed/random trace pairs to collect.
+	Pairs int    `json:"pairs"`
+	Seed  U64    `json:"seed"`
+	Key   [2]U64 `json:"key"`
+	// Model selects the power model: "hd"/"hamming-distance" (default)
+	// or "hw"/"hamming-weight".
+	Model string `json:"model,omitempty"`
+	// FixedPT is the fixed class's plaintext (0 is a legitimate value;
+	// clients wanting the conventional TVLA constant pass it explicitly).
+	FixedPT U64 `json:"fixed_pt,omitempty"`
+	// Faults, when present, are injected into every run; only SIFA-usable
+	// (ineffective) runs enter the t-test.
+	Faults []FaultSpec `json:"faults,omitempty"`
+}
+
 // AttackSpec parameterises the dfa, sifa and fta job kinds. Zero fields
 // take the attack drivers' published defaults.
 type AttackSpec struct {
@@ -252,6 +277,7 @@ type JobRequest struct {
 	Lint       *LintSpec       `json:"lint,omitempty"`
 	Prove      *ProveSpec      `json:"prove,omitempty"`
 	MultiFault *MultiFaultSpec `json:"multifault,omitempty"`
+	Leakage    *LeakageSpec    `json:"leakage,omitempty"`
 }
 
 // Validate rejects malformed requests before they reach the queue, so a
@@ -339,6 +365,28 @@ func (r *JobRequest) Validate() error {
 		for i, s := range m.Sboxes {
 			if s < 0 {
 				return fmt.Errorf("sbox filter %d: negative index", i)
+			}
+		}
+	case KindLeakage:
+		l := r.Leakage
+		if l == nil {
+			return fmt.Errorf("leakage job needs a leakage spec")
+		}
+		if l.Pairs <= 0 {
+			return fmt.Errorf("leakage needs a positive pair count (got %d)", l.Pairs)
+		}
+		if _, ok := power.ParseModel(l.Model); !ok {
+			return fmt.Errorf("unknown power model %q", l.Model)
+		}
+		for i, f := range l.Faults {
+			if _, err := parseBranch(f.Branch); err != nil {
+				return fmt.Errorf("fault %d: %w", i, err)
+			}
+			if _, err := parseModel(f.Model); err != nil {
+				return fmt.Errorf("fault %d: %w", i, err)
+			}
+			if f.Sbox < 0 || f.Bit < 0 {
+				return fmt.Errorf("fault %d: negative S-box coordinates", i)
 			}
 		}
 	case KindArea, KindLint:
@@ -604,6 +652,40 @@ func (m *MultiFaultResult) Accumulate(t TupleResult) {
 	}
 }
 
+// LeakageResult is the wire form of a TVLA evaluation's outcome.
+type LeakageResult struct {
+	Model string `json:"model"`
+	Pairs int    `json:"pairs"`
+	// Fixed/Random count the traces kept per class after SIFA filtering;
+	// Discarded the filtered runs.
+	Fixed     int `json:"fixed_traces"`
+	Random    int `json:"random_traces"`
+	Discarded int `json:"discarded,omitempty"`
+	// Samples is the trace length in clock cycles.
+	Samples int `json:"samples"`
+	// MaxAbsT is the largest |t| over all cycles; Leaks the TVLA verdict
+	// (|t| > 4.5 anywhere).
+	MaxAbsT float64 `json:"max_abs_t"`
+	Leaks   bool    `json:"leaks"`
+	// TValues is Welch's t per cycle.
+	TValues []float64 `json:"t_values,omitempty"`
+}
+
+// NewLeakageResult converts an evaluator result to the wire form.
+func NewLeakageResult(r leakage.Result) *LeakageResult {
+	return &LeakageResult{
+		Model:     r.Model,
+		Pairs:     r.Pairs,
+		Fixed:     r.Fixed,
+		Random:    r.Random,
+		Discarded: r.Discarded,
+		Samples:   r.Samples,
+		MaxAbsT:   r.MaxAbsT,
+		Leaks:     r.Leaks,
+		TValues:   r.TValues,
+	}
+}
+
 // JobResult is the kind-discriminated result payload; exactly one field is
 // set on a done job.
 type JobResult struct {
@@ -615,6 +697,7 @@ type JobResult struct {
 	Lint       *lint.Report      `json:"lint,omitempty"`
 	Prove      *ProveResult      `json:"prove,omitempty"`
 	MultiFault *MultiFaultResult `json:"multifault,omitempty"`
+	Leakage    *LeakageResult    `json:"leakage,omitempty"`
 }
 
 // Progress is a point-in-time view of a running campaign job, published at

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/fault"
+	"repro/internal/leakage"
 	"repro/internal/lint"
 	"repro/internal/obs"
 	"repro/internal/prove"
@@ -509,6 +510,8 @@ func (s *Service) runJob(j *job) {
 		result, err = s.runProve(ctx, j)
 	case KindMultiFault:
 		result, err = s.runMultiFault(ctx, j)
+	case KindLeakage:
+		result, err = s.runLeakage(ctx, j)
 	default:
 		err = fmt.Errorf("unknown job kind %q", j.req.Kind)
 	}
@@ -979,6 +982,56 @@ func (s *Service) runProve(ctx context.Context, j *job) (*JobResult, error) {
 		s.mu.Unlock()
 	}
 	return &JobResult{Prove: res}, nil
+}
+
+// runLeakage executes a leakage job one trace batch at a time. Batches
+// are (seed, batch)-deterministic and the streaming t-test accumulator
+// serialises bit-exactly, so every batch boundary is a checkpoint: a
+// drained or killed job resumes by restoring the accumulator and
+// simulating exactly the remaining batches — the final t-statistics are
+// bit-identical to an uninterrupted run.
+func (s *Service) runLeakage(ctx context.Context, j *job) (*JobResult, error) {
+	ev, err := buildLeakage(j.req)
+	if err != nil {
+		return nil, err
+	}
+	total := j.req.Leakage.Pairs
+
+	s.mu.Lock()
+	if j.checkpoint != nil && j.checkpoint.Leakage != nil {
+		cp := j.checkpoint.Leakage
+		if err := ev.Restore(leakage.State{
+			NextBatch: cp.NextBatch, Discarded: cp.Discarded, TTest: cp.TTest,
+		}); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		j.resumed++
+		s.Metrics.JobsResumed.Inc()
+	}
+	j.progress = &Progress{Done: ev.PairsDone(), Total: total}
+	s.mu.Unlock()
+
+	for !ev.Done() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ev.Step()
+		// State() deep-copies the accumulator, so the persisted record
+		// stays a frozen snapshot of this batch boundary.
+		st := ev.State()
+		s.mu.Lock()
+		j.checkpoint = &Checkpoint{Leakage: &LeakageCheckpoint{
+			NextBatch: st.NextBatch, Discarded: st.Discarded, TTest: st.TTest,
+		}}
+		j.progress = &Progress{Done: ev.PairsDone(), Total: total}
+		s.Metrics.Checkpoints.Inc()
+		s.persistLocked(j)
+		p := *j.progress
+		s.publishLocked(j, Event{Type: "progress", Progress: &p})
+		s.mu.Unlock()
+	}
+	return &JobResult{Leakage: NewLeakageResult(ev.Result())}, nil
 }
 
 // runLint audits a design (or uploaded netlist) with the static

@@ -77,6 +77,44 @@ func (t *TTest) MaxAbsT() float64 {
 // LeakageThreshold is the conventional TVLA significance bound.
 const LeakageThreshold = 4.5
 
+// TTestState is the serialisable form of a TTest's Welford accumulator.
+// Go's float64 JSON encoding round-trips bit-exactly for finite values, so
+// a checkpoint/restore cycle through this type reproduces the accumulator
+// exactly — the leakage job's drain/resume bit-identity rests on it.
+type TTestState struct {
+	Samples int          `json:"samples"`
+	N       [2]float64   `json:"n"`
+	Mean    [2][]float64 `json:"mean"`
+	M2      [2][]float64 `json:"m2"`
+}
+
+// State snapshots the accumulator (deep copy).
+func (t *TTest) State() TTestState {
+	s := TTestState{Samples: t.samples, N: t.n}
+	for c := 0; c < 2; c++ {
+		s.Mean[c] = append([]float64(nil), t.mean[c]...)
+		s.M2[c] = append([]float64(nil), t.m2[c]...)
+	}
+	return s
+}
+
+// RestoreTTest rebuilds a TTest from a snapshot (deep copy; the snapshot
+// stays usable). A zero-value or partially populated snapshot restores to
+// an empty accumulator of the given sample count.
+func RestoreTTest(s TTestState) *TTest {
+	t := NewTTest(s.Samples)
+	t.n = s.N
+	for c := 0; c < 2; c++ {
+		if len(s.Mean[c]) == s.Samples {
+			copy(t.mean[c], s.Mean[c])
+		}
+		if len(s.M2[c]) == s.Samples {
+			copy(t.m2[c], s.M2[c])
+		}
+	}
+	return t
+}
+
 func sign(x float64) int {
 	if x < 0 {
 		return -1

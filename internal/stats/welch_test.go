@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 
@@ -70,5 +71,136 @@ func TestTTestCounts(t *testing.T) {
 	// Too few traces: all zeros, no panic.
 	if tt.MaxAbsT() != 0 {
 		t.Fatal("underpopulated t-test should report 0")
+	}
+}
+
+// An empty or single-trace class must degrade to all-zero t values — never
+// NaN from the 0/0 of an undefined variance, never a panic.
+func TestTTestEmptyAndSingleSampleClasses(t *testing.T) {
+	cases := []struct {
+		name   string
+		counts [2]int
+	}{
+		{"both empty", [2]int{0, 0}},
+		{"one empty", [2]int{3, 0}},
+		{"one single", [2]int{3, 1}},
+		{"both single", [2]int{1, 1}},
+	}
+	for _, tc := range cases {
+		tt := NewTTest(2)
+		for c := 0; c < 2; c++ {
+			for i := 0; i < tc.counts[c]; i++ {
+				tt.Add(c, []float64{float64(i), 7})
+			}
+		}
+		for i, v := range tt.TValues() {
+			if v != 0 || math.IsNaN(v) {
+				t.Errorf("%s: t[%d] = %v, want 0", tc.name, i, v)
+			}
+		}
+		if tt.MaxAbsT() != 0 {
+			t.Errorf("%s: MaxAbsT = %v, want 0", tc.name, tt.MaxAbsT())
+		}
+	}
+}
+
+// Zero pooled variance: equal means report exactly 0 (not NaN), unequal
+// means report a signed infinity matching the direction of the shift.
+func TestTTestZeroVarianceSign(t *testing.T) {
+	tt := NewTTest(3)
+	for i := 0; i < 4; i++ {
+		tt.Add(0, []float64{5, 1, 9})
+		tt.Add(1, []float64{5, 2, 3})
+	}
+	vals := tt.TValues()
+	if vals[0] != 0 {
+		t.Errorf("equal constant sample: t = %v, want 0", vals[0])
+	}
+	if !math.IsInf(vals[1], -1) {
+		t.Errorf("class 0 below class 1: t = %v, want -Inf", vals[1])
+	}
+	if !math.IsInf(vals[2], +1) {
+		t.Errorf("class 0 above class 1: t = %v, want +Inf", vals[2])
+	}
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			t.Errorf("t[%d] is NaN", i)
+		}
+	}
+}
+
+// Add must reject traces whose length disagrees with the accumulator.
+func TestTTestRejectsLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched trace length accepted")
+		}
+	}()
+	NewTTest(2).Add(0, []float64{1})
+}
+
+// The checkpoint contract of the leakage job: snapshot → JSON → restore →
+// keep accumulating must be bit-identical to never having snapshotted, and
+// the snapshot must be a deep copy frozen against later Adds.
+func TestTTestStateJSONRoundTripBitIdentity(t *testing.T) {
+	gen := rng.NewXoshiro(0x5C0)
+	trace := func() []float64 {
+		return []float64{float64(gen.Intn(97)) / 7, float64(gen.Intn(13))}
+	}
+
+	ref := NewTTest(2)
+	split := NewTTest(2)
+	var tail [][2]interface{}
+	for i := 0; i < 50; i++ {
+		tr := trace()
+		ref.Add(i%2, tr)
+		split.Add(i%2, tr)
+	}
+	snap := split.State()
+	frozen, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		tr := trace()
+		ref.Add(i%2, tr)
+		split.Add(i%2, tr) // mutates split; must not touch snap
+		tail = append(tail, [2]interface{}{i % 2, tr})
+	}
+
+	var decoded TTestState
+	if err := json.Unmarshal(frozen, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	restored := RestoreTTest(decoded)
+	if n0, n1 := restored.Count(); n0 != 25 || n1 != 25 {
+		t.Fatalf("restored counts (%d, %d), want (25, 25)", n0, n1)
+	}
+	for _, step := range tail {
+		restored.Add(step[0].(int), step[1].([]float64))
+	}
+
+	want, got := ref.TValues(), restored.TValues()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("t[%d] = %v after restore, %v uninterrupted", i, got[i], want[i])
+		}
+	}
+	if ref.MaxAbsT() != restored.MaxAbsT() {
+		t.Fatal("MaxAbsT differs after JSON round trip")
+	}
+}
+
+// A zero-value snapshot restores a fresh accumulator of its sample count.
+func TestRestoreTTestZeroValue(t *testing.T) {
+	tt := RestoreTTest(TTestState{Samples: 3})
+	tt.Add(0, []float64{1, 2, 3})
+	tt.Add(0, []float64{1, 2, 3})
+	tt.Add(1, []float64{1, 2, 3})
+	tt.Add(1, []float64{1, 2, 3})
+	for i, v := range tt.TValues() {
+		if v != 0 {
+			t.Fatalf("t[%d] = %v on identical classes", i, v)
+		}
 	}
 }

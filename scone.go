@@ -11,6 +11,7 @@ import (
 	"repro/internal/cipher/scone64"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/leakage"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -94,7 +95,26 @@ const (
 	// is corrected (the right ciphertext still releases) rather than
 	// merely detected.
 	SchemeCorrect = core.SchemeCorrect
+	// SchemeMaskedDup is three-in-one over a first-order Boolean-masked
+	// datapath: identical fault detection, but the power side channel
+	// (including λ) is first-order masked. Leakage jobs measure the
+	// difference.
+	SchemeMaskedDup = core.SchemeMaskedDup
 )
+
+// SchemeInfo is one row of the scheme registry: wire vocabulary plus
+// capability flags (Duplicated / UsesRandomness / Corrects / Masked).
+type SchemeInfo = core.SchemeInfo
+
+// Schemes lists the registered protection schemes in capability order.
+func Schemes() []SchemeInfo { return core.Schemes() }
+
+// ParseScheme resolves a wire token ("three-in-one", "masked", an alias, or
+// "" for the default) to its Scheme.
+func ParseScheme(token string) (Scheme, error) { return core.ParseScheme(token) }
+
+// SchemeWire returns the canonical wire token of a scheme.
+func SchemeWire(s Scheme) string { return core.SchemeWire(s) }
 
 // Entropy variants.
 const (
@@ -152,13 +172,6 @@ func LambdaConst(vals []uint64) LambdaFunc { return core.LambdaConst(vals) }
 // them (an EngineConfig with LaneWords W evaluates W such batches per
 // simulator pass).
 const BatchLanes = sim.Lanes
-
-// SimLanes is the simulator's logical lane width.
-//
-// Deprecated: use BatchLanes. The name predates configurable engine widths;
-// it is kept as an alias because the constant still describes the logical
-// 64-run batch, not the physical pass width EngineConfig selects.
-const SimLanes = BatchLanes
 
 // EngineConfig is the campaign engine's execution configuration: simulator
 // word width (LaneWords — one pass evaluates LaneWords×64 lanes), worker
@@ -235,7 +248,7 @@ func NewInjector(faults ...Fault) *Injector { return fault.NewInjector(faults...
 // context's error.
 type BoundCampaign struct {
 	// Campaign is the underlying campaign; its fields stay settable
-	// (Workers, extra Faults) before the first Run.
+	// (Engine, extra Faults) before the first Run.
 	Campaign
 	ctx context.Context
 }
@@ -475,6 +488,13 @@ type (
 	MultiFaultResult = service.MultiFaultResult
 	// TupleResult is one multifault placement's outcome.
 	TupleResult = service.TupleResult
+	// LeakageSpec parameterises a leakage job: a fixed-vs-random TVLA
+	// evaluation of the design, optionally under injected faults with
+	// SIFA-style ineffective-run filtering.
+	LeakageSpec = service.LeakageSpec
+	// LeakageResult is a finished TVLA evaluation: kept-trace counts,
+	// per-cycle Welch t-statistics and the |t| > 4.5 verdict.
+	LeakageResult = service.LeakageResult
 )
 
 // ---------------------------------------------------------------------------
@@ -516,6 +536,8 @@ const (
 	JobProve = service.KindProve
 	// JobMultiFault runs a planned multi-fault or persistent-fault sweep.
 	JobMultiFault = service.KindMultiFault
+	// JobLeakage runs a fixed-vs-random TVLA leakage evaluation.
+	JobLeakage = service.KindLeakage
 )
 
 // Job states.
@@ -575,6 +597,50 @@ func MultiFault(ctx context.Context, design DesignSpec, spec MultiFaultSpec) (*M
 				return nil, fmt.Errorf("scone: multifault sweep ended %s: %s", final.State, final.Error)
 			}
 			return final.Result.MultiFault, nil
+		}
+	}
+}
+
+// Leakage executes a TVLA leakage evaluation in-process: an ephemeral
+// single-worker Service runs the request to completion and returns the
+// result. Long evaluations that need durable checkpoints and resume
+// should instead submit a JobLeakage request to a Service the caller
+// configures and keeps.
+func Leakage(ctx context.Context, design DesignSpec, spec LeakageSpec) (*LeakageResult, error) {
+	if ctx == nil {
+		return nil, errors.New("scone: nil context in Leakage")
+	}
+	svc, err := service.New(service.Config{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	st, err := svc.Submit(service.JobRequest{Kind: service.KindLeakage, Design: design, Leakage: &spec})
+	if err != nil {
+		return nil, err
+	}
+	ch, off, err := svc.Watch(st.ID)
+	if err != nil {
+		return nil, err
+	}
+	defer off()
+	for {
+		select {
+		case <-ctx.Done():
+			_, _ = svc.Cancel(st.ID)
+			return nil, ctx.Err()
+		case _, ok := <-ch:
+			if ok {
+				continue // progress event; only the stream close matters here
+			}
+			final, err := svc.Get(st.ID)
+			if err != nil {
+				return nil, err
+			}
+			if final.State != service.StateDone || final.Result == nil || final.Result.Leakage == nil {
+				return nil, fmt.Errorf("scone: leakage evaluation ended %s: %s", final.State, final.Error)
+			}
+			return final.Result.Leakage, nil
 		}
 	}
 }
@@ -663,18 +729,20 @@ type (
 // NewRegistry creates an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
 
-// EnableObservability registers the simulator, fault-engine, prover and
-// planner instrument families on reg, so campaign internals (cache hits,
-// evals, batch latency, reorder depth), proof progress (locations proved,
-// peak BDD nodes, per-location latency) and plan sizing (tuples enumerated,
-// tuples pruned) surface in reg's Prometheus exposition. Pass nil to detach
-// them again — the hot paths then cost nothing. Service instances attach
-// through ServiceConfig.Obs instead.
+// EnableObservability registers the simulator, fault-engine, prover,
+// planner and leakage-evaluator instrument families on reg, so campaign
+// internals (cache hits, evals, batch latency, reorder depth), proof
+// progress (locations proved, peak BDD nodes, per-location latency), plan
+// sizing (tuples enumerated, tuples pruned) and TVLA trace collection
+// (batches, kept/discarded traces) surface in reg's Prometheus
+// exposition. Pass nil to detach them again — the hot paths then cost
+// nothing. Service instances attach through ServiceConfig.Obs instead.
 func EnableObservability(reg *Registry) {
 	sim.EnableObservability(reg)
 	fault.EnableObservability(reg)
 	prove.EnableObservability(reg)
 	plan.EnableObservability(reg)
+	leakage.EnableObservability(reg)
 }
 
 // ---------------------------------------------------------------------------
